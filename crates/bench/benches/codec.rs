@@ -1,0 +1,57 @@
+//! Persistence codec throughput: encode/decode of realistic sketches.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use bed_pbe::{CurveSketch, Pbe1, Pbe1Config, Pbe2, Pbe2Config};
+use bed_sketch::{CmPbe, SketchParams};
+use bed_stream::{Codec, EventId, Timestamp};
+
+fn bench_codec(c: &mut Criterion) {
+    // single-stream sketches over a 100k-arrival spiky stream
+    let ts: Vec<u64> = (0..100_000u64).map(|i| i / 3 + (i % 11)).collect();
+    let mut sorted = ts.clone();
+    sorted.sort_unstable();
+
+    let mut p1 = Pbe1::new(Pbe1Config { n_buf: 1_500, eta: 128 }).unwrap();
+    let mut p2 = Pbe2::new(Pbe2Config { gamma: 4.0, max_vertices: 64 }).unwrap();
+    for &t in &sorted {
+        p1.update(Timestamp(t));
+        p2.update(Timestamp(t));
+    }
+    p1.finalize();
+    p2.finalize();
+
+    let mut cm = CmPbe::new(SketchParams { epsilon: 0.01, delta: 0.05 }, 7, || {
+        Pbe2::new(Pbe2Config { gamma: 8.0, max_vertices: 64 }).unwrap()
+    })
+    .unwrap();
+    for i in 0..100_000u64 {
+        cm.update(EventId((i % 500) as u32), Timestamp(i / 10));
+    }
+    cm.finalize();
+
+    let p1_bytes = p1.to_bytes();
+    let p2_bytes = p2.to_bytes();
+    let cm_bytes = cm.to_bytes();
+
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Bytes(p1_bytes.len() as u64));
+    g.bench_function("pbe1_encode", |b| b.iter(|| p1.to_bytes().len()));
+    g.bench_function("pbe1_decode", |b| b.iter(|| Pbe1::from_bytes(&p1_bytes).unwrap().arrivals()));
+    g.throughput(Throughput::Bytes(p2_bytes.len() as u64));
+    g.bench_function("pbe2_encode", |b| b.iter(|| p2.to_bytes().len()));
+    g.bench_function("pbe2_decode", |b| b.iter(|| Pbe2::from_bytes(&p2_bytes).unwrap().arrivals()));
+    g.throughput(Throughput::Bytes(cm_bytes.len() as u64));
+    g.bench_function("cmpbe_encode", |b| b.iter(|| cm.to_bytes().len()));
+    g.bench_function("cmpbe_decode", |b| {
+        b.iter(|| CmPbe::<Pbe2>::from_bytes(&cm_bytes).unwrap().arrivals())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_codec
+}
+criterion_main!(benches);

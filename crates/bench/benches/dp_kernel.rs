@@ -1,0 +1,50 @@
+//! The PBE-1 dynamic-programming kernel: naive O(η·n²) vs the
+//! convex-hull-trick O(η·n) at the paper's buffer size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bed_pbe::pbe1::dp;
+use bed_stream::curve::CornerPoint;
+use bed_stream::Timestamp;
+
+/// Deterministic pseudo-random staircase of `n` corners.
+fn staircase(n: usize) -> Vec<CornerPoint> {
+    let mut x = 0xBAD_C0DEu64;
+    let mut t = 0u64;
+    let mut cum = 0u64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            t += 1 + x % 17;
+            cum += 1 + (x >> 32) % 9;
+            CornerPoint { t: Timestamp(t), cum }
+        })
+        .collect()
+}
+
+fn bench_dp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dp_kernel");
+    for &n in &[300usize, 1_500] {
+        let points = staircase(n);
+        let eta = 128.min(n / 2);
+        g.bench_with_input(BenchmarkId::new("cht", n), &points, |b, p| {
+            b.iter(|| dp::solve(p, eta).cost)
+        });
+        // the naive kernel is quadratic — keep it to the small size
+        if n <= 300 {
+            g.bench_with_input(BenchmarkId::new("naive", n), &points, |b, p| {
+                b.iter(|| dp::solve_naive(p, eta).cost)
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dp
+}
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Ingest throughput of every sketch variant.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use bed_pbe::{CurveSketch, Pbe1, Pbe1Config, Pbe2, Pbe2Config};
+use bed_sketch::{CmPbe, SketchParams};
+use bed_stream::{EventId, Timestamp};
+
+/// A deterministic mixed workload: 50k elements over 1k events, mildly
+/// bursty timestamps.
+fn workload() -> Vec<(EventId, Timestamp)> {
+    let mut x = 0x9E37_79B9u64;
+    let mut out = Vec::with_capacity(50_000);
+    for i in 0..50_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let e = EventId((x % 1_000) as u32);
+        out.push((e, Timestamp(i / 5)));
+    }
+    out
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let els = workload();
+    let mut g = c.benchmark_group("ingest");
+    g.throughput(Throughput::Elements(els.len() as u64));
+
+    g.bench_function("pbe1_single", |b| {
+        b.iter_batched(
+            || Pbe1::new(Pbe1Config { n_buf: 1_500, eta: 128 }).unwrap(),
+            |mut p| {
+                for &(_, t) in &els {
+                    p.update(t);
+                }
+                p.finalize();
+                p.size_bytes()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("pbe2_single", |b| {
+        b.iter_batched(
+            || Pbe2::new(Pbe2Config { gamma: 8.0, max_vertices: 64 }).unwrap(),
+            |mut p| {
+                for &(_, t) in &els {
+                    p.update(t);
+                }
+                p.finalize();
+                p.size_bytes()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let params = SketchParams { epsilon: 0.01, delta: 0.05 };
+    g.bench_function("cmpbe1_mixed", |b| {
+        b.iter_batched(
+            || {
+                CmPbe::new(params, 7, || Pbe1::new(Pbe1Config { n_buf: 1_500, eta: 32 }).unwrap())
+                    .unwrap()
+            },
+            |mut cm| {
+                for &(e, t) in &els {
+                    cm.update(e, t);
+                }
+                cm.finalize();
+                cm.size_bytes()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("cmpbe2_mixed", |b| {
+        b.iter_batched(
+            || {
+                CmPbe::new(params, 7, || {
+                    Pbe2::new(Pbe2Config { gamma: 8.0, max_vertices: 64 }).unwrap()
+                })
+                .unwrap()
+            },
+            |mut cm| {
+                for &(e, t) in &els {
+                    cm.update(e, t);
+                }
+                cm.finalize();
+                cm.size_bytes()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("cmpbe2_mixed_parallel_rows", |b| {
+        b.iter_batched(
+            || {
+                CmPbe::new(params, 7, || {
+                    Pbe2::new(Pbe2Config { gamma: 8.0, max_vertices: 64 }).unwrap()
+                })
+                .unwrap()
+            },
+            |mut cm| {
+                cm.update_batch_parallel(&els);
+                cm.finalize();
+                cm.size_bytes()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ingest
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Query latency: point queries across structures, and bursty-event
+//! queries pruned vs scanned.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bed_hierarchy::DyadicCmPbe;
+use bed_pbe::{CurveSketch, Pbe1, Pbe1Config, Pbe2, Pbe2Config};
+use bed_sketch::SketchParams;
+use bed_stream::{BurstSpan, EventId, ExactBaseline, Timestamp};
+
+const UNIVERSE: u32 = 1_024;
+
+/// Mixed workload with a handful of bursting events.
+fn workload() -> Vec<(EventId, Timestamp)> {
+    let mut x = 0xDEAD_BEEFu64;
+    let mut out = Vec::with_capacity(120_000);
+    for i in 0..100_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        out.push((EventId((x % UNIVERSE as u64) as u32), Timestamp(i / 10)));
+    }
+    // bursts for events 17 and 600 near the end
+    for t in 9_000..10_000u64 {
+        for _ in 0..10 {
+            out.push((EventId(17), Timestamp(t)));
+            out.push((EventId(600), Timestamp(t)));
+        }
+    }
+    out.sort_by_key(|&(_, t)| t);
+    out
+}
+
+fn bench_query(c: &mut Criterion) {
+    let els = workload();
+    let tau = BurstSpan::new(500).unwrap();
+    let t_query = Timestamp(9_800);
+
+    let mut baseline = ExactBaseline::new();
+    let mut pbe1 = Pbe1::new(Pbe1Config { n_buf: 1_500, eta: 64 }).unwrap();
+    let mut pbe2 = Pbe2::new(Pbe2Config { gamma: 8.0, max_vertices: 64 }).unwrap();
+    let mut forest =
+        DyadicCmPbe::new(UNIVERSE, SketchParams { epsilon: 0.01, delta: 0.05 }, 7, |_| {
+            Pbe2::new(Pbe2Config { gamma: 8.0, max_vertices: 64 }).unwrap()
+        })
+        .unwrap();
+    for &(e, t) in &els {
+        baseline.ingest(e, t).unwrap();
+        forest.update(e, t).unwrap();
+        if e == EventId(17) {
+            pbe1.update(t);
+            pbe2.update(t);
+        }
+    }
+    pbe1.finalize();
+    pbe2.finalize();
+    forest.finalize();
+
+    let mut g = c.benchmark_group("point_query");
+    g.bench_function("exact_baseline", |b| {
+        b.iter(|| baseline.point_query(EventId(17), t_query, tau))
+    });
+    g.bench_function("pbe1", |b| b.iter(|| pbe1.estimate_burstiness(t_query, tau)));
+    g.bench_function("pbe2", |b| b.iter(|| pbe2.estimate_burstiness(t_query, tau)));
+    g.bench_function("cmpbe_leaf", |b| {
+        b.iter(|| forest.estimate_burstiness(EventId(17), t_query, tau))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("bursty_event_query");
+    g.bench_function("dyadic_pruned", |b| b.iter(|| forest.bursty_events(t_query, 2_000.0, tau)));
+    g.bench_function("naive_scan", |b| b.iter(|| forest.bursty_events_scan(t_query, 2_000.0, tau)));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_query
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Pruning ablation (Section V / VI-D): probe counts and wall time of the
+//! dyadic pruned search vs the naive per-event scan, across thresholds.
+//!
+//! Paper: "in most cases we only need to issue O(log K) point queries,
+//! roughly O(1) per level ... rather than O(K)".
+
+use bed_bench::{data, env_scale, print_table, time};
+use bed_core::PbeCell;
+use bed_hierarchy::DyadicCmPbe;
+use bed_pbe::{Pbe2, Pbe2Config};
+use bed_sketch::SketchParams;
+use bed_stream::{BurstSpan, Timestamp};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let n = env_scale();
+    let tau = BurstSpan::DAY_SECONDS;
+    let s = data::olympics_stream(n);
+    let universe = bed_workload::olympics::OLYMPICS_UNIVERSE;
+
+    let mut forest = DyadicCmPbe::new(universe, SketchParams::PAPER, 23, |_| {
+        PbeCell::Two(Pbe2::new(Pbe2Config { gamma: 8.0, max_vertices: 64 }).unwrap())
+    })
+    .unwrap();
+    for el in s.stream.iter() {
+        forest.update(el.event, el.ts).unwrap();
+    }
+    forest.finalize();
+
+    let mut rng = SmallRng::seed_from_u64(5);
+    let times: Vec<Timestamp> = (0..30)
+        .map(|_| Timestamp(rng.gen_range(86_400..bed_workload::olympics::OLYMPICS_HORIZON_SECS)))
+        .collect();
+
+    let mut rows = Vec::new();
+    for theta in [50.0f64, 200.0, 1_000.0, 5_000.0] {
+        let mut pruned_probes = 0usize;
+        let mut pruned_hits = 0usize;
+        let (_, t_pruned) = time(|| {
+            for &t in &times {
+                let (hits, stats) = forest.bursty_events(t, theta, tau);
+                pruned_probes += stats.point_queries;
+                pruned_hits += hits.len();
+            }
+        });
+        let mut scan_probes = 0usize;
+        let mut scan_hits = 0usize;
+        let (_, t_scan) = time(|| {
+            for &t in &times {
+                let (hits, stats) = forest.bursty_events_scan(t, theta, tau);
+                scan_probes += stats.point_queries;
+                scan_hits += hits.len();
+            }
+        });
+        rows.push(vec![
+            format!("{theta}"),
+            (pruned_probes / times.len()).to_string(),
+            (scan_probes / times.len()).to_string(),
+            format!("{:.1}", scan_probes as f64 / pruned_probes.max(1) as f64),
+            format!("{:.2}", t_pruned.as_secs_f64() * 1e3 / times.len() as f64),
+            format!("{:.2}", t_scan.as_secs_f64() * 1e3 / times.len() as f64),
+            pruned_hits.to_string(),
+            scan_hits.to_string(),
+        ]);
+    }
+
+    print_table(
+        &format!(
+            "Pruning ablation (olympicrio N={}, K={universe}, {} query instants, log2(K')={})",
+            s.stream.len(),
+            times.len(),
+            forest.levels() - 1
+        ),
+        [
+            "theta",
+            "pruned_probes",
+            "scan_probes",
+            "probe_ratio",
+            "pruned_ms",
+            "scan_ms",
+            "pruned_hits",
+            "scan_hits",
+        ],
+        rows,
+    );
+}

@@ -1,0 +1,66 @@
+//! Space-model ablation (Section IV cost analysis): the paper argues the
+//! CM-PBE space is `O((N/Δ + 1/ε)·log(1/δ))` — the `N/Δ` factor being the
+//! improvement over a naive `N`-scaling ("the Δ-factor improvement on the
+//! space is significant as Δ is an additive error controlled by user").
+//!
+//! This binary measures both halves:
+//!   (a) fixed γ, growing N   → sketch size grows sub-linearly in N when
+//!       the extra volume rides existing trends (more arrivals, similar
+//!       curve shapes);
+//!   (b) fixed N, growing γ   → size shrinks ~1/γ until only macro-bursts
+//!       remain.
+
+use bed_bench::{data, measure, print_table};
+use bed_pbe::{Pbe2, Pbe2Config};
+use bed_sketch::SketchParams;
+
+fn main() {
+    // (a) size vs N at fixed per-cell error budget
+    let mut rows = Vec::new();
+    for n in [125_000u64, 250_000, 500_000, 1_000_000] {
+        let stream = data::olympics_stream(n).stream;
+        let (cm, _) = measure::build_cmpbe(&stream, SketchParams::PAPER, 5, || {
+            Pbe2::new(Pbe2Config { gamma: 32.0, max_vertices: 64 }).unwrap()
+        });
+        rows.push(vec![
+            n.to_string(),
+            stream.len().to_string(),
+            (cm.size_bytes() / 1024).to_string(),
+            format!("{:.3}", cm.size_bytes() as f64 / stream.len() as f64),
+        ]);
+    }
+    print_table(
+        "Space model (a): CM-PBE-2 size vs N at fixed gamma=32 (olympicrio)",
+        ["target_n", "actual_n", "size_kb", "bytes_per_element"],
+        rows,
+    );
+
+    // (b) size vs γ at fixed N — the 1/Δ law
+    let stream = data::olympics_stream(500_000).stream;
+    let mut rows = Vec::new();
+    let mut last_size = 0usize;
+    for gamma in [8.0f64, 16.0, 32.0, 64.0, 128.0, 256.0] {
+        let (cm, _) = measure::build_cmpbe(&stream, SketchParams::PAPER, 5, || {
+            Pbe2::new(Pbe2Config { gamma, max_vertices: 64 }).unwrap()
+        });
+        let size = cm.size_bytes();
+        rows.push(vec![
+            format!("{gamma}"),
+            (size / 1024).to_string(),
+            if last_size == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.2}", last_size as f64 / size as f64)
+            },
+        ]);
+        last_size = size;
+    }
+    print_table(
+        &format!(
+            "Space model (b): CM-PBE-2 size vs gamma at N={} — doubling gamma should roughly halve the size until macro-bursts dominate",
+            stream.len()
+        ),
+        ["gamma", "size_kb", "shrink_vs_prev"],
+        rows,
+    );
+}

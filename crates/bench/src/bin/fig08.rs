@@ -1,0 +1,50 @@
+//! Figure 8 — PBE-1 parameter study: space, construction time, and point
+//! query accuracy as functions of η (soccer and swimming single streams,
+//! n_buf = 1,500 as in the paper).
+
+use bed_bench::{data, env_queries, env_scale, kb, measure, print_table, secs};
+use bed_pbe::CurveSketch;
+use bed_stream::BurstSpan;
+
+fn main() {
+    let n = env_scale();
+    let q = env_queries();
+    let (soccer, swimming) = data::single_streams(n);
+    let tau = BurstSpan::DAY_SECONDS;
+    let etas = [10usize, 50, 100, 200, 400, 700];
+
+    let mut rows = Vec::new();
+    for &eta in &etas {
+        let mut cells = vec![eta.to_string()];
+        for (name, stream) in [("soccer", &soccer), ("swimming", &swimming)] {
+            let baseline = data::single_baseline(stream);
+            let horizon = data::horizon(stream);
+            let (pbe, dt) = measure::build_pbe1(stream, eta, 1_500);
+            let err = measure::single_stream_error(&pbe, &baseline, horizon, tau, q, 8);
+            let _ = name;
+            cells.push(kb(pbe.size_bytes()));
+            cells.push(secs(dt));
+            cells.push(format!("{err:.1}"));
+        }
+        rows.push(cells);
+    }
+
+    print_table(
+        &format!(
+            "Fig. 8: PBE-1 vs eta (soccer N={}, swimming N={}, n_buf=1500, {} random queries)",
+            soccer.len(),
+            swimming.len(),
+            q
+        ),
+        [
+            "eta",
+            "soccer_space_kb",
+            "soccer_build_s",
+            "soccer_err",
+            "swim_space_kb",
+            "swim_build_s",
+            "swim_err",
+        ],
+        rows,
+    );
+}

@@ -1,0 +1,52 @@
+//! Figure 9 — PBE-2 parameter study: space, construction time, and point
+//! query accuracy as functions of γ.
+//!
+//! Paper: space drops steeply as γ grows, then flattens once only the large
+//! bursts remain; construction stays in fractions of a second; error grows
+//! roughly linearly in γ and sits well under the 4γ bound.
+
+use bed_bench::{data, env_queries, env_scale, kb, measure, print_table};
+use bed_pbe::CurveSketch;
+use bed_stream::BurstSpan;
+
+fn main() {
+    let n = env_scale();
+    let q = env_queries();
+    let (soccer, swimming) = data::single_streams(n);
+    let tau = BurstSpan::DAY_SECONDS;
+    let gammas = [2.0f64, 10.0, 50.0, 100.0, 200.0, 500.0];
+
+    let mut rows = Vec::new();
+    for &gamma in &gammas {
+        let mut cells = vec![format!("{gamma}")];
+        for stream in [&soccer, &swimming] {
+            let baseline = data::single_baseline(stream);
+            let horizon = data::horizon(stream);
+            let (pbe, dt) = measure::build_pbe2(stream, gamma);
+            let err = measure::single_stream_error(&pbe, &baseline, horizon, tau, q, 9);
+            cells.push(kb(pbe.size_bytes()));
+            cells.push(format!("{:.1}", dt.as_secs_f64() * 1e3)); // ms
+            cells.push(format!("{err:.1}"));
+        }
+        rows.push(cells);
+    }
+
+    print_table(
+        &format!(
+            "Fig. 9: PBE-2 vs gamma (soccer N={}, swimming N={}, {} random queries)",
+            soccer.len(),
+            swimming.len(),
+            q
+        ),
+        [
+            "gamma",
+            "soccer_space_kb",
+            "soccer_build_ms",
+            "soccer_err",
+            "swim_space_kb",
+            "swim_build_ms",
+            "swim_err",
+        ],
+        rows,
+    );
+}

@@ -1,0 +1,111 @@
+//! Figure 10 — single event stream head-to-head.
+//!
+//! (a) PBE-1 vs PBE-2 at equal space: sweep η for PBE-1, then binary-search
+//!     γ so PBE-2 matches the byte budget; report both errors.
+//!     Paper: both are accurate; PBE-1 always enjoys better quality.
+//! (b) error vs n (points in the exact curve) at a fixed ~1 KB budget:
+//!     grow the stream prefix, fit both sketches into 1 KB, report errors.
+//!     Paper: error rises with n, stepping up where the incoming rate shifts.
+
+use bed_bench::{data, env_queries, env_scale, measure, print_table};
+use bed_pbe::CurveSketch;
+use bed_stream::{BurstSpan, SingleEventStream};
+
+fn main() {
+    let n = env_scale();
+    let q = env_queries();
+    let (soccer, swimming) = data::single_streams(n);
+    let tau = BurstSpan::DAY_SECONDS;
+
+    // (a) space vs accuracy at equal budgets
+    let mut rows = Vec::new();
+    for &eta in &[25usize, 50, 100, 200, 400] {
+        let mut cells = Vec::new();
+        let mut budget_kb = 0.0;
+        for stream in [&soccer, &swimming] {
+            let baseline = data::single_baseline(stream);
+            let horizon = data::horizon(stream);
+            let (p1, _) = measure::build_pbe1(stream, eta, 1_500);
+            let budget = p1.size_bytes();
+            budget_kb = budget as f64 / 1024.0;
+            let p2 = measure::pbe2_for_budget(stream, budget);
+            let e1 = measure::single_stream_error(&p1, &baseline, horizon, tau, q, 10);
+            let e2 = measure::single_stream_error(&p2, &baseline, horizon, tau, q, 10);
+            cells.push(format!("{e1:.1}"));
+            cells.push(format!("{e2:.1}"));
+            cells.push(format!("{:.1}", p2.size_bytes() as f64 / 1024.0));
+        }
+        let mut row = vec![eta.to_string(), format!("{budget_kb:.1}")];
+        row.extend(cells);
+        rows.push(row);
+    }
+    print_table(
+        &format!(
+            "Fig. 10a: equal-space accuracy, PBE-1 vs PBE-2 (soccer N={}, swimming N={})",
+            soccer.len(),
+            swimming.len()
+        ),
+        [
+            "eta",
+            "space_kb",
+            "soccer_err_pbe1",
+            "soccer_err_pbe2",
+            "soccer_pbe2_kb",
+            "swim_err_pbe1",
+            "swim_err_pbe2",
+            "swim_pbe2_kb",
+        ],
+        rows,
+    );
+
+    // (b) n vs accuracy at ~1 KB
+    let budget = 1_024usize;
+    let mut rows = Vec::new();
+    for frac in [0.2, 0.4, 0.6, 0.8, 1.0f64] {
+        let mut cells = Vec::new();
+        let mut ns = Vec::new();
+        for stream in [&soccer, &swimming] {
+            let prefix = prefix_stream(stream, frac);
+            let baseline = data::single_baseline(&prefix);
+            let horizon = data::horizon(&prefix);
+            let n_points = bed_stream::curve::FrequencyCurve::from_stream(&prefix).n_points();
+            ns.push(n_points);
+            // PBE-1: pick η so total summary ≈ budget (η per buffer of 1500
+            // points → κ·n points total → bytes = 16·κ·n).
+            let keep_points = (budget / 16).max(4);
+            let buffers = n_points.div_ceil(1_500);
+            let eta = (keep_points / buffers.max(1)).max(2);
+            let (p1, _) = measure::build_pbe1(&prefix, eta, 1_500);
+            let p2 = measure::pbe2_for_budget(&prefix, budget);
+            let e1 = measure::single_stream_error(&p1, &baseline, horizon, tau, q, 11);
+            let e2 = measure::single_stream_error(&p2, &baseline, horizon, tau, q, 11);
+            cells.push(format!("{e1:.1}"));
+            cells.push(format!("{e2:.1}"));
+            cells.push((p1.size_bytes() / 16).to_string());
+        }
+        let mut row = vec![format!("{frac}"), ns[0].to_string(), ns[1].to_string()];
+        row.extend(cells);
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 10b: error vs n at ~1 KB per sketch",
+        [
+            "prefix_frac",
+            "soccer_n",
+            "swim_n",
+            "soccer_err_pbe1",
+            "soccer_err_pbe2",
+            "soccer_points",
+            "swim_err_pbe1",
+            "swim_err_pbe2",
+            "swim_points",
+        ],
+        rows,
+    );
+}
+
+/// First `frac` of the stream by element count.
+fn prefix_stream(stream: &SingleEventStream, frac: f64) -> SingleEventStream {
+    let keep = ((stream.len() as f64 * frac) as usize).max(1);
+    SingleEventStream::from_sorted(stream.timestamps()[..keep].to_vec()).expect("sorted prefix")
+}

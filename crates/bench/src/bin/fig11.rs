@@ -1,0 +1,79 @@
+//! Figure 11 — CM-PBE space vs accuracy on the two mixed datasets
+//! (ε = 0.005, δ = 0.02 as in Section VI-C).
+//!
+//! Paper: both CM-PBE variants reach errors in the hundreds (vs burstiness
+//! values up to tens of thousands) with megabyte-scale sketches; uspolitics
+//! suffers more at small budgets because of its popularity skew.
+
+use bed_bench::{data, env_queries, env_scale, measure, print_table, time};
+use bed_pbe::{Pbe1, Pbe1Config, Pbe2, Pbe2Config};
+use bed_sketch::SketchParams;
+use bed_stream::{BurstSpan, ExactBaseline};
+
+fn main() {
+    let n = env_scale();
+    let q = env_queries();
+    let tau = BurstSpan::DAY_SECONDS;
+    let params = SketchParams::PAPER;
+
+    for (name, stream, horizon) in [
+        (
+            "olympicrio",
+            data::olympics_stream(n).stream,
+            bed_workload::olympics::OLYMPICS_HORIZON_SECS,
+        ),
+        (
+            "uspolitics",
+            data::politics_stream(n).stream,
+            bed_workload::politics::POLITICS_HORIZON_SECS,
+        ),
+    ] {
+        let (baseline, _) = time(|| ExactBaseline::from_stream(&stream));
+        let events = stream.distinct_events();
+        let horizon = bed_stream::Timestamp(horizon);
+
+        let mut rows = Vec::new();
+        // Sweep per-cell budgets: η for CM-PBE-1, γ for CM-PBE-2.
+        for (eta, gamma) in [(8usize, 256.0f64), (16, 64.0), (32, 16.0), (64, 4.0), (128, 1.0)] {
+            let (cm1, t1) = measure::build_cmpbe(&stream, params, 5, || {
+                Pbe1::new(Pbe1Config { n_buf: 1_500, eta }).unwrap()
+            });
+            let e1 = measure::cmpbe_error(&cm1, &baseline, &events, horizon, tau, q, 21);
+            let (cm2, t2) = measure::build_cmpbe(&stream, params, 5, || {
+                Pbe2::new(Pbe2Config { gamma, max_vertices: 64 }).unwrap()
+            });
+            let e2 = measure::cmpbe_error(&cm2, &baseline, &events, horizon, tau, q, 21);
+            rows.push(vec![
+                eta.to_string(),
+                format!("{:.2}", cm1.size_bytes() as f64 / (1024.0 * 1024.0)),
+                format!("{e1:.1}"),
+                format!("{:.1}", t1.as_secs_f64()),
+                format!("{gamma}"),
+                format!("{:.2}", cm2.size_bytes() as f64 / (1024.0 * 1024.0)),
+                format!("{e2:.1}"),
+                format!("{:.1}", t2.as_secs_f64()),
+            ]);
+        }
+        print_table(
+            &format!(
+                "Fig. 11 ({name}): CM-PBE space vs accuracy (N={}, K={}, eps={}, delta={}, {} queries)",
+                stream.len(),
+                events.len(),
+                params.epsilon,
+                params.delta,
+                q
+            ),
+            [
+                "eta",
+                "cmpbe1_mb",
+                "cmpbe1_err",
+                "cmpbe1_build_s",
+                "gamma",
+                "cmpbe2_mb",
+                "cmpbe2_err",
+                "cmpbe2_build_s",
+            ],
+            rows,
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Figure 12 — bursty event detection: precision and recall vs space on
+//! both datasets, using the dyadic hierarchy of Section V.
+//!
+//! Paper: high precision and recall at small space; recall generally beats
+//! precision (collisions can fake bursts, but a real burst is rarely
+//! missed); olympicrio beats uspolitics at equal space.
+
+use bed_bench::{data, env_scale, print_table, time};
+use bed_hierarchy::DyadicCmPbe;
+use bed_pbe::{Pbe1, Pbe1Config, Pbe2, Pbe2Config};
+use bed_sketch::SketchParams;
+use bed_stream::{BurstSpan, ExactBaseline, Timestamp};
+use bed_workload::truth;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let n = env_scale();
+    let tau = BurstSpan::DAY_SECONDS;
+    let params = SketchParams::PAPER;
+    let queries = 40usize;
+
+    for (name, stream, universe, horizon) in [
+        (
+            "olympicrio",
+            data::olympics_stream(n).stream,
+            bed_workload::olympics::OLYMPICS_UNIVERSE,
+            bed_workload::olympics::OLYMPICS_HORIZON_SECS,
+        ),
+        (
+            "uspolitics",
+            data::politics_stream(n).stream,
+            bed_workload::politics::POLITICS_UNIVERSE,
+            bed_workload::politics::POLITICS_HORIZON_SECS,
+        ),
+    ] {
+        let (baseline, _) = time(|| ExactBaseline::from_stream(&stream));
+
+        // Draw query instants from the active period and thresholds from the
+        // observed burstiness range ("we generated a set of burstiness
+        // thresholds θ from the range of possible burstiness values").
+        let mut rng = SmallRng::seed_from_u64(99);
+        let max_b = {
+            let mut m = 1i64;
+            for e in baseline.events().collect::<Vec<_>>() {
+                for d in 1..(horizon / 86_400) {
+                    m = m.max(baseline.point_query(e, Timestamp(d * 86_400), tau));
+                }
+            }
+            m
+        };
+        let query_set: Vec<(Timestamp, i64)> = (0..queries)
+            .map(|_| {
+                let t = Timestamp(rng.gen_range(86_400..horizon));
+                let theta = rng.gen_range((max_b / 200).max(1)..=(max_b / 10).max(2));
+                (t, theta)
+            })
+            .collect();
+
+        let mut rows = Vec::new();
+        for (eta, gamma) in [(4usize, 1024.0f64), (8, 256.0), (16, 64.0), (32, 16.0), (64, 4.0)] {
+            for variant in ["CM-PBE-1", "CM-PBE-2"] {
+                let forest: DyadicCmPbe<bed_core::PbeCell> = {
+                    let mut f = DyadicCmPbe::new(universe, params, 13, |_| match variant {
+                        "CM-PBE-1" => bed_core::PbeCell::One(
+                            Pbe1::new(Pbe1Config { n_buf: 1_500, eta }).unwrap(),
+                        ),
+                        _ => bed_core::PbeCell::Two(
+                            Pbe2::new(Pbe2Config { gamma, max_vertices: 64 }).unwrap(),
+                        ),
+                    })
+                    .unwrap();
+                    for el in stream.iter() {
+                        f.update(el.event, el.ts).unwrap();
+                    }
+                    f.finalize();
+                    f
+                };
+                let mut p_sum = 0.0;
+                let mut r_sum = 0.0;
+                for &(t, theta) in &query_set {
+                    let (hits, _) = forest.bursty_events(t, theta as f64, tau);
+                    let reported: Vec<_> = hits.iter().map(|h| h.event).collect();
+                    let pr = truth::precision_recall(&baseline, &reported, t, theta, tau);
+                    p_sum += pr.precision;
+                    r_sum += pr.recall;
+                }
+                rows.push(vec![
+                    variant.to_string(),
+                    format!("{:.2}", forest.size_bytes() as f64 / (1024.0 * 1024.0)),
+                    format!("{:.3}", p_sum / queries as f64),
+                    format!("{:.3}", r_sum / queries as f64),
+                ]);
+            }
+        }
+        print_table(
+            &format!(
+                "Fig. 12 ({name}): bursty event detection, precision/recall vs space (N={}, K={universe}, {} queries)",
+                stream.len(),
+                queries
+            ),
+            ["variant", "space_mb", "precision", "recall"],
+            rows,
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Dataset construction shared by the experiment binaries.
+
+use bed_stream::{EventId, ExactBaseline, SingleEventStream, Timestamp};
+use bed_workload::olympics::{self, OlympicsConfig, OlympicsStream};
+use bed_workload::politics::{self, PoliticsConfig, PoliticsStream};
+
+/// The olympicrio-like mixed stream at `n` elements.
+pub fn olympics_stream(n: u64) -> OlympicsStream {
+    olympics::generate(OlympicsConfig { total_elements: n, seed: 2016 })
+}
+
+/// The uspolitics-like mixed stream at `n` elements.
+pub fn politics_stream(n: u64) -> PoliticsStream {
+    politics::generate(PoliticsConfig { total_elements: n, skew: 1.1, seed: 1776 })
+}
+
+/// The two single-event study streams of Figs. 7–10 (soccer, swimming),
+/// normalised so each carries roughly `n_each` elements — mirroring the
+/// paper's "we then normalize the volume of both datasets to 1 million
+/// tweets".
+pub fn single_streams(n_each: u64) -> (SingleEventStream, SingleEventStream) {
+    // The marquee pair receives ~20% of the mixed stream's volume, split
+    // roughly 60/40 between soccer and swimming by profile mass; blow up the
+    // mixed stream so each single stream lands near n_each.
+    let s = olympics_stream(n_each * 8);
+    let soccer = s.stream.project(s.soccer);
+    let swimming = s.stream.project(s.swimming);
+    (soccer, swimming)
+}
+
+/// Exact oracle for a single stream (as event 0).
+pub fn single_baseline(stream: &SingleEventStream) -> ExactBaseline {
+    let mut b = ExactBaseline::new();
+    for &t in stream.timestamps() {
+        b.ingest(EventId(0), t).expect("sorted");
+    }
+    b
+}
+
+/// Horizon (latest timestamp) of a single stream.
+pub fn horizon(stream: &SingleEventStream) -> Timestamp {
+    stream.last_timestamp().unwrap_or(Timestamp::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_streams_have_requested_scale() {
+        let (soccer, swimming) = single_streams(5_000);
+        // within a factor of ~4 of the target each (profile masses differ)
+        assert!(soccer.len() > 1_200, "soccer {}", soccer.len());
+        assert!(swimming.len() > 1_200, "swimming {}", swimming.len());
+        assert!(soccer.len() < 40_000);
+    }
+}

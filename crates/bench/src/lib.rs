@@ -1,0 +1,77 @@
+//! # bed-bench — experiment harness for the ICDE 2019 reproduction
+//!
+//! One binary per figure/table of the paper (see `src/bin/`), plus Criterion
+//! microbenchmarks (`benches/`). Every binary prints TSV to stdout with a
+//! `#`-prefixed header describing the corresponding paper artifact.
+//!
+//! Scale control: the environment variable `BED_N` sets the element count
+//! per dataset (default 200,000 for fast iteration; the paper's normalised
+//! scale is 1,000,000 — pass `BED_N=1000000` to match).
+
+#![forbid(unsafe_code)]
+
+pub mod data;
+pub mod measure;
+
+use std::time::{Duration, Instant};
+
+/// Elements per generated dataset (`BED_N`, default 200k).
+pub fn env_scale() -> u64 {
+    std::env::var("BED_N").ok().and_then(|v| v.parse().ok()).unwrap_or(200_000)
+}
+
+/// Number of random queries per accuracy measurement (`BED_QUERIES`,
+/// default 100 — the paper reports averages over random queries).
+pub fn env_queries() -> usize {
+    std::env::var("BED_QUERIES").ok().and_then(|v| v.parse().ok()).unwrap_or(100)
+}
+
+/// Times a closure.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Prints a TSV header line (prefixed `#`) followed by rows.
+pub fn print_table<H, R, C>(title: &str, headers: H, rows: R)
+where
+    H: IntoIterator,
+    H::Item: std::fmt::Display,
+    R: IntoIterator,
+    R::Item: IntoIterator<Item = C>,
+    C: std::fmt::Display,
+{
+    println!("# {title}");
+    let head: Vec<String> = headers.into_iter().map(|h| h.to_string()).collect();
+    println!("{}", head.join("\t"));
+    for row in rows {
+        let cells: Vec<String> = row.into_iter().map(|c| c.to_string()).collect();
+        println!("{}", cells.join("\t"));
+    }
+    println!();
+}
+
+/// Formats a byte count as KB with one decimal.
+pub fn kb(bytes: usize) -> String {
+    format!("{:.1}", bytes as f64 / 1024.0)
+}
+
+/// Formats a duration as seconds with three decimals.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(kb(2048), "2.0");
+        assert_eq!(secs(Duration::from_millis(1500)), "1.500");
+        let (v, d) = time(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d.as_secs() < 1);
+    }
+}

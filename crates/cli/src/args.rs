@@ -1,0 +1,400 @@
+//! Hand-rolled argument parsing (the CLI's option surface is small enough
+//! that a dependency-free parser is simpler than pulling one in).
+
+use std::collections::BTreeMap;
+
+use crate::CliError;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `bed generate` — synthesise a workload.
+    Generate {
+        /// `olympics` or `politics`.
+        dataset: String,
+        /// Target element count.
+        n: u64,
+        /// RNG seed.
+        seed: u64,
+        /// Output TSV path.
+        out: String,
+    },
+    /// `bed build` — build and persist a sketch.
+    Build {
+        /// Input TSV path.
+        input: String,
+        /// Output sketch path.
+        out: String,
+        /// `pbe1` or `pbe2`.
+        variant: String,
+        /// η for pbe1.
+        eta: usize,
+        /// γ for pbe2.
+        gamma: f64,
+        /// Universe size K (omit for single-event mode).
+        universe: Option<u32>,
+        /// Count-Min ε.
+        epsilon: f64,
+        /// Count-Min δ.
+        delta: f64,
+        /// Disable the dyadic hierarchy.
+        flat: bool,
+        /// Hash seed.
+        seed: u64,
+    },
+    /// `bed info` — describe a persisted sketch.
+    Info {
+        /// Sketch path.
+        sketch: String,
+    },
+    /// `bed point` — point query.
+    Point {
+        /// Sketch path.
+        sketch: String,
+        /// Event id.
+        event: u32,
+        /// Query instant.
+        t: u64,
+        /// Burst span τ.
+        tau: u64,
+    },
+    /// `bed times` — bursty-time query.
+    Times {
+        /// Sketch path.
+        sketch: String,
+        /// Event id.
+        event: u32,
+        /// Threshold θ.
+        theta: f64,
+        /// Burst span τ.
+        tau: u64,
+        /// Horizon.
+        horizon: u64,
+    },
+    /// `bed events` — bursty-event query.
+    Events {
+        /// Sketch path.
+        sketch: String,
+        /// Query instant.
+        t: u64,
+        /// Threshold θ.
+        theta: f64,
+        /// Burst span τ.
+        tau: u64,
+    },
+    /// `bed ranges` — interval bursty-time query (single-event sketches).
+    Ranges {
+        /// Sketch path.
+        sketch: String,
+        /// Threshold θ.
+        theta: f64,
+        /// Burst span τ.
+        tau: u64,
+        /// Horizon.
+        horizon: u64,
+    },
+    /// `bed series` — burstiness time series of one event.
+    Series {
+        /// Sketch path.
+        sketch: String,
+        /// Event id.
+        event: u32,
+        /// Burst span τ.
+        tau: u64,
+        /// Horizon.
+        horizon: u64,
+        /// Sample step in ticks.
+        step: u64,
+    },
+}
+
+/// Splits `--key value` pairs after the subcommand.
+fn options<I: Iterator<Item = String>>(rest: I) -> Result<BTreeMap<String, String>, CliError> {
+    let mut map = BTreeMap::new();
+    let mut iter = rest.peekable();
+    while let Some(key) = iter.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(CliError::Usage(format!("expected --option, found '{key}'")));
+        };
+        // boolean flags take no value
+        if name == "flat" {
+            map.insert(name.to_string(), "true".to_string());
+            continue;
+        }
+        let Some(value) = iter.next() else {
+            return Err(CliError::Usage(format!("--{name} requires a value")));
+        };
+        if map.insert(name.to_string(), value).is_some() {
+            return Err(CliError::Usage(format!("--{name} given twice")));
+        }
+    }
+    Ok(map)
+}
+
+struct Opts {
+    map: BTreeMap<String, String>,
+    command: &'static str,
+}
+
+impl Opts {
+    fn required(&mut self, name: &str) -> Result<String, CliError> {
+        self.map
+            .remove(name)
+            .ok_or_else(|| CliError::Usage(format!("{}: --{name} is required", self.command)))
+    }
+
+    fn optional(&mut self, name: &str) -> Option<String> {
+        self.map.remove(name)
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str, raw: &str) -> Result<T, CliError> {
+        raw.parse().map_err(|_| {
+            CliError::Usage(format!("{}: --{name} '{raw}' is not a valid number", self.command))
+        })
+    }
+
+    fn required_num<T: std::str::FromStr>(&mut self, name: &str) -> Result<T, CliError> {
+        let raw = self.required(name)?;
+        self.parse_num(name, &raw)
+    }
+
+    fn optional_num<T: std::str::FromStr>(
+        &mut self,
+        name: &str,
+        default: T,
+    ) -> Result<T, CliError> {
+        match self.optional(name) {
+            Some(raw) => self.parse_num(name, &raw),
+            None => Ok(default),
+        }
+    }
+
+    fn finish(self) -> Result<(), CliError> {
+        if let Some(extra) = self.map.keys().next() {
+            return Err(CliError::Usage(format!("{}: unknown option --{extra}", self.command)));
+        }
+        Ok(())
+    }
+}
+
+/// Parses a full argument vector (without the program name).
+pub fn parse<I, S>(argv: I) -> Result<Command, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let mut iter = argv.into_iter().map(Into::into);
+    let Some(sub) = iter.next() else {
+        return Err(CliError::Usage(
+            "missing command; try: generate, build, info, point, times, events".into(),
+        ));
+    };
+    let map = options(iter)?;
+    match sub.as_str() {
+        "generate" => {
+            let mut o = Opts { map, command: "generate" };
+            let dataset = o.optional("dataset").unwrap_or_else(|| "olympics".into());
+            if dataset != "olympics" && dataset != "politics" {
+                return Err(CliError::Usage(format!(
+                    "generate: --dataset must be 'olympics' or 'politics', got '{dataset}'"
+                )));
+            }
+            let n = o.optional_num("n", 200_000u64)?;
+            let seed = o.optional_num("seed", 2016u64)?;
+            let out = o.required("out")?;
+            o.finish()?;
+            Ok(Command::Generate { dataset, n, seed, out })
+        }
+        "build" => {
+            let mut o = Opts { map, command: "build" };
+            let input = o.required("input")?;
+            let out = o.required("out")?;
+            let variant = o.optional("variant").unwrap_or_else(|| "pbe2".into());
+            if variant != "pbe1" && variant != "pbe2" {
+                return Err(CliError::Usage(format!(
+                    "build: --variant must be 'pbe1' or 'pbe2', got '{variant}'"
+                )));
+            }
+            let eta = o.optional_num("eta", 128usize)?;
+            let gamma = o.optional_num("gamma", 8.0f64)?;
+            let universe = match o.optional("universe") {
+                Some(raw) => Some(o.parse_num("universe", &raw)?),
+                None => None,
+            };
+            let epsilon = o.optional_num("epsilon", 0.005f64)?;
+            let delta = o.optional_num("delta", 0.02f64)?;
+            let flat = o.optional("flat").is_some();
+            let seed = o.optional_num("seed", 0xBEDu64)?;
+            o.finish()?;
+            Ok(Command::Build {
+                input,
+                out,
+                variant,
+                eta,
+                gamma,
+                universe,
+                epsilon,
+                delta,
+                flat,
+                seed,
+            })
+        }
+        "info" => {
+            let mut o = Opts { map, command: "info" };
+            let sketch = o.required("sketch")?;
+            o.finish()?;
+            Ok(Command::Info { sketch })
+        }
+        "point" => {
+            let mut o = Opts { map, command: "point" };
+            let sketch = o.required("sketch")?;
+            let event = o.optional_num("event", 0u32)?;
+            let t = o.required_num("t")?;
+            let tau = o.optional_num("tau", 86_400u64)?;
+            o.finish()?;
+            Ok(Command::Point { sketch, event, t, tau })
+        }
+        "times" => {
+            let mut o = Opts { map, command: "times" };
+            let sketch = o.required("sketch")?;
+            let event = o.optional_num("event", 0u32)?;
+            let theta = o.required_num("theta")?;
+            let tau = o.optional_num("tau", 86_400u64)?;
+            let horizon = o.required_num("horizon")?;
+            o.finish()?;
+            Ok(Command::Times { sketch, event, theta, tau, horizon })
+        }
+        "events" => {
+            let mut o = Opts { map, command: "events" };
+            let sketch = o.required("sketch")?;
+            let t = o.required_num("t")?;
+            let theta = o.required_num("theta")?;
+            let tau = o.optional_num("tau", 86_400u64)?;
+            o.finish()?;
+            Ok(Command::Events { sketch, t, theta, tau })
+        }
+        "ranges" => {
+            let mut o = Opts { map, command: "ranges" };
+            let sketch = o.required("sketch")?;
+            let theta = o.required_num("theta")?;
+            let tau = o.optional_num("tau", 86_400u64)?;
+            let horizon = o.required_num("horizon")?;
+            o.finish()?;
+            Ok(Command::Ranges { sketch, theta, tau, horizon })
+        }
+        "series" => {
+            let mut o = Opts { map, command: "series" };
+            let sketch = o.required("sketch")?;
+            let event = o.optional_num("event", 0u32)?;
+            let tau = o.optional_num("tau", 86_400u64)?;
+            let horizon = o.required_num("horizon")?;
+            let step = o.optional_num("step", 86_400u64)?;
+            if step == 0 {
+                return Err(CliError::Usage("series: --step must be positive".into()));
+            }
+            o.finish()?;
+            Ok(Command::Series { sketch, event, tau, horizon, step })
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}'; try: generate, build, info, point, times, events, ranges, series"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(args: &[&str]) -> Command {
+        parse(args.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn generate_defaults_and_overrides() {
+        let c = parse_ok(&["generate", "--out", "x.tsv"]);
+        assert_eq!(
+            c,
+            Command::Generate {
+                dataset: "olympics".into(),
+                n: 200_000,
+                seed: 2016,
+                out: "x.tsv".into()
+            }
+        );
+        let c = parse_ok(&[
+            "generate",
+            "--dataset",
+            "politics",
+            "--n",
+            "5",
+            "--seed",
+            "1",
+            "--out",
+            "y",
+        ]);
+        assert!(matches!(c, Command::Generate { n: 5, seed: 1, .. }));
+    }
+
+    #[test]
+    fn build_full_surface() {
+        let c = parse_ok(&[
+            "build",
+            "--input",
+            "a.tsv",
+            "--out",
+            "a.bed",
+            "--variant",
+            "pbe1",
+            "--eta",
+            "64",
+            "--universe",
+            "864",
+            "--epsilon",
+            "0.01",
+            "--delta",
+            "0.05",
+            "--flat",
+            "--seed",
+            "9",
+        ]);
+        match c {
+            Command::Build { variant, eta, universe, epsilon, flat, seed, .. } => {
+                assert_eq!(variant, "pbe1");
+                assert_eq!(eta, 64);
+                assert_eq!(universe, Some(864));
+                assert_eq!(epsilon, 0.01);
+                assert!(flat);
+                assert_eq!(seed, 9);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let e = parse(["build", "--out", "x"]).unwrap_err().to_string();
+        assert!(e.contains("--input"), "{e}");
+        let e = parse(["point", "--sketch", "s", "--t"]).unwrap_err().to_string();
+        assert!(e.contains("requires a value"), "{e}");
+        let e = parse(["frobnicate"]).unwrap_err().to_string();
+        assert!(e.contains("unknown command"), "{e}");
+        let e = parse(["info", "--sketch", "a", "--bogus", "1"]).unwrap_err().to_string();
+        assert!(e.contains("unknown option"), "{e}");
+        let e = parse(["generate", "--out", "x", "--n", "NaNaN"]).unwrap_err().to_string();
+        assert!(e.contains("not a valid number"), "{e}");
+        let e = parse(["generate", "--out", "x", "--out", "y"]).unwrap_err().to_string();
+        assert!(e.contains("twice"), "{e}");
+        let e = parse(Vec::<String>::new()).unwrap_err().to_string();
+        assert!(e.contains("missing command"), "{e}");
+    }
+
+    #[test]
+    fn query_commands() {
+        let c = parse_ok(&["point", "--sketch", "s.bed", "--event", "3", "--t", "100"]);
+        assert_eq!(c, Command::Point { sketch: "s.bed".into(), event: 3, t: 100, tau: 86_400 });
+        let c = parse_ok(&["times", "--sketch", "s", "--theta", "5.5", "--horizon", "99"]);
+        assert!(matches!(c, Command::Times { theta, horizon: 99, .. } if theta == 5.5));
+        let c = parse_ok(&["events", "--sketch", "s", "--t", "7", "--theta", "2"]);
+        assert!(matches!(c, Command::Events { t: 7, .. }));
+    }
+}

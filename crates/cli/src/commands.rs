@@ -1,0 +1,347 @@
+//! Command execution.
+
+use std::fmt::Write as _;
+use std::fs;
+
+use bed_core::{BurstDetector, PbeVariant};
+use bed_stream::{BurstSpan, Codec, EventId, Timestamp};
+use bed_workload::{olympics, politics};
+
+use crate::args::Command;
+use crate::CliError;
+
+/// Executes a parsed command, returning its stdout text.
+pub fn execute(command: Command) -> Result<String, CliError> {
+    match command {
+        Command::Generate { dataset, n, seed, out } => generate(&dataset, n, seed, &out),
+        Command::Build {
+            input,
+            out,
+            variant,
+            eta,
+            gamma,
+            universe,
+            epsilon,
+            delta,
+            flat,
+            seed,
+        } => build(&input, &out, &variant, eta, gamma, universe, epsilon, delta, flat, seed),
+        Command::Info { sketch } => info(&sketch),
+        Command::Point { sketch, event, t, tau } => point(&sketch, event, t, tau),
+        Command::Times { sketch, event, theta, tau, horizon } => {
+            times(&sketch, event, theta, tau, horizon)
+        }
+        Command::Events { sketch, t, theta, tau } => events(&sketch, t, theta, tau),
+        Command::Ranges { sketch, theta, tau, horizon } => ranges(&sketch, theta, tau, horizon),
+        Command::Series { sketch, event, tau, horizon, step } => {
+            series(&sketch, event, tau, horizon, step)
+        }
+    }
+}
+
+fn generate(dataset: &str, n: u64, seed: u64, out: &str) -> Result<String, CliError> {
+    let (stream, universe) = match dataset {
+        "olympics" => {
+            let s = olympics::generate(olympics::OlympicsConfig { total_elements: n, seed });
+            (s.stream, s.universe)
+        }
+        _ => {
+            let s =
+                politics::generate(politics::PoliticsConfig { total_elements: n, skew: 1.1, seed });
+            (s.stream, s.universe)
+        }
+    };
+    let mut text = String::with_capacity(stream.len() * 12);
+    for el in stream.iter() {
+        writeln!(text, "{}\t{}", el.event.value(), el.ts.ticks()).expect("string write");
+    }
+    fs::write(out, text)?;
+    Ok(format!(
+        "wrote {} elements over universe {} to {out} (dataset={dataset}, seed={seed})\n",
+        stream.len(),
+        universe
+    ))
+}
+
+/// Parses one `event<TAB>timestamp` line.
+fn parse_line(line: &str, lineno: usize) -> Result<(EventId, Timestamp), CliError> {
+    let mut parts = line.split('\t');
+    let bad = || CliError::BadInput(format!("line {lineno}: expected 'event<TAB>timestamp'"));
+    let event: u32 = parts.next().ok_or_else(bad)?.trim().parse().map_err(|_| bad())?;
+    let ts: u64 = parts.next().ok_or_else(bad)?.trim().parse().map_err(|_| bad())?;
+    Ok((EventId(event), Timestamp(ts)))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build(
+    input: &str,
+    out: &str,
+    variant: &str,
+    eta: usize,
+    gamma: f64,
+    universe: Option<u32>,
+    epsilon: f64,
+    delta: f64,
+    flat: bool,
+    seed: u64,
+) -> Result<String, CliError> {
+    let text = fs::read_to_string(input)?;
+    let variant = match variant {
+        "pbe1" => PbeVariant::pbe1(eta),
+        _ => PbeVariant::pbe2(gamma),
+    };
+    let mut builder = BurstDetector::builder()
+        .variant(variant)
+        .accuracy(epsilon, delta)
+        .hierarchical(!flat)
+        .seed(seed);
+    builder = match universe {
+        Some(k) => builder.universe(k),
+        None => builder.single_event(),
+    };
+    let mut det = builder.build()?;
+
+    let mut count = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let (event, ts) = parse_line(line, i + 1)?;
+        if universe.is_some() {
+            det.ingest(event, ts)?;
+        } else {
+            det.ingest_single(ts)?;
+        }
+        count += 1;
+    }
+    det.finalize();
+    let bytes = det.to_bytes();
+    fs::write(out, &bytes)?;
+    Ok(format!(
+        "ingested {count} elements; sketch summary {} bytes (file {} bytes) -> {out}\n",
+        det.size_bytes(),
+        bytes.len()
+    ))
+}
+
+fn load(path: &str) -> Result<BurstDetector, CliError> {
+    let bytes = fs::read(path)?;
+    Ok(BurstDetector::from_bytes(&bytes)?)
+}
+
+fn info(path: &str) -> Result<String, CliError> {
+    let det = load(path)?;
+    let c = det.config();
+    let mode = match (c.universe, c.hierarchical) {
+        (None, _) => "single-event".to_string(),
+        (Some(k), true) => format!("mixed, K={k}, hierarchical"),
+        (Some(k), false) => format!("mixed, K={k}, flat"),
+    };
+    Ok(format!(
+        "sketch: {path}\n mode: {mode}\n variant: {:?}\n epsilon/delta: {}/{}\n seed: {}\n arrivals: {}\n summary bytes: {}\n",
+        c.variant, c.sketch.epsilon, c.sketch.delta, c.seed, det.arrivals(), det.size_bytes()
+    ))
+}
+
+fn point(path: &str, event: u32, t: u64, tau: u64) -> Result<String, CliError> {
+    let det = load(path)?;
+    let tau = BurstSpan::new(tau).map_err(bed_core::BedError::from)?;
+    let b = det.point_query(EventId(event), Timestamp(t), tau);
+    let bf = det.burst_frequency(EventId(event), Timestamp(t), tau);
+    let f = det.cumulative_frequency(EventId(event), Timestamp(t));
+    Ok(format!(
+        "event {event} at t={t} (tau={}):\n burstiness  {b:.1}\n rate/span   {bf:.1}\n cumulative  {f:.1}\n",
+        tau.ticks()
+    ))
+}
+
+fn times(path: &str, event: u32, theta: f64, tau: u64, horizon: u64) -> Result<String, CliError> {
+    let det = load(path)?;
+    let tau = BurstSpan::new(tau).map_err(bed_core::BedError::from)?;
+    let hits = det.bursty_times(EventId(event), theta, tau, Timestamp(horizon));
+    let mut out = format!(
+        "event {event}, theta={theta}, tau={}: {} bursty instants\n",
+        tau.ticks(),
+        hits.len()
+    );
+    for (t, b) in hits {
+        writeln!(out, "  t={}\tb={b:.1}", t.ticks()).expect("string write");
+    }
+    Ok(out)
+}
+
+fn events(path: &str, t: u64, theta: f64, tau: u64) -> Result<String, CliError> {
+    let det = load(path)?;
+    let tau = BurstSpan::new(tau).map_err(bed_core::BedError::from)?;
+    let (hits, stats) = det.bursty_events(Timestamp(t), theta, tau)?;
+    let mut out = format!(
+        "t={t}, theta={theta}, tau={}: {} bursty events ({} probes)\n",
+        tau.ticks(),
+        hits.len(),
+        stats.point_queries
+    );
+    for h in hits {
+        writeln!(out, "  event {}\tb={:.1}", h.event.value(), h.burstiness).expect("string write");
+    }
+    Ok(out)
+}
+
+fn ranges(path: &str, theta: f64, tau: u64, horizon: u64) -> Result<String, CliError> {
+    let det = load(path)?;
+    let tau = BurstSpan::new(tau).map_err(bed_core::BedError::from)?;
+    let ranges = det.bursty_time_ranges(theta, tau, Timestamp(horizon))?;
+    let mut out = format!("theta={theta}, tau={}: {} bursty ranges\n", tau.ticks(), ranges.len());
+    for r in ranges {
+        writeln!(out, "  [{}, {}]  ({} ticks)", r.start.ticks(), r.end.ticks(), r.len_ticks())
+            .expect("string write");
+    }
+    Ok(out)
+}
+
+fn series(path: &str, event: u32, tau: u64, horizon: u64, step: u64) -> Result<String, CliError> {
+    let det = load(path)?;
+    let tau = BurstSpan::new(tau).map_err(bed_core::BedError::from)?;
+    let range = bed_core::TimeRange { start: Timestamp(0), end: Timestamp(horizon) };
+    let series = det.burstiness_series(EventId(event), tau, range, step);
+    let mut out = format!("event {event}, tau={}, step={step}:\n", tau.ticks());
+    for (t, b) in series {
+        writeln!(out, "{}\t{b:.1}", t.ticks()).expect("string write");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("bed-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_build_query_pipeline() {
+        let tsv = tmp("pipe.tsv");
+        let sk = tmp("pipe.bed");
+        let out =
+            run(["generate", "--dataset", "olympics", "--n", "20000", "--out", &tsv]).unwrap();
+        assert!(out.contains("wrote"), "{out}");
+
+        let out = run([
+            "build",
+            "--input",
+            &tsv,
+            "--out",
+            &sk,
+            "--universe",
+            "864",
+            "--variant",
+            "pbe2",
+            "--gamma",
+            "8",
+        ])
+        .unwrap();
+        assert!(out.contains("ingested"), "{out}");
+
+        let out = run(["info", "--sketch", &sk]).unwrap();
+        assert!(out.contains("mixed, K=864, hierarchical"), "{out}");
+
+        let out = run(["point", "--sketch", &sk, "--event", "0", "--t", "1814400"]).unwrap();
+        assert!(out.contains("burstiness"), "{out}");
+
+        let out =
+            run(["events", "--sketch", &sk, "--t", "1814400", "--theta", "50", "--tau", "86400"])
+                .unwrap();
+        assert!(out.contains("bursty events"), "{out}");
+    }
+
+    #[test]
+    fn single_event_pipeline_via_times() {
+        let tsv = tmp("single.tsv");
+        let sk = tmp("single.bed");
+        // hand-written single-event stream with a burst
+        let mut text = String::new();
+        for t in 0..200u64 {
+            text.push_str(&format!("0\t{t}\n"));
+            if t >= 150 {
+                for _ in 0..5 {
+                    text.push_str(&format!("0\t{t}\n"));
+                }
+            }
+        }
+        std::fs::write(&tsv, text).unwrap();
+        run(["build", "--input", &tsv, "--out", &sk, "--variant", "pbe1", "--eta", "16"]).unwrap();
+        let out =
+            run(["times", "--sketch", &sk, "--theta", "50", "--tau", "30", "--horizon", "400"])
+                .unwrap();
+        assert!(out.contains("bursty instants"), "{out}");
+        assert!(out.lines().count() > 1, "expected hits, got: {out}");
+    }
+
+    #[test]
+    fn ranges_and_series_commands() {
+        let tsv = tmp("rs.tsv");
+        let sk = tmp("rs.bed");
+        let mut text = String::new();
+        for t in 0..300u64 {
+            text.push_str(&format!("0\t{t}\n"));
+            if (200..230).contains(&t) {
+                for _ in 0..8 {
+                    text.push_str(&format!("0\t{t}\n"));
+                }
+            }
+        }
+        std::fs::write(&tsv, text).unwrap();
+        run(["build", "--input", &tsv, "--out", &sk, "--variant", "pbe2", "--gamma", "2"])
+            .unwrap();
+
+        let out = run([
+            "ranges", "--sketch", &sk, "--theta", "100", "--tau", "40", "--horizon", "400",
+        ])
+        .unwrap();
+        assert!(out.contains("bursty ranges"), "{out}");
+        assert!(out.contains('['), "expected at least one interval: {out}");
+
+        let out = run([
+            "series", "--sketch", &sk, "--tau", "40", "--horizon", "300", "--step", "50",
+        ])
+        .unwrap();
+        assert_eq!(out.lines().count(), 1 + 7, "{out}"); // header + 0..=300 step 50
+
+        // ranges requires a single-event sketch
+        let tsv2 = tmp("rs2.tsv");
+        let sk2 = tmp("rs2.bed");
+        std::fs::write(&tsv2, "0\t1\n1\t2\n").unwrap();
+        run(["build", "--input", &tsv2, "--out", &sk2, "--universe", "4"]).unwrap();
+        let err = run([
+            "ranges", "--sketch", &sk2, "--theta", "1", "--tau", "5", "--horizon", "10",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("mixed"), "{err}");
+    }
+
+    #[test]
+    fn malformed_tsv_is_reported_with_line_number() {
+        let tsv = tmp("bad.tsv");
+        std::fs::write(&tsv, "0\t1\nnot-a-line\n").unwrap();
+        let sk = tmp("bad.bed");
+        let err = run(["build", "--input", &tsv, "--out", &sk]).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_sketch_file_is_reported() {
+        let sk = tmp("corrupt.bed");
+        std::fs::write(&sk, b"definitely not a sketch").unwrap();
+        let err = run(["info", "--sketch", &sk]).unwrap_err();
+        assert!(err.to_string().contains("corrupt sketch"), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = run(["info", "--sketch", "/nonexistent/path.bed"]).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+    }
+}

@@ -1,0 +1,99 @@
+//! # bed-cli — command-line frontend for historical burstiness sketches
+//!
+//! ```text
+//! bed generate --dataset olympics --n 200000 --out stream.tsv
+//! bed build    --input stream.tsv --universe 864 --variant pbe2 --gamma 8 --out rio.bed
+//! bed info     --sketch rio.bed
+//! bed point    --sketch rio.bed --event 0 --t 1814400 --tau 86400
+//! bed times    --sketch rio.bed --event 0 --theta 1000 --tau 86400 --horizon 2678400
+//! bed events   --sketch rio.bed --t 1814400 --theta 1000 --tau 86400
+//! ```
+//!
+//! The library half (`run`) is process-free and returns the textual output,
+//! so the whole surface is unit-testable; `main.rs` is a four-line shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use std::fmt;
+
+pub use args::Command;
+
+/// CLI-level errors (argument parsing, I/O, sketch errors).
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad or missing arguments; the string is a usage hint.
+    Usage(String),
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Input data was malformed.
+    BadInput(String),
+    /// An underlying sketch error.
+    Bed(bed_core::BedError),
+    /// A persisted sketch failed to decode.
+    Codec(bed_stream::CodecError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(u) => write!(f, "usage error: {u}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::BadInput(m) => write!(f, "bad input: {m}"),
+            CliError::Bed(e) => write!(f, "{e}"),
+            CliError::Codec(e) => write!(f, "corrupt sketch file: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+impl From<bed_core::BedError> for CliError {
+    fn from(e: bed_core::BedError) -> Self {
+        CliError::Bed(e)
+    }
+}
+impl From<bed_stream::CodecError> for CliError {
+    fn from(e: bed_stream::CodecError) -> Self {
+        CliError::Codec(e)
+    }
+}
+
+/// Parses `argv[1..]` and executes the command, returning its stdout text.
+pub fn run<I, S>(argv: I) -> Result<String, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let command = args::parse(argv)?;
+    commands::execute(command)
+}
+
+/// Top-level usage text.
+pub fn usage() -> &'static str {
+    "bed — bursty event detection throughout histories
+
+USAGE:
+    bed <command> [options]
+
+COMMANDS:
+    generate   synthesise a workload stream as TSV (event_id<TAB>timestamp)
+    build      build a sketch from a TSV stream and persist it
+    info       describe a persisted sketch
+    point      point query: burstiness of an event at a time
+    ranges     interval bursty-time query (single-event sketches)
+    series     burstiness time series of one event
+    times      bursty-time query: when was an event bursty?
+    events     bursty-event query: which events were bursty at a time?
+
+Run `bed <command> --help` semantics: every command lists its options on a
+usage error."
+}

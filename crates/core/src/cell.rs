@@ -1,0 +1,126 @@
+//! Runtime-selectable PBE cell: PBE-1 or PBE-2 behind one type.
+//!
+//! The sketch and hierarchy layers are generic over
+//! [`bed_pbe::CurveSketch`]; the facade needs to pick the variant at runtime
+//! from configuration, so it routes through this small enum rather than
+//! monomorphising the whole stack twice behind a trait object.
+
+use bed_pbe::{CurveSketch, Pbe1, Pbe2};
+use bed_stream::Timestamp;
+
+/// A PBE of either variant.
+#[derive(Debug, Clone)]
+pub enum PbeCell {
+    /// Buffered optimal staircase (Section III-A).
+    One(Pbe1),
+    /// Online piecewise-linear approximation (Section III-B).
+    Two(Pbe2),
+}
+
+impl CurveSketch for PbeCell {
+    fn update(&mut self, ts: Timestamp) {
+        match self {
+            PbeCell::One(p) => p.update(ts),
+            PbeCell::Two(p) => p.update(ts),
+        }
+    }
+
+    fn estimate_cum(&self, t: Timestamp) -> f64 {
+        match self {
+            PbeCell::One(p) => p.estimate_cum(t),
+            PbeCell::Two(p) => p.estimate_cum(t),
+        }
+    }
+
+    fn finalize(&mut self) {
+        match self {
+            PbeCell::One(p) => p.finalize(),
+            PbeCell::Two(p) => p.finalize(),
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        match self {
+            PbeCell::One(p) => p.size_bytes(),
+            PbeCell::Two(p) => p.size_bytes(),
+        }
+    }
+
+    fn segment_starts(&self) -> Vec<Timestamp> {
+        match self {
+            PbeCell::One(p) => p.segment_starts(),
+            PbeCell::Two(p) => p.segment_starts(),
+        }
+    }
+
+    fn piece_boundaries(&self) -> Vec<Timestamp> {
+        match self {
+            PbeCell::One(p) => p.piece_boundaries(),
+            PbeCell::Two(p) => p.piece_boundaries(),
+        }
+    }
+
+    fn interpolation(&self) -> bed_pbe::traits::Interpolation {
+        match self {
+            PbeCell::One(p) => p.interpolation(),
+            PbeCell::Two(p) => p.interpolation(),
+        }
+    }
+
+    fn arrivals(&self) -> u64 {
+        match self {
+            PbeCell::One(p) => p.arrivals(),
+            PbeCell::Two(p) => p.arrivals(),
+        }
+    }
+}
+
+/// Persistence: a one-byte variant tag followed by the inner sketch's own
+/// self-identifying encoding.
+impl bed_stream::Codec for PbeCell {
+    fn encode(&self, w: &mut bed_stream::codec::Writer) {
+        match self {
+            PbeCell::One(p) => {
+                w.u8(1);
+                p.encode(w);
+            }
+            PbeCell::Two(p) => {
+                w.u8(2);
+                p.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut bed_stream::codec::Reader<'_>) -> Result<Self, bed_stream::CodecError> {
+        match r.u8("pbe cell variant")? {
+            1 => Ok(PbeCell::One(Pbe1::decode(r)?)),
+            2 => Ok(PbeCell::Two(Pbe2::decode(r)?)),
+            _ => Err(bed_stream::CodecError::Invalid { context: "pbe cell variant" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bed_pbe::{Pbe1Config, Pbe2Config};
+
+    #[test]
+    fn both_variants_delegate() {
+        let mut one = PbeCell::One(Pbe1::new(Pbe1Config { n_buf: 10, eta: 3 }).unwrap());
+        let mut two = PbeCell::Two(Pbe2::new(Pbe2Config { gamma: 2.0, max_vertices: 16 }).unwrap());
+        for t in 0..20u64 {
+            one.update(Timestamp(t));
+            two.update(Timestamp(t));
+        }
+        one.finalize();
+        two.finalize();
+        assert_eq!(one.arrivals(), 20);
+        assert_eq!(two.arrivals(), 20);
+        assert!(one.estimate_cum(Timestamp(19)) > 0.0);
+        assert!((two.estimate_cum(Timestamp(19)) - 20.0).abs() <= 2.0 + 1e-9);
+        assert!(one.size_bytes() > 0 && two.size_bytes() > 0);
+        assert!(!one.segment_starts().is_empty());
+        assert!(!two.segment_starts().is_empty());
+    }
+}

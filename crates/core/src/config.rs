@@ -1,0 +1,119 @@
+//! Detector configuration.
+
+use bed_pbe::{Pbe1, Pbe1Config, Pbe2, Pbe2Config};
+use bed_sketch::SketchParams;
+use bed_stream::StreamError;
+
+use crate::cell::PbeCell;
+
+/// Which persistent burstiness estimator backs each cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PbeVariant {
+    /// PBE-1: buffered optimal staircase; `η` points kept per `n_buf`-point
+    /// buffer (Fig. 8's knobs).
+    Pbe1 {
+        /// Buffer capacity in staircase corner points.
+        n_buf: usize,
+        /// Points retained per buffer.
+        eta: usize,
+    },
+    /// PBE-2: online PLA with pointwise error `γ` (Fig. 9's knob).
+    Pbe2 {
+        /// Maximum deviation at constraint points.
+        gamma: f64,
+        /// Vertex cap of the live polygon.
+        max_vertices: usize,
+    },
+}
+
+impl PbeVariant {
+    /// PBE-1 with the paper's default buffer size (n = 1,500).
+    pub fn pbe1(eta: usize) -> Self {
+        PbeVariant::Pbe1 { n_buf: 1_500, eta }
+    }
+
+    /// PBE-2 with the default vertex cap.
+    pub fn pbe2(gamma: f64) -> Self {
+        PbeVariant::Pbe2 { gamma, max_vertices: 64 }
+    }
+
+    /// Validates the variant parameters.
+    pub fn validate(&self) -> Result<(), StreamError> {
+        match *self {
+            PbeVariant::Pbe1 { n_buf, eta } => Pbe1Config { n_buf, eta }.validate(),
+            PbeVariant::Pbe2 { gamma, max_vertices } => {
+                Pbe2Config { gamma, max_vertices }.validate()
+            }
+        }
+    }
+
+    /// Builds one cell of this variant (panics on invalid config; the
+    /// builder validates first).
+    pub(crate) fn make_cell(&self) -> PbeCell {
+        match *self {
+            PbeVariant::Pbe1 { n_buf, eta } => {
+                PbeCell::One(Pbe1::new(Pbe1Config { n_buf, eta }).expect("validated"))
+            }
+            PbeVariant::Pbe2 { gamma, max_vertices } => {
+                PbeCell::Two(Pbe2::new(Pbe2Config { gamma, max_vertices }).expect("validated"))
+            }
+        }
+    }
+}
+
+/// Full configuration of a [`crate::BurstDetector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// Cell variant.
+    pub variant: PbeVariant,
+    /// Count-Min accuracy (ignored in single-event mode).
+    pub sketch: SketchParams,
+    /// Event universe size K for mixed streams; `None` = single-event mode
+    /// (one PBE, no hashing).
+    pub universe: Option<u32>,
+    /// Maintain the dyadic hierarchy for bursty event queries. Costs
+    /// `O(log K)` extra CM-PBEs; required by
+    /// [`crate::BurstDetector::bursty_events`].
+    pub hierarchical: bool,
+    /// Seed for all hash functions.
+    pub seed: u64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            variant: PbeVariant::pbe2(8.0),
+            sketch: SketchParams::PAPER,
+            universe: None,
+            hierarchical: true,
+            seed: 0xBED,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_validation() {
+        assert!(PbeVariant::pbe1(2).validate().is_ok());
+        assert!(PbeVariant::Pbe1 { n_buf: 4, eta: 8 }.validate().is_err());
+        assert!(PbeVariant::pbe2(1.0).validate().is_ok());
+        assert!(PbeVariant::pbe2(0.0).validate().is_err());
+    }
+
+    #[test]
+    fn make_cell_matches_variant() {
+        assert!(matches!(PbeVariant::pbe1(8).make_cell(), PbeCell::One(_)));
+        assert!(matches!(PbeVariant::pbe2(2.0).make_cell(), PbeCell::Two(_)));
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        let c = DetectorConfig::default();
+        assert!(c.variant.validate().is_ok());
+        assert!(c.sketch.validate().is_ok());
+        assert!(c.hierarchical);
+    }
+}

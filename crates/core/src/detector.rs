@@ -1,0 +1,651 @@
+//! The [`BurstDetector`] facade.
+
+use bed_hierarchy::query::{bursty_times_over, bursty_times_single};
+use bed_hierarchy::{BurstyEventHit, DyadicCmPbe, QueryStats};
+use bed_pbe::CurveSketch;
+use bed_sketch::CmPbe;
+use bed_stream::{BurstSpan, EventId, StreamError, Timestamp};
+
+use crate::cell::PbeCell;
+use crate::config::{DetectorConfig, PbeVariant};
+use crate::error::BedError;
+
+/// Storage backend selected by the configuration.
+#[derive(Debug, Clone)]
+enum Backend {
+    /// One PBE over a single event stream (Section III).
+    Single(PbeCell),
+    /// One CM-PBE over a mixed stream (Section IV).
+    Flat(CmPbe<PbeCell>),
+    /// Per-level CM-PBEs over the dyadic decomposition (Section V).
+    Hierarchical(DyadicCmPbe<PbeCell>),
+}
+
+/// Historical burstiness detector: ingest a stream once, then ask *point*,
+/// *bursty time*, and *bursty event* queries about any moment of the past.
+///
+/// Construct via [`BurstDetector::builder`]; see the crate-level example.
+#[derive(Debug, Clone)]
+pub struct BurstDetector {
+    config: DetectorConfig,
+    backend: Backend,
+    last_ts: Option<Timestamp>,
+}
+
+/// Builder for [`BurstDetector`].
+#[derive(Debug, Clone)]
+pub struct BurstDetectorBuilder {
+    config: DetectorConfig,
+}
+
+impl BurstDetector {
+    /// Starts a builder with default configuration (single-event PBE-2).
+    pub fn builder() -> BurstDetectorBuilder {
+        BurstDetectorBuilder { config: DetectorConfig::default() }
+    }
+
+    /// Builds directly from a configuration.
+    pub fn from_config(config: DetectorConfig) -> Result<Self, BedError> {
+        config.variant.validate()?;
+        config.sketch.validate()?;
+        let backend = match (config.universe, config.hierarchical) {
+            (None, _) => Backend::Single(config.variant.make_cell()),
+            (Some(k), true) => {
+                Backend::Hierarchical(DyadicCmPbe::new(k, config.sketch, config.seed, |_| {
+                    config.variant.make_cell()
+                })?)
+            }
+            (Some(_), false) => Backend::Flat(CmPbe::new(config.sketch, config.seed, || {
+                config.variant.make_cell()
+            })?),
+        };
+        Ok(BurstDetector { config, backend, last_ts: None })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    fn check_monotone(&mut self, ts: Timestamp) -> Result<(), BedError> {
+        if let Some(last) = self.last_ts {
+            if ts < last {
+                return Err(
+                    StreamError::NonMonotonicTimestamp { previous: last, offered: ts }.into()
+                );
+            }
+        }
+        self.last_ts = Some(ts);
+        Ok(())
+    }
+
+    /// Records one arrival of `event` at `ts` (mixed-stream modes).
+    pub fn ingest(&mut self, event: EventId, ts: Timestamp) -> Result<(), BedError> {
+        self.check_monotone(ts)?;
+        match &mut self.backend {
+            Backend::Single(_) => Err(BedError::WrongMode {
+                operation: "ingest(event, ts)",
+                built_for: "a single event stream (use ingest_single)",
+            }),
+            Backend::Flat(grid) => {
+                if let Some(k) = self.config.universe {
+                    if event.value() >= k {
+                        return Err(StreamError::EventOutOfUniverse {
+                            event: event.value(),
+                            universe: k,
+                        }
+                        .into());
+                    }
+                }
+                grid.update(event, ts);
+                Ok(())
+            }
+            Backend::Hierarchical(forest) => Ok(forest.update(event, ts)?),
+        }
+    }
+
+    /// Records one arrival on a single-event detector.
+    pub fn ingest_single(&mut self, ts: Timestamp) -> Result<(), BedError> {
+        self.check_monotone(ts)?;
+        match &mut self.backend {
+            Backend::Single(pbe) => {
+                pbe.update(ts);
+                Ok(())
+            }
+            _ => Err(BedError::WrongMode {
+                operation: "ingest_single(ts)",
+                built_for: "mixed event streams (use ingest)",
+            }),
+        }
+    }
+
+    /// Flushes internal buffering; queries are valid before and after, but
+    /// `size_bytes` reflects the final summary only afterwards.
+    pub fn finalize(&mut self) {
+        match &mut self.backend {
+            Backend::Single(pbe) => pbe.finalize(),
+            Backend::Flat(grid) => grid.finalize(),
+            Backend::Hierarchical(forest) => forest.finalize(),
+        }
+    }
+
+    /// POINT QUERY `q(e, t, τ)`: estimated burstiness `b̃_e(t)`.
+    pub fn point_query(&self, event: EventId, t: Timestamp, tau: BurstSpan) -> f64 {
+        match &self.backend {
+            Backend::Single(pbe) => pbe.estimate_burstiness(t, tau),
+            Backend::Flat(grid) => grid.estimate_burstiness(event, t, tau),
+            Backend::Hierarchical(forest) => forest.estimate_burstiness(event, t, tau),
+        }
+    }
+
+    /// Estimated cumulative frequency `F̃_e(t)`.
+    pub fn cumulative_frequency(&self, event: EventId, t: Timestamp) -> f64 {
+        match &self.backend {
+            Backend::Single(pbe) => pbe.estimate_cum(t),
+            Backend::Flat(grid) => grid.estimate_cum(event, t),
+            Backend::Hierarchical(forest) => forest.estimate_cum(event, t),
+        }
+    }
+
+    /// Estimated incoming rate `b̃f_e(t)`.
+    pub fn burst_frequency(&self, event: EventId, t: Timestamp, tau: BurstSpan) -> f64 {
+        match &self.backend {
+            Backend::Single(pbe) => pbe.estimate_burst_frequency(t, tau),
+            Backend::Flat(grid) => grid.estimate_burst_frequency(event, t, tau),
+            Backend::Hierarchical(forest) => forest.grid(0).estimate_burst_frequency(event, t, tau),
+        }
+    }
+
+    /// BURSTY TIME QUERY `q(e, θ, τ)`: instants within `[0, horizon]` where
+    /// the estimated burstiness reaches θ, with the estimates.
+    pub fn bursty_times(
+        &self,
+        event: EventId,
+        theta: f64,
+        tau: BurstSpan,
+        horizon: Timestamp,
+    ) -> Vec<(Timestamp, f64)> {
+        match &self.backend {
+            Backend::Single(pbe) => bursty_times_single(pbe, theta, tau, horizon),
+            Backend::Flat(grid) => bursty_times_over(grid, event, theta, tau, horizon),
+            Backend::Hierarchical(forest) => forest.bursty_times(event, theta, tau, horizon),
+        }
+    }
+
+    /// BURSTY TIME QUERY with **interval semantics** (single-event mode
+    /// only): the maximal time ranges within `[0, horizon]` where the
+    /// estimated burstiness reaches θ — exact with respect to the sketch,
+    /// including mid-segment threshold crossings of PLA summaries.
+    pub fn bursty_time_ranges(
+        &self,
+        theta: f64,
+        tau: BurstSpan,
+        horizon: Timestamp,
+    ) -> Result<Vec<bed_stream::TimeRange>, BedError> {
+        match &self.backend {
+            Backend::Single(pbe) => Ok(bed_pbe::bursty_time_ranges(pbe, theta, tau, horizon)),
+            _ => Err(BedError::WrongMode {
+                operation: "bursty_time_ranges",
+                built_for: "mixed event streams (use bursty_times)",
+            }),
+        }
+    }
+
+    /// BURSTY EVENT QUERY `q(t, θ, τ)`: events whose estimated burstiness at
+    /// `t` reaches θ (θ > 0), plus probe statistics.
+    ///
+    /// Uses the pruned dyadic search when the hierarchy is enabled, else a
+    /// full scan over the universe.
+    pub fn bursty_events(
+        &self,
+        t: Timestamp,
+        theta: f64,
+        tau: BurstSpan,
+    ) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError> {
+        // NaN must fail too, so the negated comparison is deliberate: the
+        // dyadic pruning bound compares squares and a non-positive threshold
+        // is meaningless (and would assert in the hierarchy).
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(theta > 0.0) {
+            return Err(StreamError::InvalidProbability { parameter: "theta", got: theta }.into());
+        }
+        match &self.backend {
+            Backend::Single(_) => Err(BedError::WrongMode {
+                operation: "bursty_events",
+                built_for: "a single event stream",
+            }),
+            Backend::Flat(grid) => {
+                let k = self.config.universe.expect("flat mode implies a universe");
+                let mut hits = Vec::new();
+                let mut stats = QueryStats::default();
+                for e in 0..k {
+                    stats.point_queries += 1;
+                    stats.leaves_probed += 1;
+                    let b = grid.estimate_burstiness(EventId(e), t, tau);
+                    if b >= theta {
+                        hits.push(BurstyEventHit { event: EventId(e), burstiness: b });
+                    }
+                }
+                Ok((hits, stats))
+            }
+            Backend::Hierarchical(forest) => Ok(forest.bursty_events(t, theta, tau)),
+        }
+    }
+
+    /// BURSTY EVENT QUERY restricted to event ids `[lo, hi)` — exploits the
+    /// dyadic structure to skip disjoint subtrees (hierarchical mode only).
+    pub fn bursty_events_in_range(
+        &self,
+        lo: u32,
+        hi: u32,
+        t: Timestamp,
+        theta: f64,
+        tau: BurstSpan,
+    ) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError> {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must fail too
+        if !(theta > 0.0) {
+            return Err(StreamError::InvalidProbability { parameter: "theta", got: theta }.into());
+        }
+        if lo >= hi {
+            return Err(StreamError::InvertedRange {
+                start: Timestamp(lo as u64),
+                end: Timestamp(hi as u64),
+            }
+            .into());
+        }
+        match &self.backend {
+            Backend::Hierarchical(forest) => {
+                Ok(forest.bursty_events_in_range(lo, hi, t, theta, tau))
+            }
+            _ => Err(BedError::HierarchyDisabled),
+        }
+    }
+
+    /// Estimated burstiness time series of one event, sampled every `step`
+    /// ticks over `[range.start, range.end]` — the data behind dashboards
+    /// and the paper's Fig. 7b / Fig. 13 plots.
+    pub fn burstiness_series(
+        &self,
+        event: EventId,
+        tau: BurstSpan,
+        range: bed_stream::TimeRange,
+        step: u64,
+    ) -> Vec<(Timestamp, f64)> {
+        assert!(step > 0, "step must be positive");
+        let mut out = Vec::new();
+        let mut t = range.start.ticks();
+        while t <= range.end.ticks() {
+            out.push((Timestamp(t), self.point_query(event, Timestamp(t), tau)));
+            t += step;
+        }
+        out
+    }
+
+    /// The `k` most bursty instants of an event within `[0, horizon]`,
+    /// ordered by descending estimated burstiness. Probes the sketch's knee
+    /// echoes (like [`Self::bursty_times`]) so the cost is linear in the
+    /// summary size, not the horizon.
+    pub fn top_bursts(
+        &self,
+        event: EventId,
+        k: usize,
+        tau: BurstSpan,
+        horizon: Timestamp,
+    ) -> Vec<(Timestamp, f64)> {
+        let mut hits = self.bursty_times(event, f64::MIN, tau, horizon);
+        hits.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite estimates"));
+        hits.truncate(k);
+        hits
+    }
+
+    /// Elements ingested so far.
+    pub fn arrivals(&self) -> u64 {
+        match &self.backend {
+            Backend::Single(pbe) => pbe.arrivals(),
+            Backend::Flat(grid) => grid.arrivals(),
+            Backend::Hierarchical(forest) => forest.arrivals(),
+        }
+    }
+
+    /// Current summary size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match &self.backend {
+            Backend::Single(pbe) => pbe.size_bytes(),
+            Backend::Flat(grid) => grid.size_bytes(),
+            Backend::Hierarchical(forest) => forest.size_bytes(),
+        }
+    }
+}
+
+impl BurstDetectorBuilder {
+    /// Selects the PBE variant for every cell.
+    pub fn variant(mut self, variant: PbeVariant) -> Self {
+        self.config.variant = variant;
+        self
+    }
+
+    /// Sets Count-Min accuracy (ε, δ).
+    pub fn accuracy(mut self, epsilon: f64, delta: f64) -> Self {
+        self.config.sketch = bed_sketch::SketchParams { epsilon, delta };
+        self
+    }
+
+    /// Declares a mixed stream over `[0, k)` event ids.
+    pub fn universe(mut self, k: u32) -> Self {
+        self.config.universe = Some(k);
+        self
+    }
+
+    /// Declares a single-event stream (the default).
+    pub fn single_event(mut self) -> Self {
+        self.config.universe = None;
+        self
+    }
+
+    /// Enables/disables the dyadic hierarchy (default on; only meaningful
+    /// with a universe).
+    pub fn hierarchical(mut self, on: bool) -> Self {
+        self.config.hierarchical = on;
+        self
+    }
+
+    /// Sets the hash seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Builds the detector.
+    pub fn build(self) -> Result<BurstDetector, BedError> {
+        BurstDetector::from_config(self.config)
+    }
+}
+
+impl bed_stream::Codec for PbeVariant {
+    fn encode(&self, w: &mut bed_stream::codec::Writer) {
+        match *self {
+            PbeVariant::Pbe1 { n_buf, eta } => {
+                w.u8(1);
+                w.u64(n_buf as u64);
+                w.u64(eta as u64);
+            }
+            PbeVariant::Pbe2 { gamma, max_vertices } => {
+                w.u8(2);
+                w.f64(gamma);
+                w.u64(max_vertices as u64);
+            }
+        }
+    }
+
+    fn decode(r: &mut bed_stream::codec::Reader<'_>) -> Result<Self, bed_stream::CodecError> {
+        let variant = match r.u8("variant tag")? {
+            1 => PbeVariant::Pbe1 {
+                n_buf: r.u64("variant n_buf")? as usize,
+                eta: r.u64("variant eta")? as usize,
+            },
+            2 => PbeVariant::Pbe2 {
+                gamma: r.f64("variant gamma")?,
+                max_vertices: r.u64("variant max_vertices")? as usize,
+            },
+            _ => return Err(bed_stream::CodecError::Invalid { context: "variant tag" }),
+        };
+        variant
+            .validate()
+            .map_err(|_| bed_stream::CodecError::Invalid { context: "variant parameters" })?;
+        Ok(variant)
+    }
+}
+
+/// Persistence (format `BEDD` v1): full configuration plus the backend —
+/// a decoded detector answers the same queries and can keep ingesting.
+impl bed_stream::Codec for BurstDetector {
+    fn encode(&self, w: &mut bed_stream::codec::Writer) {
+        w.magic(*b"BEDD");
+        w.version(1);
+        self.config.variant.encode(w);
+        w.f64(self.config.sketch.epsilon);
+        w.f64(self.config.sketch.delta);
+        match self.config.universe {
+            Some(k) => {
+                w.u8(1);
+                w.u32(k);
+            }
+            None => w.u8(0),
+        }
+        w.u8(u8::from(self.config.hierarchical));
+        w.u64(self.config.seed);
+        match self.last_ts {
+            Some(t) => {
+                w.u8(1);
+                t.encode(w);
+            }
+            None => w.u8(0),
+        }
+        match &self.backend {
+            Backend::Single(cell) => {
+                w.u8(0);
+                cell.encode(w);
+            }
+            Backend::Flat(grid) => {
+                w.u8(1);
+                grid.encode(w);
+            }
+            Backend::Hierarchical(forest) => {
+                w.u8(2);
+                forest.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut bed_stream::codec::Reader<'_>) -> Result<Self, bed_stream::CodecError> {
+        use bed_stream::CodecError;
+        r.magic(*b"BEDD")?;
+        r.version(1)?;
+        let variant = PbeVariant::decode(r)?;
+        let sketch = bed_sketch::SketchParams {
+            epsilon: r.f64("config epsilon")?,
+            delta: r.f64("config delta")?,
+        };
+        sketch.validate().map_err(|_| CodecError::Invalid { context: "sketch params" })?;
+        let universe = match r.u8("config universe flag")? {
+            0 => None,
+            1 => Some(r.u32("config universe")?),
+            _ => return Err(CodecError::Invalid { context: "config universe flag" }),
+        };
+        let hierarchical = match r.u8("config hierarchy flag")? {
+            0 => false,
+            1 => true,
+            _ => return Err(CodecError::Invalid { context: "config hierarchy flag" }),
+        };
+        let seed = r.u64("config seed")?;
+        let last_ts = match r.u8("detector last_ts flag")? {
+            0 => None,
+            1 => Some(Timestamp::decode(r)?),
+            _ => return Err(CodecError::Invalid { context: "detector last_ts flag" }),
+        };
+        let config =
+            crate::config::DetectorConfig { variant, sketch, universe, hierarchical, seed };
+        let backend = match r.u8("backend tag")? {
+            0 => Backend::Single(PbeCell::decode(r)?),
+            1 => Backend::Flat(bed_sketch::CmPbe::decode(r)?),
+            2 => Backend::Hierarchical(DyadicCmPbe::decode(r)?),
+            _ => return Err(CodecError::Invalid { context: "backend tag" }),
+        };
+        // Backend must match the configuration's mode.
+        let consistent = matches!(
+            (&backend, universe, hierarchical),
+            (Backend::Single(_), None, _)
+                | (Backend::Flat(_), Some(_), false)
+                | (Backend::Hierarchical(_), Some(_), true)
+        );
+        if !consistent {
+            return Err(CodecError::Invalid { context: "backend/config mismatch" });
+        }
+        Ok(BurstDetector { config, backend, last_ts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn burst_fixture(det: &mut BurstDetector) {
+        // event 0 steady, event 1 bursts at the end
+        for t in 0..100u64 {
+            det.ingest(EventId(0), Timestamp(t)).unwrap();
+            if t >= 90 {
+                for _ in 0..10 {
+                    det.ingest(EventId(1), Timestamp(t)).unwrap();
+                }
+            }
+        }
+        det.finalize();
+    }
+
+    #[test]
+    fn single_event_roundtrip() {
+        let mut det = BurstDetector::builder().variant(PbeVariant::pbe2(1.0)).build().unwrap();
+        for t in 0..50u64 {
+            det.ingest_single(Timestamp(t)).unwrap();
+        }
+        det.finalize();
+        assert_eq!(det.arrivals(), 50);
+        let tau = BurstSpan::new(10).unwrap();
+        let b = det.point_query(EventId(0), Timestamp(49), tau);
+        assert!(b.abs() <= 4.0 + 1e-9, "steady stream burstiness {b}");
+        assert!(det.size_bytes() > 0);
+        // mixed-mode operations are rejected
+        assert!(matches!(det.ingest(EventId(0), Timestamp(60)), Err(BedError::WrongMode { .. })));
+        assert!(matches!(
+            det.bursty_events(Timestamp(0), 1.0, tau),
+            Err(BedError::WrongMode { .. })
+        ));
+    }
+
+    #[test]
+    fn hierarchical_detector_finds_bursts() {
+        let mut det = BurstDetector::builder()
+            .universe(8)
+            .variant(PbeVariant::pbe2(1.0))
+            .accuracy(0.005, 0.05)
+            .seed(3)
+            .build()
+            .unwrap();
+        burst_fixture(&mut det);
+        let tau = BurstSpan::new(10).unwrap();
+        let (hits, stats) = det.bursty_events(Timestamp(99), 50.0, tau).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].event, EventId(1));
+        assert!(stats.point_queries > 0);
+        // bursty times of the bursting event land near the burst
+        let times = det.bursty_times(EventId(1), 50.0, tau, Timestamp(200));
+        assert!(!times.is_empty());
+        assert!(times.iter().all(|&(t, _)| (85..=130).contains(&t.ticks())));
+    }
+
+    #[test]
+    fn flat_detector_scans() {
+        let mut det = BurstDetector::builder()
+            .universe(8)
+            .hierarchical(false)
+            .variant(PbeVariant::pbe1(16))
+            .seed(3)
+            .build()
+            .unwrap();
+        burst_fixture(&mut det);
+        let tau = BurstSpan::new(10).unwrap();
+        let (hits, stats) = det.bursty_events(Timestamp(99), 50.0, tau).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].event, EventId(1));
+        assert_eq!(stats.point_queries, 8); // full scan
+    }
+
+    #[test]
+    fn rejects_non_monotone_and_out_of_universe() {
+        let mut det =
+            BurstDetector::builder().universe(4).variant(PbeVariant::pbe2(1.0)).build().unwrap();
+        det.ingest(EventId(0), Timestamp(10)).unwrap();
+        assert!(det.ingest(EventId(0), Timestamp(9)).is_err());
+        assert!(det.ingest(EventId(4), Timestamp(11)).is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected_at_build() {
+        assert!(BurstDetector::builder()
+            .variant(PbeVariant::Pbe1 { n_buf: 2, eta: 5 })
+            .build()
+            .is_err());
+        assert!(BurstDetector::builder().accuracy(0.0, 0.5).universe(4).build().is_err());
+    }
+
+    #[test]
+    fn series_and_top_bursts() {
+        let mut det = BurstDetector::builder()
+            .universe(8)
+            .variant(PbeVariant::pbe2(1.0))
+            .seed(3)
+            .build()
+            .unwrap();
+        burst_fixture(&mut det);
+        let tau = BurstSpan::new(10).unwrap();
+        let range = bed_stream::TimeRange::up_to(Timestamp(120)).merge(
+            &bed_stream::TimeRange { start: Timestamp(0), end: Timestamp(120) },
+        );
+        let series = det.burstiness_series(EventId(1), tau, range, 10);
+        assert_eq!(series.len(), 13);
+        // the series peaks inside the burst window (t ≈ 90..100)
+        let (peak_t, peak_b) =
+            series.iter().copied().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+        assert!((90..=110).contains(&peak_t.ticks()), "peak at {peak_t}");
+        assert!(peak_b > 50.0);
+
+        let top = det.top_bursts(EventId(1), 3, tau, Timestamp(200));
+        assert!(!top.is_empty() && top.len() <= 3);
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1), "descending order");
+        assert!((85..=110).contains(&top[0].0.ticks()), "top burst at {}", top[0].0);
+    }
+
+    #[test]
+    fn range_restricted_bursty_events() {
+        let mut det = BurstDetector::builder()
+            .universe(8)
+            .variant(PbeVariant::pbe2(1.0))
+            .seed(3)
+            .build()
+            .unwrap();
+        burst_fixture(&mut det); // event 1 bursts
+        let tau = BurstSpan::new(10).unwrap();
+        let (hits, _) = det.bursty_events_in_range(0, 4, Timestamp(99), 50.0, tau).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].event, EventId(1));
+        let (hits, _) = det.bursty_events_in_range(4, 8, Timestamp(99), 50.0, tau).unwrap();
+        assert!(hits.is_empty());
+        // flat detectors reject the range query
+        let mut flat = BurstDetector::builder()
+            .universe(8)
+            .hierarchical(false)
+            .variant(PbeVariant::pbe2(1.0))
+            .build()
+            .unwrap();
+        flat.ingest(EventId(0), Timestamp(0)).unwrap();
+        assert!(matches!(
+            flat.bursty_events_in_range(0, 4, Timestamp(0), 1.0, tau),
+            Err(BedError::HierarchyDisabled)
+        ));
+    }
+
+    #[test]
+    fn cumulative_and_rate_estimates() {
+        let mut det =
+            BurstDetector::builder().universe(4).variant(PbeVariant::pbe2(1.0)).build().unwrap();
+        for t in 0..40u64 {
+            det.ingest(EventId(2), Timestamp(t)).unwrap();
+        }
+        det.finalize();
+        let tau = BurstSpan::new(10).unwrap();
+        let f = det.cumulative_frequency(EventId(2), Timestamp(39));
+        assert!((f - 40.0).abs() <= 2.0, "F̃={f}");
+        let bf = det.burst_frequency(EventId(2), Timestamp(39), tau);
+        assert!((bf - 10.0).abs() <= 3.0, "b̃f={bf}");
+    }
+}

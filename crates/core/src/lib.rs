@@ -1,0 +1,58 @@
+//! # bed-core — the public API for bursty event detection throughout histories
+//!
+//! [`BurstDetector`] ties the workspace together behind one builder-style
+//! entry point:
+//!
+//! ```
+//! use bed_core::{BurstDetector, PbeVariant};
+//! use bed_stream::{BurstSpan, EventId, Timestamp};
+//!
+//! // Summarise a mixed stream of 3 events with CM-PBE-2 + the dyadic
+//! // hierarchy for bursty event queries.
+//! let mut det = BurstDetector::builder()
+//!     .universe(3)
+//!     .variant(PbeVariant::pbe2(2.0))
+//!     .accuracy(0.01, 0.05)
+//!     .seed(42)
+//!     .build()
+//!     .unwrap();
+//!
+//! for t in 0..50u64 {
+//!     det.ingest(EventId(0), Timestamp(t)).unwrap();      // steady
+//!     if t >= 40 {
+//!         for _ in 0..8 { det.ingest(EventId(1), Timestamp(t)).unwrap(); } // burst
+//!     }
+//! }
+//! det.finalize();
+//!
+//! let tau = BurstSpan::new(10).unwrap();
+//! let b1 = det.point_query(EventId(1), Timestamp(49), tau);
+//! let b0 = det.point_query(EventId(0), Timestamp(49), tau);
+//! assert!(b1 > 40.0 && b0.abs() < 5.0);
+//!
+//! let (hits, _) = det.bursty_events(Timestamp(49), 40.0, tau).unwrap();
+//! assert_eq!(hits.len(), 1);
+//! assert_eq!(hits[0].event, EventId(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod config;
+pub mod detector;
+pub mod error;
+pub mod monitor;
+pub mod pipeline;
+
+pub use cell::PbeCell;
+pub use config::{DetectorConfig, PbeVariant};
+pub use detector::{BurstDetector, BurstDetectorBuilder};
+pub use error::BedError;
+pub use monitor::BurstMonitor;
+pub use pipeline::MessagePipeline;
+
+// Re-export the vocabulary types users need alongside the detector.
+pub use bed_hierarchy::{BurstyEventHit, QueryStats};
+pub use bed_sketch::SketchParams;
+pub use bed_stream::{BurstSpan, Burstiness, EventId, TimeRange, Timestamp};

@@ -1,0 +1,139 @@
+//! Dyadic ranges over the event-id space.
+//!
+//! The universe `[0, K)` is padded to the next power of two `K'`; level `l`
+//! partitions it into `K'/2^l` blocks of size `2^l`. An event id `e` belongs
+//! to block `e >> l` at level `l`; the root (level `log2 K'`) is the single
+//! block covering everything.
+
+use bed_stream::EventId;
+
+/// A dyadic block: `level` and `index` identify `[index·2^level, (index+1)·2^level)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DyadicRange {
+    /// Tree level; 0 = leaves (single events).
+    pub level: u32,
+    /// Block index within the level.
+    pub index: u32,
+}
+
+impl DyadicRange {
+    /// The block containing `event` at `level`.
+    pub fn containing(event: EventId, level: u32) -> Self {
+        DyadicRange { level, index: event.value() >> level }
+    }
+
+    /// First event id covered (inclusive).
+    pub fn start(&self) -> u32 {
+        self.index << self.level
+    }
+
+    /// One past the last event id covered.
+    pub fn end(&self) -> u32 {
+        (self.index + 1) << self.level
+    }
+
+    /// Number of leaf events covered.
+    pub fn width(&self) -> u32 {
+        1 << self.level
+    }
+
+    /// Whether the block covers `event`.
+    pub fn contains(&self, event: EventId) -> bool {
+        let v = event.value();
+        self.start() <= v && v < self.end()
+    }
+
+    /// Left child (covers the lower half). Leaves have no children.
+    pub fn left_child(&self) -> Option<DyadicRange> {
+        (self.level > 0).then(|| DyadicRange { level: self.level - 1, index: self.index << 1 })
+    }
+
+    /// Right child (covers the upper half).
+    pub fn right_child(&self) -> Option<DyadicRange> {
+        (self.level > 0)
+            .then(|| DyadicRange { level: self.level - 1, index: (self.index << 1) | 1 })
+    }
+
+    /// Parent block.
+    pub fn parent(&self) -> DyadicRange {
+        DyadicRange { level: self.level + 1, index: self.index >> 1 }
+    }
+}
+
+/// Smallest power of two ≥ `k`, as the padded universe size (min 1).
+pub fn padded_universe(k: u32) -> u32 {
+    debug_assert!(k <= 1 << 31, "universe too large for a u32 dyadic tree");
+    k.max(1).next_power_of_two()
+}
+
+/// Number of levels for a padded universe of size `k_padded`
+/// (= `log2(k_padded) + 1`, counting leaves and root).
+pub fn level_count(k_padded: u32) -> u32 {
+    debug_assert!(k_padded.is_power_of_two());
+    k_padded.trailing_zeros() + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding() {
+        assert_eq!(padded_universe(0), 1);
+        assert_eq!(padded_universe(1), 1);
+        assert_eq!(padded_universe(2), 2);
+        assert_eq!(padded_universe(3), 4);
+        assert_eq!(padded_universe(864), 1024);
+        assert_eq!(padded_universe(1689), 2048);
+    }
+
+    #[test]
+    fn level_counts() {
+        assert_eq!(level_count(1), 1);
+        assert_eq!(level_count(2), 2);
+        assert_eq!(level_count(1024), 11);
+    }
+
+    #[test]
+    fn containment_and_navigation() {
+        let r = DyadicRange::containing(EventId(13), 2); // block [12, 16)
+        assert_eq!(r.index, 3);
+        assert_eq!(r.start(), 12);
+        assert_eq!(r.end(), 16);
+        assert_eq!(r.width(), 4);
+        assert!(r.contains(EventId(12)));
+        assert!(r.contains(EventId(15)));
+        assert!(!r.contains(EventId(16)));
+
+        let l = r.left_child().unwrap();
+        let rt = r.right_child().unwrap();
+        assert_eq!((l.start(), l.end()), (12, 14));
+        assert_eq!((rt.start(), rt.end()), (14, 16));
+        assert_eq!(l.parent(), r);
+        assert_eq!(rt.parent(), r);
+    }
+
+    #[test]
+    fn leaves_have_no_children() {
+        let leaf = DyadicRange::containing(EventId(5), 0);
+        assert_eq!(leaf.left_child(), None);
+        assert_eq!(leaf.right_child(), None);
+        assert_eq!(leaf.width(), 1);
+        assert!(leaf.contains(EventId(5)));
+        assert!(!leaf.contains(EventId(6)));
+    }
+
+    #[test]
+    fn children_partition_parent() {
+        for level in 1..6u32 {
+            for index in 0..4u32 {
+                let r = DyadicRange { level, index };
+                let l = r.left_child().unwrap();
+                let rt = r.right_child().unwrap();
+                assert_eq!(l.start(), r.start());
+                assert_eq!(l.end(), rt.start());
+                assert_eq!(rt.end(), r.end());
+            }
+        }
+    }
+}

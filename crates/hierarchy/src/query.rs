@@ -1,0 +1,413 @@
+//! Bursty event and bursty time queries over the dyadic forest
+//! (Section V, Algorithm 3).
+
+use bed_pbe::traits::bursty_time_candidates;
+use bed_pbe::CurveSketch;
+use bed_sketch::CmPbe;
+use bed_stream::{BurstSpan, EventId, Timestamp};
+
+use crate::dyadic::DyadicRange;
+use crate::forest::DyadicCmPbe;
+
+/// One result of a bursty event query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstyEventHit {
+    /// The qualifying event.
+    pub event: EventId,
+    /// Its estimated burstiness at the query instant.
+    pub burstiness: f64,
+}
+
+/// Probe accounting for a hierarchical query — the pruning-effectiveness
+/// metric reported in Section VI-D ("in most cases we only need to issue
+/// O(log K) point queries").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Point queries issued against any level's CM-PBE.
+    pub point_queries: usize,
+    /// Subtrees skipped by the Eq. 6 bound.
+    pub pruned_subtrees: usize,
+    /// Leaves actually evaluated.
+    pub leaves_probed: usize,
+}
+
+impl<P: CurveSketch> DyadicCmPbe<P> {
+    /// BURSTY EVENT QUERY `q(t, θ, τ)` via top-down pruned search
+    /// (Algorithm 3). Returns qualifying events (estimated `b̃_e(t) ≥ θ`)
+    /// and the probe statistics.
+    ///
+    /// `theta` must be positive: the pruning bound compares squares, so a
+    /// non-positive threshold would qualify every event and any algorithm
+    /// degenerates to the full scan (use [`Self::bursty_events_scan`] then).
+    ///
+    /// **Completeness caveat** (inherent to the paper's bound): burstiness is
+    /// signed, and a block's burstiness is the *sum* over its events — a
+    /// bursting event can be masked by a sibling that is decelerating just
+    /// as hard, in which case the subtree is pruned and the event missed.
+    /// This is one of the sources of the < 100% recall the paper reports in
+    /// Fig. 12. [`Self::bursty_events_scan`] never prunes and is the
+    /// recall-maximising (but O(K)) alternative.
+    pub fn bursty_events(
+        &self,
+        t: Timestamp,
+        theta: f64,
+        tau: BurstSpan,
+    ) -> (Vec<BurstyEventHit>, QueryStats) {
+        assert!(theta > 0.0, "bursty event queries require a positive threshold");
+        let mut hits = Vec::new();
+        let mut stats = QueryStats::default();
+        let root = DyadicRange { level: self.levels() - 1, index: 0 };
+        stats.point_queries += 1;
+        let b_root = self.block_burstiness(root, t, tau);
+        self.recurse(root, b_root, t, theta, tau, &mut hits, &mut stats);
+        hits.sort_by_key(|h| h.event);
+        (hits, stats)
+    }
+
+    /// `b_node` is the node's own estimate, computed once by the parent (so
+    /// each visited internal node costs exactly two point queries — one per
+    /// child — and leaves cost none).
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        &self,
+        node: DyadicRange,
+        b_node: f64,
+        t: Timestamp,
+        theta: f64,
+        tau: BurstSpan,
+        hits: &mut Vec<BurstyEventHit>,
+        stats: &mut QueryStats,
+    ) {
+        if node.start() >= self.universe() {
+            // fully inside the padding: never updated
+            stats.pruned_subtrees += 1;
+            return;
+        }
+        if node.level == 0 {
+            stats.leaves_probed += 1;
+            if b_node >= theta {
+                hits.push(BurstyEventHit { event: EventId(node.index), burstiness: b_node });
+            }
+            return;
+        }
+        let left = node.left_child().expect("non-leaf");
+        let right = node.right_child().expect("non-leaf");
+        let b_l = self.block_burstiness(left, t, tau);
+        let b_r = self.block_burstiness(right, t, tau);
+        stats.point_queries += 2;
+        // Eq. 6: b_p² − 2·b_l·b_r = b_l² + b_r² (exactly, when estimates are
+        // exact); below θ² implies both children are below θ in magnitude.
+        if b_node * b_node - 2.0 * b_l * b_r < theta * theta {
+            stats.pruned_subtrees += 1;
+            return;
+        }
+        self.recurse(left, b_l, t, theta, tau, hits, stats);
+        self.recurse(right, b_r, t, theta, tau, hits, stats);
+    }
+
+    /// BURSTY EVENT QUERY restricted to the event-id range `[lo, hi)` — the
+    /// dyadic tree supports this for free: subtrees disjoint from the range
+    /// are skipped outright, subtrees inside it prune exactly as in
+    /// [`Self::bursty_events`], and the handful of *straddling* nodes on the
+    /// range border are descended unconditionally (their block estimates mix
+    /// in-range and out-of-range events, so the Eq. 6 bound does not apply
+    /// to the in-range half).
+    ///
+    /// Useful when event ids encode a grouping (a category, a tenant, a
+    /// paper-style party affiliation) and only one group is of interest.
+    pub fn bursty_events_in_range(
+        &self,
+        lo: u32,
+        hi: u32,
+        t: Timestamp,
+        theta: f64,
+        tau: BurstSpan,
+    ) -> (Vec<BurstyEventHit>, QueryStats) {
+        assert!(theta > 0.0, "bursty event queries require a positive threshold");
+        assert!(lo < hi, "empty id range");
+        let mut hits = Vec::new();
+        let mut stats = QueryStats::default();
+        let root = DyadicRange { level: self.levels() - 1, index: 0 };
+        stats.point_queries += 1;
+        let b_root = self.block_burstiness(root, t, tau);
+        self.recurse_range(root, b_root, lo, hi, t, theta, tau, &mut hits, &mut stats);
+        hits.sort_by_key(|h| h.event);
+        (hits, stats)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse_range(
+        &self,
+        node: DyadicRange,
+        b_node: f64,
+        lo: u32,
+        hi: u32,
+        t: Timestamp,
+        theta: f64,
+        tau: BurstSpan,
+        hits: &mut Vec<BurstyEventHit>,
+        stats: &mut QueryStats,
+    ) {
+        if node.end() <= lo || node.start() >= hi || node.start() >= self.universe() {
+            stats.pruned_subtrees += 1;
+            return;
+        }
+        if node.level == 0 {
+            stats.leaves_probed += 1;
+            if b_node >= theta {
+                hits.push(BurstyEventHit { event: EventId(node.index), burstiness: b_node });
+            }
+            return;
+        }
+        let fully_inside = lo <= node.start() && node.end() <= hi;
+        let left = node.left_child().expect("non-leaf");
+        let right = node.right_child().expect("non-leaf");
+        let b_l = self.block_burstiness(left, t, tau);
+        let b_r = self.block_burstiness(right, t, tau);
+        stats.point_queries += 2;
+        // The Eq. 6 bound is only sound when the node's estimate covers
+        // exactly the ids under consideration.
+        if fully_inside && b_node * b_node - 2.0 * b_l * b_r < theta * theta {
+            stats.pruned_subtrees += 1;
+            return;
+        }
+        self.recurse_range(left, b_l, lo, hi, t, theta, tau, hits, stats);
+        self.recurse_range(right, b_r, lo, hi, t, theta, tau, hits, stats);
+    }
+
+    /// Naive baseline: point-query every event id in the universe
+    /// ("query each event id e ∈ Σ using a POINT QUERY").
+    pub fn bursty_events_scan(
+        &self,
+        t: Timestamp,
+        theta: f64,
+        tau: BurstSpan,
+    ) -> (Vec<BurstyEventHit>, QueryStats) {
+        let mut hits = Vec::new();
+        let mut stats = QueryStats::default();
+        for e in 0..self.universe() {
+            stats.point_queries += 1;
+            stats.leaves_probed += 1;
+            let b = self.estimate_burstiness(EventId(e), t, tau);
+            if b >= theta {
+                hits.push(BurstyEventHit { event: EventId(e), burstiness: b });
+            }
+        }
+        (hits, stats)
+    }
+
+    /// BURSTY TIME QUERY `q(e, θ, τ)` against the leaf-level CM-PBE: probes
+    /// the sketch's knee instants (plus their `+τ/+2τ` echoes) and returns
+    /// those with `b̃_e(t) ≥ θ` (Section V's "point query at each time
+    /// instance when a new line segment starts").
+    pub fn bursty_times(
+        &self,
+        event: EventId,
+        theta: f64,
+        tau: BurstSpan,
+        horizon: Timestamp,
+    ) -> Vec<(Timestamp, f64)> {
+        bursty_times_over(self.grid(0), event, theta, tau, horizon)
+    }
+}
+
+/// Bursty-time query over a single CM-PBE (also usable without a hierarchy).
+pub fn bursty_times_over<P: CurveSketch>(
+    grid: &CmPbe<P>,
+    event: EventId,
+    theta: f64,
+    tau: BurstSpan,
+    horizon: Timestamp,
+) -> Vec<(Timestamp, f64)> {
+    // Candidate instants: knees of every cell the event maps to, plus their
+    // +τ/+2τ echoes (burstiness changes only when a term of Eq. 2 crosses a
+    // knee).
+    let knees = grid.segment_starts(event);
+    let mut candidates: Vec<u64> = Vec::with_capacity(knees.len() * 3);
+    for knee in knees {
+        for delta in [0, tau.ticks(), tau.ticks().saturating_mul(2)] {
+            let t = knee.ticks().saturating_add(delta);
+            if t <= horizon.ticks() {
+                candidates.push(t);
+            }
+        }
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    candidates
+        .into_iter()
+        .filter_map(|t| {
+            let b = grid.estimate_burstiness(event, Timestamp(t), tau);
+            (b >= theta).then_some((Timestamp(t), b))
+        })
+        .collect()
+}
+
+/// Bursty-time query over a bare single-stream sketch (no CM layout) — used
+/// by the single-event fast path in `bed-core`.
+pub fn bursty_times_single<S: CurveSketch>(
+    sketch: &S,
+    theta: f64,
+    tau: BurstSpan,
+    horizon: Timestamp,
+) -> Vec<(Timestamp, f64)> {
+    bursty_time_candidates(sketch, tau, horizon)
+        .into_iter()
+        .filter_map(|t| {
+            let b = sketch.estimate_burstiness(t, tau);
+            (b >= theta).then_some((t, b))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bed_pbe::{ExactCurve, Pbe2, Pbe2Config};
+    use bed_sketch::SketchParams;
+
+    /// 64-event universe where events 3 and 40 burst at t≈100 and everything
+    /// else ticks along at a constant rate.
+    fn bursty_fixture<P: CurveSketch>(make: impl FnMut(u32) -> P) -> DyadicCmPbe<P> {
+        let mut f =
+            DyadicCmPbe::new(64, SketchParams { epsilon: 0.002, delta: 0.05 }, 11, make).unwrap();
+        let mut els: Vec<(u32, u64)> = Vec::new();
+        for e in 0..64u32 {
+            for i in 0..20u64 {
+                els.push((e, i * 10));
+            }
+        }
+        for burst_e in [3u32, 40] {
+            for t in 95..110u64 {
+                for _ in 0..6 {
+                    els.push((burst_e, t));
+                }
+            }
+        }
+        els.sort_by_key(|&(_, t)| t);
+        for (e, t) in els {
+            f.update(EventId(e), Timestamp(t)).unwrap();
+        }
+        f.finalize();
+        f
+    }
+
+    #[test]
+    fn finds_bursting_events_with_exact_cells() {
+        let f = bursty_fixture(|_| ExactCurve::new());
+        let tau = BurstSpan::new(20).unwrap();
+        let (hits, stats) = f.bursty_events(Timestamp(110), 40.0, tau);
+        let ids: Vec<u32> = hits.iter().map(|h| h.event.value()).collect();
+        assert_eq!(ids, vec![3, 40]);
+        // pruning must beat the full scan
+        let (scan_hits, scan_stats) = f.bursty_events_scan(Timestamp(110), 40.0, tau);
+        assert_eq!(scan_hits.len(), 2);
+        assert!(
+            stats.point_queries < scan_stats.point_queries,
+            "pruned {} vs scan {}",
+            stats.point_queries,
+            scan_stats.point_queries
+        );
+        assert!(stats.pruned_subtrees > 0);
+        assert!(stats.leaves_probed < 64);
+    }
+
+    #[test]
+    fn agrees_with_scan_baseline() {
+        let f = bursty_fixture(|_| ExactCurve::new());
+        let tau = BurstSpan::new(20).unwrap();
+        for theta in [5.0, 20.0, 40.0, 100.0] {
+            let (h1, _) = f.bursty_events(Timestamp(110), theta, tau);
+            let (h2, _) = f.bursty_events_scan(Timestamp(110), theta, tau);
+            let a: Vec<u32> = h1.iter().map(|h| h.event.value()).collect();
+            let b: Vec<u32> = h2.iter().map(|h| h.event.value()).collect();
+            assert_eq!(a, b, "θ={theta}");
+        }
+    }
+
+    #[test]
+    fn quiet_instant_prunes_to_root() {
+        let f = bursty_fixture(|_| ExactCurve::new());
+        let tau = BurstSpan::new(20).unwrap();
+        // long after the stream: burstiness ~0 everywhere
+        let (hits, stats) = f.bursty_events(Timestamp(10_000), 10.0, tau);
+        assert!(hits.is_empty());
+        assert!(stats.point_queries <= 3, "{stats:?}");
+    }
+
+    #[test]
+    fn works_with_pbe2_cells() {
+        let f = bursty_fixture(|_| Pbe2::new(Pbe2Config { gamma: 2.0, max_vertices: 32 }).unwrap());
+        let tau = BurstSpan::new(20).unwrap();
+        let (hits, _) = f.bursty_events(Timestamp(110), 40.0, tau);
+        let ids: Vec<u32> = hits.iter().map(|h| h.event.value()).collect();
+        assert!(ids.contains(&3) && ids.contains(&40), "ids={ids:?}");
+        assert!(ids.len() <= 6, "too many false positives: {ids:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive threshold")]
+    fn nonpositive_threshold_panics() {
+        let f = bursty_fixture(|_| ExactCurve::new());
+        f.bursty_events(Timestamp(0), 0.0, BurstSpan::new(5).unwrap());
+    }
+
+    #[test]
+    fn range_query_restricts_and_agrees() {
+        let f = bursty_fixture(|_| ExactCurve::new());
+        let tau = BurstSpan::new(20).unwrap();
+        let t = Timestamp(110);
+        // full range = plain query
+        let (all, _) = f.bursty_events(t, 40.0, tau);
+        let (ranged, _) = f.bursty_events_in_range(0, 64, t, 40.0, tau);
+        assert_eq!(all, ranged);
+        // bursting events are 3 and 40: query each half
+        let (low, stats_low) = f.bursty_events_in_range(0, 32, t, 40.0, tau);
+        assert_eq!(low.len(), 1);
+        assert_eq!(low[0].event.value(), 3);
+        let (high, _) = f.bursty_events_in_range(32, 64, t, 40.0, tau);
+        assert_eq!(high.len(), 1);
+        assert_eq!(high[0].event.value(), 40);
+        // a range containing neither burster
+        let (none, _) = f.bursty_events_in_range(8, 32, t, 40.0, tau);
+        assert!(none.is_empty());
+        // restricting the range must not cost more probes than the full query
+        let (_, stats_full) = f.bursty_events(t, 40.0, tau);
+        assert!(stats_low.point_queries <= stats_full.point_queries);
+    }
+
+    #[test]
+    fn range_query_straddling_borders_is_exact() {
+        let f = bursty_fixture(|_| ExactCurve::new());
+        let tau = BurstSpan::new(20).unwrap();
+        let t = Timestamp(110);
+        // an awkward unaligned range that straddles several dyadic nodes and
+        // contains exactly one burster
+        let (hits, _) = f.bursty_events_in_range(3, 40, t, 40.0, tau);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].event.value(), 3);
+        let (hits, _) = f.bursty_events_in_range(4, 41, t, 40.0, tau);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].event.value(), 40);
+    }
+
+    #[test]
+    fn bursty_times_finds_the_burst_window() {
+        let f = bursty_fixture(|_| ExactCurve::new());
+        let tau = BurstSpan::new(20).unwrap();
+        let times = f.bursty_times(EventId(3), 40.0, tau, Timestamp(400));
+        assert!(!times.is_empty());
+        for (t, b) in &times {
+            assert!(*b >= 40.0);
+            assert!((95..=150).contains(&t.ticks()), "burst reported at unexpected instant {t}");
+        }
+    }
+
+    #[test]
+    fn bursty_times_empty_for_quiet_event() {
+        let f = bursty_fixture(|_| ExactCurve::new());
+        let tau = BurstSpan::new(20).unwrap();
+        let times = f.bursty_times(EventId(17), 40.0, tau, Timestamp(400));
+        assert!(times.is_empty(), "{times:?}");
+    }
+}

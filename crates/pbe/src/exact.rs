@@ -1,0 +1,101 @@
+//! Exact (non-compressing) curve sketch — the control implementation.
+//!
+//! Wraps `bed_stream::FrequencyCurve` behind [`CurveSketch`]. Used for
+//! testing (a CM-PBE whose cells are exact curves behaves like a pure
+//! Count-Min over cumulative counts) and as the "infinite budget" end of the
+//! space/accuracy trade-off curves in the experiments.
+
+use bed_stream::curve::FrequencyCurve;
+use bed_stream::Timestamp;
+
+use crate::traits::CurveSketch;
+
+/// Exact frequency curve: zero approximation error, O(n) space.
+#[derive(Debug, Clone, Default)]
+pub struct ExactCurve {
+    curve: FrequencyCurve,
+    arrivals: u64,
+}
+
+impl ExactCurve {
+    /// Empty sketch.
+    pub fn new() -> Self {
+        ExactCurve::default()
+    }
+
+    /// Access to the underlying exact curve.
+    pub fn curve(&self) -> &FrequencyCurve {
+        &self.curve
+    }
+}
+
+impl CurveSketch for ExactCurve {
+    fn update(&mut self, ts: Timestamp) {
+        self.curve.record(ts);
+        self.arrivals += 1;
+    }
+
+    fn estimate_cum(&self, t: Timestamp) -> f64 {
+        self.curve.value_at(t) as f64
+    }
+
+    fn finalize(&mut self) {}
+
+    fn size_bytes(&self) -> usize {
+        self.curve.n_points() * 16
+    }
+
+    fn segment_starts(&self) -> Vec<Timestamp> {
+        self.curve.corners().iter().map(|c| c.t).collect()
+    }
+
+    fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+}
+
+/// Persistence (format `EXCT` v1): the raw curve plus the arrival count.
+impl bed_stream::Codec for ExactCurve {
+    fn encode(&self, w: &mut bed_stream::codec::Writer) {
+        w.magic(*b"EXCT");
+        w.version(1);
+        self.curve.encode(w);
+        w.u64(self.arrivals);
+    }
+
+    fn decode(r: &mut bed_stream::codec::Reader<'_>) -> Result<Self, bed_stream::CodecError> {
+        r.magic(*b"EXCT")?;
+        r.version(1)?;
+        let curve = FrequencyCurve::decode(r)?;
+        let arrivals = r.u64("exact arrivals")?;
+        if arrivals != curve.total() {
+            return Err(bed_stream::CodecError::Invalid { context: "exact arrival count" });
+        }
+        Ok(ExactCurve { curve, arrivals })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bed_stream::BurstSpan;
+
+    #[test]
+    fn exact_sketch_has_zero_error() {
+        let mut s = ExactCurve::new();
+        let arrivals = [1u64, 1, 4, 4, 4, 9, 16, 16];
+        for &t in &arrivals {
+            s.update(Timestamp(t));
+        }
+        assert_eq!(s.arrivals(), 8);
+        for t in 0..20u64 {
+            let exact = arrivals.iter().filter(|&&x| x <= t).count() as f64;
+            assert_eq!(s.estimate_cum(Timestamp(t)), exact);
+        }
+        let tau = BurstSpan::new(4).unwrap();
+        let b = s.curve().burstiness(Timestamp(16), tau) as f64;
+        assert_eq!(s.estimate_burstiness(Timestamp(16), tau), b);
+        assert_eq!(s.size_bytes(), 4 * 16);
+        assert_eq!(s.segment_starts().len(), 4);
+    }
+}

@@ -1,0 +1,439 @@
+//! The optimal-staircase dynamic program of PBE-1 (Section III-A).
+//!
+//! **Problem.** Given the `n` left-upper corner points
+//! `P = {p_0, ..., p_{n-1}}` of a staircase `F(t)` (strictly increasing in
+//! both coordinates), select `η ≤ n` of them — necessarily including both
+//! boundary points (Corollary 1) — whose induced staircase `F̃(t)` minimises
+//! the area `Δ = Σ_t (F(t) − F̃(t))` subject to `F̃(t) ≤ F(t)` everywhere
+//! (Lemmas 1–3 reduce the search space to exactly this subset selection).
+//!
+//! **Cost decomposition.** If `a < b` are consecutive *selected* indices, the
+//! area contributed between them is
+//!
+//! ```text
+//! cost(a, b) = Σ_{i=a}^{b-1} (t_{i+1} − t_i)·(y_i − y_a)
+//!            = (W(b) − W(a)) − y_a·(t_b − t_a)
+//! where W(i) = Σ_{k<i} (t_{k+1} − t_k)·y_k            (prefix weights)
+//! ```
+//!
+//! so the DP is `D[j][b] = min_{a<b} D[j-1][a] + cost(a, b)` with
+//! `D[1][0] = 0`, answer `D[η][n-1]`.
+//!
+//! **Two kernels.**
+//! * [`solve_naive`] — the direct `O(η·n²)` recurrence, a faithful
+//!   transcription of Algorithm 1. Kept as the oracle for tests and as the
+//!   ablation baseline.
+//! * [`solve`] — `O(η·n)` via the monotone convex-hull trick: for a fixed
+//!   layer `j`, `D[j][b] = W(b) + min_a { (−y_a)·t_b + (D[j-1][a] − W(a) + y_a·t_a) }`
+//!   is a lower envelope of lines queried at increasing `t_b` with slopes
+//!   `−y_a` strictly decreasing in `a`.
+//!
+//! All arithmetic is done in `i128`: with `y ≤ 2^40` and `t ≤ 2^40` the
+//! envelope cross-products stay far below `i128::MAX`.
+
+use bed_stream::curve::CornerPoint;
+
+/// Result of an optimal selection: chosen indices (ascending, always
+/// containing `0` and `n−1`) and the minimum area error Δ*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DpSolution {
+    /// Indices into the input corner slice.
+    pub chosen: Vec<usize>,
+    /// Minimum achievable area between the exact staircase and the
+    /// approximation induced by `chosen`.
+    pub cost: u64,
+}
+
+/// Prefix weights `W(i) = Σ_{k<i} (t_{k+1} − t_k)·y_k` for O(1) segment cost.
+fn prefix_weights(points: &[CornerPoint]) -> Vec<i128> {
+    let mut w = Vec::with_capacity(points.len());
+    let mut acc: i128 = 0;
+    w.push(0);
+    for k in 0..points.len().saturating_sub(1) {
+        let dt = (points[k + 1].t.ticks() - points[k].t.ticks()) as i128;
+        acc += dt * points[k].cum as i128;
+        w.push(acc);
+    }
+    w
+}
+
+/// `cost(a, b)` from the decomposition above.
+fn seg_cost(points: &[CornerPoint], w: &[i128], a: usize, b: usize) -> i128 {
+    let dt = (points[b].t.ticks() - points[a].t.ticks()) as i128;
+    (w[b] - w[a]) - points[a].cum as i128 * dt
+}
+
+/// Validates inputs shared by both kernels. Returns `Some(trivial)` when no
+/// DP is needed (η ≥ n keeps everything; tiny inputs).
+fn preamble(points: &[CornerPoint], eta: usize) -> Option<DpSolution> {
+    assert!(eta >= 2 || points.len() < 2, "PBE-1 requires η ≥ 2 to keep both boundary points");
+    debug_assert!(
+        points.windows(2).all(|p| p[0].t < p[1].t && p[0].cum < p[1].cum),
+        "corner points must be strictly increasing"
+    );
+    if points.len() <= eta.max(1) {
+        return Some(DpSolution { chosen: (0..points.len()).collect(), cost: 0 });
+    }
+    None
+}
+
+/// Direct `O(η·n²)` dynamic program (Algorithm 1).
+#[allow(clippy::needless_range_loop)] // indices drive both `prev` and `parent`
+pub fn solve_naive(points: &[CornerPoint], eta: usize) -> DpSolution {
+    if let Some(t) = preamble(points, eta) {
+        return t;
+    }
+    let n = points.len();
+    let w = prefix_weights(points);
+    const INF: i128 = i128::MAX / 4;
+
+    // d[j][b]: min cost selecting j points among 0..=b with b selected.
+    let mut prev = vec![INF; n];
+    let mut parent = vec![vec![usize::MAX; n]; eta];
+    prev[0] = 0;
+
+    let mut curr = vec![INF; n];
+    for j in 1..eta {
+        for x in curr.iter_mut() {
+            *x = INF;
+        }
+        for b in 1..n {
+            for a in 0..b {
+                if prev[a] >= INF {
+                    continue;
+                }
+                let c = prev[a] + seg_cost(points, &w, a, b);
+                if c < curr[b] {
+                    curr[b] = c;
+                    parent[j][b] = a;
+                }
+            }
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+
+    reconstruct(points, eta, prev[n - 1], &parent)
+}
+
+/// A line `y = m·x + c` of the lower envelope.
+#[derive(Clone, Copy)]
+struct Line {
+    m: i128,
+    c: i128,
+    /// Index of the predecessor corner that produced this line.
+    from: usize,
+}
+
+impl Line {
+    fn eval(&self, x: i128) -> i128 {
+        self.m * x + self.c
+    }
+}
+
+/// Monotone convex-hull trick: lines inserted with strictly decreasing
+/// slopes, queries at non-decreasing x. Minimum envelope.
+struct MonotoneCht {
+    hull: Vec<Line>,
+    /// Cursor into the hull; advances monotonically with queries.
+    head: usize,
+}
+
+impl MonotoneCht {
+    fn new() -> Self {
+        MonotoneCht { hull: Vec::new(), head: 0 }
+    }
+
+    /// `l3` makes `l2` useless iff `l3` overtakes `l2` before `l2`
+    /// overtakes `l1` (standard cross-multiplication test, exact in i128).
+    fn bad(l1: &Line, l2: &Line, l3: &Line) -> bool {
+        // intersection_x(l1,l3) <= intersection_x(l1,l2)
+        (l3.c - l1.c) * (l1.m - l2.m) <= (l2.c - l1.c) * (l1.m - l3.m)
+    }
+
+    fn push(&mut self, line: Line) {
+        debug_assert!(
+            self.hull.last().is_none_or(|l| line.m < l.m),
+            "slopes must strictly decrease"
+        );
+        while self.hull.len() >= 2
+            && Self::bad(&self.hull[self.hull.len() - 2], &self.hull[self.hull.len() - 1], &line)
+        {
+            self.hull.pop();
+        }
+        // Keep the cursor valid after pops.
+        self.head = self.head.min(self.hull.len().saturating_sub(1));
+        self.hull.push(line);
+    }
+
+    /// Minimum over the envelope at `x`; `x` must be non-decreasing across
+    /// calls. Returns the value and the originating corner index.
+    fn query(&mut self, x: i128) -> Option<(i128, usize)> {
+        if self.hull.is_empty() {
+            return None;
+        }
+        while self.head + 1 < self.hull.len()
+            && self.hull[self.head + 1].eval(x) <= self.hull[self.head].eval(x)
+        {
+            self.head += 1;
+        }
+        let l = &self.hull[self.head];
+        Some((l.eval(x), l.from))
+    }
+}
+
+/// `O(η·n)` dynamic program using the monotone convex-hull trick.
+#[allow(clippy::needless_range_loop)] // indices drive both `prev` and `parent`
+pub fn solve(points: &[CornerPoint], eta: usize) -> DpSolution {
+    if let Some(t) = preamble(points, eta) {
+        return t;
+    }
+    let n = points.len();
+    let w = prefix_weights(points);
+    const INF: i128 = i128::MAX / 4;
+
+    let mut prev = vec![INF; n];
+    let mut parent = vec![vec![usize::MAX; n]; eta];
+    prev[0] = 0;
+
+    let mut curr = vec![INF; n];
+    for j in 1..eta {
+        for x in curr.iter_mut() {
+            *x = INF;
+        }
+        let mut cht = MonotoneCht::new();
+        for b in 1..n {
+            // Make corner a = b−1 available as a predecessor. Slopes −y_a
+            // strictly decrease because cum strictly increases.
+            let a = b - 1;
+            if prev[a] < INF {
+                let ya = points[a].cum as i128;
+                let ta = points[a].t.ticks() as i128;
+                cht.push(Line { m: -ya, c: prev[a] - w[a] + ya * ta, from: a });
+            }
+            if let Some((val, from)) = cht.query(points[b].t.ticks() as i128) {
+                curr[b] = val + w[b];
+                parent[j][b] = from;
+            }
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+
+    reconstruct(points, eta, prev[n - 1], &parent)
+}
+
+/// Walks parent pointers back from `(η−1, n−1)`.
+fn reconstruct(
+    points: &[CornerPoint],
+    eta: usize,
+    cost: i128,
+    parent: &[Vec<usize>],
+) -> DpSolution {
+    let n = points.len();
+    let mut chosen = Vec::with_capacity(eta);
+    let mut b = n - 1;
+    for j in (1..eta).rev() {
+        chosen.push(b);
+        b = parent[j][b];
+        debug_assert_ne!(b, usize::MAX, "broken parent chain");
+    }
+    chosen.push(b);
+    debug_assert_eq!(b, 0, "optimal selection must start at the first corner");
+    chosen.reverse();
+    DpSolution { chosen, cost: u64::try_from(cost).expect("area cost fits u64") }
+}
+
+/// Smallest η whose optimal error is ≤ `cap` ("an end-user may also impose a
+/// hard cap on the error instead of a space constraint", Section III-A).
+///
+/// Runs CHT layers incrementally — `O(n)` per layer — stopping at the first
+/// layer that reaches the cap. Worst case `O(n²)` when only the full set
+/// achieves the cap.
+pub fn solve_error_capped(points: &[CornerPoint], cap: u64) -> DpSolution {
+    let n = points.len();
+    if n <= 2 {
+        return DpSolution { chosen: (0..n).collect(), cost: 0 };
+    }
+    let w = prefix_weights(points);
+    const INF: i128 = i128::MAX / 4;
+
+    let mut prev = vec![INF; n];
+    prev[0] = 0;
+    let mut parents: Vec<Vec<usize>> = vec![vec![usize::MAX; n]];
+    // η = 2 (both boundaries only) is the floor; iterate layers until cap.
+    let mut curr = vec![INF; n];
+    for _j in 1..n {
+        for x in curr.iter_mut() {
+            *x = INF;
+        }
+        let mut layer_parent = vec![usize::MAX; n];
+        let mut cht = MonotoneCht::new();
+        for b in 1..n {
+            let a = b - 1;
+            if prev[a] < INF {
+                let ya = points[a].cum as i128;
+                let ta = points[a].t.ticks() as i128;
+                cht.push(Line { m: -ya, c: prev[a] - w[a] + ya * ta, from: a });
+            }
+            if let Some((val, from)) = cht.query(points[b].t.ticks() as i128) {
+                curr[b] = val + w[b];
+                layer_parent[b] = from;
+            }
+        }
+        parents.push(layer_parent);
+        std::mem::swap(&mut prev, &mut curr);
+        if prev[n - 1] <= cap as i128 {
+            break;
+        }
+    }
+    let eta = parents.len();
+    reconstruct(points, eta, prev[n - 1], &parents)
+}
+
+/// Area error of an arbitrary selection (must contain 0 and n−1) — used by
+/// tests and by the greedy/uniform ablation baselines in `bed-bench`.
+pub fn selection_cost(points: &[CornerPoint], chosen: &[usize]) -> u64 {
+    let w = prefix_weights(points);
+    let mut cost: i128 = 0;
+    for pair in chosen.windows(2) {
+        cost += seg_cost(points, &w, pair[0], pair[1]);
+    }
+    u64::try_from(cost).expect("area cost fits u64")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bed_stream::Timestamp;
+
+    fn pts(raw: &[(u64, u64)]) -> Vec<CornerPoint> {
+        raw.iter().map(|&(t, cum)| CornerPoint { t: Timestamp(t), cum }).collect()
+    }
+
+    /// Exhaustive optimal over all subsets containing both boundaries.
+    fn brute_force(points: &[CornerPoint], eta: usize) -> u64 {
+        let n = points.len();
+        if n <= eta {
+            return 0;
+        }
+        let interior: Vec<usize> = (1..n - 1).collect();
+        let mut best = u64::MAX;
+        // choose eta-2 interior points
+        fn combos(
+            pool: &[usize],
+            k: usize,
+            start: usize,
+            cur: &mut Vec<usize>,
+            out: &mut Vec<Vec<usize>>,
+        ) {
+            if cur.len() == k {
+                out.push(cur.clone());
+                return;
+            }
+            for i in start..pool.len() {
+                cur.push(pool[i]);
+                combos(pool, k, i + 1, cur, out);
+                cur.pop();
+            }
+        }
+        let mut all = Vec::new();
+        combos(&interior, eta - 2, 0, &mut Vec::new(), &mut all);
+        for combo in all {
+            let mut chosen = vec![0];
+            chosen.extend(combo);
+            chosen.push(n - 1);
+            best = best.min(selection_cost(points, &chosen));
+        }
+        best
+    }
+
+    #[test]
+    fn trivial_cases_keep_everything() {
+        let p = pts(&[(0, 1), (5, 3)]);
+        let s = solve(&p, 4);
+        assert_eq!(s.chosen, vec![0, 1]);
+        assert_eq!(s.cost, 0);
+        let s = solve_naive(&p, 2);
+        assert_eq!(s.cost, 0);
+    }
+
+    #[test]
+    fn paper_figure_2_example_shape() {
+        // Six corners like Fig. 2a: pick η=4 and check the result dominates
+        // naive alternatives.
+        let p = pts(&[(1, 2), (3, 5), (5, 6), (8, 11), (12, 12), (15, 20)]);
+        let s = solve(&p, 4);
+        assert_eq!(s.chosen.len(), 4);
+        assert_eq!(s.chosen[0], 0);
+        assert_eq!(*s.chosen.last().unwrap(), 5);
+        assert_eq!(s.cost, brute_force(&p, 4));
+        assert_eq!(s.cost, selection_cost(&p, &s.chosen));
+    }
+
+    #[test]
+    fn naive_and_cht_agree_on_fixed_inputs() {
+        let p = pts(&[(0, 1), (2, 2), (3, 4), (7, 5), (9, 9), (10, 10), (14, 13), (20, 14)]);
+        for eta in 2..=8 {
+            let a = solve_naive(&p, eta);
+            let b = solve(&p, eta);
+            assert_eq!(a.cost, b.cost, "eta={eta}");
+            assert_eq!(selection_cost(&p, &a.chosen), a.cost);
+            assert_eq!(selection_cost(&p, &b.chosen), b.cost);
+        }
+    }
+
+    #[test]
+    fn cost_decreases_monotonically_in_eta() {
+        let p = pts(&[(0, 3), (4, 7), (5, 8), (9, 20), (13, 21), (17, 30), (21, 31), (30, 45)]);
+        let mut last = u64::MAX;
+        for eta in 2..=8 {
+            let s = solve(&p, eta);
+            assert!(s.cost <= last, "eta={eta}: {} > {last}", s.cost);
+            last = s.cost;
+        }
+        assert_eq!(last, 0); // keeping all points is exact
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_inputs() {
+        let p = pts(&[(1, 1), (2, 3), (4, 4), (6, 8), (7, 10), (11, 11), (13, 17)]);
+        for eta in 2..7 {
+            assert_eq!(solve(&p, eta).cost, brute_force(&p, eta), "eta={eta}");
+        }
+    }
+
+    #[test]
+    fn error_capped_finds_minimal_eta() {
+        let p = pts(&[(0, 1), (2, 2), (3, 4), (7, 5), (9, 9), (10, 10), (14, 13), (20, 14)]);
+        let full = solve(&p, 4);
+        let capped = solve_error_capped(&p, full.cost);
+        // capped must achieve the cap...
+        assert!(capped.cost <= full.cost);
+        // ...with no more points than the eta that achieved it
+        assert!(capped.chosen.len() <= 4);
+        // and the previous eta must NOT achieve it
+        if capped.chosen.len() > 2 {
+            let fewer = solve(&p, capped.chosen.len() - 1);
+            assert!(fewer.cost > full.cost);
+        }
+        // cap = 0 keeps everything
+        let zero = solve_error_capped(&p, 0);
+        assert_eq!(zero.cost, 0);
+    }
+
+    #[test]
+    fn boundary_points_always_selected() {
+        let p = pts(&[(5, 2), (6, 4), (10, 9), (11, 10), (19, 26)]);
+        for eta in 2..=5 {
+            let s = solve(&p, eta);
+            assert_eq!(s.chosen.first(), Some(&0));
+            assert_eq!(s.chosen.last(), Some(&4));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "η ≥ 2")]
+    fn eta_below_two_panics() {
+        let p = pts(&[(0, 1), (1, 2), (2, 3)]);
+        solve(&p, 1);
+    }
+}

@@ -1,0 +1,651 @@
+//! PBE-2 — persistent burstiness estimation *without buffering*
+//! (Section III-B, Algorithm 2).
+//!
+//! PBE-2 approximates the frequency curve by an online piecewise-linear
+//! approximation (PLA): every constraint point `(t, F(t))` demands
+//! `F̃(t) ∈ [F(t) − γ, F(t)]`, which in the dual `(slope, intercept)` space
+//! is a pair of half-planes. The set of lines satisfying all constraints of
+//! the current piece is a convex polygon; when a new point's half-planes
+//! would empty it (or the polygon exceeds the vertex cap), a segment is cut
+//! using a representative line of the previous polygon and a fresh polygon
+//! starts at the breaking point.
+//!
+//! Constraint points are the staircase corners **doubled** with their
+//! predecessor points (`(t_i − 1, F(t_i − 1))` before each rise): without
+//! them, a segment spanning a tall rise could report anything between the
+//! two cumulative values in the gap (the paper's Fig. 3a discussion).
+//!
+//! Guarantee (Lemma 4): at every constraint instant,
+//! `|F̃(t) − F(t)| ≤ γ`, hence `|b̃(t) − b(t)| ≤ 4γ`.
+
+pub mod polygon;
+
+use bed_stream::{StreamError, Timestamp};
+
+use crate::traits::CurveSketch;
+use polygon::{HalfPlane, Polygon};
+
+/// Bounds of the initial polygon box. Constraints are expressed in
+/// segment-local coordinates (`value(t) = a·(t − start) + b`), so slopes are
+/// bounded by the steepest one-tick rise of the curve and intercepts by the
+/// total stream count — keeping every dual-space coordinate small enough for
+/// exact-ish f64 clipping.
+const BOX_SLOPE: f64 = 1e7;
+const BOX_INTERCEPT: f64 = 4e9;
+
+/// Configuration of a PBE-2 sketch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pbe2Config {
+    /// Maximum pointwise deviation γ allowed at constraint points (the
+    /// space/accuracy knob of Fig. 9). Must be positive.
+    pub gamma: f64,
+    /// Polygon vertex cap (the paper's space constraint η on the live
+    /// polygon): when exceeded, the current segment is cut.
+    pub max_vertices: usize,
+}
+
+impl Default for Pbe2Config {
+    fn default() -> Self {
+        Pbe2Config { gamma: 8.0, max_vertices: 64 }
+    }
+}
+
+impl Pbe2Config {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), StreamError> {
+        // NaN must fail validation, so the negated comparison is deliberate.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(self.gamma > 0.0) {
+            return Err(StreamError::InvalidProbability { parameter: "gamma", got: self.gamma });
+        }
+        if self.max_vertices < 4 {
+            return Err(StreamError::BudgetTooSmall {
+                parameter: "max_vertices",
+                got: self.max_vertices,
+                min: 4,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One finished PLA piece: the line `a·(t − start) + b` in effect on
+/// `[start, end]`. Segment-local time keeps the dual-space numbers small
+/// (global intercepts would be `slope × horizon` and lose precision).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Slope per tick.
+    pub a: f64,
+    /// Value at `start`.
+    pub b: f64,
+    /// First constraint timestamp covered.
+    pub start: Timestamp,
+    /// Last constraint timestamp covered.
+    pub end: Timestamp,
+}
+
+impl Segment {
+    /// Line value at `t`, clamped to the segment's own time range (beyond
+    /// `end` the last value holds until the next segment begins).
+    fn eval_clamped(&self, t: Timestamp) -> f64 {
+        let t = t.ticks().min(self.end.ticks()).max(self.start.ticks());
+        let dt = (t - self.start.ticks()) as f64;
+        (self.a * dt + self.b).max(0.0)
+    }
+}
+
+/// The PBE-2 sketch.
+///
+/// ```
+/// use bed_pbe::{CurveSketch, Pbe2};
+/// use bed_stream::Timestamp;
+///
+/// // γ = 2: every estimate within 2 of the truth at constraint points.
+/// let mut pbe = Pbe2::with_gamma(2.0).unwrap();
+/// for t in 0..1_000u64 {
+///     pbe.update(Timestamp(t)); // constant rate: one mention per tick
+/// }
+/// pbe.finalize();
+///
+/// // A constant-rate curve needs a single line segment...
+/// assert_eq!(pbe.segments().len(), 1);
+/// // ...and the estimate tracks the exact count within γ.
+/// let est = pbe.estimate_cum(Timestamp(500));
+/// assert!((est - 501.0).abs() <= 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pbe2 {
+    config: Pbe2Config,
+    segments: Vec<Segment>,
+    /// Feasible polygon of the open piece, if any.
+    poly: Option<Polygon>,
+    /// First constraint timestamp of the open piece.
+    open_start: Timestamp,
+    /// Last constraint timestamp fed into the open piece.
+    open_end: Timestamp,
+    /// In-flight staircase corner: timestamp of the most recent distinct
+    /// arrival tick (its cumulative count is `cum`); fed to the polygon once
+    /// time moves past it.
+    pending_t: Option<Timestamp>,
+    /// Global cumulative count.
+    cum: u64,
+    arrivals: u64,
+    /// Count of segment cuts due to the vertex cap (vs. infeasibility).
+    cap_cuts: u64,
+}
+
+impl Pbe2 {
+    /// Creates an empty sketch.
+    pub fn new(config: Pbe2Config) -> Result<Self, StreamError> {
+        config.validate()?;
+        Ok(Pbe2 {
+            config,
+            segments: Vec::new(),
+            poly: None,
+            open_start: Timestamp::ZERO,
+            open_end: Timestamp::ZERO,
+            pending_t: None,
+            cum: 0,
+            arrivals: 0,
+            cap_cuts: 0,
+        })
+    }
+
+    /// Convenience constructor with the default vertex cap.
+    pub fn with_gamma(gamma: f64) -> Result<Self, StreamError> {
+        Pbe2::new(Pbe2Config { gamma, ..Pbe2Config::default() })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> Pbe2Config {
+        self.config
+    }
+
+    /// Finished segments so far.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Segments cut because the polygon hit the vertex cap rather than
+    /// becoming infeasible.
+    pub fn cap_cuts(&self) -> u64 {
+        self.cap_cuts
+    }
+
+    /// Feeds one constraint point `(t, F(t))` into the open polygon,
+    /// cutting a segment when needed (the body of Algorithm 2).
+    ///
+    /// Dual coordinates are segment-local: the constraint on the line
+    /// `a·(t − open_start) + b` uses `dt = t − open_start`.
+    fn feed_constraint(&mut self, t: Timestamp, f: u64) {
+        match self.poly.take() {
+            None => {
+                self.open_start = t;
+                let (upper, lower) = HalfPlane::from_constraint(0.0, f as f64, self.config.gamma);
+                let mut poly =
+                    Polygon::from_box(-BOX_SLOPE, BOX_SLOPE, -BOX_INTERCEPT, BOX_INTERCEPT);
+                let ok = poly.clip(upper) && poly.clip(lower);
+                debug_assert!(ok, "a single constraint can never be infeasible");
+                self.poly = Some(poly);
+            }
+            Some(poly) => {
+                let dt = t.saturating_since(self.open_start) as f64;
+                let (upper, lower) = HalfPlane::from_constraint(dt, f as f64, self.config.gamma);
+                let mut trial = poly.clone();
+                let feasible = trial.clip(upper) && trial.clip(lower);
+                if feasible && trial.vertex_count() <= self.config.max_vertices {
+                    self.poly = Some(trial);
+                } else {
+                    if feasible {
+                        self.cap_cuts += 1;
+                    }
+                    self.cut_segment(&poly);
+                    // Start a fresh polygon at the breaking point.
+                    self.open_start = t;
+                    let (upper, lower) =
+                        HalfPlane::from_constraint(0.0, f as f64, self.config.gamma);
+                    let mut fresh =
+                        Polygon::from_box(-BOX_SLOPE, BOX_SLOPE, -BOX_INTERCEPT, BOX_INTERCEPT);
+                    let ok = fresh.clip(upper) && fresh.clip(lower);
+                    debug_assert!(ok);
+                    self.poly = Some(fresh);
+                }
+            }
+        }
+        self.open_end = t;
+    }
+
+    /// Closes `poly` into a segment over `[open_start, open_end]`.
+    fn cut_segment(&mut self, poly: &Polygon) {
+        let (a, b) =
+            poly.representative().expect("cut_segment is only called with a non-empty polygon");
+        self.segments.push(Segment { a, b, start: self.open_start, end: self.open_end });
+    }
+
+    /// Flushes the pending staircase corner into the polygon (called when
+    /// time advances past it, and by `finalize`).
+    fn flush_pending(&mut self, next_ts: Option<Timestamp>) {
+        let Some(t0) = self.pending_t.take() else { return };
+        self.feed_constraint(t0, self.cum);
+        if let Some(next) = next_ts {
+            // Predecessor point of the upcoming rise: (next − 1, F(next − 1)).
+            if let Some(before) = next.checked_sub(1) {
+                if before > t0 {
+                    self.feed_constraint(before, self.cum);
+                }
+            }
+        }
+    }
+
+    /// Virtual segment view of the open polygon (for queries mid-stream).
+    fn open_segment(&self) -> Option<Segment> {
+        let poly = self.poly.as_ref()?;
+        let (a, b) = poly.representative()?;
+        Some(Segment { a, b, start: self.open_start, end: self.open_end })
+    }
+}
+
+impl CurveSketch for Pbe2 {
+    fn update(&mut self, ts: Timestamp) {
+        debug_assert!(self.pending_t.is_none_or(|p| ts >= p), "timestamps must be non-decreasing");
+        self.arrivals += 1;
+        match self.pending_t {
+            Some(t0) if t0 == ts => {
+                self.cum += 1;
+            }
+            Some(_) => {
+                self.flush_pending(Some(ts));
+                self.pending_t = Some(ts);
+                self.cum += 1;
+            }
+            None => {
+                // Anchor the very first piece at (ts − 1, F = 0) so the line
+                // cannot float above zero before the first arrival.
+                if let Some(before) = ts.checked_sub(1) {
+                    if self.cum == 0 && self.segments.is_empty() && self.poly.is_none() {
+                        self.feed_constraint(before, 0);
+                    }
+                }
+                self.pending_t = Some(ts);
+                self.cum += 1;
+            }
+        }
+    }
+
+    fn estimate_cum(&self, t: Timestamp) -> f64 {
+        // Locate the last piece (finished or open) starting at or before t.
+        let open = self.open_segment();
+        if let Some(seg) = &open {
+            if t >= seg.start {
+                return seg.eval_clamped(t);
+            }
+        }
+        let idx = self.segments.partition_point(|s| s.start <= t);
+        if idx == 0 {
+            // Before any piece: pending-only state still knows the exact
+            // count at the pending corner.
+            if let Some(t0) = self.pending_t {
+                if t >= t0 && open.is_none() && self.segments.is_empty() {
+                    return self.cum as f64;
+                }
+            }
+            return 0.0;
+        }
+        self.segments[idx - 1].eval_clamped(t)
+    }
+
+    fn finalize(&mut self) {
+        self.flush_pending(None);
+        if let Some(poly) = self.poly.take() {
+            self.cut_segment(&poly);
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        // 24 bytes per segment: slope, intercept, end timestamp (the start is
+        // the previous segment's end successor).
+        let open = usize::from(self.poly.is_some());
+        (self.segments.len() + open) * 24
+    }
+
+    fn segment_starts(&self) -> Vec<Timestamp> {
+        let mut v: Vec<Timestamp> = self.segments.iter().map(|s| s.start).collect();
+        if let Some(seg) = self.open_segment() {
+            v.push(seg.start);
+        }
+        v
+    }
+
+    fn piece_boundaries(&self) -> Vec<Timestamp> {
+        // Slope changes at every segment start, right after every segment
+        // end (hand-over to the flat hold), and — because estimates clamp at
+        // zero — wherever a segment's line crosses zero mid-segment.
+        let mut v: Vec<Timestamp> = Vec::with_capacity(self.segments.len() * 3 + 3);
+        let mut add_segment = |s: &Segment| {
+            v.push(s.start);
+            v.push(s.end.saturating_add(1));
+            if s.a != 0.0 {
+                let dt_star = -s.b / s.a; // line value is 0 at start + dt*
+                let span = s.end.ticks() - s.start.ticks();
+                if dt_star > 0.0 && dt_star < span as f64 {
+                    let k = dt_star.floor() as u64;
+                    v.push(Timestamp(s.start.ticks() + k));
+                    v.push(Timestamp(s.start.ticks() + k + 1));
+                }
+            }
+        };
+        for s in &self.segments {
+            add_segment(s);
+        }
+        if let Some(seg) = self.open_segment() {
+            add_segment(&seg);
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    fn interpolation(&self) -> crate::traits::Interpolation {
+        crate::traits::Interpolation::Linear
+    }
+
+    fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+}
+
+/// Persistence (format `PBE2` v1): config, finished segments, and the full
+/// live state (open polygon, pending corner, counters) — a decoded sketch
+/// continues mid-stream exactly where the encoded one stopped.
+impl bed_stream::Codec for Pbe2 {
+    fn encode(&self, w: &mut bed_stream::codec::Writer) {
+        w.magic(*b"PBE2");
+        w.version(1);
+        w.f64(self.config.gamma);
+        w.u64(self.config.max_vertices as u64);
+        w.len(self.segments.len());
+        for s in &self.segments {
+            w.f64(s.a);
+            w.f64(s.b);
+            s.start.encode(w);
+            s.end.encode(w);
+        }
+        match &self.poly {
+            Some(p) => {
+                w.u8(1);
+                p.encode(w);
+            }
+            None => w.u8(0),
+        }
+        self.open_start.encode(w);
+        self.open_end.encode(w);
+        match self.pending_t {
+            Some(t) => {
+                w.u8(1);
+                t.encode(w);
+            }
+            None => w.u8(0),
+        }
+        w.u64(self.cum);
+        w.u64(self.arrivals);
+        w.u64(self.cap_cuts);
+    }
+
+    fn decode(r: &mut bed_stream::codec::Reader<'_>) -> Result<Self, bed_stream::CodecError> {
+        use bed_stream::CodecError;
+        r.magic(*b"PBE2")?;
+        r.version(1)?;
+        let config = Pbe2Config {
+            gamma: r.f64("pbe2 gamma")?,
+            max_vertices: r.u64("pbe2 max_vertices")? as usize,
+        };
+        config.validate().map_err(|_| CodecError::Invalid { context: "pbe2 config" })?;
+        let n = r.len("pbe2 segment count", 32)?;
+        let mut segments = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = r.f64("pbe2 segment slope")?;
+            let b = r.f64("pbe2 segment intercept")?;
+            let start = Timestamp::decode(r)?;
+            let end = Timestamp::decode(r)?;
+            if !a.is_finite() || !b.is_finite() || start > end {
+                return Err(CodecError::Invalid { context: "pbe2 segment" });
+            }
+            let seg = Segment { a, b, start, end };
+            if segments.last().is_some_and(|l: &Segment| l.end >= seg.start) {
+                return Err(CodecError::Invalid { context: "pbe2 segment ordering" });
+            }
+            segments.push(seg);
+        }
+        let poly = match r.u8("pbe2 polygon flag")? {
+            0 => None,
+            1 => Some(Polygon::decode(r)?),
+            _ => return Err(CodecError::Invalid { context: "pbe2 polygon flag" }),
+        };
+        let open_start = Timestamp::decode(r)?;
+        let open_end = Timestamp::decode(r)?;
+        let pending_t = match r.u8("pbe2 pending flag")? {
+            0 => None,
+            1 => Some(Timestamp::decode(r)?),
+            _ => return Err(CodecError::Invalid { context: "pbe2 pending flag" }),
+        };
+        let cum = r.u64("pbe2 cum")?;
+        let arrivals = r.u64("pbe2 arrivals")?;
+        let cap_cuts = r.u64("pbe2 cap_cuts")?;
+        if arrivals < cum {
+            return Err(CodecError::Invalid { context: "pbe2 counters" });
+        }
+        Ok(Pbe2 {
+            config,
+            segments,
+            poly,
+            open_start,
+            open_end,
+            pending_t,
+            cum,
+            arrivals,
+            cap_cuts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bed_stream::curve::FrequencyCurve;
+    use bed_stream::{BurstSpan, SingleEventStream};
+
+    fn feed(pbe: &mut Pbe2, ts: &[u64]) {
+        for &t in ts {
+            pbe.update(Timestamp(t));
+        }
+    }
+
+    fn curve_of(ts: &[u64]) -> FrequencyCurve {
+        FrequencyCurve::from_stream(&SingleEventStream::from_unsorted(
+            ts.iter().map(|&t| Timestamp(t)).collect(),
+        ))
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(Pbe2Config { gamma: 0.0, max_vertices: 16 }.validate().is_err());
+        assert!(Pbe2Config { gamma: -1.0, max_vertices: 16 }.validate().is_err());
+        assert!(Pbe2Config { gamma: 1.0, max_vertices: 3 }.validate().is_err());
+        assert!(Pbe2Config { gamma: 1.0, max_vertices: 4 }.validate().is_ok());
+    }
+
+    /// Lemma 4 at constraint points: |F̃ − F| ≤ γ and F̃ never overshoots by
+    /// more than float noise.
+    #[test]
+    fn gamma_bound_holds_at_constraint_points() {
+        let ts: Vec<u64> = (0..300u64).map(|i| (i as f64).powf(1.3) as u64 * 2).collect();
+        let exact = curve_of(&ts);
+        for gamma in [1.0, 4.0, 16.0] {
+            let mut pbe = Pbe2::new(Pbe2Config { gamma, max_vertices: 64 }).unwrap();
+            let mut sorted = ts.clone();
+            sorted.sort_unstable();
+            feed(&mut pbe, &sorted);
+            pbe.finalize();
+            for p in exact.doubled_corners() {
+                let est = pbe.estimate_cum(p.t);
+                let truth = p.cum as f64;
+                assert!(est <= truth + 1e-6, "γ={gamma}: overestimate at {}: {est} > {truth}", p.t);
+                assert!(
+                    truth - est <= gamma + 1e-6,
+                    "γ={gamma}: deviation at {} exceeds γ: {truth} − {est}",
+                    p.t
+                );
+            }
+        }
+    }
+
+    /// Lemma 4's corollary: burstiness error ≤ 4γ at constraint instants.
+    #[test]
+    fn burstiness_error_within_4_gamma() {
+        let ts: Vec<u64> = (0..500u64).map(|i| i + (i / 40) * (i % 17)).collect();
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        let exact = curve_of(&sorted);
+        let gamma = 3.0;
+        let mut pbe = Pbe2::with_gamma(gamma).unwrap();
+        feed(&mut pbe, &sorted);
+        pbe.finalize();
+        let tau = BurstSpan::new(25).unwrap();
+        for p in exact.corners() {
+            // at corner instants all three terms of Eq. 2 sit on constraint
+            // points only when t−τ and t−2τ are also corners — so allow 4γ
+            // plus the staircase quantisation of the two offset terms.
+            let est = pbe.estimate_burstiness(p.t, tau);
+            let truth = exact.burstiness(p.t, tau) as f64;
+            let slack = 4.0 * gamma
+                + inter_knee_slack(&exact, p.t, tau.ticks())
+                + inter_knee_slack(&exact, p.t, 2 * tau.ticks());
+            assert!((est - truth).abs() <= slack + 1e-6, "at {}: |{est} − {truth}| > {slack}", p.t);
+        }
+    }
+
+    /// Max rise of F within the PLA piece containing t−delta (the offset
+    /// terms of Eq. 2 may interpolate inside a riser).
+    fn inter_knee_slack(exact: &FrequencyCurve, t: Timestamp, delta: u64) -> f64 {
+        match t.checked_sub(delta) {
+            None => 0.0,
+            Some(earlier) => {
+                let corners = exact.corners();
+                let idx = corners.partition_point(|c| c.t <= earlier);
+                let lo = if idx == 0 { 0 } else { corners[idx - 1].cum };
+                let hi = corners.get(idx).map_or(lo, |c| c.cum);
+                (hi - lo) as f64
+            }
+        }
+    }
+
+    #[test]
+    fn constant_rate_stream_needs_one_segment() {
+        // Perfectly linear F: a single line fits within any γ ≥ 1.
+        let ts: Vec<u64> = (0..1000u64).collect();
+        let mut pbe = Pbe2::with_gamma(1.0).unwrap();
+        feed(&mut pbe, &ts);
+        pbe.finalize();
+        assert_eq!(pbe.segments().len(), 1, "{:?}", pbe.segments().len());
+        let s = pbe.segments()[0];
+        assert!((s.a - 1.0).abs() < 0.05, "slope {} should be ≈ 1", s.a);
+    }
+
+    #[test]
+    fn rate_change_forces_new_segment() {
+        // Slope 1 for 500 ticks then slope 20: γ=2 cannot span the knee.
+        let mut ts: Vec<u64> = (0..500u64).collect();
+        for i in 0..500u64 {
+            for _ in 0..20 {
+                ts.push(500 + i);
+            }
+        }
+        let mut pbe = Pbe2::with_gamma(2.0).unwrap();
+        feed(&mut pbe, &ts);
+        pbe.finalize();
+        assert!(pbe.segments().len() >= 2);
+    }
+
+    #[test]
+    fn larger_gamma_uses_fewer_segments() {
+        let mut ts: Vec<u64> = (0..2000u64).map(|i| i + (i % 50) / 7).collect();
+        ts.sort_unstable();
+        let mut counts = Vec::new();
+        for gamma in [1.0, 8.0, 64.0] {
+            let mut pbe = Pbe2::with_gamma(gamma).unwrap();
+            feed(&mut pbe, &ts);
+            pbe.finalize();
+            counts.push(pbe.segments().len());
+        }
+        assert!(counts[0] >= counts[1] && counts[1] >= counts[2], "{counts:?}");
+    }
+
+    #[test]
+    fn vertex_cap_cuts_segments() {
+        let ts: Vec<u64> = (0..4000u64).map(|i| i + (i * i) % 13).collect();
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        let loose = {
+            let mut p = Pbe2::new(Pbe2Config { gamma: 50.0, max_vertices: 256 }).unwrap();
+            feed(&mut p, &sorted);
+            p.finalize();
+            p
+        };
+        let tight = {
+            let mut p = Pbe2::new(Pbe2Config { gamma: 50.0, max_vertices: 4 }).unwrap();
+            feed(&mut p, &sorted);
+            p.finalize();
+            p
+        };
+        assert!(tight.segments().len() >= loose.segments().len());
+        assert!(tight.cap_cuts() > 0);
+    }
+
+    #[test]
+    fn query_before_first_arrival_is_zero() {
+        let mut pbe = Pbe2::with_gamma(2.0).unwrap();
+        feed(&mut pbe, &[100, 101, 102, 150, 151]);
+        pbe.finalize();
+        assert_eq!(pbe.estimate_cum(Timestamp(0)), 0.0);
+        assert_eq!(pbe.estimate_cum(Timestamp(98)), 0.0);
+        assert!(pbe.estimate_cum(Timestamp(160)) > 0.0);
+    }
+
+    #[test]
+    fn queries_work_mid_stream_via_open_polygon() {
+        let mut pbe = Pbe2::with_gamma(2.0).unwrap();
+        feed(&mut pbe, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        // not finalized: open polygon answers
+        let est = pbe.estimate_cum(Timestamp(6));
+        assert!((est - 7.0).abs() <= 2.0 + 1e-9, "est={est}");
+        assert_eq!(pbe.arrivals(), 8);
+        assert!(pbe.size_bytes() > 0);
+    }
+
+    #[test]
+    fn estimate_holds_last_value_after_stream_end() {
+        let mut pbe = Pbe2::with_gamma(1.0).unwrap();
+        feed(&mut pbe, &(0..100u64).collect::<Vec<_>>());
+        pbe.finalize();
+        let at_end = pbe.estimate_cum(Timestamp(99));
+        let later = pbe.estimate_cum(Timestamp(10_000));
+        assert_eq!(at_end, later, "value must hold flat after the last constraint");
+    }
+
+    #[test]
+    fn dense_duplicates_collapse_into_one_corner() {
+        let mut pbe = Pbe2::with_gamma(1.0).unwrap();
+        let mut ts = vec![5u64; 500];
+        ts.extend([9, 9, 9]);
+        feed(&mut pbe, &ts);
+        pbe.finalize();
+        // two corners + predecessors → at most a couple of segments
+        assert!(pbe.segments().len() <= 2, "{}", pbe.segments().len());
+        let est5 = pbe.estimate_cum(Timestamp(5));
+        assert!((est5 - 500.0).abs() <= 1.0 + 1e-9);
+        let est8 = pbe.estimate_cum(Timestamp(8));
+        assert!((est8 - 500.0).abs() <= 1.0 + 1e-9, "flat run must stay near 500, got {est8}");
+        let est9 = pbe.estimate_cum(Timestamp(9));
+        assert!((est9 - 503.0).abs() <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,281 @@
+//! Feasible-region geometry for PBE-2.
+//!
+//! A line `F̃(t) = a·t + b` passes through the γ-range of a constraint point
+//! `(t_j, F(t_j))` iff `F(t_j) − γ ≤ a·t_j + b ≤ F(t_j)` (Eq. 4), i.e. the
+//! pair `(a, b)` lies between two parallel half-planes in the dual
+//! `(slope, intercept)` space (Eq. 5). The set of lines satisfying all
+//! constraints so far is the intersection of those half-planes — a convex
+//! polygon `G_k` (Fig. 4a). PBE-2 maintains `G_k` incrementally, clipping it
+//! with the two half-planes of each new point and cutting a segment when the
+//! polygon would become empty (Fig. 4b).
+
+/// A closed half-plane `p·a + q·b ≤ c` in the dual `(a, b)` space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HalfPlane {
+    /// Coefficient of the slope axis.
+    pub p: f64,
+    /// Coefficient of the intercept axis.
+    pub q: f64,
+    /// Right-hand side.
+    pub c: f64,
+}
+
+impl HalfPlane {
+    /// The two half-planes of one constraint point (Eq. 5):
+    /// `b ≤ −t·a + F` and `b ≥ −t·a + (F − γ)`.
+    pub fn from_constraint(t: f64, f: f64, gamma: f64) -> (HalfPlane, HalfPlane) {
+        let upper = HalfPlane { p: t, q: 1.0, c: f };
+        let lower = HalfPlane { p: -t, q: -1.0, c: gamma - f };
+        (upper, lower)
+    }
+
+    /// Signed slack `c − (p·a + q·b)`; non-negative inside.
+    #[inline]
+    fn slack(&self, a: f64, b: f64) -> f64 {
+        self.c - (self.p * a + self.q * b)
+    }
+
+    /// Whether `(a, b)` satisfies the constraint within a relative tolerance
+    /// (guards against losing a degenerate-but-feasible polygon to floating
+    /// point noise).
+    pub fn contains(&self, a: f64, b: f64) -> bool {
+        let scale = self.p.abs() * a.abs() + self.q.abs() * b.abs() + self.c.abs() + 1.0;
+        self.slack(a, b) >= -1e-9 * scale
+    }
+}
+
+/// A convex polygon in the dual `(a, b)` space, as an ordered vertex list.
+#[derive(Debug, Clone, Default)]
+pub struct Polygon {
+    vertices: Vec<(f64, f64)>,
+}
+
+impl Polygon {
+    /// Axis-aligned bounding box `[a_lo, a_hi] × [b_lo, b_hi]` (CCW).
+    ///
+    /// PBE-2 starts each polygon from a large box instead of an unbounded
+    /// region; the bounds only need to exceed any slope/intercept a feasible
+    /// line could have.
+    pub fn from_box(a_lo: f64, a_hi: f64, b_lo: f64, b_hi: f64) -> Self {
+        Polygon { vertices: vec![(a_lo, b_lo), (a_hi, b_lo), (a_hi, b_hi), (a_lo, b_hi)] }
+    }
+
+    /// Number of vertices (the paper's polygon-size cap η counts these).
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the feasible region has collapsed.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.len() < 3
+    }
+
+    /// Sutherland–Hodgman clip against one half-plane. Returns `false` when
+    /// the polygon becomes empty (the caller then cuts a segment).
+    ///
+    /// Near-duplicate vertices are merged after clipping: streams with a
+    /// constant incoming rate produce a *pencil* of constraint lines through
+    /// a single dual point, and without deduplication the polygon
+    /// accumulates degenerate slivers of vertices around that apex until it
+    /// spuriously hits the vertex cap.
+    pub fn clip(&mut self, h: HalfPlane) -> bool {
+        if self.vertices.is_empty() {
+            return false;
+        }
+        let n = self.vertices.len();
+        let mut out: Vec<(f64, f64)> = Vec::with_capacity(n + 1);
+        for i in 0..n {
+            let cur = self.vertices[i];
+            let nxt = self.vertices[(i + 1) % n];
+            let s_cur = h.slack(cur.0, cur.1);
+            let s_nxt = h.slack(nxt.0, nxt.1);
+            if s_cur >= 0.0 {
+                out.push(cur);
+            }
+            // Edge crosses the boundary: emit the intersection point.
+            if (s_cur > 0.0 && s_nxt < 0.0) || (s_cur < 0.0 && s_nxt > 0.0) {
+                let denom = s_cur - s_nxt;
+                let r = s_cur / denom;
+                out.push((cur.0 + r * (nxt.0 - cur.0), cur.1 + r * (nxt.1 - cur.1)));
+            }
+        }
+        dedup_vertices(&mut out);
+        self.vertices = out;
+        !self.is_empty()
+    }
+
+    /// An interior representative `(a, b)` — the vertex centroid, which lies
+    /// inside any convex polygon. The paper picks an arbitrary point of
+    /// `G_{k−1}`; the centroid makes the construction deterministic.
+    pub fn representative(&self) -> Option<(f64, f64)> {
+        if self.vertices.is_empty() {
+            return None;
+        }
+        let n = self.vertices.len() as f64;
+        let (sa, sb) = self.vertices.iter().fold((0.0, 0.0), |(sa, sb), &(a, b)| (sa + a, sb + b));
+        Some((sa / n, sb / n))
+    }
+
+    /// Vertex list (tests only).
+    #[cfg(test)]
+    pub(crate) fn vertices(&self) -> &[(f64, f64)] {
+        &self.vertices
+    }
+}
+
+impl bed_stream::Codec for Polygon {
+    fn encode(&self, w: &mut bed_stream::codec::Writer) {
+        w.len(self.vertices.len());
+        for &(a, b) in &self.vertices {
+            w.f64(a);
+            w.f64(b);
+        }
+    }
+
+    fn decode(r: &mut bed_stream::codec::Reader<'_>) -> Result<Self, bed_stream::CodecError> {
+        let n = r.len("polygon vertex count", 16)?;
+        let mut vertices = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = r.f64("polygon vertex a")?;
+            let b = r.f64("polygon vertex b")?;
+            if !a.is_finite() || !b.is_finite() {
+                return Err(bed_stream::CodecError::Invalid { context: "polygon vertex" });
+            }
+            vertices.push((a, b));
+        }
+        Ok(Polygon { vertices })
+    }
+}
+
+/// Merges consecutive vertices that coincide up to a relative tolerance.
+fn dedup_vertices(vs: &mut Vec<(f64, f64)>) {
+    if vs.len() < 2 {
+        return;
+    }
+    let close = |p: (f64, f64), q: (f64, f64)| {
+        let scale_a = p.0.abs().max(q.0.abs()) + 1.0;
+        let scale_b = p.1.abs().max(q.1.abs()) + 1.0;
+        (p.0 - q.0).abs() <= 1e-9 * scale_a && (p.1 - q.1).abs() <= 1e-9 * scale_b
+    };
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(vs.len());
+    for &v in vs.iter() {
+        if out.last().is_some_and(|&last| close(last, v)) {
+            continue;
+        }
+        out.push(v);
+    }
+    while out.len() >= 2 && close(out[0], *out.last().unwrap()) {
+        out.pop();
+    }
+    *vs = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_box() -> Polygon {
+        Polygon::from_box(0.0, 1.0, 0.0, 1.0)
+    }
+
+    #[test]
+    fn clip_keeps_inside_half() {
+        let mut p = unit_box();
+        // keep a <= 0.5
+        assert!(p.clip(HalfPlane { p: 1.0, q: 0.0, c: 0.5 }));
+        assert_eq!(p.vertex_count(), 4);
+        for &(a, _) in p.vertices() {
+            assert!(a <= 0.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn clip_to_empty() {
+        let mut p = unit_box();
+        assert!(!p.clip(HalfPlane { p: 1.0, q: 0.0, c: -1.0 })); // a <= -1: empty
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn clip_diagonal_produces_triangle() {
+        let mut p = unit_box();
+        // keep a + b <= 1 → triangle with the diagonal
+        assert!(p.clip(HalfPlane { p: 1.0, q: 1.0, c: 1.0 }));
+        assert_eq!(p.vertex_count(), 3);
+    }
+
+    #[test]
+    fn representative_is_inside_all_clips() {
+        let mut p = Polygon::from_box(-10.0, 10.0, -10.0, 10.0);
+        let planes = [
+            HalfPlane { p: 1.0, q: 2.0, c: 5.0 },
+            HalfPlane { p: -1.0, q: 0.5, c: 4.0 },
+            HalfPlane { p: 0.0, q: -1.0, c: 3.0 },
+        ];
+        for h in planes {
+            assert!(p.clip(h));
+        }
+        let (a, b) = p.representative().unwrap();
+        for h in planes {
+            assert!(h.contains(a, b), "centroid violates {h:?}");
+        }
+    }
+
+    #[test]
+    fn constraint_half_planes_bracket_the_range() {
+        let (up, lo) = HalfPlane::from_constraint(10.0, 100.0, 5.0);
+        // line a=0, b=98: 98 ∈ [95, 100] → satisfies both
+        assert!(up.contains(0.0, 98.0));
+        assert!(lo.contains(0.0, 98.0));
+        // b=101 violates the upper constraint
+        assert!(!up.contains(0.0, 101.0));
+        assert!(lo.contains(0.0, 101.0));
+        // b=94 violates the lower constraint
+        assert!(up.contains(0.0, 94.0));
+        assert!(!lo.contains(0.0, 94.0));
+        // slope matters: a=1 → value at t=10 is 10+b
+        assert!(up.contains(1.0, 90.0)); // 100 ≤ 100
+        assert!(!up.contains(1.0, 90.1));
+    }
+
+    #[test]
+    fn intersection_of_two_constraints_is_feasible_band() {
+        // Points (t=0, F=10) and (t=10, F=20), γ=2: feasible slopes around 1.
+        let mut p = Polygon::from_box(-1e6, 1e6, -1e6, 1e6);
+        let (u1, l1) = HalfPlane::from_constraint(0.0, 10.0, 2.0);
+        let (u2, l2) = HalfPlane::from_constraint(10.0, 20.0, 2.0);
+        for h in [u1, l1, u2, l2] {
+            assert!(p.clip(h), "clipping with {h:?} emptied the polygon");
+        }
+        let (a, b) = p.representative().unwrap();
+        // representative line must satisfy both γ-ranges
+        assert!((8.0..=10.0).contains(&b), "b={b}");
+        let v10 = a * 10.0 + b;
+        assert!((18.0..=20.0).contains(&v10), "value at t=10 is {v10}");
+    }
+
+    #[test]
+    fn infeasible_constraints_empty_the_polygon() {
+        // (t=0, F=0) and (t=1, F=1000) with γ=1: needs slope ~1000, but then
+        // a third point (t=2, F=1001) with γ=1 pulls slope back — check the
+        // polygon empties on a genuinely contradictory set.
+        let mut p = Polygon::from_box(-1e6, 1e6, -1e6, 1e6);
+        let pts = [(0.0, 0.0), (1.0, 1000.0), (2.0, 0.0)];
+        let mut alive = true;
+        for (t, f) in pts {
+            let (u, l) = HalfPlane::from_constraint(t, f, 1.0);
+            alive = p.clip(u) && p.clip(l);
+            if !alive {
+                break;
+            }
+        }
+        assert!(!alive, "a line cannot rise 1000 then return to 0 within γ=1");
+    }
+
+    #[test]
+    fn empty_polygon_has_no_representative() {
+        let mut p = unit_box();
+        p.clip(HalfPlane { p: 1.0, q: 0.0, c: -5.0 });
+        assert_eq!(p.representative(), None);
+    }
+}

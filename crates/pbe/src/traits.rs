@@ -1,0 +1,307 @@
+//! The common interface of all frequency-curve summaries.
+
+use bed_stream::{BurstSpan, TimeRange, Timestamp};
+
+/// How a summary's estimate behaves between its piece boundaries — drives
+/// the exact range computation in [`bursty_time_ranges`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interpolation {
+    /// Constant between boundaries (staircase summaries: PBE-1, exact
+    /// curves). The estimate jumps only at boundaries.
+    Step,
+    /// Linear between boundaries (PLA summaries: PBE-2). Threshold crossings
+    /// can fall strictly inside a piece.
+    Linear,
+}
+
+/// A streaming summary of one cumulative frequency curve `F(t)` supporting
+/// historical estimates.
+///
+/// Implementations must be *persistent* in the paper's sense: after ingesting
+/// the whole stream they can estimate `F̃(t)` — and hence burstiness
+/// `b̃(t)` — for **any** `t` in the past, not just "now".
+///
+/// The estimate is expected to never overestimate: `F̃(t) ≤ F(t)` at every
+/// constraint point the sketch has retained (this is what makes the median
+/// combination in CM-PBE sound).
+pub trait CurveSketch {
+    /// Records one arrival at `ts`. Timestamps must be non-decreasing across
+    /// calls; violations are a logic error (checked in debug builds).
+    fn update(&mut self, ts: Timestamp);
+
+    /// Estimated cumulative frequency `F̃(t)`.
+    fn estimate_cum(&self, t: Timestamp) -> f64;
+
+    /// `F̃(t − delta)`, treating pre-epoch times as 0.
+    fn estimate_cum_offset(&self, t: Timestamp, delta: u64) -> f64 {
+        match t.checked_sub(delta) {
+            Some(earlier) => self.estimate_cum(earlier),
+            None => 0.0,
+        }
+    }
+
+    /// Estimated burst frequency `b̃f(t) = F̃(t) − F̃(t − τ)`.
+    fn estimate_burst_frequency(&self, t: Timestamp, tau: BurstSpan) -> f64 {
+        self.estimate_cum(t) - self.estimate_cum_offset(t, tau.ticks())
+    }
+
+    /// Estimated burstiness `b̃(t) = F̃(t) − 2·F̃(t−τ) + F̃(t−2τ)` (Eq. 2).
+    fn estimate_burstiness(&self, t: Timestamp, tau: BurstSpan) -> f64 {
+        let f0 = self.estimate_cum(t);
+        let f1 = self.estimate_cum_offset(t, tau.ticks());
+        let f2 = self.estimate_cum_offset(t, tau.ticks().saturating_mul(2));
+        f0 - 2.0 * f1 + f2
+    }
+
+    /// Flushes any internal buffering so that `size_bytes` reflects the final
+    /// summary (PBE-1 compresses a partial buffer; PBE-2 closes the open
+    /// polygon into a segment). Queries are valid both before and after.
+    fn finalize(&mut self);
+
+    /// Current summary size in bytes, using the workspace-wide accounting of
+    /// 16 bytes per staircase point and 24 bytes per PLA segment.
+    fn size_bytes(&self) -> usize;
+
+    /// Timestamps at which the approximation starts a new piece. Between two
+    /// consecutive knees the approximate incoming rate is constant, which is
+    /// what makes bursty-time queries linear in the summary size (Section V).
+    fn segment_starts(&self) -> Vec<Timestamp>;
+
+    /// All timestamps at which the estimate's slope may change — piece
+    /// starts *and* the first tick after each piece ends (where a PLA
+    /// segment's line hands over to the flat hold). Staircase summaries only
+    /// change at starts, so the default suffices for them.
+    fn piece_boundaries(&self) -> Vec<Timestamp> {
+        self.segment_starts()
+    }
+
+    /// Shape of the estimate between boundaries.
+    fn interpolation(&self) -> Interpolation {
+        Interpolation::Step
+    }
+
+    /// Number of arrivals ingested so far.
+    fn arrivals(&self) -> u64;
+}
+
+/// Blanket helper: candidate query instants for a bursty-time query over a
+/// sketch — every knee plus its `+τ` and `+2τ` echoes (burstiness changes
+/// only when one of the three terms of Eq. 2 crosses a knee).
+pub fn bursty_time_candidates<S: CurveSketch + ?Sized>(
+    sketch: &S,
+    tau: BurstSpan,
+    horizon: Timestamp,
+) -> Vec<Timestamp> {
+    let mut out: Vec<u64> = Vec::new();
+    for knee in sketch.segment_starts() {
+        for delta in [0, tau.ticks(), tau.ticks().saturating_mul(2)] {
+            let t = knee.ticks().saturating_add(delta);
+            if t <= horizon.ticks() {
+                out.push(t);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out.into_iter().map(Timestamp).collect()
+}
+
+/// Exact bursty-time **ranges** over a sketch's estimate (an extension of
+/// the paper's knee-probing strategy): returns the maximal closed intervals
+/// within `[0, horizon]` where `b̃(t) ≥ θ`.
+///
+/// The estimate's burstiness `b̃(t) = F̃(t) − 2F̃(t−τ) + F̃(t−2τ)` changes
+/// shape only where one of the three terms crosses a piece boundary, so
+/// evaluating at every boundary echo (`boundary`, `+τ`, `+2τ`) is exact for
+/// [`Interpolation::Step`] summaries; for [`Interpolation::Linear`] ones,
+/// `b̃` is linear *between* echoes and the θ-crossings inside a stretch are
+/// recovered by interpolation.
+pub fn bursty_time_ranges<S: CurveSketch + ?Sized>(
+    sketch: &S,
+    theta: f64,
+    tau: BurstSpan,
+    horizon: Timestamp,
+) -> Vec<TimeRange> {
+    // Candidate instants where the piecewise shape can change.
+    let mut cands: Vec<u64> = Vec::new();
+    cands.push(0);
+    for b in sketch.piece_boundaries() {
+        for delta in [0, tau.ticks(), tau.ticks().saturating_mul(2)] {
+            let t = b.ticks().saturating_add(delta);
+            if t <= horizon.ticks() {
+                cands.push(t);
+            }
+        }
+    }
+    cands.push(horizon.ticks());
+    cands.sort_unstable();
+    cands.dedup();
+
+    let mut ranges: Vec<TimeRange> = Vec::new();
+    let push = |start: u64, end: u64, ranges: &mut Vec<TimeRange>| {
+        if start > end {
+            return;
+        }
+        let range = TimeRange { start: Timestamp(start), end: Timestamp(end) };
+        match ranges.last_mut() {
+            Some(last) if last.adjacent_or_overlapping(&range) => *last = last.merge(&range),
+            _ => ranges.push(range),
+        }
+    };
+
+    let linear = sketch.interpolation() == Interpolation::Linear;
+
+    for i in 0..cands.len() {
+        let c1 = cands[i];
+        let v1 = sketch.estimate_burstiness(Timestamp(c1), tau);
+        // The stretch owns [c1, c2 − 1] (or through the horizon at the end).
+        let stretch_end = match cands.get(i + 1) {
+            Some(&c2) => c2 - 1,
+            None => horizon.ticks(),
+        };
+        if stretch_end < c1 {
+            continue; // adjacent candidates: the next stretch handles c2
+        }
+        if !linear || stretch_end == c1 {
+            // constant stretch (or a single tick): one evaluation decides
+            if v1 >= theta {
+                push(c1, stretch_end, &mut ranges);
+            }
+            continue;
+        }
+        // Linear on the closed stretch: fit the line on the stretch's own
+        // endpoints (the next boundary may start a different piece, so its
+        // value must not be used for the slope).
+        let v_end = sketch.estimate_burstiness(Timestamp(stretch_end), tau);
+        match (v1 >= theta, v_end >= theta) {
+            (true, true) => push(c1, stretch_end, &mut ranges),
+            (false, false) => {}
+            (above_at_start, _) => {
+                // exactly one crossing: b̃ is monotone linear on the stretch
+                let t_star = c1 as f64 + (theta - v1) * (stretch_end - c1) as f64 / (v_end - v1);
+                if above_at_start {
+                    let end = (t_star.floor() as u64).clamp(c1, stretch_end);
+                    push(c1, end, &mut ranges);
+                } else {
+                    let start = (t_star.ceil() as u64).clamp(c1, stretch_end);
+                    push(start, stretch_end, &mut ranges);
+                }
+            }
+        }
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal fake: exact counter with one knee per arrival timestamp.
+    struct Fake(Vec<u64>);
+    impl CurveSketch for Fake {
+        fn update(&mut self, ts: Timestamp) {
+            self.0.push(ts.ticks());
+        }
+        fn estimate_cum(&self, t: Timestamp) -> f64 {
+            self.0.iter().filter(|&&x| x <= t.ticks()).count() as f64
+        }
+        fn finalize(&mut self) {}
+        fn size_bytes(&self) -> usize {
+            self.0.len() * 8
+        }
+        fn segment_starts(&self) -> Vec<Timestamp> {
+            let mut v = self.0.clone();
+            v.sort_unstable();
+            v.dedup();
+            v.into_iter().map(Timestamp).collect()
+        }
+        fn arrivals(&self) -> u64 {
+            self.0.len() as u64
+        }
+    }
+
+    #[test]
+    fn default_burstiness_combines_three_terms() {
+        let mut f = Fake(vec![]);
+        for t in [0u64, 0, 0, 0, 5, 5, 5, 5] {
+            f.update(Timestamp(t));
+        }
+        let tau = BurstSpan::new(5).unwrap();
+        // F(9)=8, F(4)=4, F(pre-epoch)=0 → b(9) = 8 - 8 + 0 = 0
+        assert_eq!(f.estimate_burstiness(Timestamp(9), tau), 0.0);
+        // b(4) = F(4) - 2·0 + 0 = 4
+        assert_eq!(f.estimate_burstiness(Timestamp(4), tau), 4.0);
+        assert_eq!(f.estimate_burst_frequency(Timestamp(9), tau), 4.0);
+    }
+
+    #[test]
+    fn candidates_include_tau_echoes_within_horizon() {
+        let f = Fake(vec![10, 30]);
+        let tau = BurstSpan::new(7).unwrap();
+        let cands = bursty_time_candidates(&f, tau, Timestamp(40));
+        let ticks: Vec<u64> = cands.iter().map(|t| t.ticks()).collect();
+        assert_eq!(ticks, vec![10, 17, 24, 30, 37]); // 44 clipped by horizon
+    }
+
+    /// Ranges from a step sketch must exactly match per-tick brute force.
+    #[test]
+    fn step_ranges_match_brute_force() {
+        let mut f = Fake(vec![]);
+        for t in [5u64, 5, 5, 5, 20, 20, 40] {
+            f.update(Timestamp(t));
+        }
+        let tau = BurstSpan::new(8).unwrap();
+        let horizon = Timestamp(80);
+        for theta in [-3.0, 1.0, 2.0, 4.0] {
+            let ranges = bursty_time_ranges(&f, theta, tau, horizon);
+            let mut inside = [false; 81];
+            for r in &ranges {
+                for t in r.start.ticks()..=r.end.ticks() {
+                    inside[t as usize] = true;
+                }
+            }
+            for t in 0..=80u64 {
+                let b = f.estimate_burstiness(Timestamp(t), tau);
+                assert_eq!(inside[t as usize], b >= theta, "θ={theta} t={t} b={b}");
+            }
+        }
+    }
+
+    /// A fake linear sketch: F̃(t) = t (slope-1 PLA with a single piece).
+    struct Ramp;
+    impl CurveSketch for Ramp {
+        fn update(&mut self, _: Timestamp) {}
+        fn estimate_cum(&self, t: Timestamp) -> f64 {
+            t.ticks() as f64
+        }
+        fn finalize(&mut self) {}
+        fn size_bytes(&self) -> usize {
+            24
+        }
+        fn segment_starts(&self) -> Vec<Timestamp> {
+            vec![Timestamp(0)]
+        }
+        fn interpolation(&self) -> Interpolation {
+            Interpolation::Linear
+        }
+        fn arrivals(&self) -> u64 {
+            0
+        }
+    }
+
+    /// For a pure ramp, b̃(t) ramps up over [0, 2τ) then settles at 0; the
+    /// linear-crossing logic must find the interior crossing exactly.
+    #[test]
+    fn linear_ranges_find_interior_crossings() {
+        let tau = BurstSpan::new(10).unwrap();
+        let horizon = Timestamp(100);
+        // b̃(t) = t − 2·max(t−10, 0) + max(t−20, 0): rises 0..=10, falls
+        // back to 0 at t=20, flat after.
+        let ranges = bursty_time_ranges(&Ramp, 4.0, tau, horizon);
+        assert_eq!(ranges.len(), 1);
+        let r = ranges[0];
+        // exact: b̃(t) ≥ 4 ⇔ t ∈ [4, 16]
+        assert_eq!(r.start.ticks(), 4, "{r}");
+        assert_eq!(r.end.ticks(), 16, "{r}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the persistence codec: any reachable sketch state
+//! round-trips bit-exactly, and decoding random bytes never panics.
+
+use bed_pbe::{CurveSketch, ExactCurve, Pbe1, Pbe1Config, Pbe2, Pbe2Config};
+use bed_stream::{Codec, Timestamp};
+use proptest::prelude::*;
+
+fn arb_arrivals() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..3_000, 0..300).prop_map(|mut v| {
+        v.sort_unstable();
+        v
+    })
+}
+
+proptest! {
+    /// PBE-1 round-trips from any reachable state (mid-buffer or finalized),
+    /// and the decoded copy answers identically everywhere.
+    #[test]
+    fn pbe1_roundtrip(
+        ts in arb_arrivals(),
+        n_buf in 5usize..60,
+        eta in 2usize..5,
+        finalize in any::<bool>(),
+    ) {
+        prop_assume!(eta < n_buf);
+        let mut p = Pbe1::new(Pbe1Config { n_buf, eta }).unwrap();
+        for &t in &ts {
+            p.update(Timestamp(t));
+        }
+        if finalize {
+            p.finalize();
+        }
+        let bytes = p.to_bytes();
+        let q = Pbe1::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(q.to_bytes(), bytes);
+        for t in (0..3_200u64).step_by(57) {
+            prop_assert_eq!(p.estimate_cum(Timestamp(t)), q.estimate_cum(Timestamp(t)));
+        }
+        prop_assert_eq!(p.arrivals(), q.arrivals());
+    }
+
+    /// PBE-2 round-trips including the open polygon and pending corner.
+    #[test]
+    fn pbe2_roundtrip(
+        ts in arb_arrivals(),
+        gamma in 1u32..20,
+        finalize in any::<bool>(),
+    ) {
+        let mut p = Pbe2::new(Pbe2Config { gamma: gamma as f64, max_vertices: 32 }).unwrap();
+        for &t in &ts {
+            p.update(Timestamp(t));
+        }
+        if finalize {
+            p.finalize();
+        }
+        let bytes = p.to_bytes();
+        let q = Pbe2::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(q.to_bytes(), bytes);
+        for t in (0..3_200u64).step_by(57) {
+            prop_assert_eq!(p.estimate_cum(Timestamp(t)), q.estimate_cum(Timestamp(t)));
+        }
+        prop_assert_eq!(p.segments(), q.segments());
+    }
+
+    /// ExactCurve round-trips.
+    #[test]
+    fn exact_roundtrip(ts in arb_arrivals()) {
+        let mut e = ExactCurve::new();
+        for &t in &ts {
+            e.update(Timestamp(t));
+        }
+        let q = ExactCurve::from_bytes(&e.to_bytes()).unwrap();
+        prop_assert_eq!(e.curve(), q.curve());
+    }
+
+    /// Decoding arbitrary bytes returns Err or a valid value — never panics.
+    #[test]
+    fn decode_random_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let _ = Pbe1::from_bytes(&bytes);
+        let _ = Pbe2::from_bytes(&bytes);
+        let _ = ExactCurve::from_bytes(&bytes);
+    }
+
+    /// Truncating a valid encoding anywhere is always an error.
+    #[test]
+    fn truncation_always_errors(ts in arb_arrivals(), cut_frac in 0.0f64..1.0) {
+        prop_assume!(!ts.is_empty());
+        let mut p = Pbe2::with_gamma(2.0).unwrap();
+        for &t in &ts {
+            p.update(Timestamp(t));
+        }
+        p.finalize();
+        let bytes = p.to_bytes();
+        let cut = ((bytes.len() as f64 * cut_frac) as usize).min(bytes.len() - 1);
+        prop_assert!(Pbe2::from_bytes(&bytes[..cut]).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the PBE-2 feasible-polygon geometry — the invariant
+//! the whole of Algorithm 2 stands on: as long as clipping reports the
+//! polygon non-empty, its representative point satisfies *every* constraint
+//! fed so far.
+
+use bed_pbe::pbe2::polygon::{HalfPlane, Polygon};
+use proptest::prelude::*;
+
+/// Random constraint points along a plausible staircase: (dt, F) pairs with
+/// dt increasing and F non-decreasing.
+fn arb_constraints() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((1u64..30, 0u64..12), 1..40).prop_map(|steps| {
+        let mut dt = 0.0;
+        let mut f = 0.0;
+        steps
+            .into_iter()
+            .map(|(d, df)| {
+                dt += d as f64;
+                f += df as f64;
+                (dt, f)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// While feasible, the representative honours every constraint; once a
+    /// clip reports empty, the polygon stays empty.
+    #[test]
+    fn representative_satisfies_all_live_constraints(
+        constraints in arb_constraints(),
+        gamma in 1u32..20,
+    ) {
+        let gamma = gamma as f64;
+        let mut poly = Polygon::from_box(-1e7, 1e7, -4e9, 4e9);
+        let mut live: Vec<HalfPlane> = Vec::new();
+        for &(t, f) in &constraints {
+            let (upper, lower) = HalfPlane::from_constraint(t, f, gamma);
+            let ok = poly.clip(upper) && poly.clip(lower);
+            if !ok {
+                prop_assert!(poly.is_empty() || poly.representative().is_some());
+                break;
+            }
+            live.push(upper);
+            live.push(lower);
+            let (a, b) = poly.representative().expect("feasible polygon");
+            for h in &live {
+                prop_assert!(
+                    h.contains(a, b),
+                    "representative ({a}, {b}) violates a live constraint"
+                );
+            }
+        }
+    }
+
+    /// Clipping never grows the polygon's bounding box.
+    #[test]
+    fn clipping_shrinks_the_hull(constraints in arb_constraints(), gamma in 1u32..20) {
+        let gamma = gamma as f64;
+        let mut poly = Polygon::from_box(-1e7, 1e7, -4e9, 4e9);
+        let bbox = |p: &Polygon| -> Option<(f64, f64, f64, f64)> {
+            p.representative()?; // None when empty
+            Some((-1e7, 1e7, -4e9, 4e9)) // outer bound always holds
+        };
+        let outer = bbox(&poly).unwrap();
+        for &(t, f) in &constraints {
+            let (upper, lower) = HalfPlane::from_constraint(t, f, gamma);
+            if !(poly.clip(upper) && poly.clip(lower)) {
+                break;
+            }
+            if let Some((a, b)) = poly.representative() {
+                prop_assert!(a >= outer.0 && a <= outer.1);
+                prop_assert!(b >= outer.2 && b <= outer.3);
+            }
+            // vertex dedup keeps the polygon small even under pencils of
+            // nearly-identical constraints
+            prop_assert!(poly.vertex_count() <= 64, "{} vertices", poly.vertex_count());
+        }
+    }
+
+    /// Feasibility is monotone: a constraint set that empties the polygon
+    /// stays empty under any further clip.
+    #[test]
+    fn emptiness_is_sticky(constraints in arb_constraints()) {
+        // γ = 0.4 < 1: any actual rise of ≥ 1 between two close dts tends to
+        // empty the polygon quickly, exercising the sticky path.
+        let mut poly = Polygon::from_box(-1e7, 1e7, -4e9, 4e9);
+        let mut dead = false;
+        for &(t, f) in &constraints {
+            let (upper, lower) = HalfPlane::from_constraint(t, f, 0.4);
+            let ok = poly.clip(upper) && poly.clip(lower);
+            if dead {
+                prop_assert!(!ok, "an empty polygon must not resurrect");
+            }
+            if !ok {
+                dead = true;
+            }
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Property-based tests for PBE-1 and PBE-2.
+
+use bed_pbe::pbe1::dp;
+use bed_pbe::{CurveSketch, Pbe1, Pbe1Config, Pbe2, Pbe2Config};
+use bed_stream::curve::{CornerPoint, FrequencyCurve};
+use bed_stream::{SingleEventStream, Timestamp};
+use proptest::prelude::*;
+
+/// Random strictly-increasing staircase corners.
+fn arb_corners(max_n: usize) -> impl Strategy<Value = Vec<CornerPoint>> {
+    prop::collection::vec((1u64..20, 1u64..10), 2..max_n).prop_map(|steps| {
+        let mut t = 0u64;
+        let mut cum = 0u64;
+        let mut out = Vec::with_capacity(steps.len());
+        for (dt, dy) in steps {
+            t += dt;
+            cum += dy;
+            out.push(CornerPoint { t: Timestamp(t), cum });
+        }
+        out
+    })
+}
+
+/// Random sorted arrival timestamps (with duplicates).
+fn arb_arrivals() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..2_000, 1..400).prop_map(|mut v| {
+        v.sort_unstable();
+        v
+    })
+}
+
+/// Staircase induced by a subset of corner indices, evaluated at `t`.
+fn subset_value(points: &[CornerPoint], chosen: &[usize], t: u64) -> u64 {
+    let mut val = 0;
+    for &i in chosen {
+        if points[i].t.ticks() <= t {
+            val = points[i].cum;
+        } else {
+            break;
+        }
+    }
+    val
+}
+
+proptest! {
+    /// The CHT kernel matches the naive O(η·n²) recurrence exactly.
+    #[test]
+    fn dp_cht_equals_naive(points in arb_corners(24), eta in 2usize..10) {
+        let fast = dp::solve(&points, eta);
+        let slow = dp::solve_naive(&points, eta);
+        prop_assert_eq!(fast.cost, slow.cost);
+        prop_assert_eq!(dp::selection_cost(&points, &fast.chosen), fast.cost);
+        prop_assert_eq!(dp::selection_cost(&points, &slow.chosen), slow.cost);
+    }
+
+    /// The reported cost really is the area between the exact staircase and
+    /// the staircase induced by the chosen subset.
+    #[test]
+    fn dp_cost_is_true_area(points in arb_corners(16), eta in 2usize..8) {
+        let sol = dp::solve(&points, eta);
+        let horizon = points.last().unwrap().t.ticks();
+        let mut area = 0u64;
+        for t in 0..=horizon {
+            let exact = subset_value(&points, &(0..points.len()).collect::<Vec<_>>(), t);
+            let approx = subset_value(&points, &sol.chosen, t);
+            prop_assert!(approx <= exact, "overestimate at t={}", t);
+            area += exact - approx;
+        }
+        prop_assert_eq!(area, sol.cost);
+    }
+
+    /// Optimality: no random alternative subset of the same size beats the DP.
+    #[test]
+    fn dp_beats_random_subsets(
+        points in arb_corners(14),
+        eta in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        let sol = dp::solve(&points, eta);
+        let n = points.len();
+        if n > eta {
+            // pseudo-random alternative subset containing both boundaries
+            let mut alt: Vec<usize> = vec![0];
+            let mut x = seed;
+            while alt.len() < eta - 1 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let cand = 1 + (x >> 33) as usize % (n - 2).max(1);
+                if !alt.contains(&cand) {
+                    alt.push(cand);
+                }
+            }
+            alt.push(n - 1);
+            alt.sort_unstable();
+            alt.dedup();
+            if alt.len() == eta {
+                prop_assert!(dp::selection_cost(&points, &alt) >= sol.cost);
+            }
+        }
+    }
+
+    /// Error-capped mode achieves the cap with the fewest points.
+    #[test]
+    fn dp_error_capped_is_minimal(points in arb_corners(14), cap in 0u64..200) {
+        let sol = dp::solve_error_capped(&points, cap);
+        prop_assert!(sol.cost <= cap || sol.chosen.len() == points.len());
+        if sol.chosen.len() > 2 && sol.chosen.len() < points.len() {
+            let fewer = dp::solve(&points, sol.chosen.len() - 1);
+            prop_assert!(fewer.cost > cap, "a smaller η also met the cap");
+        }
+    }
+
+    /// PBE-1 never overestimates and is monotone, at every tick, with any
+    /// buffering configuration.
+    #[test]
+    fn pbe1_underestimates_everywhere(
+        ts in arb_arrivals(),
+        n_buf in 6usize..40,
+        eta in 2usize..6,
+    ) {
+        prop_assume!(eta < n_buf);
+        let exact = FrequencyCurve::from_stream(&SingleEventStream::from_sorted(
+            ts.iter().map(|&t| Timestamp(t)).collect()).unwrap());
+        let mut pbe = Pbe1::new(Pbe1Config { n_buf, eta }).unwrap();
+        for &t in &ts {
+            pbe.update(Timestamp(t));
+        }
+        pbe.finalize();
+        let mut prev = 0.0;
+        let horizon = ts.last().unwrap() + 10;
+        let mut t = 0;
+        while t <= horizon {
+            let est = pbe.estimate_cum(Timestamp(t));
+            prop_assert!(est <= exact.value_at(Timestamp(t)) as f64);
+            prop_assert!(est >= prev);
+            prev = est;
+            t += 7;
+        }
+        // final count is exact (last corner always kept)
+        prop_assert_eq!(pbe.estimate_cum(Timestamp(horizon)), exact.total() as f64);
+    }
+
+    /// Offline PBE-1's accumulated error equals the true L1 distance between
+    /// exact and approximate curves.
+    #[test]
+    fn pbe1_offline_error_is_l1_distance(ts in arb_arrivals(), eta in 2usize..8) {
+        let exact = FrequencyCurve::from_stream(&SingleEventStream::from_sorted(
+            ts.iter().map(|&t| Timestamp(t)).collect()).unwrap());
+        prop_assume!(exact.n_points() > eta);
+        let pbe = Pbe1::offline(&exact, eta).unwrap();
+        // Reconstruct the approximate staircase from segment starts.
+        let approx = FrequencyCurve::from_corners(
+            pbe.segment_starts()
+                .iter()
+                .map(|&t| CornerPoint { t, cum: pbe.estimate_cum(t) as u64 })
+                .collect(),
+        );
+        let horizon = exact.last_timestamp().unwrap();
+        prop_assert_eq!(exact.l1_distance(&approx, horizon), pbe.accumulated_area_error());
+    }
+
+    /// PBE-2 honours the γ bound at every doubled corner point and never
+    /// overestimates there (Lemma 4's premise).
+    #[test]
+    fn pbe2_gamma_bound(ts in arb_arrivals(), gamma in 1u32..40) {
+        let gamma = gamma as f64;
+        let exact = FrequencyCurve::from_stream(&SingleEventStream::from_sorted(
+            ts.iter().map(|&t| Timestamp(t)).collect()).unwrap());
+        let mut pbe = Pbe2::new(Pbe2Config { gamma, max_vertices: 64 }).unwrap();
+        for &t in &ts {
+            pbe.update(Timestamp(t));
+        }
+        pbe.finalize();
+        for p in exact.doubled_corners() {
+            let est = pbe.estimate_cum(p.t);
+            let truth = p.cum as f64;
+            prop_assert!(est <= truth + 1e-6, "overestimate at {}: {} > {}", p.t, est, truth);
+            prop_assert!(truth - est <= gamma + 1e-6, "γ violated at {}: {} vs {}", p.t, truth, est);
+        }
+    }
+
+    /// PBE-2 segments tile time in order: starts strictly increase and every
+    /// segment's end is within its successor's start.
+    #[test]
+    fn pbe2_segments_are_ordered(ts in arb_arrivals(), gamma in 1u32..20) {
+        let mut pbe = Pbe2::new(Pbe2Config { gamma: gamma as f64, max_vertices: 32 }).unwrap();
+        for &t in &ts {
+            pbe.update(Timestamp(t));
+        }
+        pbe.finalize();
+        let segs = pbe.segments();
+        for s in segs {
+            prop_assert!(s.start <= s.end);
+        }
+        for w in segs.windows(2) {
+            prop_assert!(w[0].end < w[1].start);
+        }
+        prop_assert!(!segs.is_empty());
+    }
+
+    /// bursty_time_ranges matches per-tick brute force for both sketch
+    /// families (step and linear interpolation).
+    #[test]
+    fn range_query_matches_brute_force(
+        ts in arb_arrivals(),
+        tau in 1u64..40,
+        theta in -10i32..30,
+        gamma in 1u32..10,
+    ) {
+        use bed_pbe::bursty_time_ranges;
+        let tau = bed_stream::BurstSpan::new(tau).unwrap();
+        let theta = theta as f64;
+        let horizon = Timestamp(ts.last().unwrap() + 100);
+
+        let mut p1 = Pbe1::new(Pbe1Config { n_buf: 40, eta: 6 }).unwrap();
+        let mut p2 = Pbe2::new(Pbe2Config { gamma: gamma as f64, max_vertices: 32 }).unwrap();
+        for &t in &ts {
+            p1.update(Timestamp(t));
+            p2.update(Timestamp(t));
+        }
+        p1.finalize();
+        p2.finalize();
+
+        for (name, sketch) in [("pbe1", &p1 as &dyn CurveSketch), ("pbe2", &p2)] {
+            let ranges = bursty_time_ranges(sketch, theta, tau, horizon);
+            let mut inside = vec![false; horizon.ticks() as usize + 1];
+            for r in &ranges {
+                prop_assert!(r.start <= r.end);
+                for t in r.start.ticks()..=r.end.ticks() {
+                    inside[t as usize] = true;
+                }
+            }
+            for w in ranges.windows(2) {
+                prop_assert!(!w[0].adjacent_or_overlapping(&w[1]), "unmerged ranges");
+            }
+            // brute-force cross-check with a small tolerance belt around θ
+            // for the linear case's float crossings
+            for t in 0..=horizon.ticks() {
+                let b = sketch.estimate_burstiness(Timestamp(t), tau);
+                if b >= theta + 1e-6 {
+                    prop_assert!(inside[t as usize], "{}: miss at t={} (b={})", name, t, b);
+                }
+                if b < theta - 1e-6 {
+                    prop_assert!(!inside[t as usize], "{}: false hit at t={} (b={})", name, t, b);
+                }
+            }
+        }
+    }
+
+    /// Both PBEs agree with the exact curve when given effectively unbounded
+    /// budgets.
+    #[test]
+    fn generous_budgets_are_near_exact(ts in arb_arrivals()) {
+        let exact = FrequencyCurve::from_stream(&SingleEventStream::from_sorted(
+            ts.iter().map(|&t| Timestamp(t)).collect()).unwrap());
+        let mut p1 = Pbe1::new(Pbe1Config { n_buf: 10_000, eta: 5_000 }).unwrap();
+        let mut p2 = Pbe2::new(Pbe2Config { gamma: 1.0, max_vertices: 128 }).unwrap();
+        for &t in &ts {
+            p1.update(Timestamp(t));
+            p2.update(Timestamp(t));
+        }
+        p1.finalize();
+        p2.finalize();
+        for c in exact.corners() {
+            prop_assert_eq!(p1.estimate_cum(c.t), c.cum as f64);
+            prop_assert!((p2.estimate_cum(c.t) - c.cum as f64).abs() <= 1.0 + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,487 @@
+//! CM-PBE: Count-Min layout with persistent burstiness estimators as cells
+//! (Section IV, Fig. 5).
+
+use bed_pbe::CurveSketch;
+use bed_stream::{BurstSpan, EventId, StreamError, Timestamp};
+
+use crate::hash::HashFamily;
+use crate::params::SketchParams;
+
+/// Row-combination strategy (see [`CmPbe::estimate_cum_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combiner {
+    /// The paper's choice: balances CM over- and PBE under-estimation.
+    Median,
+    /// Classic Count-Min combiner — biased low with PBE cells.
+    Min,
+    /// Upper envelope — biased high by collisions.
+    Max,
+}
+
+/// A `d × w` grid of curve sketches indexed by pairwise-independent hashes.
+///
+/// Generic over the cell type `P`: `CmPbe<Pbe1>` is the paper's CM-PBE-1,
+/// `CmPbe<Pbe2>` is CM-PBE-2, and `CmPbe<ExactCurve>` isolates pure
+/// hash-collision error for ablations.
+///
+/// ```
+/// use bed_pbe::{Pbe2, Pbe2Config};
+/// use bed_sketch::{CmPbe, SketchParams};
+/// use bed_stream::{BurstSpan, EventId, Timestamp};
+///
+/// let params = SketchParams::new(0.01, 0.05).unwrap();
+/// let mut cm = CmPbe::new(params, 42, || Pbe2::with_gamma(2.0).unwrap()).unwrap();
+///
+/// // event 7 bursts at the end of a 1000-tick stream of 50 events
+/// for t in 0..1_000u64 {
+///     cm.update(EventId((t % 50) as u32), Timestamp(t));
+///     if t >= 950 {
+///         for _ in 0..5 {
+///             cm.update(EventId(7), Timestamp(t));
+///         }
+///     }
+/// }
+/// cm.finalize();
+///
+/// let tau = BurstSpan::new(100).unwrap();
+/// let b7 = cm.estimate_burstiness(EventId(7), Timestamp(999), tau);
+/// let b3 = cm.estimate_burstiness(EventId(3), Timestamp(999), tau);
+/// assert!(b7 > 100.0, "bursting event: {b7}");
+/// assert!(b3.abs() < 50.0, "steady event: {b3}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CmPbe<P> {
+    hashes: HashFamily,
+    cells: Vec<P>,
+    arrivals: u64,
+    /// Direct-indexed mode: ids map to `id` itself (a perfect hash). Used
+    /// when the id universe fits in one row — no collisions, no need for
+    /// multiple rows.
+    identity: bool,
+}
+
+impl<P: CurveSketch> CmPbe<P> {
+    /// Builds a grid from accuracy parameters; `make_cell` constructs each
+    /// of the `d·w` cells (they must start empty and identical up to
+    /// configuration).
+    pub fn new(
+        params: SketchParams,
+        seed: u64,
+        make_cell: impl FnMut() -> P,
+    ) -> Result<Self, StreamError> {
+        params.validate()?;
+        Ok(Self::with_dimensions(params.depth(), params.width(), seed, make_cell))
+    }
+
+    /// Builds a grid with explicit dimensions.
+    pub fn with_dimensions(
+        depth: usize,
+        width: usize,
+        seed: u64,
+        mut make_cell: impl FnMut() -> P,
+    ) -> Self {
+        let hashes = HashFamily::new(depth, width, seed);
+        let cells = (0..depth * width).map(|_| make_cell()).collect();
+        CmPbe { hashes, cells, arrivals: 0, identity: false }
+    }
+
+    /// Builds a **direct-indexed** grid: one row of `universe` cells where id
+    /// `x` maps to cell `x`. A perfect hash — zero collision error — used
+    /// when the id universe is smaller than the row width a hashed grid
+    /// would need (e.g. the upper levels of the dyadic hierarchy, where a
+    /// 2-bucket hashed row would collide half the time).
+    pub fn direct_indexed(universe: usize, mut make_cell: impl FnMut() -> P) -> Self {
+        let hashes = HashFamily::new(1, universe, 0);
+        let cells = (0..universe).map(|_| make_cell()).collect();
+        CmPbe { hashes, cells, arrivals: 0, identity: true }
+    }
+
+    /// Rows d.
+    pub fn depth(&self) -> usize {
+        self.hashes.depth()
+    }
+
+    /// Columns w.
+    pub fn width(&self) -> usize {
+        self.hashes.width()
+    }
+
+    /// Elements ingested so far (N).
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    #[inline]
+    fn cell_index(&self, row: usize, event: EventId) -> usize {
+        if self.identity {
+            assert!(
+                (event.value() as usize) < self.width(),
+                "event id {} outside the direct-indexed universe of {}",
+                event.value(),
+                self.width()
+            );
+            return event.value() as usize;
+        }
+        row * self.width() + self.hashes.bucket(row, event.value() as u64)
+    }
+
+    /// Records `(event, ts)`: one cell per row ingests the timestamp,
+    /// ignoring the id (Fig. 5). Timestamps must be non-decreasing.
+    pub fn update(&mut self, event: EventId, ts: Timestamp) {
+        for row in 0..self.depth() {
+            let idx = self.cell_index(row, event);
+            self.cells[idx].update(ts);
+        }
+        self.arrivals += 1;
+    }
+
+    /// Ingests a whole batch sequentially (baseline for the parallel path).
+    pub fn update_batch(&mut self, batch: &[(EventId, Timestamp)]) {
+        for &(e, t) in batch {
+            self.update(e, t);
+        }
+    }
+
+    /// Ingests a batch with **one thread per row** — the paper's
+    /// "parallel processing on mutually exclusive partitions" applied to
+    /// the CM layout: rows touch disjoint cell ranges, so they ingest the
+    /// same batch independently with no synchronisation.
+    ///
+    /// Direct-indexed grids have a single row and fall back to the
+    /// sequential path. The batch must be timestamp-sorted (same contract as
+    /// repeated [`CmPbe::update`] calls).
+    pub fn update_batch_parallel(&mut self, batch: &[(EventId, Timestamp)])
+    where
+        P: Send,
+    {
+        let w = self.width();
+        let d = self.depth();
+        if self.identity || d == 1 || batch.len() < 1_024 {
+            self.update_batch(batch);
+            return;
+        }
+        let hashes = &self.hashes;
+        std::thread::scope(|scope| {
+            for (row, row_cells) in self.cells.chunks_mut(w).enumerate() {
+                scope.spawn(move || {
+                    for &(e, t) in batch {
+                        let b = hashes.bucket(row, e.value() as u64);
+                        row_cells[b].update(t);
+                    }
+                });
+            }
+        });
+        self.arrivals += batch.len() as u64;
+    }
+
+    /// Flushes internal buffering in every cell.
+    pub fn finalize(&mut self) {
+        for cell in &mut self.cells {
+            cell.finalize();
+        }
+    }
+
+    /// Per-row estimates of `F_e(t)` — each approximates the *mixed* curve
+    /// of everything hashed into that cell, so each is (PBE-error aside) an
+    /// overestimate of `F_e(t)`.
+    fn row_estimates(&self, event: EventId, t: Timestamp) -> Vec<f64> {
+        (0..self.depth())
+            .map(|row| self.cells[self.cell_index(row, event)].estimate_cum(t))
+            .collect()
+    }
+
+    /// Median-combined estimate `F̃_e(t)` (Theorem 1).
+    pub fn estimate_cum(&self, event: EventId, t: Timestamp) -> f64 {
+        median(self.row_estimates(event, t))
+    }
+
+    /// Estimate with an explicit row combiner — ablation hook for comparing
+    /// the paper's median against the classic Count-Min minimum (which is
+    /// wrong here: the PBE's one-sided *under*-estimation means the minimum
+    /// row systematically undershoots) and the maximum.
+    pub fn estimate_cum_with(&self, event: EventId, t: Timestamp, combiner: Combiner) -> f64 {
+        let rows = self.row_estimates(event, t);
+        match combiner {
+            Combiner::Median => median(rows),
+            Combiner::Min => rows.into_iter().fold(f64::INFINITY, f64::min),
+            Combiner::Max => rows.into_iter().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Burstiness via an explicit combiner (composes Eq. 2 from the
+    /// combined cumulative estimates, like [`CmPbe::estimate_burstiness`]).
+    pub fn estimate_burstiness_with(
+        &self,
+        event: EventId,
+        t: Timestamp,
+        tau: BurstSpan,
+        combiner: Combiner,
+    ) -> f64 {
+        let at = |q: Option<Timestamp>| match q {
+            Some(q) => self.estimate_cum_with(event, q, combiner),
+            None => 0.0,
+        };
+        at(Some(t)) - 2.0 * at(t.checked_sub(tau.ticks())) + at(t.checked_sub(tau.ticks().saturating_mul(2)))
+    }
+
+    /// `F̃_e(t − delta)` with pre-epoch times as 0.
+    pub fn estimate_cum_offset(&self, event: EventId, t: Timestamp, delta: u64) -> f64 {
+        match t.checked_sub(delta) {
+            Some(earlier) => self.estimate_cum(event, earlier),
+            None => 0.0,
+        }
+    }
+
+    /// Estimated burst frequency `b̃f_e(t)`.
+    pub fn estimate_burst_frequency(&self, event: EventId, t: Timestamp, tau: BurstSpan) -> f64 {
+        self.estimate_cum(event, t) - self.estimate_cum_offset(event, t, tau.ticks())
+    }
+
+    /// Estimated burstiness `b̃_e(t)` from the median cumulative estimates
+    /// (Lemma 5; the paper composes b̃ from the three median F̃ terms).
+    pub fn estimate_burstiness(&self, event: EventId, t: Timestamp, tau: BurstSpan) -> f64 {
+        let f0 = self.estimate_cum(event, t);
+        let f1 = self.estimate_cum_offset(event, t, tau.ticks());
+        let f2 = self.estimate_cum_offset(event, t, tau.ticks().saturating_mul(2));
+        f0 - 2.0 * f1 + f2
+    }
+
+    /// Ablation variant: compute burstiness per row, then take the median of
+    /// the d burstiness values (instead of median-then-compose).
+    pub fn estimate_burstiness_rowwise(&self, event: EventId, t: Timestamp, tau: BurstSpan) -> f64 {
+        let vals = (0..self.depth())
+            .map(|row| {
+                let cell = &self.cells[self.cell_index(row, event)];
+                cell.estimate_burstiness(t, tau)
+            })
+            .collect();
+        median(vals)
+    }
+
+    /// Union of segment-start knees across the cells `event` maps to —
+    /// the probe instants for a bursty-time query over this event
+    /// (Section V).
+    pub fn segment_starts(&self, event: EventId) -> Vec<Timestamp> {
+        let mut out: Vec<Timestamp> = (0..self.depth())
+            .flat_map(|row| self.cells[self.cell_index(row, event)].segment_starts())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Summary size in bytes (sum over cells; hash seeds are negligible).
+    pub fn size_bytes(&self) -> usize {
+        self.cells.iter().map(|c| c.size_bytes()).sum()
+    }
+}
+
+/// Persistence (format `CMPB` v1): hash family, every cell, the arrival
+/// count, and the indexing mode. Generic over any `Codec` cell type.
+impl<P: bed_stream::Codec> bed_stream::Codec for CmPbe<P> {
+    fn encode(&self, w: &mut bed_stream::codec::Writer) {
+        w.magic(*b"CMPB");
+        w.version(1);
+        w.u8(u8::from(self.identity));
+        self.hashes.encode(w);
+        w.len(self.cells.len());
+        for cell in &self.cells {
+            cell.encode(w);
+        }
+        w.u64(self.arrivals);
+    }
+
+    fn decode(r: &mut bed_stream::codec::Reader<'_>) -> Result<Self, bed_stream::CodecError> {
+        use bed_stream::CodecError;
+        r.magic(*b"CMPB")?;
+        r.version(1)?;
+        let identity = match r.u8("cmpbe identity flag")? {
+            0 => false,
+            1 => true,
+            _ => return Err(CodecError::Invalid { context: "cmpbe identity flag" }),
+        };
+        let hashes = HashFamily::decode(r)?;
+        let n = r.len("cmpbe cell count", 1)?;
+        let expected = if identity { hashes.width() } else { hashes.depth() * hashes.width() };
+        if n != expected {
+            return Err(CodecError::Invalid { context: "cmpbe cell count" });
+        }
+        let mut cells = Vec::with_capacity(n);
+        for _ in 0..n {
+            cells.push(P::decode(r)?);
+        }
+        let arrivals = r.u64("cmpbe arrivals")?;
+        Ok(CmPbe { hashes, cells, arrivals, identity })
+    }
+}
+
+/// Median of an unsorted sample; averages the two middles for even sizes.
+fn median(mut vals: Vec<f64>) -> f64 {
+    assert!(!vals.is_empty(), "median of an empty sample");
+    vals.sort_by(|a, b| a.partial_cmp(b).expect("estimates are never NaN"));
+    let n = vals.len();
+    if n % 2 == 1 {
+        vals[n / 2]
+    } else {
+        (vals[n / 2 - 1] + vals[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bed_pbe::{ExactCurve, Pbe1, Pbe1Config, Pbe2, Pbe2Config};
+    use bed_stream::EventStream;
+
+    fn mixed_stream(events: u32, arrivals_per_event: u64) -> EventStream {
+        // Interleaved constant-rate streams with different phases.
+        let mut els = Vec::new();
+        for e in 0..events {
+            for i in 0..arrivals_per_event {
+                els.push((e, i * 10 + e as u64));
+            }
+        }
+        els.sort_by_key(|&(_, t)| t);
+        els.into_iter().collect()
+    }
+
+    #[test]
+    fn median_helper() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(vec![7.0]), 7.0);
+    }
+
+    #[test]
+    fn exact_cells_overestimate_only() {
+        // With exact cells the only error is hash collision, which can only
+        // inflate the per-row estimate; the median of overestimates is ≥ F.
+        let stream = mixed_stream(50, 20);
+        let mut cm = CmPbe::with_dimensions(3, 16, 42, ExactCurve::new);
+        for el in stream.iter() {
+            cm.update(el.event, el.ts);
+        }
+        for e in 0..50u32 {
+            let truth = stream.project(EventId(e)).len() as f64;
+            let est = cm.estimate_cum(EventId(e), Timestamp(u64::MAX - 1));
+            assert!(est >= truth, "event {e}: {est} < {truth}");
+        }
+        assert_eq!(cm.arrivals(), 1000);
+    }
+
+    #[test]
+    fn wide_grid_is_nearly_exact() {
+        // Far more columns than events → no collisions → exact.
+        let stream = mixed_stream(10, 30);
+        let mut cm = CmPbe::with_dimensions(4, 4096, 7, ExactCurve::new);
+        for el in stream.iter() {
+            cm.update(el.event, el.ts);
+        }
+        for e in 0..10u32 {
+            for t in [50u64, 150, 250] {
+                let truth = stream.project(EventId(e)).cumulative_frequency(Timestamp(t)) as f64;
+                assert_eq!(cm.estimate_cum(EventId(e), Timestamp(t)), truth);
+            }
+        }
+    }
+
+    #[test]
+    fn pbe1_cells_bound_error() {
+        let stream = mixed_stream(40, 50);
+        let mut cm = CmPbe::with_dimensions(5, 64, 3, || {
+            Pbe1::new(Pbe1Config { n_buf: 64, eta: 16 }).unwrap()
+        });
+        for el in stream.iter() {
+            cm.update(el.event, el.ts);
+        }
+        cm.finalize();
+        let n = cm.arrivals() as f64;
+        let mut worst = 0.0f64;
+        for e in 0..40u32 {
+            let truth = stream.project(EventId(e)).cumulative_frequency(Timestamp(300)) as f64;
+            let est = cm.estimate_cum(EventId(e), Timestamp(300));
+            worst = worst.max((est - truth).abs());
+        }
+        // generous sanity bound: collisions ≤ a few ε·N with ε ≈ e/64
+        assert!(worst <= 0.2 * n, "worst error {worst} vs N={n}");
+    }
+
+    #[test]
+    fn pbe2_cells_work_and_burstiness_is_finite() {
+        let stream = mixed_stream(20, 40);
+        let mut cm = CmPbe::with_dimensions(3, 32, 9, || {
+            Pbe2::new(Pbe2Config { gamma: 4.0, max_vertices: 32 }).unwrap()
+        });
+        for el in stream.iter() {
+            cm.update(el.event, el.ts);
+        }
+        cm.finalize();
+        let tau = BurstSpan::new(50).unwrap();
+        for e in [0u32, 7, 19] {
+            let b = cm.estimate_burstiness(EventId(e), Timestamp(350), tau);
+            assert!(b.is_finite());
+            let br = cm.estimate_burstiness_rowwise(EventId(e), Timestamp(350), tau);
+            assert!(br.is_finite());
+        }
+        assert!(cm.size_bytes() > 0);
+        assert!(!cm.segment_starts(EventId(0)).is_empty());
+    }
+
+    #[test]
+    fn same_seed_reproduces_estimates() {
+        let stream = mixed_stream(30, 10);
+        let build = || {
+            let mut cm = CmPbe::with_dimensions(4, 32, 1234, || {
+                Pbe2::new(Pbe2Config { gamma: 2.0, max_vertices: 16 }).unwrap()
+            });
+            for el in stream.iter() {
+                cm.update(el.event, el.ts);
+            }
+            cm.finalize();
+            cm
+        };
+        let a = build();
+        let b = build();
+        for e in 0..30u32 {
+            assert_eq!(
+                a.estimate_cum(EventId(e), Timestamp(200)),
+                b.estimate_cum(EventId(e), Timestamp(200))
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let r = CmPbe::new(SketchParams { epsilon: 2.0, delta: 0.1 }, 1, ExactCurve::new);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential() {
+        let batch: Vec<(EventId, Timestamp)> =
+            (0..8_000u64).map(|i| (EventId((i * 7 % 300) as u32), Timestamp(i / 4))).collect();
+        let mut seq = CmPbe::with_dimensions(4, 64, 11, ExactCurve::new);
+        let mut par = CmPbe::with_dimensions(4, 64, 11, ExactCurve::new);
+        seq.update_batch(&batch);
+        par.update_batch_parallel(&batch);
+        assert_eq!(seq.arrivals(), par.arrivals());
+        for e in (0..300u32).step_by(13) {
+            for t in [100u64, 1_000, 1_999] {
+                assert_eq!(
+                    seq.estimate_cum(EventId(e), Timestamp(t)),
+                    par.estimate_cum(EventId(e), Timestamp(t)),
+                    "e={e} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_batches_fall_back_to_sequential() {
+        let batch: Vec<(EventId, Timestamp)> =
+            (0..100u64).map(|i| (EventId(i as u32 % 10), Timestamp(i))).collect();
+        let mut cm = CmPbe::with_dimensions(3, 16, 5, ExactCurve::new);
+        cm.update_batch_parallel(&batch);
+        assert_eq!(cm.arrivals(), 100);
+    }
+}

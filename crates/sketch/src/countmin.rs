@@ -1,0 +1,121 @@
+//! The classic Count-Min sketch (Cormode & Muthukrishnan), Section II-C.
+//!
+//! Kept as a reference implementation: it validates the hash family and the
+//! (w, d) parameterisation against the textbook guarantee
+//! `Pr[f̃(x) ≤ f(x) + εN] ≥ 1 − δ`, and serves as the non-persistent
+//! strawman in the experiments (it can only summarise the *whole* stream,
+//! not an arbitrary historical prefix — exactly the gap CM-PBE closes).
+
+use crate::hash::HashFamily;
+use crate::params::SketchParams;
+use bed_stream::StreamError;
+
+/// Counter-based Count-Min sketch over `u64` item ids.
+#[derive(Debug, Clone)]
+pub struct CountMin {
+    hashes: HashFamily,
+    counters: Vec<u64>,
+    total: u64,
+}
+
+impl CountMin {
+    /// Builds a sketch from accuracy parameters and a seed.
+    pub fn new(params: SketchParams, seed: u64) -> Result<Self, StreamError> {
+        params.validate()?;
+        Ok(Self::with_dimensions(params.depth(), params.width(), seed))
+    }
+
+    /// Builds a sketch with explicit dimensions.
+    pub fn with_dimensions(depth: usize, width: usize, seed: u64) -> Self {
+        let hashes = HashFamily::new(depth, width, seed);
+        CountMin { counters: vec![0; depth * width], hashes, total: 0 }
+    }
+
+    /// Rows d.
+    pub fn depth(&self) -> usize {
+        self.hashes.depth()
+    }
+
+    /// Columns w.
+    pub fn width(&self) -> usize {
+        self.hashes.width()
+    }
+
+    /// Total count N across all updates.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Adds `count` occurrences of `item`.
+    pub fn update(&mut self, item: u64, count: u64) {
+        let w = self.width();
+        for row in 0..self.depth() {
+            let b = self.hashes.bucket(row, item);
+            self.counters[row * w + b] += count;
+        }
+        self.total += count;
+    }
+
+    /// Point estimate `f̃(item) = min over rows` — never an underestimate.
+    pub fn estimate(&self, item: u64) -> u64 {
+        let w = self.width();
+        (0..self.depth())
+            .map(|row| self.counters[row * w + self.hashes.bucket(row, item)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Size in bytes (8 per counter).
+    pub fn size_bytes(&self) -> usize {
+        self.counters.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_underestimates() {
+        let mut cm = CountMin::with_dimensions(4, 32, 7);
+        let truth: Vec<(u64, u64)> = (0..200).map(|i| (i, (i % 7) + 1)).collect();
+        for &(item, c) in &truth {
+            cm.update(item, c);
+        }
+        for &(item, c) in &truth {
+            assert!(cm.estimate(item) >= c, "item {item}");
+        }
+        assert_eq!(cm.total(), truth.iter().map(|&(_, c)| c).sum::<u64>());
+    }
+
+    #[test]
+    fn epsilon_bound_holds_for_most_items() {
+        let params = SketchParams::new(0.02, 0.05).unwrap();
+        let mut cm = CountMin::new(params, 11).unwrap();
+        for i in 0..5_000u64 {
+            cm.update(i % 500, 1);
+        }
+        let n = cm.total() as f64;
+        let bound = (params.epsilon * n).ceil() as u64;
+        let violations = (0..500u64).filter(|&i| cm.estimate(i) > 10 + bound).count();
+        // δ = 5%: allow up to ~10% violations for slack in a single run.
+        assert!(violations <= 50, "{violations} items exceeded the εN bound");
+    }
+
+    #[test]
+    fn unseen_items_estimate_small() {
+        let mut cm = CountMin::with_dimensions(5, 1024, 3);
+        for i in 0..100u64 {
+            cm.update(i, 10);
+        }
+        // An unseen item can only pick up collision mass.
+        let est = cm.estimate(999_999);
+        assert!(est <= 20, "unseen estimate {est} too large");
+    }
+
+    #[test]
+    fn size_accounting() {
+        let cm = CountMin::with_dimensions(3, 10, 1);
+        assert_eq!(cm.size_bytes(), 240);
+    }
+}

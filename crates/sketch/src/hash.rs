@@ -1,0 +1,221 @@
+//! Seeded 2-universal (pairwise-independent) hash family.
+//!
+//! Count-Min's guarantee needs, per row, a hash drawn from a pairwise
+//! independent family. We use the classic Carter–Wegman construction over
+//! the Mersenne prime `p = 2^61 − 1`:
+//!
+//! ```text
+//! h_{a,b}(x) = ((a·x + b) mod p) mod w,    a ∈ [1, p), b ∈ [0, p)
+//! ```
+//!
+//! with exact `mod p` arithmetic via 128-bit multiplication and Mersenne
+//! folding. Seeds come from a SplitMix64 generator so a sketch is fully
+//! reproducible from one `u64` seed — a property the experiment harness
+//! relies on.
+
+/// The Mersenne prime 2^61 − 1.
+const P: u64 = (1 << 61) - 1;
+
+/// SplitMix64 step — a tiny, high-quality seed expander (public domain
+/// constant set; implemented here to avoid a dependency for two lines).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `x mod (2^61 − 1)` via Mersenne folding of a 128-bit value.
+#[inline]
+fn mod_p(x: u128) -> u64 {
+    // Fold twice: x ≤ 2^122, so two folds bring it below 2^62.
+    let folded = (x & P as u128) + (x >> 61);
+    let folded = ((folded & P as u128) + (folded >> 61)) as u64;
+    if folded >= P {
+        folded - P
+    } else {
+        folded
+    }
+}
+
+/// One pairwise-independent hash function `h(x) = ((a·x + b) mod p) mod w`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairwiseHash {
+    a: u64,
+    b: u64,
+    w: u64,
+}
+
+impl PairwiseHash {
+    /// Draws a function with uniformly random coefficients.
+    fn draw(state: &mut u64, w: u64) -> Self {
+        assert!(w > 0, "hash range must be non-empty");
+        let a = 1 + splitmix64(state) % (P - 1);
+        let b = splitmix64(state) % P;
+        PairwiseHash { a, b, w }
+    }
+
+    /// Bucket of `x` in `[0, w)`.
+    #[inline]
+    pub fn bucket(&self, x: u64) -> usize {
+        let v = mod_p(self.a as u128 * x as u128 + self.b as u128);
+        (v % self.w) as usize
+    }
+}
+
+/// `d` independent pairwise hash functions onto `[0, w)` — one per CM row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashFamily {
+    funcs: Vec<PairwiseHash>,
+    width: usize,
+}
+
+impl HashFamily {
+    /// Draws `d` functions onto `[0, width)` from `seed`.
+    pub fn new(d: usize, width: usize, seed: u64) -> Self {
+        assert!(d > 0 && width > 0, "need at least one row and one column");
+        let mut state = seed ^ 0xA076_1D64_78BD_642F;
+        let funcs = (0..d).map(|_| PairwiseHash::draw(&mut state, width as u64)).collect();
+        HashFamily { funcs, width }
+    }
+
+    /// Number of rows d.
+    pub fn depth(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Row width w.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Bucket of `x` in row `row`.
+    #[inline]
+    pub fn bucket(&self, row: usize, x: u64) -> usize {
+        self.funcs[row].bucket(x)
+    }
+}
+
+impl bed_stream::Codec for HashFamily {
+    fn encode(&self, w: &mut bed_stream::codec::Writer) {
+        w.u64(self.width as u64);
+        w.len(self.funcs.len());
+        for f in &self.funcs {
+            w.u64(f.a);
+            w.u64(f.b);
+        }
+    }
+
+    fn decode(r: &mut bed_stream::codec::Reader<'_>) -> Result<Self, bed_stream::CodecError> {
+        use bed_stream::CodecError;
+        let width = r.u64("hash width")? as usize;
+        let d = r.len("hash function count", 16)?;
+        if width == 0 || d == 0 {
+            return Err(CodecError::Invalid { context: "hash family dimensions" });
+        }
+        let mut funcs = Vec::with_capacity(d);
+        for _ in 0..d {
+            let a = r.u64("hash coefficient a")?;
+            let b = r.u64("hash coefficient b")?;
+            if a == 0 || a >= P || b >= P {
+                return Err(CodecError::Invalid { context: "hash coefficients" });
+            }
+            funcs.push(PairwiseHash { a, b, w: width as u64 });
+        }
+        Ok(HashFamily { funcs, width })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mod_p_agrees_with_u128_remainder() {
+        for x in [
+            0u128,
+            1,
+            P as u128 - 1,
+            P as u128,
+            P as u128 + 1,
+            u64::MAX as u128,
+            (P as u128) * (P as u128),
+        ] {
+            assert_eq!(mod_p(x) as u128, x % P as u128, "x={x}");
+        }
+    }
+
+    #[test]
+    fn buckets_are_in_range_and_deterministic() {
+        let fam = HashFamily::new(5, 97, 42);
+        let fam2 = HashFamily::new(5, 97, 42);
+        for row in 0..5 {
+            for x in 0..1000u64 {
+                let b = fam.bucket(row, x);
+                assert!(b < 97);
+                assert_eq!(b, fam2.bucket(row, x), "same seed must reproduce");
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = HashFamily::new(3, 64, 1);
+        let b = HashFamily::new(3, 64, 2);
+        let disagreements =
+            (0..500u64).filter(|&x| (0..3).any(|r| a.bucket(r, x) != b.bucket(r, x))).count();
+        assert!(disagreements > 400, "only {disagreements} disagreements");
+    }
+
+    #[test]
+    fn rows_are_mutually_independent_ish() {
+        let fam = HashFamily::new(2, 64, 7);
+        // Two rows agreeing everywhere would break the union bound over rows.
+        let agreements = (0..1000u64).filter(|&x| fam.bucket(0, x) == fam.bucket(1, x)).count();
+        assert!(agreements < 100, "{agreements} agreements out of 1000");
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let fam = HashFamily::new(1, 16, 99);
+        let mut counts = [0usize; 16];
+        let n = 16_000u64;
+        for x in 0..n {
+            counts[fam.bucket(0, x)] += 1;
+        }
+        let expected = n as usize / 16;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expected / 2 && c < expected * 2,
+                "bucket {i} wildly off: {c} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn collision_rate_matches_pairwise_bound() {
+        // Pr[h(x) = h(y)] ≤ 1/w for x ≠ y; empirically over many pairs the
+        // rate should be close to 1/w, certainly below 2/w.
+        let w = 32;
+        let fam = HashFamily::new(1, w, 1234);
+        let mut collisions = 0usize;
+        let mut pairs = 0usize;
+        for x in 0..200u64 {
+            for y in (x + 1)..200 {
+                pairs += 1;
+                if fam.bucket(0, x) == fam.bucket(0, y) {
+                    collisions += 1;
+                }
+            }
+        }
+        let rate = collisions as f64 / pairs as f64;
+        assert!(rate < 2.0 / w as f64, "collision rate {rate} vs 1/w = {}", 1.0 / w as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn zero_rows_panics() {
+        HashFamily::new(0, 8, 1);
+    }
+}

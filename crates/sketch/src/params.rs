@@ -1,0 +1,87 @@
+//! (ε, δ) → (width, depth) conversions for Count-Min layouts.
+
+use bed_stream::StreamError;
+
+/// Accuracy parameters of a Count-Min layout: additive error `εN` with
+/// failure probability `δ` (Section II-C).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SketchParams {
+    /// Relative additive error; each row has `w = ⌈e/ε⌉` cells.
+    pub epsilon: f64,
+    /// Failure probability; the sketch keeps `d = ⌈ln(1/δ)⌉` rows.
+    pub delta: f64,
+}
+
+impl SketchParams {
+    /// The paper's experimental setting: ε = 0.005, δ = 0.02 ("a failure
+    /// probability of 2%", Section VI-C; the text's "ε = .5" loses its
+    /// leading zeros — `0.005` reproduces the reported megabyte-scale
+    /// sketches on million-element streams).
+    pub const PAPER: SketchParams = SketchParams { epsilon: 0.005, delta: 0.02 };
+
+    /// Creates and validates parameters.
+    pub fn new(epsilon: f64, delta: f64) -> Result<Self, StreamError> {
+        let p = SketchParams { epsilon, delta };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Checks both parameters lie in (0, 1).
+    pub fn validate(&self) -> Result<(), StreamError> {
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return Err(StreamError::InvalidProbability {
+                parameter: "epsilon",
+                got: self.epsilon,
+            });
+        }
+        if !(self.delta > 0.0 && self.delta < 1.0) {
+            return Err(StreamError::InvalidProbability { parameter: "delta", got: self.delta });
+        }
+        Ok(())
+    }
+
+    /// Row width `w = ⌈e/ε⌉`.
+    pub fn width(&self) -> usize {
+        (std::f64::consts::E / self.epsilon).ceil() as usize
+    }
+
+    /// Depth `d = ⌈ln(1/δ)⌉`, at least 1.
+    pub fn depth(&self) -> usize {
+        ((1.0 / self.delta).ln().ceil() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_out_of_range() {
+        assert!(SketchParams::new(0.0, 0.1).is_err());
+        assert!(SketchParams::new(0.1, 0.0).is_err());
+        assert!(SketchParams::new(1.0, 0.1).is_err());
+        assert!(SketchParams::new(0.1, 1.0).is_err());
+        assert!(SketchParams::new(0.1, 0.1).is_ok());
+    }
+
+    #[test]
+    fn classic_cm_dimensions() {
+        let p = SketchParams::new(0.01, 0.01).unwrap();
+        assert_eq!(p.width(), 272); // ⌈e/0.01⌉
+        assert_eq!(p.depth(), 5); // ⌈ln 100⌉
+    }
+
+    #[test]
+    fn paper_setting() {
+        let p = SketchParams::PAPER;
+        p.validate().unwrap();
+        assert_eq!(p.width(), 544);
+        assert_eq!(p.depth(), 4); // ⌈ln 50⌉ = 4
+    }
+
+    #[test]
+    fn depth_never_zero() {
+        let p = SketchParams::new(0.5, 0.9).unwrap();
+        assert_eq!(p.depth(), 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the Count-Min substrate and CM-PBE.
+
+use bed_pbe::{ExactCurve, Pbe2, Pbe2Config};
+use bed_sketch::{CmPbe, CountMin};
+use bed_stream::{EventId, EventStream, Timestamp};
+use proptest::prelude::*;
+
+fn arb_stream() -> impl Strategy<Value = Vec<(u32, u64)>> {
+    prop::collection::vec((0u32..32, 0u64..1_000), 1..300).prop_map(|mut v| {
+        v.sort_by_key(|&(_, t)| t);
+        v
+    })
+}
+
+proptest! {
+    /// Classic CM never underestimates any item's count.
+    #[test]
+    fn countmin_one_sided(els in arb_stream(), seed in 0u64..100) {
+        let mut cm = CountMin::with_dimensions(4, 16, seed);
+        for &(e, _) in &els {
+            cm.update(e as u64, 1);
+        }
+        for e in 0..32u32 {
+            let truth = els.iter().filter(|&&(x, _)| x == e).count() as u64;
+            prop_assert!(cm.estimate(e as u64) >= truth);
+        }
+    }
+
+    /// CM-PBE with exact cells: every estimate is sandwiched between the
+    /// event's own curve and the full stream count, at every query time.
+    #[test]
+    fn cmpbe_exact_cells_sandwich(els in arb_stream(), seed in 0u64..100, q in 0u64..1_200) {
+        let stream: EventStream = els.iter().copied().collect();
+        let mut cm = CmPbe::with_dimensions(3, 8, seed, ExactCurve::new);
+        for el in stream.iter() {
+            cm.update(el.event, el.ts);
+        }
+        let t = Timestamp(q);
+        let n_upto = els.iter().filter(|&&(_, ts)| ts <= q).count() as f64;
+        for e in 0..32u32 {
+            let truth = stream.project(EventId(e)).cumulative_frequency(t) as f64;
+            let est = cm.estimate_cum(EventId(e), t);
+            prop_assert!(est >= truth, "under-estimate with exact cells is impossible");
+            prop_assert!(est <= n_upto, "estimate cannot exceed the stream prefix size");
+        }
+    }
+
+    /// Estimates are monotone in t regardless of cell type.
+    #[test]
+    fn cmpbe_estimates_monotone(els in arb_stream(), seed in 0u64..50) {
+        let mut cm = CmPbe::with_dimensions(3, 8, seed, ExactCurve::new);
+        for &(e, t) in &els {
+            cm.update(EventId(e), Timestamp(t));
+        }
+        for e in [0u32, 5, 31] {
+            let mut prev = -1.0;
+            let mut t = 0u64;
+            while t <= 1_100 {
+                let v = cm.estimate_cum(EventId(e), Timestamp(t));
+                prop_assert!(v >= prev);
+                prev = v;
+                t += 37;
+            }
+        }
+    }
+
+    /// PBE-2 cells: the final count estimate is within collision mass plus γ
+    /// of the truth — and the total over all cells of one row is N.
+    #[test]
+    fn cmpbe_pbe2_total_mass(els in arb_stream(), seed in 0u64..50) {
+        let stream: EventStream = els.iter().copied().collect();
+        let mut cm = CmPbe::with_dimensions(3, 8, seed, || {
+            Pbe2::new(Pbe2Config { gamma: 2.0, max_vertices: 32 }).unwrap()
+        });
+        for el in stream.iter() {
+            cm.update(el.event, el.ts);
+        }
+        cm.finalize();
+        let horizon = Timestamp(2_000);
+        let n = els.len() as f64;
+        for e in 0..32u32 {
+            let truth = stream.project(EventId(e)).len() as f64;
+            let est = cm.estimate_cum(EventId(e), horizon);
+            // lower side: PBE underestimates by ≤ γ per cell; median keeps it
+            prop_assert!(est >= truth - 2.0 - 1e-6, "event {}: {} < {}", e, est, truth);
+            prop_assert!(est <= n + 1e-6);
+        }
+    }
+
+    /// Burstiness composed from median estimates equals the Eq. 2 telescope
+    /// of the public estimate_cum values.
+    #[test]
+    fn cmpbe_burstiness_consistent(els in arb_stream(), seed in 0u64..50, q in 0u64..1_200, tau in 1u64..200) {
+        use bed_stream::BurstSpan;
+        let mut cm = CmPbe::with_dimensions(3, 8, seed, ExactCurve::new);
+        for &(e, t) in &els {
+            cm.update(EventId(e), Timestamp(t));
+        }
+        let tau = BurstSpan::new(tau).unwrap();
+        let t = Timestamp(q);
+        for e in [0u32, 9] {
+            let e = EventId(e);
+            let expect = cm.estimate_cum(e, t)
+                - 2.0 * cm.estimate_cum_offset(e, t, tau.ticks())
+                + cm.estimate_cum_offset(e, t, 2 * tau.ticks());
+            prop_assert_eq!(cm.estimate_burstiness(e, t, tau), expect);
+        }
+    }
+}

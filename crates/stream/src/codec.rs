@@ -1,0 +1,381 @@
+//! Compact binary serialisation for persistent summaries.
+//!
+//! The whole point of a *persistent* burstiness estimator is that the
+//! summary outlives the stream: build once, store a few KB/MB, answer
+//! historical queries forever. This module provides the storage format —
+//! a small, versioned, little-endian binary codec implemented by every
+//! summary type in the workspace (no external dependencies; the format is
+//! deliberately boring).
+//!
+//! Framing conventions:
+//! * integers are fixed-width little-endian; lengths are `u64`;
+//! * floats are IEEE-754 bit patterns (`f64::to_bits`);
+//! * every top-level structure (the ones users persist directly) starts
+//!   with a magic tag and a format version, checked on decode;
+//! * decoding is *total*: corrupted or truncated input yields a
+//!   [`CodecError`], never a panic.
+
+use std::fmt;
+
+use crate::curve::{CornerPoint, FrequencyCurve};
+use crate::time::Timestamp;
+
+/// Errors produced while decoding a persisted summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the structure was complete.
+    UnexpectedEof {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// The magic tag of a top-level structure did not match.
+    BadMagic {
+        /// Expected tag.
+        expected: [u8; 4],
+        /// Found bytes.
+        found: [u8; 4],
+    },
+    /// The format version is unknown to this build.
+    UnsupportedVersion {
+        /// Version found in the input.
+        found: u16,
+        /// Highest version this build reads.
+        supported: u16,
+    },
+    /// A field held a value that violates the structure's invariants.
+    Invalid {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// Trailing bytes remained after a complete top-level decode.
+    TrailingBytes {
+        /// Number of unread bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while decoding {context}")
+            }
+            CodecError::BadMagic { expected, found } => {
+                write!(f, "bad magic: expected {expected:?}, found {found:?}")
+            }
+            CodecError::UnsupportedVersion { found, supported } => {
+                write!(f, "unsupported format version {found} (this build reads ≤ {supported})")
+            }
+            CodecError::Invalid { context } => write!(f, "invalid value while decoding {context}"),
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after decode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Sequential reader over a persisted byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Unread byte count.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails with [`CodecError::TrailingBytes`] unless fully consumed.
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes { remaining: self.remaining() })
+        }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof { context });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a fixed 4-byte tag.
+    pub fn magic(&mut self, expected: [u8; 4]) -> Result<(), CodecError> {
+        let raw = self.take(4, "magic tag")?;
+        let found = [raw[0], raw[1], raw[2], raw[3]];
+        if found != expected {
+            return Err(CodecError::BadMagic { expected, found });
+        }
+        Ok(())
+    }
+
+    /// Reads a `u16` version and checks it against `supported`.
+    pub fn version(&mut self, supported: u16) -> Result<u16, CodecError> {
+        let v = self.u16("format version")?;
+        if v == 0 || v > supported {
+            return Err(CodecError::UnsupportedVersion { found: v, supported });
+        }
+        Ok(v)
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self, context: &'static str) -> Result<u16, CodecError> {
+        let b = self.take(2, context)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32, CodecError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64, CodecError> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("slice is 8 bytes")))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self, context: &'static str) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    /// Reads a single byte.
+    pub fn u8(&mut self, context: &'static str) -> Result<u8, CodecError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Reads a length prefix, sanity-capped against the remaining input so
+    /// corrupted lengths cannot trigger huge allocations.
+    pub fn len(
+        &mut self,
+        context: &'static str,
+        min_item_bytes: usize,
+    ) -> Result<usize, CodecError> {
+        let n = self.u64(context)? as usize;
+        if min_item_bytes > 0 && n.saturating_mul(min_item_bytes) > self.remaining() {
+            return Err(CodecError::Invalid { context });
+        }
+        Ok(n)
+    }
+}
+
+/// Append-only writer (a thin veneer over `Vec<u8>` that mirrors [`Reader`]).
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Finishes and returns the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes a 4-byte tag.
+    pub fn magic(&mut self, tag: [u8; 4]) {
+        self.buf.extend_from_slice(&tag);
+    }
+
+    /// Writes a `u16` version.
+    pub fn version(&mut self, v: u16) {
+        self.u16(v);
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f64` bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u64` length prefix.
+    pub fn len(&mut self, n: usize) {
+        self.u64(n as u64);
+    }
+}
+
+/// Binary round-tripping for summary components.
+pub trait Codec: Sized {
+    /// Appends the encoding of `self` to `w`.
+    fn encode(&self, w: &mut Writer);
+
+    /// Decodes one value from `r`.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+
+    /// Convenience: encode into a fresh byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Convenience: decode from a byte slice, requiring full consumption.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+impl Codec for Timestamp {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.ticks());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Timestamp(r.u64("timestamp")?))
+    }
+}
+
+impl Codec for CornerPoint {
+    fn encode(&self, w: &mut Writer) {
+        self.t.encode(w);
+        w.u64(self.cum);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(CornerPoint { t: Timestamp::decode(r)?, cum: r.u64("corner cum")? })
+    }
+}
+
+impl Codec for FrequencyCurve {
+    fn encode(&self, w: &mut Writer) {
+        w.len(self.corners().len());
+        for c in self.corners() {
+            c.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.len("curve corner count", 16)?;
+        let mut corners = Vec::with_capacity(n);
+        for _ in 0..n {
+            corners.push(CornerPoint::decode(r)?);
+        }
+        if !corners.windows(2).all(|p| p[0].t < p[1].t && p[0].cum < p[1].cum) {
+            return Err(CodecError::Invalid { context: "frequency curve monotonicity" });
+        }
+        Ok(FrequencyCurve::from_corners(corners))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        let mut w = Writer::new();
+        w.u16(7);
+        w.u32(1 << 20);
+        w.u64(u64::MAX);
+        w.f64(-2.5);
+        w.u8(9);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u16("a").unwrap(), 7);
+        assert_eq!(r.u32("b").unwrap(), 1 << 20);
+        assert_eq!(r.u64("c").unwrap(), u64::MAX);
+        assert_eq!(r.f64("d").unwrap(), -2.5);
+        assert_eq!(r.u8("e").unwrap(), 9);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn eof_and_trailing_are_detected() {
+        let bytes = [1u8, 2, 3];
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.u64("x"), Err(CodecError::UnexpectedEof { .. })));
+        let bytes = [0u8; 10];
+        let mut r = Reader::new(&bytes);
+        r.u64("x").unwrap();
+        assert!(matches!(r.finish(), Err(CodecError::TrailingBytes { remaining: 2 })));
+    }
+
+    #[test]
+    fn magic_and_version_checks() {
+        let mut w = Writer::new();
+        w.magic(*b"BEDX");
+        w.version(2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.magic(*b"OTHR"), Err(CodecError::BadMagic { .. })));
+        let mut r = Reader::new(&bytes);
+        r.magic(*b"BEDX").unwrap();
+        assert!(matches!(
+            r.version(1),
+            Err(CodecError::UnsupportedVersion { found: 2, supported: 1 })
+        ));
+        let mut r = Reader::new(&bytes);
+        r.magic(*b"BEDX").unwrap();
+        assert_eq!(r.version(3).unwrap(), 2);
+    }
+
+    #[test]
+    fn curve_roundtrip_and_validation() {
+        let mut curve = FrequencyCurve::new();
+        for t in [1u64, 4, 4, 9, 22] {
+            curve.record(Timestamp(t));
+        }
+        let bytes = curve.to_bytes();
+        let back = FrequencyCurve::from_bytes(&bytes).unwrap();
+        assert_eq!(curve, back);
+
+        // corrupt monotonicity: swap the two corner records
+        let mut corrupt = bytes.clone();
+        let (head, rest) = corrupt.split_at_mut(8); // length prefix
+        let _ = head;
+        rest[0..32].rotate_left(16);
+        assert!(matches!(FrequencyCurve::from_bytes(&corrupt), Err(CodecError::Invalid { .. })));
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected() {
+        let mut w = Writer::new();
+        w.len(usize::MAX / 2); // absurd count with no data behind it
+        let bytes = w.into_bytes();
+        assert!(FrequencyCurve::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_curve_roundtrip() {
+        let curve = FrequencyCurve::new();
+        assert_eq!(FrequencyCurve::from_bytes(&curve.to_bytes()).unwrap(), curve);
+    }
+}

@@ -1,0 +1,370 @@
+//! The exact cumulative frequency curve `F(t)` and burstiness arithmetic.
+//!
+//! With discrete timestamps, `F(t)` is a monotonically increasing staircase
+//! (Fig. 2a). We represent it by its **left-upper corner points**
+//! `P_F = {p_0, ..., p_{n-1}}` with `p_i = (t_i, F(t_i))`: the curve holds the
+//! value `F(t_i)` on `[t_i, t_{i+1})` and is 0 before `t_0`.
+//!
+//! Everything downstream — both PBE variants and their error analysis — is
+//! phrased in terms of this staircase: PBE-1 selects a subset of the corner
+//! points, PBE-2 threads line segments through γ-ranges below them, and the
+//! approximation error Δ is the area enclosed between `F` and its
+//! approximation (Eq. 3).
+
+use crate::stream::SingleEventStream;
+use crate::time::{BurstSpan, Timestamp};
+use crate::Burstiness;
+
+/// One left-upper corner point `(t, F(t))` of the staircase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CornerPoint {
+    /// Timestamp at which the curve rises to `cum`.
+    pub t: Timestamp,
+    /// Cumulative frequency from `t` until the next corner.
+    pub cum: u64,
+}
+
+/// The exact staircase `F(t)` of a single event stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FrequencyCurve {
+    corners: Vec<CornerPoint>,
+}
+
+impl FrequencyCurve {
+    /// Empty curve (`F ≡ 0`).
+    pub fn new() -> Self {
+        FrequencyCurve::default()
+    }
+
+    /// Builds the staircase from a single event stream: arrivals sharing a
+    /// timestamp collapse into one corner, so `n ≤ N` (often `n ≪ N`, which
+    /// is why PBE-1 buffers corner points rather than raw elements).
+    pub fn from_stream(stream: &SingleEventStream) -> Self {
+        let mut corners: Vec<CornerPoint> = Vec::new();
+        for &ts in stream.timestamps() {
+            match corners.last_mut() {
+                Some(last) if last.t == ts => last.cum += 1,
+                Some(last) => {
+                    let cum = last.cum + 1;
+                    corners.push(CornerPoint { t: ts, cum });
+                }
+                None => corners.push(CornerPoint { t: ts, cum: 1 }),
+            }
+        }
+        FrequencyCurve { corners }
+    }
+
+    /// Builds directly from corner points; panics (debug) on violations of
+    /// strict monotonicity in both coordinates.
+    pub fn from_corners(corners: Vec<CornerPoint>) -> Self {
+        debug_assert!(
+            corners.windows(2).all(|w| w[0].t < w[1].t && w[0].cum < w[1].cum),
+            "corner points must be strictly increasing in t and cum"
+        );
+        FrequencyCurve { corners }
+    }
+
+    /// Streaming construction: records one more arrival at `ts`
+    /// (must be ≥ the last corner's timestamp).
+    pub fn record(&mut self, ts: Timestamp) {
+        match self.corners.last_mut() {
+            Some(last) if last.t == ts => last.cum += 1,
+            Some(last) => {
+                assert!(ts > last.t, "record() requires non-decreasing timestamps");
+                let cum = last.cum + 1;
+                self.corners.push(CornerPoint { t: ts, cum });
+            }
+            None => self.corners.push(CornerPoint { t: ts, cum: 1 }),
+        }
+    }
+
+    /// Corner points `P_F`, strictly increasing in both coordinates.
+    #[inline]
+    pub fn corners(&self) -> &[CornerPoint] {
+        &self.corners
+    }
+
+    /// Number of corner points `n = |F(t)|`.
+    #[inline]
+    pub fn n_points(&self) -> usize {
+        self.corners.len()
+    }
+
+    /// Whether the curve is identically zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.corners.is_empty()
+    }
+
+    /// Final cumulative count `F(∞)` (= N, the stream length).
+    pub fn total(&self) -> u64 {
+        self.corners.last().map_or(0, |c| c.cum)
+    }
+
+    /// Timestamp of the last rise.
+    pub fn last_timestamp(&self) -> Option<Timestamp> {
+        self.corners.last().map(|c| c.t)
+    }
+
+    /// `F(t)`: cumulative frequency at time `t` (O(log n) binary search).
+    pub fn value_at(&self, t: Timestamp) -> u64 {
+        let idx = self.corners.partition_point(|c| c.t <= t);
+        if idx == 0 {
+            0
+        } else {
+            self.corners[idx - 1].cum
+        }
+    }
+
+    /// `F(t − delta)`, treating times before the epoch as frequency 0.
+    pub fn cum_at_offset(&self, t: Timestamp, delta: u64) -> u64 {
+        match t.checked_sub(delta) {
+            Some(earlier) => self.value_at(earlier),
+            None => 0,
+        }
+    }
+
+    /// Burst frequency (incoming rate) `bf(t) = F(t) − F(t − τ)`.
+    pub fn burst_frequency(&self, t: Timestamp, tau: BurstSpan) -> u64 {
+        self.value_at(t) - self.cum_at_offset(t, tau.ticks())
+    }
+
+    /// Burstiness `b(t) = F(t) − 2·F(t−τ) + F(t−2τ)` (Eq. 1).
+    pub fn burstiness(&self, t: Timestamp, tau: BurstSpan) -> Burstiness {
+        let f0 = self.value_at(t) as i64;
+        let f1 = self.cum_at_offset(t, tau.ticks()) as i64;
+        let f2 = self.cum_at_offset(t, tau.ticks().saturating_mul(2)) as i64;
+        f0 - 2 * f1 + f2
+    }
+
+    /// Integral `Σ_{t=0}^{horizon} F(t)` over the discrete time domain.
+    ///
+    /// Used to express the approximation error functional
+    /// `Δ = Σ (F(t) − F̃(t))` of Eq. 3 as `area(F) − area(F̃)` when
+    /// `F̃ ≤ F` everywhere.
+    pub fn area_up_to(&self, horizon: Timestamp) -> u64 {
+        let mut area = 0u64;
+        for (i, c) in self.corners.iter().enumerate() {
+            if c.t > horizon {
+                break;
+            }
+            let seg_end = match self.corners.get(i + 1) {
+                Some(next) if next.t <= horizon => next.t.ticks(),
+                // last (or clipped) segment extends through `horizon` inclusive
+                _ => horizon.ticks().saturating_add(1),
+            };
+            area += c.cum * (seg_end - c.t.ticks());
+        }
+        area
+    }
+
+    /// Discrete L1 distance `Σ_{t=0}^{horizon} |F(t) − G(t)|` between two
+    /// staircases, evaluated segment-wise over the merged breakpoints.
+    pub fn l1_distance(&self, other: &FrequencyCurve, horizon: Timestamp) -> u64 {
+        // Merge breakpoints of both curves, then each inter-breakpoint run of
+        // ticks has constant |F − G|.
+        let mut breaks: Vec<u64> = std::iter::once(0)
+            .chain(self.corners.iter().map(|c| c.t.ticks()))
+            .chain(other.corners.iter().map(|c| c.t.ticks()))
+            .filter(|&t| t <= horizon.ticks())
+            .collect();
+        breaks.sort_unstable();
+        breaks.dedup();
+        breaks.push(horizon.ticks().saturating_add(1));
+
+        let mut total = 0u64;
+        for w in breaks.windows(2) {
+            let (start, end) = (w[0], w[1]);
+            let f = self.value_at(Timestamp(start));
+            let g = other.value_at(Timestamp(start));
+            total += f.abs_diff(g) * (end - start);
+        }
+        total
+    }
+
+    /// Corner points augmented with the **predecessor points** required by
+    /// PBE-2 (Section III-B): for every corner `p_i = (t_i, F(t_i))` with
+    /// `i ≥ 1`, the point `(t_i − 1, F(t_i − 1))` on the leveling part of the
+    /// staircase right before the rise. The first corner gets `(t_0 − 1, 0)`
+    /// when `t_0 > 0`. Duplicates (when corners are one tick apart) collapse.
+    ///
+    /// The result has up to `2n` points, matching the paper's "the new
+    /// `P_F(t)`'s size is 2n".
+    pub fn doubled_corners(&self) -> Vec<CornerPoint> {
+        let mut out = Vec::with_capacity(self.corners.len() * 2);
+        for (i, c) in self.corners.iter().enumerate() {
+            if let Some(before) = c.t.checked_sub(1) {
+                let prev_cum = if i == 0 { 0 } else { self.corners[i - 1].cum };
+                let dominated = match i {
+                    0 => false,
+                    _ => self.corners[i - 1].t == before, // consecutive ticks: point already present
+                };
+                if !dominated {
+                    out.push(CornerPoint { t: before, cum: prev_cum });
+                }
+            }
+            out.push(*c);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(ts: &[u64]) -> FrequencyCurve {
+        FrequencyCurve::from_stream(&ts.iter().copied().collect())
+    }
+
+    #[test]
+    fn staircase_collapses_duplicate_timestamps() {
+        let c = curve(&[1, 3, 3, 3, 7]);
+        assert_eq!(c.n_points(), 3);
+        assert_eq!(
+            c.corners(),
+            &[
+                CornerPoint { t: Timestamp(1), cum: 1 },
+                CornerPoint { t: Timestamp(3), cum: 4 },
+                CornerPoint { t: Timestamp(7), cum: 5 },
+            ]
+        );
+        assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn value_at_steps_correctly() {
+        let c = curve(&[1, 3, 3, 7]);
+        assert_eq!(c.value_at(Timestamp(0)), 0);
+        assert_eq!(c.value_at(Timestamp(1)), 1);
+        assert_eq!(c.value_at(Timestamp(2)), 1);
+        assert_eq!(c.value_at(Timestamp(3)), 3);
+        assert_eq!(c.value_at(Timestamp(7)), 4);
+        assert_eq!(c.value_at(Timestamp(1_000)), 4);
+    }
+
+    #[test]
+    fn streaming_record_equals_batch_construction() {
+        let ts = [2u64, 2, 5, 9, 9, 9, 14];
+        let batch = curve(&ts);
+        let mut inc = FrequencyCurve::new();
+        for &t in &ts {
+            inc.record(Timestamp(t));
+        }
+        assert_eq!(batch, inc);
+    }
+
+    #[test]
+    fn burstiness_matches_figure_1_shape() {
+        // Reconstruct the flavour of Fig. 1 with τ = 10 and per-span arrival
+        // counts [2, 2, 4, 8, 16, 18]: stable in the first two spans,
+        // accelerating through spans 3–5, then still fast but decelerating.
+        let counts = [2u64, 2, 4, 8, 16, 18];
+        let mut ts: Vec<u64> = Vec::new();
+        for (span, &k) in counts.iter().enumerate() {
+            for i in 0..k {
+                ts.push(span as u64 * 10 + (i * 10 / k));
+            }
+        }
+        let c = FrequencyCurve::from_stream(&SingleEventStream::from_unsorted(
+            ts.into_iter().map(Timestamp).collect(),
+        ));
+        let tau = BurstSpan::new(10).unwrap();
+        let b = |t: u64| c.burstiness(Timestamp(t), tau);
+        assert_eq!(b(19), 0); // two stable spans
+        assert!(b(29) > 0);
+        assert!(b(39) > b(29)); // accelerating
+        assert!(b(49) > b(39));
+        assert!(b(59) < b(49)); // still fast but decelerating
+    }
+
+    #[test]
+    fn burstiness_can_be_negative() {
+        // burst then silence: acceleration goes negative one span later.
+        let c = curve(&[0, 0, 0, 0, 1, 1, 1, 1]);
+        let tau = BurstSpan::new(5).unwrap();
+        assert_eq!(c.burstiness(Timestamp(4), tau), 8);
+        assert_eq!(c.burstiness(Timestamp(9), tau), -8);
+        assert_eq!(c.burstiness(Timestamp(14), tau), 0);
+    }
+
+    #[test]
+    fn burstiness_identity_against_burst_frequency() {
+        let c = curve(&[1, 2, 2, 5, 8, 8, 8, 13, 21]);
+        let tau = BurstSpan::new(4).unwrap();
+        for t in 0..30u64 {
+            let t = Timestamp(t);
+            let bf_now = c.burst_frequency(t, tau) as i64;
+            let bf_prev = match t.checked_sub(tau.ticks()) {
+                Some(earlier) => c.burst_frequency(earlier, tau) as i64,
+                None => 0,
+            };
+            assert_eq!(c.burstiness(t, tau), bf_now - bf_prev, "at {t}");
+        }
+    }
+
+    #[test]
+    fn area_up_to_sums_ticks() {
+        let c = curve(&[2, 4]); // F: 0,0,1,1,2,2,...
+        assert_eq!(c.area_up_to(Timestamp(5)), 1 + 1 + 2 + 2);
+        assert_eq!(c.area_up_to(Timestamp(1)), 0);
+        assert_eq!(c.area_up_to(Timestamp(2)), 1);
+    }
+
+    #[test]
+    fn area_of_empty_curve_is_zero() {
+        assert_eq!(FrequencyCurve::new().area_up_to(Timestamp(100)), 0);
+    }
+
+    #[test]
+    fn l1_distance_between_staircases() {
+        let f = curve(&[2, 4]);
+        let g = curve(&[2]); // G: 0,0,1,1,1,...
+                             // |F-G| per tick over [0,5]: 0,0,0,0,1,1 = 2
+        assert_eq!(f.l1_distance(&g, Timestamp(5)), 2);
+        assert_eq!(g.l1_distance(&f, Timestamp(5)), 2);
+        assert_eq!(f.l1_distance(&f, Timestamp(5)), 0);
+    }
+
+    #[test]
+    fn l1_distance_matches_area_difference_for_dominated_curve() {
+        let f = curve(&[1, 2, 3, 10, 10, 12]);
+        let g = curve(&[1, 3, 12]); // G ≤ F pointwise (fewer arrivals, same times subset)
+        let horizon = Timestamp(20);
+        for t in 0..=20u64 {
+            assert!(g.value_at(Timestamp(t)) <= f.value_at(Timestamp(t)));
+        }
+        assert_eq!(f.l1_distance(&g, horizon), f.area_up_to(horizon) - g.area_up_to(horizon));
+    }
+
+    #[test]
+    fn doubled_corners_insert_predecessor_points() {
+        let c = curve(&[2, 5, 6]);
+        // corners: (2,1), (5,2), (6,3)
+        // doubled: (1,0), (2,1), (4,1), (5,2), (6,3)   — (5,2) precedes (6,3)
+        // by one tick, so its predecessor point (5,2) is already present.
+        let d = c.doubled_corners();
+        assert_eq!(
+            d,
+            vec![
+                CornerPoint { t: Timestamp(1), cum: 0 },
+                CornerPoint { t: Timestamp(2), cum: 1 },
+                CornerPoint { t: Timestamp(4), cum: 1 },
+                CornerPoint { t: Timestamp(5), cum: 2 },
+                CornerPoint { t: Timestamp(6), cum: 3 },
+            ]
+        );
+        // strictly increasing timestamps, non-decreasing cum
+        assert!(d.windows(2).all(|w| w[0].t < w[1].t && w[0].cum <= w[1].cum));
+    }
+
+    #[test]
+    fn doubled_corners_at_epoch() {
+        let c = curve(&[0, 3]);
+        let d = c.doubled_corners();
+        // first corner at t=0 has no predecessor tick
+        assert_eq!(d[0], CornerPoint { t: Timestamp(0), cum: 1 });
+        assert_eq!(d[1], CornerPoint { t: Timestamp(2), cum: 1 });
+        assert_eq!(d[2], CornerPoint { t: Timestamp(3), cum: 2 });
+    }
+}

@@ -1,0 +1,122 @@
+//! Timestamp downsampling.
+//!
+//! The paper's streams tick in seconds; many deployments only need minute-
+//! or hour-level burst resolution. Coarsening timestamps **before** ingest
+//! shrinks the exact staircase (fewer distinct corner points `n`), which
+//! directly shrinks PBE summaries at equal accuracy parameters — the `n`
+//! dependency measured in Fig. 10b. A [`Downsampler`] is a tiny stateless
+//! mapper that performs the coarsening and converts query parameters
+//! consistently.
+
+use crate::error::StreamError;
+use crate::time::{BurstSpan, Timestamp};
+
+/// Maps fine-grained timestamps onto a coarser tick grid.
+///
+/// All ticks within one bucket of `factor` fine ticks collapse onto the
+/// bucket index, so a stream at second granularity downsampled by 60 yields
+/// minute-granularity corner points.
+///
+/// ```
+/// use bed_stream::downsample::Downsampler;
+/// use bed_stream::{BurstSpan, Timestamp};
+///
+/// let ds = Downsampler::new(60).unwrap(); // seconds → minutes
+/// assert_eq!(ds.map(Timestamp(59)), Timestamp(0));
+/// assert_eq!(ds.map(Timestamp(60)), Timestamp(1));
+/// let tau = BurstSpan::new(86_400).unwrap(); // one day in seconds
+/// assert_eq!(ds.map_span(tau).unwrap().ticks(), 1_440); // one day in minutes
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Downsampler {
+    factor: u64,
+}
+
+impl Downsampler {
+    /// Creates a downsampler collapsing `factor` fine ticks per coarse tick.
+    pub fn new(factor: u64) -> Result<Self, StreamError> {
+        if factor == 0 {
+            return Err(StreamError::ZeroBurstSpan);
+        }
+        Ok(Downsampler { factor })
+    }
+
+    /// The collapse factor.
+    pub fn factor(&self) -> u64 {
+        self.factor
+    }
+
+    /// Maps a fine timestamp to its coarse bucket.
+    #[inline]
+    pub fn map(&self, t: Timestamp) -> Timestamp {
+        Timestamp(t.ticks() / self.factor)
+    }
+
+    /// Converts a burst span expressed in fine ticks; rejects spans smaller
+    /// than one coarse tick (the burstiness of a sub-bucket span is not
+    /// observable after coarsening).
+    pub fn map_span(&self, tau: BurstSpan) -> Result<BurstSpan, StreamError> {
+        BurstSpan::new(tau.ticks() / self.factor)
+    }
+
+    /// Maps a coarse bucket back to the first fine tick it covers (for
+    /// presenting query results in the original time unit).
+    #[inline]
+    pub fn unmap(&self, t: Timestamp) -> Timestamp {
+        Timestamp(t.ticks().saturating_mul(self.factor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_factor() {
+        assert!(Downsampler::new(0).is_err());
+    }
+
+    #[test]
+    fn mapping_is_monotone_and_bucketed() {
+        let ds = Downsampler::new(10).unwrap();
+        let mut last = Timestamp::ZERO;
+        for t in 0..100u64 {
+            let m = ds.map(Timestamp(t));
+            assert!(m >= last);
+            assert_eq!(m.ticks(), t / 10);
+            last = m;
+        }
+    }
+
+    #[test]
+    fn span_conversion_floors_and_rejects_subbucket() {
+        let ds = Downsampler::new(60).unwrap();
+        assert_eq!(ds.map_span(BurstSpan::new(120).unwrap()).unwrap().ticks(), 2);
+        assert_eq!(ds.map_span(BurstSpan::new(90).unwrap()).unwrap().ticks(), 1);
+        assert!(ds.map_span(BurstSpan::new(59).unwrap()).is_err());
+    }
+
+    #[test]
+    fn unmap_is_left_inverse_on_bucket_starts() {
+        let ds = Downsampler::new(7).unwrap();
+        for b in 0..50u64 {
+            assert_eq!(ds.map(ds.unmap(Timestamp(b))), Timestamp(b));
+        }
+    }
+
+    #[test]
+    fn downsampling_shrinks_the_staircase() {
+        use crate::curve::FrequencyCurve;
+        use crate::stream::SingleEventStream;
+        let ts: Vec<Timestamp> = (0..1_000u64).map(Timestamp).collect();
+        let fine =
+            FrequencyCurve::from_stream(&SingleEventStream::from_sorted(ts.clone()).unwrap());
+        let ds = Downsampler::new(50).unwrap();
+        let coarse_ts: Vec<Timestamp> = ts.iter().map(|&t| ds.map(t)).collect();
+        let coarse =
+            FrequencyCurve::from_stream(&SingleEventStream::from_sorted(coarse_ts).unwrap());
+        assert_eq!(fine.n_points(), 1_000);
+        assert_eq!(coarse.n_points(), 20);
+        assert_eq!(fine.total(), coarse.total());
+    }
+}

@@ -1,0 +1,214 @@
+//! Additional [`EventMapper`] implementations.
+//!
+//! The paper built its event ids "based on hashtags and keywords"
+//! (Section VI). [`crate::HashtagMapper`] covers the hashtag half;
+//! [`KeywordMapper`] covers curated keyword dictionaries (each keyword or
+//! phrase is assigned an explicit event id — the "fire breakout" /
+//! "anthem protest" style of event), and [`CompositeMapper`] chains any two
+//! mappers so both sources contribute.
+
+use std::collections::HashMap;
+
+use crate::element::{EventMapper, Message, StreamElement};
+use crate::event::EventId;
+
+/// Dictionary mapper: case-insensitive whole-word keyword → event id.
+///
+/// Multi-word phrases match as contiguous word sequences. A message that
+/// mentions several keywords emits one element per *distinct* event id.
+///
+/// ```
+/// use bed_stream::mappers::KeywordMapper;
+/// use bed_stream::{EventMapper, EventId, Message};
+///
+/// let mapper = KeywordMapper::new([
+///     ("earthquake", EventId(0)),
+///     ("anthem protest", EventId(1)),
+/// ]);
+/// let els = mapper.map(&Message::new("Anthem Protest spreads after earthquake", 9u64));
+/// assert_eq!(els.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct KeywordMapper {
+    /// keyword (lower-cased, possibly multi-word) → event id
+    dictionary: HashMap<String, EventId>,
+    /// longest phrase length in words (bounds the scan window)
+    max_words: usize,
+}
+
+impl KeywordMapper {
+    /// Builds a mapper from `(keyword, event)` pairs.
+    pub fn new<I, S>(entries: I) -> Self
+    where
+        I: IntoIterator<Item = (S, EventId)>,
+        S: AsRef<str>,
+    {
+        let mut dictionary = HashMap::new();
+        let mut max_words = 1;
+        for (k, e) in entries {
+            let key = normalise(k.as_ref());
+            max_words = max_words.max(key.split(' ').count());
+            dictionary.insert(key, e);
+        }
+        KeywordMapper { dictionary, max_words }
+    }
+
+    /// Registered keyword count.
+    pub fn len(&self) -> usize {
+        self.dictionary.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dictionary.is_empty()
+    }
+
+    /// The event a keyword maps to, if registered.
+    pub fn event_for(&self, keyword: &str) -> Option<EventId> {
+        self.dictionary.get(&normalise(keyword)).copied()
+    }
+}
+
+/// Lower-cases and collapses whitespace runs; strips punctuation edges.
+fn normalise(s: &str) -> String {
+    s.split_whitespace()
+        .map(|w| w.trim_matches(|c: char| !c.is_alphanumeric()).to_lowercase())
+        .filter(|w| !w.is_empty())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+impl EventMapper for KeywordMapper {
+    fn map_into(&self, message: &Message, out: &mut Vec<StreamElement>) {
+        let words: Vec<String> = message
+            .text
+            .split_whitespace()
+            .map(|w| w.trim_matches(|c: char| !c.is_alphanumeric()).to_lowercase())
+            .filter(|w| !w.is_empty())
+            .collect();
+        let before = out.len();
+        for start in 0..words.len() {
+            let mut phrase = String::new();
+            for len in 1..=self.max_words.min(words.len() - start) {
+                if len > 1 {
+                    phrase.push(' ');
+                }
+                phrase.push_str(&words[start + len - 1]);
+                if let Some(&event) = self.dictionary.get(&phrase) {
+                    if !out[before..].iter().any(|el| el.event == event) {
+                        out.push(StreamElement { event, ts: message.ts });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs two mappers and combines their outputs (deduplicated per message).
+#[derive(Debug, Clone)]
+pub struct CompositeMapper<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A, B> CompositeMapper<A, B> {
+    /// Chains two mappers.
+    pub fn new(first: A, second: B) -> Self {
+        CompositeMapper { first, second }
+    }
+}
+
+impl<A: EventMapper, B: EventMapper> EventMapper for CompositeMapper<A, B> {
+    fn map_into(&self, message: &Message, out: &mut Vec<StreamElement>) {
+        let before = out.len();
+        self.first.map_into(message, out);
+        let mid = out.len();
+        self.second.map_into(message, out);
+        // dedupe events the second mapper repeated
+        let mut i = mid;
+        while i < out.len() {
+            let e = out[i].event;
+            if out[before..mid].iter().any(|el| el.event == e) {
+                out.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::HashtagMapper;
+    use crate::time::Timestamp;
+
+    fn km() -> KeywordMapper {
+        KeywordMapper::new([
+            ("earthquake", EventId(10)),
+            ("anthem protest", EventId(11)),
+            ("access hollywood tape", EventId(12)),
+        ])
+    }
+
+    #[test]
+    fn single_word_match_is_case_insensitive() {
+        let els = km().map(&Message::new("EARTHQUAKE hits the coast!", 5u64));
+        assert_eq!(els, vec![StreamElement::new(10u32, 5u64)]);
+    }
+
+    #[test]
+    fn multi_word_phrases_match_contiguously() {
+        let els = km().map(&Message::new("the Anthem Protest grows", 7u64));
+        assert_eq!(els.len(), 1);
+        assert_eq!(els[0].event, EventId(11));
+        // non-contiguous words do not match
+        let els = km().map(&Message::new("anthem of the protest", 8u64));
+        assert!(els.is_empty());
+        // three-word phrase
+        let els = km().map(&Message::new("leak of the Access Hollywood tape", 9u64));
+        assert_eq!(els[0].event, EventId(12));
+    }
+
+    #[test]
+    fn punctuation_is_stripped() {
+        let els = km().map(&Message::new("“earthquake”!!!", 1u64));
+        assert_eq!(els.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_keywords_emit_once() {
+        let els = km().map(&Message::new("earthquake after earthquake", 2u64));
+        assert_eq!(els.len(), 1);
+    }
+
+    #[test]
+    fn unknown_text_maps_to_nothing() {
+        assert!(km().map(&Message::new("a quiet day", 3u64)).is_empty());
+        assert_eq!(km().event_for("earthquake"), Some(EventId(10)));
+        assert_eq!(km().event_for("volcano"), None);
+        assert_eq!(km().len(), 3);
+    }
+
+    #[test]
+    fn composite_combines_and_dedupes() {
+        // hashtags land in a high id range, keywords in a curated low range
+        let composite = CompositeMapper::new(km(), HashtagMapper::new(1 << 20));
+        let msg = Message::new("earthquake! #earthquake #breaking", 4u64);
+        let els = composite.map(&msg);
+        // keyword event 10 + two distinct hashtag events
+        assert_eq!(els.len(), 3, "{els:?}");
+        assert!(els.iter().any(|el| el.event == EventId(10)));
+        assert!(els.iter().all(|el| el.ts == Timestamp(4)));
+    }
+
+    #[test]
+    fn composite_dedupes_same_event_from_both() {
+        // both mappers produce the same id: keep one
+        let a = KeywordMapper::new([("x", EventId(1))]);
+        let b = KeywordMapper::new([("x", EventId(1)), ("y", EventId(2))]);
+        let composite = CompositeMapper::new(a, b);
+        let els = composite.map(&Message::new("x y", 1u64));
+        assert_eq!(els.len(), 2);
+    }
+}

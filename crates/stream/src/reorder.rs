@@ -1,0 +1,262 @@
+//! Bounded out-of-order tolerance for real feeds.
+//!
+//! The sketches require non-decreasing timestamps (they summarise a
+//! monotone cumulative curve), but real ingestion pipelines deliver slightly
+//! shuffled elements. A [`ReorderBuffer`] holds arrivals inside a
+//! *lateness window* of `L` ticks and releases them in timestamp order;
+//! anything older than `watermark = max_seen − L` is either rejected or
+//! clamped forward, by policy.
+
+use std::collections::BinaryHeap;
+
+use crate::element::StreamElement;
+use crate::error::StreamError;
+use crate::time::Timestamp;
+
+/// What to do with an element that arrives behind the watermark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatePolicy {
+    /// Return an error to the caller (default: loud and lossless).
+    Reject,
+    /// Clamp its timestamp to the watermark (lossy in time, not in count).
+    ClampForward,
+    /// Silently drop it (lossy in count; for fire-and-forget feeds).
+    Drop,
+}
+
+/// Min-heap entry ordered by timestamp (then event id for determinism).
+#[derive(Debug, PartialEq, Eq)]
+struct Pending(StreamElement);
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse for min-by-timestamp.
+        other.0.ts.cmp(&self.0.ts).then(other.0.event.cmp(&self.0.event))
+    }
+}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Buffers out-of-order arrivals and emits them sorted.
+///
+/// ```
+/// use bed_stream::reorder::{LatePolicy, ReorderBuffer};
+/// use bed_stream::{StreamElement, Timestamp};
+///
+/// let mut buf = ReorderBuffer::new(10, LatePolicy::Reject);
+/// let mut out = Vec::new();
+/// for &(e, t) in &[(1u32, 5u64), (2, 3), (1, 12), (3, 8), (1, 25)] {
+///     buf.offer(StreamElement::new(e, t), &mut out).unwrap();
+/// }
+/// buf.drain(&mut out);
+/// let ts: Vec<u64> = out.iter().map(|el| el.ts.ticks()).collect();
+/// assert_eq!(ts, vec![3, 5, 8, 12, 25]);
+/// ```
+#[derive(Debug)]
+pub struct ReorderBuffer {
+    lateness: u64,
+    policy: LatePolicy,
+    heap: BinaryHeap<Pending>,
+    max_seen: Option<Timestamp>,
+    released: Option<Timestamp>,
+    dropped: u64,
+    clamped: u64,
+}
+
+impl ReorderBuffer {
+    /// Creates a buffer tolerating up to `lateness` ticks of disorder.
+    pub fn new(lateness: u64, policy: LatePolicy) -> Self {
+        ReorderBuffer {
+            lateness,
+            policy,
+            heap: BinaryHeap::new(),
+            max_seen: None,
+            released: None,
+            dropped: 0,
+            clamped: 0,
+        }
+    }
+
+    /// Current watermark: elements at or after it may still arrive in order.
+    pub fn watermark(&self) -> Option<Timestamp> {
+        self.max_seen.map(|m| Timestamp(m.ticks().saturating_sub(self.lateness)))
+    }
+
+    /// Elements dropped under [`LatePolicy::Drop`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Elements clamped under [`LatePolicy::ClampForward`].
+    pub fn clamped(&self) -> u64 {
+        self.clamped
+    }
+
+    /// Elements currently held back.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Offers one element; releases every element whose timestamp is final
+    /// (≤ the new watermark) into `out`, in timestamp order.
+    pub fn offer(
+        &mut self,
+        el: StreamElement,
+        out: &mut Vec<StreamElement>,
+    ) -> Result<(), StreamError> {
+        let el = match self.watermark() {
+            Some(w) if el.ts < w => match self.policy {
+                LatePolicy::Reject => {
+                    return Err(StreamError::NonMonotonicTimestamp {
+                        previous: w,
+                        offered: el.ts,
+                    });
+                }
+                LatePolicy::ClampForward => {
+                    self.clamped += 1;
+                    StreamElement { event: el.event, ts: w }
+                }
+                LatePolicy::Drop => {
+                    self.dropped += 1;
+                    return Ok(());
+                }
+            },
+            _ => el,
+        };
+        self.max_seen = Some(self.max_seen.map_or(el.ts, |m| m.max(el.ts)));
+        self.heap.push(Pending(el));
+        let watermark = self.watermark().expect("max_seen was just set");
+        while let Some(top) = self.heap.peek() {
+            if top.0.ts > watermark {
+                break;
+            }
+            let el = self.heap.pop().expect("peeked").0;
+            debug_assert!(self.released.is_none_or(|r| el.ts >= r));
+            self.released = Some(el.ts);
+            out.push(el);
+        }
+        Ok(())
+    }
+
+    /// Flushes everything still held back (end of stream, or a forced
+    /// barrier). Elements above the watermark are released early, so the
+    /// watermark is advanced to the last released timestamp: offers behind
+    /// it afterwards are treated as late (by policy) rather than silently
+    /// emitted out of order behind already-released elements.
+    pub fn drain(&mut self, out: &mut Vec<StreamElement>) {
+        while let Some(Pending(el)) = self.heap.pop() {
+            self.released = Some(el.ts);
+            out.push(el);
+        }
+        if let Some(r) = self.released {
+            let floor = Timestamp(r.ticks().saturating_add(self.lateness));
+            self.max_seen = Some(self.max_seen.map_or(floor, |m| m.max(floor)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventId;
+
+    fn els(raw: &[(u32, u64)]) -> Vec<StreamElement> {
+        raw.iter().map(|&(e, t)| StreamElement::new(e, t)).collect()
+    }
+
+    #[test]
+    fn releases_in_order_within_window() {
+        let mut buf = ReorderBuffer::new(5, LatePolicy::Reject);
+        let mut out = Vec::new();
+        for el in els(&[(0, 10), (0, 8), (0, 12), (0, 9), (0, 20)]) {
+            buf.offer(el, &mut out).unwrap();
+        }
+        buf.drain(&mut out);
+        let ts: Vec<u64> = out.iter().map(|el| el.ts.ticks()).collect();
+        assert_eq!(ts, vec![8, 9, 10, 12, 20]);
+    }
+
+    #[test]
+    fn rejects_behind_watermark() {
+        let mut buf = ReorderBuffer::new(3, LatePolicy::Reject);
+        let mut out = Vec::new();
+        buf.offer(StreamElement::new(0u32, 100u64), &mut out).unwrap();
+        // watermark = 97; t=96 is too late
+        let err = buf.offer(StreamElement::new(0u32, 96u64), &mut out);
+        assert!(err.is_err());
+        // t=97 is exactly on the watermark: accepted
+        buf.offer(StreamElement::new(0u32, 97u64), &mut out).unwrap();
+    }
+
+    #[test]
+    fn clamp_forward_keeps_counts() {
+        let mut buf = ReorderBuffer::new(2, LatePolicy::ClampForward);
+        let mut out = Vec::new();
+        buf.offer(StreamElement::new(0u32, 50u64), &mut out).unwrap();
+        buf.offer(StreamElement::new(1u32, 10u64), &mut out).unwrap(); // clamped to 48
+        buf.drain(&mut out);
+        assert_eq!(buf.clamped(), 1);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().any(|el| el.ts == Timestamp(48) && el.event == EventId(1)));
+    }
+
+    #[test]
+    fn drop_policy_counts_losses() {
+        let mut buf = ReorderBuffer::new(1, LatePolicy::Drop);
+        let mut out = Vec::new();
+        buf.offer(StreamElement::new(0u32, 100u64), &mut out).unwrap();
+        buf.offer(StreamElement::new(0u32, 5u64), &mut out).unwrap();
+        assert_eq!(buf.dropped(), 1);
+        buf.drain(&mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn released_prefix_is_always_sorted() {
+        // pseudo-random jitter within the window must still come out sorted
+        let mut buf = ReorderBuffer::new(16, LatePolicy::Reject);
+        let mut out = Vec::new();
+        let mut x = 12345u64;
+        for i in 0..500u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let jitter = x % 16;
+            let t = i * 2 + jitter;
+            buf.offer(StreamElement::new((x % 8) as u32, t), &mut out).unwrap();
+        }
+        buf.drain(&mut out);
+        assert_eq!(out.len(), 500);
+        assert!(out.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn offer_after_drain_cannot_reorder_output() {
+        let mut buf = ReorderBuffer::new(10, LatePolicy::Reject);
+        let mut out = Vec::new();
+        buf.offer(StreamElement::new(0u32, 100u64), &mut out).unwrap();
+        buf.drain(&mut out); // force-releases ts=100 (above the watermark)
+        assert_eq!(out.len(), 1);
+        // ts=95 would sort before the already-released 100: must be late now
+        assert!(buf.offer(StreamElement::new(0u32, 95u64), &mut out).is_err());
+        // at-or-after the released timestamp's window is fine
+        buf.offer(StreamElement::new(0u32, 120u64), &mut out).unwrap();
+        buf.drain(&mut out);
+        assert!(out.windows(2).all(|w| w[0].ts <= w[1].ts), "{out:?}");
+    }
+
+    #[test]
+    fn watermark_never_regresses() {
+        let mut buf = ReorderBuffer::new(10, LatePolicy::Reject);
+        let mut out = Vec::new();
+        buf.offer(StreamElement::new(0u32, 100u64), &mut out).unwrap();
+        let w1 = buf.watermark().unwrap();
+        buf.offer(StreamElement::new(0u32, 95u64), &mut out).unwrap();
+        assert_eq!(buf.watermark().unwrap(), w1);
+        buf.offer(StreamElement::new(0u32, 200u64), &mut out).unwrap();
+        assert!(buf.watermark().unwrap() > w1);
+    }
+}

@@ -1,0 +1,297 @@
+//! Event streams: the mixed stream `S` and single-event streams `S_e`.
+
+use std::collections::BTreeSet;
+
+use crate::element::StreamElement;
+use crate::error::StreamError;
+use crate::event::EventId;
+use crate::time::{TimeRange, Timestamp};
+
+/// An ordered sequence of timestamps for one event — the special case
+/// `S_e = {t_i | (a_i, t_i) ∈ S, a_i = e}` of Section II-A.
+///
+/// Duplicated timestamps are allowed (several messages mentioning the event
+/// in the same tick); timestamps are non-decreasing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SingleEventStream {
+    timestamps: Vec<Timestamp>,
+}
+
+impl SingleEventStream {
+    /// Empty stream.
+    pub fn new() -> Self {
+        SingleEventStream::default()
+    }
+
+    /// Builds a stream from already-sorted timestamps, verifying order.
+    pub fn from_sorted(timestamps: Vec<Timestamp>) -> Result<Self, StreamError> {
+        for w in timestamps.windows(2) {
+            if w[1] < w[0] {
+                return Err(StreamError::NonMonotonicTimestamp { previous: w[0], offered: w[1] });
+            }
+        }
+        Ok(SingleEventStream { timestamps })
+    }
+
+    /// Builds a stream from arbitrary-order timestamps by sorting.
+    pub fn from_unsorted(mut timestamps: Vec<Timestamp>) -> Self {
+        timestamps.sort_unstable();
+        SingleEventStream { timestamps }
+    }
+
+    /// Appends an arrival, enforcing monotonicity.
+    pub fn push(&mut self, ts: Timestamp) -> Result<(), StreamError> {
+        if let Some(&last) = self.timestamps.last() {
+            if ts < last {
+                return Err(StreamError::NonMonotonicTimestamp { previous: last, offered: ts });
+            }
+        }
+        self.timestamps.push(ts);
+        Ok(())
+    }
+
+    /// Number of arrivals N.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// Whether the stream is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+
+    /// All timestamps, sorted non-decreasing.
+    #[inline]
+    pub fn timestamps(&self) -> &[Timestamp] {
+        &self.timestamps
+    }
+
+    /// Latest timestamp `T`, if any.
+    pub fn last_timestamp(&self) -> Option<Timestamp> {
+        self.timestamps.last().copied()
+    }
+
+    /// Cumulative frequency `F(t)`: number of arrivals with timestamp ≤ t
+    /// (binary search, O(log n)).
+    pub fn cumulative_frequency(&self, t: Timestamp) -> u64 {
+        self.timestamps.partition_point(|&x| x <= t) as u64
+    }
+
+    /// Frequency `f(t1, t2)`: arrivals in the closed range.
+    pub fn frequency(&self, range: TimeRange) -> u64 {
+        let hi = self.timestamps.partition_point(|&x| x <= range.end);
+        let lo = self.timestamps.partition_point(|&x| x < range.start);
+        (hi - lo) as u64
+    }
+
+    /// Temporal substream restricted to `range`.
+    pub fn substream(&self, range: TimeRange) -> SingleEventStream {
+        let lo = self.timestamps.partition_point(|&x| x < range.start);
+        let hi = self.timestamps.partition_point(|&x| x <= range.end);
+        SingleEventStream { timestamps: self.timestamps[lo..hi].to_vec() }
+    }
+}
+
+impl FromIterator<u64> for SingleEventStream {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        SingleEventStream::from_unsorted(iter.into_iter().map(Timestamp).collect())
+    }
+}
+
+/// A mixed event stream `S = {(a_1, t_1), (a_2, t_2), ...}` with
+/// non-decreasing timestamps.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventStream {
+    elements: Vec<StreamElement>,
+}
+
+impl EventStream {
+    /// Empty stream.
+    pub fn new() -> Self {
+        EventStream::default()
+    }
+
+    /// Builds from elements already sorted by timestamp, verifying order.
+    pub fn from_sorted(elements: Vec<StreamElement>) -> Result<Self, StreamError> {
+        for w in elements.windows(2) {
+            if w[1].ts < w[0].ts {
+                return Err(StreamError::NonMonotonicTimestamp {
+                    previous: w[0].ts,
+                    offered: w[1].ts,
+                });
+            }
+        }
+        Ok(EventStream { elements })
+    }
+
+    /// Builds from arbitrary-order elements by stable-sorting on timestamp.
+    pub fn from_unsorted(mut elements: Vec<StreamElement>) -> Self {
+        elements.sort_by_key(|el| el.ts);
+        EventStream { elements }
+    }
+
+    /// Appends an element, enforcing monotone timestamps.
+    pub fn push(&mut self, el: StreamElement) -> Result<(), StreamError> {
+        if let Some(last) = self.elements.last() {
+            if el.ts < last.ts {
+                return Err(StreamError::NonMonotonicTimestamp {
+                    previous: last.ts,
+                    offered: el.ts,
+                });
+            }
+        }
+        self.elements.push(el);
+        Ok(())
+    }
+
+    /// Number of elements N.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the stream is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// All elements in timestamp order.
+    #[inline]
+    pub fn elements(&self) -> &[StreamElement] {
+        &self.elements
+    }
+
+    /// Iterates over elements.
+    pub fn iter(&self) -> impl Iterator<Item = &StreamElement> {
+        self.elements.iter()
+    }
+
+    /// Latest timestamp `T`, if any.
+    pub fn last_timestamp(&self) -> Option<Timestamp> {
+        self.elements.last().map(|el| el.ts)
+    }
+
+    /// Distinct event ids that appear in the stream, ascending.
+    pub fn distinct_events(&self) -> Vec<EventId> {
+        let set: BTreeSet<EventId> = self.elements.iter().map(|el| el.event).collect();
+        set.into_iter().collect()
+    }
+
+    /// Temporal substream `S[t1, t2]`.
+    pub fn substream(&self, range: TimeRange) -> EventStream {
+        let lo = self.elements.partition_point(|el| el.ts < range.start);
+        let hi = self.elements.partition_point(|el| el.ts <= range.end);
+        EventStream { elements: self.elements[lo..hi].to_vec() }
+    }
+
+    /// Projects the single-event stream `S_e` out of the mixed stream.
+    pub fn project(&self, event: EventId) -> SingleEventStream {
+        let timestamps =
+            self.elements.iter().filter(|el| el.event == event).map(|el| el.ts).collect();
+        // Projection of a sorted stream stays sorted.
+        SingleEventStream { timestamps }
+    }
+}
+
+impl FromIterator<(u32, u64)> for EventStream {
+    fn from_iter<I: IntoIterator<Item = (u32, u64)>>(iter: I) -> Self {
+        EventStream::from_unsorted(
+            iter.into_iter().map(|(e, t)| StreamElement::new(e, t)).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ses(ts: &[u64]) -> SingleEventStream {
+        ts.iter().copied().collect()
+    }
+
+    #[test]
+    fn single_stream_monotonicity_enforced() {
+        let mut s = SingleEventStream::new();
+        s.push(Timestamp(5)).unwrap();
+        s.push(Timestamp(5)).unwrap(); // duplicates allowed
+        assert!(s.push(Timestamp(4)).is_err());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn from_sorted_rejects_disorder() {
+        assert!(SingleEventStream::from_sorted(vec![Timestamp(2), Timestamp(1)]).is_err());
+        assert!(SingleEventStream::from_sorted(vec![Timestamp(1), Timestamp(1)]).is_ok());
+    }
+
+    #[test]
+    fn cumulative_frequency_counts_inclusively() {
+        let s = ses(&[1, 3, 3, 7]);
+        assert_eq!(s.cumulative_frequency(Timestamp(0)), 0);
+        assert_eq!(s.cumulative_frequency(Timestamp(1)), 1);
+        assert_eq!(s.cumulative_frequency(Timestamp(3)), 3);
+        assert_eq!(s.cumulative_frequency(Timestamp(6)), 3);
+        assert_eq!(s.cumulative_frequency(Timestamp(7)), 4);
+        assert_eq!(s.cumulative_frequency(Timestamp(100)), 4);
+    }
+
+    #[test]
+    fn frequency_over_closed_range() {
+        let s = ses(&[1, 3, 3, 7]);
+        let r = |a, b| TimeRange::new(Timestamp(a), Timestamp(b)).unwrap();
+        assert_eq!(s.frequency(r(1, 3)), 3);
+        assert_eq!(s.frequency(r(2, 2)), 0);
+        assert_eq!(s.frequency(r(3, 7)), 3);
+        assert_eq!(s.frequency(r(0, 100)), 4);
+    }
+
+    #[test]
+    fn substream_extraction() {
+        let s = ses(&[1, 3, 3, 7]);
+        let sub = s.substream(TimeRange::new(Timestamp(2), Timestamp(5)).unwrap());
+        assert_eq!(sub.timestamps(), &[Timestamp(3), Timestamp(3)]);
+    }
+
+    #[test]
+    fn event_stream_projection_and_distinct() {
+        let s: EventStream = [(1, 0), (2, 1), (1, 1), (3, 4), (1, 9)].into_iter().collect();
+        assert_eq!(s.len(), 5);
+        let e1 = s.project(EventId(1));
+        assert_eq!(e1.timestamps(), &[Timestamp(0), Timestamp(1), Timestamp(9)]);
+        assert_eq!(s.distinct_events(), vec![EventId(1), EventId(2), EventId(3)]);
+        assert!(s.project(EventId(99)).is_empty());
+    }
+
+    #[test]
+    fn event_stream_substream() {
+        let s: EventStream = [(1, 0), (2, 3), (3, 5), (1, 8)].into_iter().collect();
+        let sub = s.substream(TimeRange::new(Timestamp(3), Timestamp(5)).unwrap());
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.elements()[0].event, EventId(2));
+        assert_eq!(sub.elements()[1].event, EventId(3));
+    }
+
+    #[test]
+    fn event_stream_push_monotone() {
+        let mut s = EventStream::new();
+        s.push(StreamElement::new(0u32, 1u64)).unwrap();
+        s.push(StreamElement::new(1u32, 1u64)).unwrap();
+        assert!(s.push(StreamElement::new(2u32, 0u64)).is_err());
+    }
+
+    #[test]
+    fn from_unsorted_sorts_stably() {
+        let s = EventStream::from_unsorted(vec![
+            StreamElement::new(9u32, 5u64),
+            StreamElement::new(1u32, 2u64),
+            StreamElement::new(7u32, 5u64),
+        ]);
+        assert_eq!(s.elements()[0].event, EventId(1));
+        // stable: event 9 (inserted before 7 at the same ts) stays first
+        assert_eq!(s.elements()[1].event, EventId(9));
+        assert_eq!(s.elements()[2].event, EventId(7));
+    }
+}

@@ -1,0 +1,207 @@
+//! Discrete time domain: timestamps, ranges and the burst span τ.
+//!
+//! The paper treats time as a discrete domain ("clocks are always discretized
+//! to a certain time granularity", Section III-A). We model a timestamp as an
+//! unsigned number of ticks (seconds in the experiments) since the start of
+//! the stream.
+
+use std::fmt;
+
+use crate::error::StreamError;
+
+/// A discrete point in time, measured in ticks since the stream epoch.
+///
+/// The unit is workload-defined; the paper's datasets use a granularity of
+/// one second, so a month-long stream spans `T = 2,678,400` ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The stream epoch (t = 0).
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// The largest representable timestamp.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Raw tick count.
+    #[inline]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// `self + delta` ticks, saturating at the maximum.
+    #[inline]
+    pub fn saturating_add(self, delta: u64) -> Timestamp {
+        Timestamp(self.0.saturating_add(delta))
+    }
+
+    /// `self − delta` ticks if non-negative, otherwise `None`.
+    ///
+    /// Burstiness at `t` needs `F(t − τ)` and `F(t − 2τ)`; when those fall
+    /// before the epoch the cumulative frequency is zero, which callers
+    /// express by mapping `None` to 0 (see [`FrequencyCurve::cum_at_offset`]).
+    ///
+    /// [`FrequencyCurve::cum_at_offset`]: crate::curve::FrequencyCurve::cum_at_offset
+    #[inline]
+    pub fn checked_sub(self, delta: u64) -> Option<Timestamp> {
+        self.0.checked_sub(delta).map(Timestamp)
+    }
+
+    /// Ticks from `earlier` to `self`; zero if `earlier` is later.
+    #[inline]
+    pub fn saturating_since(self, earlier: Timestamp) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl From<u64> for Timestamp {
+    fn from(t: u64) -> Self {
+        Timestamp(t)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A closed time range `[start, end]` used for temporal substreams
+/// `S[t1, t2]` and for reporting bursty periods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeRange {
+    /// Inclusive lower bound.
+    pub start: Timestamp,
+    /// Inclusive upper bound.
+    pub end: Timestamp,
+}
+
+impl TimeRange {
+    /// Creates `[start, end]`, rejecting inverted bounds.
+    pub fn new(start: Timestamp, end: Timestamp) -> Result<Self, StreamError> {
+        if start > end {
+            return Err(StreamError::InvertedRange { start, end });
+        }
+        Ok(TimeRange { start, end })
+    }
+
+    /// `[0, end]` — the prefix of history up to `end`.
+    pub fn up_to(end: Timestamp) -> Self {
+        TimeRange { start: Timestamp::ZERO, end }
+    }
+
+    /// Whether `t` lies inside the closed range.
+    #[inline]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// Number of ticks covered (inclusive), saturating.
+    pub fn len_ticks(&self) -> u64 {
+        self.end.0.saturating_sub(self.start.0).saturating_add(1)
+    }
+
+    /// Whether two closed ranges touch or overlap (used to merge bursty
+    /// periods into maximal reported intervals).
+    pub fn adjacent_or_overlapping(&self, other: &TimeRange) -> bool {
+        // [a,b] and [c,d] merge when c <= b+1 (assuming a <= c).
+        let (first, second) = if self.start <= other.start { (self, other) } else { (other, self) };
+        second.start.0 <= first.end.0.saturating_add(1)
+    }
+
+    /// Union of two mergeable ranges.
+    pub fn merge(&self, other: &TimeRange) -> TimeRange {
+        TimeRange { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+}
+
+impl fmt::Display for TimeRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start.0, self.end.0)
+    }
+}
+
+/// The burst span τ: the interval length over which incoming rate and its
+/// acceleration are measured (Definition 1). Must be strictly positive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BurstSpan(u64);
+
+impl BurstSpan {
+    /// Creates a burst span of `ticks` ticks; rejects zero.
+    pub fn new(ticks: u64) -> Result<Self, StreamError> {
+        if ticks == 0 {
+            return Err(StreamError::ZeroBurstSpan);
+        }
+        Ok(BurstSpan(ticks))
+    }
+
+    /// Span length in ticks.
+    #[inline]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// One day in seconds — the τ used throughout the paper's experiments
+    /// (`τ = 86,400` s, Fig. 7).
+    pub const DAY_SECONDS: BurstSpan = BurstSpan(86_400);
+}
+
+impl fmt::Display for BurstSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "τ={}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_ordering_and_arithmetic() {
+        let a = Timestamp(5);
+        let b = Timestamp(9);
+        assert!(a < b);
+        assert_eq!(b.saturating_since(a), 4);
+        assert_eq!(a.saturating_since(b), 0);
+        assert_eq!(a.checked_sub(5), Some(Timestamp::ZERO));
+        assert_eq!(a.checked_sub(6), None);
+        assert_eq!(Timestamp::MAX.saturating_add(1), Timestamp::MAX);
+    }
+
+    #[test]
+    fn time_range_rejects_inverted_bounds() {
+        assert!(TimeRange::new(Timestamp(3), Timestamp(2)).is_err());
+        let r = TimeRange::new(Timestamp(2), Timestamp(2)).unwrap();
+        assert!(r.contains(Timestamp(2)));
+        assert_eq!(r.len_ticks(), 1);
+    }
+
+    #[test]
+    fn time_range_contains_is_closed() {
+        let r = TimeRange::new(Timestamp(10), Timestamp(20)).unwrap();
+        assert!(r.contains(Timestamp(10)));
+        assert!(r.contains(Timestamp(20)));
+        assert!(!r.contains(Timestamp(9)));
+        assert!(!r.contains(Timestamp(21)));
+    }
+
+    #[test]
+    fn adjacent_ranges_merge() {
+        let a = TimeRange::new(Timestamp(0), Timestamp(4)).unwrap();
+        let b = TimeRange::new(Timestamp(5), Timestamp(9)).unwrap();
+        let c = TimeRange::new(Timestamp(7), Timestamp(8)).unwrap();
+        let d = TimeRange::new(Timestamp(11), Timestamp(12)).unwrap();
+        assert!(a.adjacent_or_overlapping(&b));
+        assert!(b.adjacent_or_overlapping(&a));
+        assert!(b.adjacent_or_overlapping(&c));
+        assert!(!b.adjacent_or_overlapping(&d));
+        assert_eq!(a.merge(&b), TimeRange::new(Timestamp(0), Timestamp(9)).unwrap());
+    }
+
+    #[test]
+    fn burst_span_rejects_zero() {
+        assert!(BurstSpan::new(0).is_err());
+        assert_eq!(BurstSpan::new(60).unwrap().ticks(), 60);
+        assert_eq!(BurstSpan::DAY_SECONDS.ticks(), 86_400);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the stream substrate invariants.
+
+use bed_stream::{
+    curve::FrequencyCurve, BurstSpan, EventId, EventStream, ExactBaseline, SingleEventStream,
+    TimeRange, Timestamp,
+};
+use proptest::prelude::*;
+
+/// Arbitrary sorted timestamp vector (duplicates allowed).
+fn arb_timestamps() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..500, 0..200).prop_map(|mut v| {
+        v.sort_unstable();
+        v
+    })
+}
+
+proptest! {
+    /// F(t) from the curve matches naive counting at every t.
+    #[test]
+    fn curve_value_matches_naive_count(ts in arb_timestamps(), q in 0u64..600) {
+        let stream: SingleEventStream = ts.iter().copied().collect();
+        let curve = FrequencyCurve::from_stream(&stream);
+        let naive = ts.iter().filter(|&&x| x <= q).count() as u64;
+        prop_assert_eq!(curve.value_at(Timestamp(q)), naive);
+        prop_assert_eq!(stream.cumulative_frequency(Timestamp(q)), naive);
+    }
+
+    /// Corners are strictly increasing in t and cum; cum ends at N.
+    #[test]
+    fn curve_corner_invariants(ts in arb_timestamps()) {
+        let curve = FrequencyCurve::from_stream(&ts.iter().copied().collect());
+        for w in curve.corners().windows(2) {
+            prop_assert!(w[0].t < w[1].t);
+            prop_assert!(w[0].cum < w[1].cum);
+        }
+        prop_assert_eq!(curve.total(), ts.len() as u64);
+    }
+
+    /// Burstiness telescopes: b(t) = bf(t) − bf(t−τ) for all t ≥ τ.
+    #[test]
+    fn burstiness_telescopes(ts in arb_timestamps(), tau in 1u64..50, t in 0u64..600) {
+        let curve = FrequencyCurve::from_stream(&ts.iter().copied().collect());
+        let tau = BurstSpan::new(tau).unwrap();
+        let t = Timestamp(t);
+        let bf_now = curve.burst_frequency(t, tau) as i64;
+        let bf_prev = t
+            .checked_sub(tau.ticks())
+            .map_or(0, |e| curve.burst_frequency(e, tau) as i64);
+        prop_assert_eq!(curve.burstiness(t, tau), bf_now - bf_prev);
+    }
+
+    /// The sum of burstiness over a full quiet tail returns to zero:
+    /// once 2τ ticks pass with no arrivals, b = 0.
+    #[test]
+    fn burstiness_decays_to_zero(ts in arb_timestamps(), tau in 1u64..50) {
+        prop_assume!(!ts.is_empty());
+        let curve = FrequencyCurve::from_stream(&ts.iter().copied().collect());
+        let tau_span = BurstSpan::new(tau).unwrap();
+        let last = *ts.last().unwrap();
+        prop_assert_eq!(curve.burstiness(Timestamp(last + 2 * tau), tau_span), 0);
+    }
+
+    /// doubled_corners stays on the staircase: every emitted point (t, cum)
+    /// satisfies cum == F(t), and timestamps strictly increase.
+    #[test]
+    fn doubled_corners_lie_on_curve(ts in arb_timestamps()) {
+        let curve = FrequencyCurve::from_stream(&ts.iter().copied().collect());
+        let doubled = curve.doubled_corners();
+        for w in doubled.windows(2) {
+            prop_assert!(w[0].t < w[1].t);
+        }
+        for p in &doubled {
+            prop_assert_eq!(p.cum, curve.value_at(p.t));
+        }
+        prop_assert!(doubled.len() <= curve.n_points() * 2);
+    }
+
+    /// l1_distance is a metric-ish: symmetric, zero on identical curves, and
+    /// matches the area difference when one curve dominates.
+    #[test]
+    fn l1_distance_symmetry(ts1 in arb_timestamps(), ts2 in arb_timestamps()) {
+        let f = FrequencyCurve::from_stream(&ts1.iter().copied().collect());
+        let g = FrequencyCurve::from_stream(&ts2.iter().copied().collect());
+        let horizon = Timestamp(700);
+        prop_assert_eq!(f.l1_distance(&g, horizon), g.l1_distance(&f, horizon));
+        prop_assert_eq!(f.l1_distance(&f, horizon), 0);
+    }
+
+    /// Substream frequency equals frequency over the range.
+    #[test]
+    fn substream_consistency(ts in arb_timestamps(), a in 0u64..500, len in 0u64..200) {
+        let stream: SingleEventStream = ts.iter().copied().collect();
+        let range = TimeRange::new(Timestamp(a), Timestamp(a + len)).unwrap();
+        let sub = stream.substream(range);
+        prop_assert_eq!(sub.len() as u64, stream.frequency(range));
+        for &t in sub.timestamps() {
+            prop_assert!(range.contains(t));
+        }
+    }
+
+    /// ExactBaseline point query agrees with a per-event curve built by hand.
+    #[test]
+    fn baseline_matches_projection(
+        els in prop::collection::vec((0u32..8, 0u64..300), 0..200),
+        tau in 1u64..40,
+        q in 0u64..400,
+    ) {
+        let stream: EventStream = els.iter().copied().collect();
+        let baseline = ExactBaseline::from_stream(&stream);
+        let tau = BurstSpan::new(tau).unwrap();
+        for e in 0..8u32 {
+            let proj = stream.project(EventId(e));
+            let curve = FrequencyCurve::from_stream(&proj);
+            prop_assert_eq!(
+                baseline.point_query(EventId(e), Timestamp(q), tau),
+                curve.burstiness(Timestamp(q), tau)
+            );
+        }
+    }
+
+    /// Bursty-events output contains exactly the events whose point query
+    /// passes the threshold.
+    #[test]
+    fn bursty_events_is_exact_filter(
+        els in prop::collection::vec((0u32..6, 0u64..200), 1..150),
+        tau in 1u64..30,
+        t in 0u64..250,
+        theta in -20i64..20,
+    ) {
+        let stream: EventStream = els.iter().copied().collect();
+        let baseline = ExactBaseline::from_stream(&stream);
+        let tau = BurstSpan::new(tau).unwrap();
+        let hits = baseline.bursty_events(Timestamp(t), theta, tau);
+        for &(e, b) in &hits {
+            prop_assert_eq!(baseline.point_query(e, Timestamp(t), tau), b);
+            prop_assert!(b >= theta);
+        }
+        // completeness over events that appeared
+        for e in stream.distinct_events() {
+            let b = baseline.point_query(e, Timestamp(t), tau);
+            let listed = hits.iter().any(|&(he, _)| he == e);
+            prop_assert_eq!(listed, b >= theta);
+        }
+    }
+
+    /// Bursty-times ranges are exactly the ticks passing the threshold
+    /// (cross-checked by brute force on small horizons).
+    #[test]
+    fn bursty_times_matches_brute_force(
+        ts in prop::collection::vec(0u64..120, 1..60),
+        tau in 1u64..20,
+        theta in -5i64..8,
+    ) {
+        let stream: EventStream = ts.iter().map(|&t| (0u32, t)).collect();
+        let baseline = ExactBaseline::from_stream(&stream);
+        let tau = BurstSpan::new(tau).unwrap();
+        let horizon = Timestamp(200);
+        let ranges = baseline.bursty_times(EventId(0), theta, tau, horizon);
+        let mut reported = vec![false; 201];
+        for r in &ranges {
+            for t in r.start.ticks()..=r.end.ticks().min(200) {
+                reported[t as usize] = true;
+            }
+        }
+        for t in 0..=200u64 {
+            let qualifies = baseline.point_query(EventId(0), Timestamp(t), tau) >= theta;
+            prop_assert_eq!(reported[t as usize], qualifies, "tick {}", t);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # bed-workload — synthetic event streams and ground-truth evaluation
+//!
+//! The paper evaluates on two Twitter samples that cannot be redistributed:
+//!
+//! * **olympicrio** — August 2016, `N = 5,032,975` tweets, `K = 864` events,
+//!   second-granularity timestamps over `T = 2,678,400` s, with the
+//!   `soccer` and `swimming` sub-streams of Fig. 7 (both normalised to one
+//!   million tweets for the single-stream experiments);
+//! * **uspolitics** — June–November 2016, 286 M tweets (5 M sampled),
+//!   `K = 1,689` events with heavily skewed popularity and many short
+//!   intermittent spikes, each event leaning Democrat or Republican
+//!   (Fig. 13).
+//!
+//! This crate generates seeded synthetic equivalents. The sketches only ever
+//! see `(event id, timestamp)` pairs, so what matters for reproducing the
+//! paper's *shapes* is the statistics of the frequency curves — burst
+//! placement/amplitude, background rates, popularity skew — which the
+//! generators control explicitly:
+//!
+//! * [`zipf`] — Zipf(α) popularity sampling.
+//! * [`profile`] — per-event rate profiles (background + burst shapes) and
+//!   Poisson timestamp sampling.
+//! * [`olympics`] — the olympicrio-like generator with `soccer`/`swimming`
+//!   marquee events shaped after Fig. 7.
+//! * [`politics`] — the uspolitics-like generator with spiky, skewed events
+//!   and party labels.
+//! * [`truth`] — exact-baseline helpers: error metrics, query workloads,
+//!   precision/recall.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod olympics;
+pub mod politics;
+pub mod profile;
+pub mod truth;
+pub mod zipf;
+
+pub use olympics::{OlympicsConfig, OlympicsStream};
+pub use politics::{Party, PoliticsConfig, PoliticsStream};
+pub use profile::{Burst, BurstShape, RateProfile};
+pub use zipf::Zipf;

@@ -1,0 +1,223 @@
+//! The olympicrio-like stream generator.
+//!
+//! Reproduces the statistics the paper reports for its first dataset
+//! (Section VI, "Data sets"): one month of second-granularity timestamps
+//! (`T = 2,678,400`), `K = 864` event identifiers, and two marquee events
+//! shaped after Fig. 7:
+//!
+//! * **soccer** — matches throughout the month (a burst every few days),
+//!   amplitudes growing toward the final ("the largest burst happens right
+//!   before the final");
+//! * **swimming** — "matches were concentrated in a few days in the first
+//!   half of the game ... after which both its incoming rate and burstiness
+//!   decrease to almost zero".
+//!
+//! Everything else is a Zipf-popularity background crowd with occasional
+//! small spikes. All randomness flows from one seed.
+
+use bed_stream::{EventId, EventStream, StreamElement, Timestamp};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::profile::{Burst, BurstShape, RateProfile};
+use crate::zipf::Zipf;
+
+/// Seconds in the August 2016 horizon (31 days).
+pub const OLYMPICS_HORIZON_SECS: u64 = 2_678_400;
+/// Bucket granularity for rate profiles: one hour.
+pub const BUCKET_SECS: u64 = 3_600;
+/// Event id universe size reported for olympicrio.
+pub const OLYMPICS_UNIVERSE: u32 = 864;
+
+/// Configuration of the generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OlympicsConfig {
+    /// Target total element count (the paper normalises to 1M for the
+    /// single-stream study; the full sample is ~5M).
+    pub total_elements: u64,
+    /// RNG seed — same seed, same stream.
+    pub seed: u64,
+}
+
+impl Default for OlympicsConfig {
+    fn default() -> Self {
+        OlympicsConfig { total_elements: 1_000_000, seed: 2016 }
+    }
+}
+
+/// The generated stream plus metadata.
+#[derive(Debug, Clone)]
+pub struct OlympicsStream {
+    /// The mixed event stream, sorted by timestamp.
+    pub stream: EventStream,
+    /// The soccer marquee event id.
+    pub soccer: EventId,
+    /// The swimming marquee event id.
+    pub swimming: EventId,
+    /// Universe size K.
+    pub universe: u32,
+}
+
+/// Soccer: a match burst every ~3 days, growing amplitude, final on day 20.
+fn soccer_profile(buckets: usize) -> RateProfile {
+    let mut p = RateProfile::flat(buckets, 18.0);
+    let match_days = [2usize, 5, 8, 11, 14, 17, 20];
+    for (i, &day) in match_days.iter().enumerate() {
+        let start = day * 24;
+        let is_final = i + 1 == match_days.len();
+        let amplitude = 3_000.0 * (i as f64 + 1.0) + if is_final { 24_000.0 } else { 0.0 };
+        p = p.with_burst(Burst {
+            start_bucket: start,
+            end_bucket: (start + 30).min(buckets),
+            total_mentions: amplitude,
+            shape: if is_final { BurstShape::RampUp } else { BurstShape::Spike },
+        });
+    }
+    p
+}
+
+/// Swimming: heats and finals on days 6–13, then silence.
+fn swimming_profile(buckets: usize) -> RateProfile {
+    let mut p = RateProfile::flat(buckets, 4.0);
+    for day in 6usize..=13 {
+        let start = day * 24;
+        p = p.with_burst(Burst {
+            start_bucket: start,
+            end_bucket: (start + 20).min(buckets),
+            total_mentions: 5_000.0 + 1_500.0 * (day as f64 - 6.0),
+            shape: BurstShape::Spike,
+        });
+    }
+    p
+}
+
+/// Generates the stream.
+pub fn generate(config: OlympicsConfig) -> OlympicsStream {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let buckets = (OLYMPICS_HORIZON_SECS / BUCKET_SECS) as usize;
+    let soccer = EventId(0);
+    let swimming = EventId(1);
+
+    // Expected mass of each profile at scale 1, to derive the scale that
+    // hits total_elements.
+    let soccer_p = soccer_profile(buckets);
+    let swimming_p = swimming_profile(buckets);
+    let zipf = Zipf::new(OLYMPICS_UNIVERSE as usize - 2, 0.9);
+
+    // Background events: per-event expected mass ∝ Zipf pmf; a fraction get
+    // one random spike. Aim marquee events at ~20% of total volume combined.
+    let marquee_expected = soccer_p.total_expected() + swimming_p.total_expected();
+    let target_marquee = config.total_elements as f64 * 0.2;
+    let marquee_scale = target_marquee / marquee_expected;
+    let background_total = config.total_elements as f64 - target_marquee;
+
+    let mut elements: Vec<StreamElement> = Vec::with_capacity(config.total_elements as usize);
+    let mut ticks: Vec<u64> = Vec::new();
+
+    let emit = |event: EventId, ticks: &mut Vec<u64>, elements: &mut Vec<StreamElement>| {
+        for &t in ticks.iter() {
+            elements.push(StreamElement { event, ts: Timestamp(t) });
+        }
+        ticks.clear();
+    };
+
+    soccer_p.sample_into(&mut rng, BUCKET_SECS, marquee_scale, &mut ticks);
+    emit(soccer, &mut ticks, &mut elements);
+    swimming_p.sample_into(&mut rng, BUCKET_SECS, marquee_scale, &mut ticks);
+    emit(swimming, &mut ticks, &mut elements);
+
+    for rank in 0..(OLYMPICS_UNIVERSE - 2) {
+        let event = EventId(rank + 2);
+        let mass = background_total * zipf.pmf(rank as usize);
+        let mut profile = RateProfile::flat(buckets, mass * 0.85 / buckets as f64);
+        // ~40% of events get one modest spike at a random day.
+        if rng.gen_bool(0.4) {
+            let day = rng.gen_range(0..28usize);
+            profile = profile.with_burst(Burst {
+                start_bucket: day * 24,
+                end_bucket: day * 24 + 12,
+                total_mentions: mass * 0.15,
+                shape: BurstShape::Spike,
+            });
+        }
+        profile.sample_into(&mut rng, BUCKET_SECS, 1.0, &mut ticks);
+        emit(event, &mut ticks, &mut elements);
+    }
+
+    elements.sort_by_key(|el| el.ts);
+    OlympicsStream {
+        stream: EventStream::from_sorted(elements).expect("sorted by construction"),
+        soccer,
+        swimming,
+        universe: OLYMPICS_UNIVERSE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bed_stream::{BurstSpan, ExactBaseline};
+
+    fn small() -> OlympicsStream {
+        generate(OlympicsConfig { total_elements: 60_000, seed: 1 })
+    }
+
+    #[test]
+    fn volume_is_close_to_target() {
+        let s = small();
+        let n = s.stream.len() as f64;
+        assert!((n - 60_000.0).abs() < 6_000.0, "n={n}");
+    }
+
+    #[test]
+    fn timestamps_fit_the_horizon_and_are_sorted() {
+        let s = small();
+        assert!(s.stream.last_timestamp().unwrap().ticks() < OLYMPICS_HORIZON_SECS);
+        for w in s.stream.elements().windows(2) {
+            assert!(w[0].ts <= w[1].ts);
+        }
+    }
+
+    #[test]
+    fn universe_is_covered_by_popular_ranks() {
+        let s = small();
+        let distinct = s.stream.distinct_events().len();
+        assert!(distinct > 200, "only {distinct} distinct events");
+        assert!(distinct <= OLYMPICS_UNIVERSE as usize);
+    }
+
+    #[test]
+    fn soccer_bursts_through_the_month_swimming_first_half() {
+        let s = generate(OlympicsConfig { total_elements: 200_000, seed: 2 });
+        let baseline = ExactBaseline::from_stream(&s.stream);
+        let tau = BurstSpan::DAY_SECONDS;
+        let day = |d: u64| Timestamp(d * 86_400);
+
+        // Fig. 7 soccer: biggest burstiness late (final ~day 20)
+        let b_soccer_final = baseline.point_query(s.soccer, day(21), tau);
+        let b_soccer_early = baseline.point_query(s.soccer, day(3), tau);
+        assert!(
+            b_soccer_final > b_soccer_early.max(0) * 2,
+            "final {b_soccer_final} vs early {b_soccer_early}"
+        );
+
+        // Fig. 7 swimming: active first half, dead second half
+        let sw = s.stream.project(s.swimming);
+        let first_half = sw.timestamps().iter().filter(|t| t.ticks() < 14 * 86_400).count();
+        let second_half = sw.len() - first_half;
+        assert!(first_half > second_half * 5, "{first_half} vs {second_half}");
+
+        // swimming burstiness collapses to ~0 after day 16
+        let b_sw_late = baseline.point_query(s.swimming, day(20), tau);
+        assert!(b_sw_late.abs() < 100, "late swimming burstiness {b_sw_late}");
+    }
+
+    #[test]
+    fn same_seed_is_reproducible() {
+        let a = generate(OlympicsConfig { total_elements: 20_000, seed: 7 });
+        let b = generate(OlympicsConfig { total_elements: 20_000, seed: 7 });
+        assert_eq!(a.stream, b.stream);
+        let c = generate(OlympicsConfig { total_elements: 20_000, seed: 8 });
+        assert_ne!(a.stream, c.stream);
+    }
+}

@@ -1,0 +1,223 @@
+//! The uspolitics-like stream generator.
+//!
+//! Reproduces the statistics the paper reports for its second dataset:
+//! June–November 2016 (≈ 183 days), `K = 1,689` events, heavily skewed
+//! popularity ("some events attract a lot of attention, while others have
+//! only a few discussions"), and "many events with short periods of bursts
+//! ... with intermittent spikes" (Fig. 13). Events carry a party label so
+//! the Fig. 13 Democrat/Republican timeline can be reproduced.
+
+use bed_stream::{EventId, EventStream, StreamElement, Timestamp};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::profile::{Burst, BurstShape, RateProfile};
+use crate::zipf::Zipf;
+
+/// Seconds in the June–November horizon (183 days).
+pub const POLITICS_HORIZON_SECS: u64 = 183 * 86_400;
+/// Bucket granularity: one hour.
+pub const BUCKET_SECS: u64 = 3_600;
+/// Event id universe size reported for uspolitics.
+pub const POLITICS_UNIVERSE: u32 = 1_689;
+
+/// Party affiliation of an event (Fig. 13 categorises events into
+/// "Democrats and Republican based on its affiliation towards one party").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Party {
+    /// Democrat-leaning event.
+    Democrat,
+    /// Republican-leaning event.
+    Republican,
+}
+
+/// Configuration of the generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoliticsConfig {
+    /// Target total element count (the paper samples 5M uniformly for the
+    /// comparative study).
+    pub total_elements: u64,
+    /// Zipf exponent of the popularity skew (higher = more skewed; the
+    /// paper's degradation at small sketch sizes stems from this skew).
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PoliticsConfig {
+    fn default() -> Self {
+        PoliticsConfig { total_elements: 1_000_000, skew: 1.1, seed: 1776 }
+    }
+}
+
+/// The generated stream plus metadata.
+#[derive(Debug, Clone)]
+pub struct PoliticsStream {
+    /// The mixed event stream, sorted by timestamp.
+    pub stream: EventStream,
+    /// Party of each event id (indexed by id).
+    pub party: Vec<Party>,
+    /// Days (0-based) of the shared "national moments" — conventions and
+    /// debates — where many events of one party spike together.
+    pub national_moments: Vec<(u64, Party)>,
+    /// Universe size K.
+    pub universe: u32,
+}
+
+impl PoliticsStream {
+    /// Party of an event.
+    pub fn party_of(&self, e: EventId) -> Party {
+        self.party[e.index()]
+    }
+
+    /// All events of a party.
+    pub fn events_of(&self, party: Party) -> impl Iterator<Item = EventId> + '_ {
+        self.party
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, &p)| (p == party).then_some(EventId(i as u32)))
+    }
+}
+
+/// Generates the stream.
+pub fn generate(config: PoliticsConfig) -> PoliticsStream {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let buckets = (POLITICS_HORIZON_SECS / BUCKET_SECS) as usize;
+    let zipf = Zipf::new(POLITICS_UNIVERSE as usize, config.skew);
+
+    // Shared calendar: RNC ≈ day 48 (Jul 18), DNC ≈ day 55 (Jul 25),
+    // debates ≈ days 117, 128, 140, election ≈ day 160.
+    let national_moments: Vec<(u64, Party)> = vec![
+        (48, Party::Republican),
+        (55, Party::Democrat),
+        (117, Party::Republican),
+        (117, Party::Democrat),
+        (128, Party::Democrat),
+        (140, Party::Republican),
+        (160, Party::Democrat),
+        (160, Party::Republican),
+    ];
+
+    let mut party = Vec::with_capacity(POLITICS_UNIVERSE as usize);
+    for i in 0..POLITICS_UNIVERSE {
+        party.push(if i % 2 == 0 { Party::Democrat } else { Party::Republican });
+    }
+
+    let total = config.total_elements as f64;
+    let mut elements: Vec<StreamElement> = Vec::with_capacity(config.total_elements as usize);
+    let mut ticks: Vec<u64> = Vec::new();
+
+    for rank in 0..POLITICS_UNIVERSE {
+        let event = EventId(rank);
+        let mass = total * zipf.pmf(rank as usize);
+        // Spiky behaviour: only ~55% of an event's mass is background; the
+        // rest concentrates in 1–5 short spikes.
+        let mut profile = RateProfile::flat(buckets, mass * 0.55 / buckets as f64);
+        let spikes = rng.gen_range(1..=5usize);
+        let spike_mass = mass * 0.45 / spikes as f64;
+        for _ in 0..spikes {
+            // Half the spikes align with a national moment of the event's
+            // party; the rest are idiosyncratic.
+            let day = if rng.gen_bool(0.5) {
+                let moments: Vec<u64> = national_moments
+                    .iter()
+                    .filter(|&&(_, p)| p == party[event.index()])
+                    .map(|&(d, _)| d)
+                    .collect();
+                moments[rng.gen_range(0..moments.len())]
+            } else {
+                rng.gen_range(0..181u64)
+            };
+            let start = (day * 24) as usize;
+            let dur = rng.gen_range(4..36usize);
+            profile = profile.with_burst(Burst {
+                start_bucket: start,
+                end_bucket: (start + dur).min(buckets),
+                total_mentions: spike_mass,
+                shape: BurstShape::Spike,
+            });
+        }
+        profile.sample_into(&mut rng, BUCKET_SECS, 1.0, &mut ticks);
+        for &t in &ticks {
+            elements.push(StreamElement { event, ts: Timestamp(t) });
+        }
+        ticks.clear();
+    }
+
+    elements.sort_by_key(|el| el.ts);
+    PoliticsStream {
+        stream: EventStream::from_sorted(elements).expect("sorted by construction"),
+        party,
+        national_moments,
+        universe: POLITICS_UNIVERSE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bed_stream::{BurstSpan, ExactBaseline};
+
+    fn small() -> PoliticsStream {
+        generate(PoliticsConfig { total_elements: 80_000, skew: 1.1, seed: 3 })
+    }
+
+    #[test]
+    fn volume_and_horizon() {
+        let s = small();
+        let n = s.stream.len() as f64;
+        assert!((n - 80_000.0).abs() < 8_000.0, "n={n}");
+        assert!(s.stream.last_timestamp().unwrap().ticks() < POLITICS_HORIZON_SECS);
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let s = small();
+        let top = s.stream.project(EventId(0)).len();
+        let mid = s.stream.project(EventId(200)).len().max(1);
+        assert!(top > mid * 20, "top={top} mid={mid}");
+    }
+
+    #[test]
+    fn parties_partition_the_universe() {
+        let s = small();
+        let dems = s.events_of(Party::Democrat).count();
+        let reps = s.events_of(Party::Republican).count();
+        assert_eq!(dems + reps, POLITICS_UNIVERSE as usize);
+        assert!((dems as i64 - reps as i64).abs() <= 1);
+        assert_eq!(s.party_of(EventId(0)), Party::Democrat);
+        assert_eq!(s.party_of(EventId(1)), Party::Republican);
+    }
+
+    #[test]
+    fn national_moments_produce_party_bursts() {
+        // At the RNC day, total Republican burstiness should clearly exceed
+        // the quiet-period level.
+        let s = generate(PoliticsConfig { total_elements: 300_000, skew: 1.0, seed: 4 });
+        let baseline = ExactBaseline::from_stream(&s.stream);
+        let tau = BurstSpan::DAY_SECONDS;
+        let sum_party_burstiness = |day: u64| -> (i64, i64) {
+            let t = Timestamp(day * 86_400 + 43_200);
+            let mut dem = 0i64;
+            let mut rep = 0i64;
+            for e in baseline.events().collect::<Vec<_>>() {
+                let b = baseline.point_query(e, t, tau);
+                match s.party_of(e) {
+                    Party::Democrat => dem += b.max(0),
+                    Party::Republican => rep += b.max(0),
+                }
+            }
+            (dem, rep)
+        };
+        let (_, rep_rnc) = sum_party_burstiness(48);
+        let (_, rep_quiet) = sum_party_burstiness(30);
+        assert!(rep_rnc > rep_quiet * 2, "RNC {rep_rnc} vs quiet {rep_quiet}");
+    }
+
+    #[test]
+    fn reproducible_by_seed() {
+        let a = generate(PoliticsConfig { total_elements: 10_000, skew: 1.1, seed: 9 });
+        let b = generate(PoliticsConfig { total_elements: 10_000, skew: 1.1, seed: 9 });
+        assert_eq!(a.stream, b.stream);
+    }
+}

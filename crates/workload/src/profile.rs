@@ -1,0 +1,255 @@
+//! Per-event rate profiles and Poisson timestamp sampling.
+//!
+//! An event's mentioning behaviour is modelled as an inhomogeneous Poisson
+//! process: a constant background rate plus a set of [`Burst`]s, each with a
+//! shape (spike, ramp, plateau — the building blocks of Fig. 7's soccer and
+//! swimming curves). The profile yields an expected count per time bucket;
+//! sampling draws a Poisson count per bucket and spreads the arrivals
+//! uniformly within it.
+
+use rand::Rng;
+
+/// The temporal shape of one burst.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BurstShape {
+    /// Sharp rise and fall around the midpoint (breaking news).
+    Spike,
+    /// Linear rise to the end, then stop (building anticipation — the
+    /// soccer-final pattern: "the largest burst happens right before the
+    /// final").
+    RampUp,
+    /// Linear decay from the start (aftermath chatter).
+    RampDown,
+    /// Constant elevated rate (an ongoing situation; raises frequency but —
+    /// per the paper's weather-report example — not burstiness, except at
+    /// its edges).
+    Plateau,
+}
+
+/// One burst: extra mentions over `[start_bucket, end_bucket)` with a total
+/// expected mass of `total_mentions`, distributed per [`BurstShape`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Burst {
+    /// First bucket of the burst.
+    pub start_bucket: usize,
+    /// One past the last bucket.
+    pub end_bucket: usize,
+    /// Expected number of extra mentions contributed by the burst.
+    pub total_mentions: f64,
+    /// Temporal shape.
+    pub shape: BurstShape,
+}
+
+impl Burst {
+    /// Relative weight of the burst in bucket `b` (integrates to ~1 across
+    /// the burst's span).
+    fn weight(&self, b: usize) -> f64 {
+        if b < self.start_bucket || b >= self.end_bucket {
+            return 0.0;
+        }
+        let len = (self.end_bucket - self.start_bucket) as f64;
+        let x = (b - self.start_bucket) as f64 / len; // [0, 1)
+        let raw = match self.shape {
+            BurstShape::Spike => {
+                // triangular around the midpoint
+                let d = (x - 0.5).abs();
+                (1.0 - 2.0 * d).max(0.0) * 2.0
+            }
+            BurstShape::RampUp => 2.0 * x,
+            BurstShape::RampDown => 2.0 * (1.0 - x),
+            BurstShape::Plateau => 1.0,
+        };
+        raw / len
+    }
+}
+
+/// The full rate profile of one event over `buckets` time buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateProfile {
+    /// Number of buckets in the horizon.
+    pub buckets: usize,
+    /// Expected background mentions per bucket.
+    pub background_per_bucket: f64,
+    /// Bursts riding on the background.
+    pub bursts: Vec<Burst>,
+}
+
+impl RateProfile {
+    /// A flat profile with no bursts.
+    pub fn flat(buckets: usize, background_per_bucket: f64) -> Self {
+        RateProfile { buckets, background_per_bucket, bursts: Vec::new() }
+    }
+
+    /// Adds a burst (builder style).
+    pub fn with_burst(mut self, burst: Burst) -> Self {
+        debug_assert!(burst.end_bucket <= self.buckets && burst.start_bucket < burst.end_bucket);
+        self.bursts.push(burst);
+        self
+    }
+
+    /// Expected mentions in bucket `b`.
+    pub fn expected(&self, b: usize) -> f64 {
+        let burst_mass: f64 = self.bursts.iter().map(|bu| bu.total_mentions * bu.weight(b)).sum();
+        self.background_per_bucket + burst_mass
+    }
+
+    /// Total expected mentions over the horizon.
+    pub fn total_expected(&self) -> f64 {
+        self.background_per_bucket * self.buckets as f64
+            + self
+                .bursts
+                .iter()
+                .map(|b| {
+                    // sum of weights can be slightly below 1 from discretisation
+                    (b.start_bucket..b.end_bucket).map(|i| b.weight(i)).sum::<f64>()
+                        * b.total_mentions
+                })
+                .sum::<f64>()
+    }
+
+    /// Samples arrival timestamps: Poisson count per bucket, spread within
+    /// the bucket with tick-level **clumping** — a fraction of each bucket's
+    /// arrivals lands on a few "hot ticks", modelling retweet cascades and
+    /// cross-posted breaking news. Real social streams are strongly clumped
+    /// at second granularity, which is what makes the cumulative curve a
+    /// coarse staircase rather than a smooth ramp (and is why the paper's
+    /// PBE-1 staircase summary competes so well with the PLA).
+    ///
+    /// Appends ticks to `out` (unsorted within the horizon — callers
+    /// building a mixed stream sort once at the end).
+    pub fn sample_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        bucket_ticks: u64,
+        scale: f64,
+        out: &mut Vec<u64>,
+    ) {
+        const CLUMP_FRACTION: f64 = 0.7;
+        for b in 0..self.buckets {
+            let lambda = self.expected(b) * scale;
+            let count = poisson(rng, lambda);
+            if count == 0 {
+                continue;
+            }
+            let base = b as u64 * bucket_ticks;
+            // one hot tick per ~20 arrivals, at least one
+            let hot: Vec<u64> =
+                (0..(count / 20).max(1)).map(|_| base + rng.gen_range(0..bucket_ticks)).collect();
+            for _ in 0..count {
+                if rng.gen_bool(CLUMP_FRACTION) {
+                    out.push(hot[rng.gen_range(0..hot.len())]);
+                } else {
+                    out.push(base + rng.gen_range(0..bucket_ticks));
+                }
+            }
+        }
+    }
+}
+
+/// Poisson(λ) sample: Knuth's product method for small λ, normal
+/// approximation (rounded, clamped at 0) for large λ.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        // Box–Muller normal approximation N(λ, λ)
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = lambda + lambda.sqrt() * z;
+        v.round().max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn burst_weights_integrate_to_one() {
+        for shape in
+            [BurstShape::Spike, BurstShape::RampUp, BurstShape::RampDown, BurstShape::Plateau]
+        {
+            let b = Burst { start_bucket: 10, end_bucket: 50, total_mentions: 100.0, shape };
+            let sum: f64 = (0..60).map(|i| b.weight(i)).sum();
+            assert!((sum - 1.0).abs() < 0.05, "{shape:?}: {sum}");
+            assert_eq!(b.weight(9), 0.0);
+            assert_eq!(b.weight(50), 0.0);
+        }
+    }
+
+    #[test]
+    fn ramp_up_peaks_at_the_end() {
+        let b = Burst {
+            start_bucket: 0,
+            end_bucket: 10,
+            total_mentions: 1.0,
+            shape: BurstShape::RampUp,
+        };
+        assert!(b.weight(9) > b.weight(5));
+        assert!(b.weight(5) > b.weight(1));
+    }
+
+    #[test]
+    fn expected_combines_background_and_bursts() {
+        let p = RateProfile::flat(100, 2.0).with_burst(Burst {
+            start_bucket: 40,
+            end_bucket: 60,
+            total_mentions: 200.0,
+            shape: BurstShape::Plateau,
+        });
+        assert_eq!(p.expected(10), 2.0);
+        assert!((p.expected(50) - 12.0).abs() < 1e-9); // 2 + 200/20
+        let total = p.total_expected();
+        assert!((total - 400.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn poisson_mean_is_lambda() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for &lambda in &[0.5, 5.0, 80.0] {
+            let n = 3_000;
+            let sum: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+            let mean = sum as f64 / n as f64;
+            assert!((mean - lambda).abs() < lambda.sqrt() * 0.2 + 0.1, "λ={lambda}: mean {mean}");
+        }
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn sampling_lands_in_buckets() {
+        let p = RateProfile::flat(10, 5.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut out = Vec::new();
+        p.sample_into(&mut rng, 100, 1.0, &mut out);
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|&t| t < 1_000));
+        let mean_count = out.len() as f64 / 10.0;
+        assert!((mean_count - 5.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn scale_multiplies_volume() {
+        let p = RateProfile::flat(50, 4.0);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut small = Vec::new();
+        let mut big = Vec::new();
+        p.sample_into(&mut rng, 10, 1.0, &mut small);
+        p.sample_into(&mut rng, 10, 5.0, &mut big);
+        assert!(big.len() > small.len() * 3);
+    }
+}

@@ -1,0 +1,203 @@
+//! Ground-truth evaluation helpers shared by the experiment harness.
+//!
+//! The paper evaluates on three measures (Section VI): storage space,
+//! execution time, and accuracy — the latter as the additive point-query
+//! error `|b̃_e(t) − b_e(t)|` averaged over random historical queries, and
+//! as precision/recall for bursty event queries.
+
+use bed_stream::{BurstSpan, Burstiness, EventId, ExactBaseline, Timestamp};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A random historical point-query workload: `count` uniformly random
+/// `(event, t)` pairs over the given events and horizon ("assuming that each
+/// time instance is equally likely to be queried", Section III).
+pub fn random_point_queries(
+    events: &[EventId],
+    horizon: Timestamp,
+    count: usize,
+    seed: u64,
+) -> Vec<(EventId, Timestamp)> {
+    assert!(!events.is_empty(), "need at least one event to query");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let e = events[rng.gen_range(0..events.len())];
+            let t = Timestamp(rng.gen_range(0..=horizon.ticks()));
+            (e, t)
+        })
+        .collect()
+}
+
+/// Mean absolute burstiness error of an estimator over a query workload.
+pub fn mean_abs_error(
+    baseline: &ExactBaseline,
+    queries: &[(EventId, Timestamp)],
+    tau: BurstSpan,
+    mut estimate: impl FnMut(EventId, Timestamp) -> f64,
+) -> f64 {
+    assert!(!queries.is_empty());
+    let total: f64 = queries
+        .iter()
+        .map(|&(e, t)| {
+            let truth = baseline.point_query(e, t, tau) as f64;
+            (estimate(e, t) - truth).abs()
+        })
+        .sum();
+    total / queries.len() as f64
+}
+
+/// Precision and recall of a reported bursty-event set against the exact
+/// answer at threshold θ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecall {
+    /// |reported ∩ truth| / |reported| (1.0 for an empty report).
+    pub precision: f64,
+    /// |reported ∩ truth| / |truth| (1.0 for an empty truth set).
+    pub recall: f64,
+    /// Number of true positives.
+    pub true_positives: usize,
+    /// Size of the exact answer set.
+    pub truth_size: usize,
+    /// Size of the reported set.
+    pub reported_size: usize,
+}
+
+impl PrecisionRecall {
+    /// F1 score (0 when both precision and recall are 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision;
+        let r = self.recall;
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Computes precision/recall of `reported` versus the exact bursty event set
+/// at `(t, θ, τ)`.
+pub fn precision_recall(
+    baseline: &ExactBaseline,
+    reported: &[EventId],
+    t: Timestamp,
+    theta: Burstiness,
+    tau: BurstSpan,
+) -> PrecisionRecall {
+    let truth: Vec<EventId> =
+        baseline.bursty_events(t, theta, tau).into_iter().map(|(e, _)| e).collect();
+    let tp = reported.iter().filter(|e| truth.contains(e)).count();
+    PrecisionRecall {
+        precision: if reported.is_empty() { 1.0 } else { tp as f64 / reported.len() as f64 },
+        recall: if truth.is_empty() { 1.0 } else { tp as f64 / truth.len() as f64 },
+        true_positives: tp,
+        truth_size: truth.len(),
+        reported_size: reported.len(),
+    }
+}
+
+/// Exact burstiness time series of one event sampled every `step` ticks —
+/// the data behind Fig. 7b and Fig. 13.
+pub fn burstiness_series(
+    baseline: &ExactBaseline,
+    event: EventId,
+    tau: BurstSpan,
+    horizon: Timestamp,
+    step: u64,
+) -> Vec<(Timestamp, Burstiness)> {
+    assert!(step > 0);
+    let mut out = Vec::new();
+    let mut t = 0u64;
+    while t <= horizon.ticks() {
+        out.push((Timestamp(t), baseline.point_query(event, Timestamp(t), tau)));
+        t += step;
+    }
+    out
+}
+
+/// Incoming-rate (burst frequency) time series — the data behind Fig. 7a.
+pub fn incoming_rate_series(
+    baseline: &ExactBaseline,
+    event: EventId,
+    tau: BurstSpan,
+    horizon: Timestamp,
+    step: u64,
+) -> Vec<(Timestamp, u64)> {
+    assert!(step > 0);
+    let mut out = Vec::new();
+    let mut t = 0u64;
+    while t <= horizon.ticks() {
+        out.push((Timestamp(t), baseline.burst_frequency(event, Timestamp(t), tau)));
+        t += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bed_stream::EventStream;
+
+    fn fixture() -> ExactBaseline {
+        let els: Vec<(u32, u64)> = (0..100u64).map(|t| (0u32, t)).chain([(1u32, 50u64)]).collect();
+        ExactBaseline::from_stream(&EventStream::from_unsorted(
+            els.into_iter().map(|(e, t)| bed_stream::StreamElement::new(e, t)).collect(),
+        ))
+    }
+
+    #[test]
+    fn query_workload_is_seeded_and_in_range() {
+        let events = vec![EventId(0), EventId(1)];
+        let a = random_point_queries(&events, Timestamp(100), 50, 9);
+        let b = random_point_queries(&events, Timestamp(100), 50, 9);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&(e, t)| t.ticks() <= 100 && e.value() < 2));
+    }
+
+    #[test]
+    fn mean_abs_error_of_perfect_estimator_is_zero() {
+        let base = fixture();
+        let tau = BurstSpan::new(10).unwrap();
+        let queries = random_point_queries(&[EventId(0), EventId(1)], Timestamp(120), 40, 1);
+        let err = mean_abs_error(&base, &queries, tau, |e, t| base.point_query(e, t, tau) as f64);
+        assert_eq!(err, 0.0);
+        let biased =
+            mean_abs_error(&base, &queries, tau, |e, t| base.point_query(e, t, tau) as f64 + 2.0);
+        assert!((biased - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_accounting() {
+        let base = fixture();
+        let tau = BurstSpan::new(10).unwrap();
+        // truth at t=50: event 1 just appeared (b=1); event 0 steady (b=0).
+        let pr = precision_recall(&base, &[EventId(1)], Timestamp(50), 1, tau);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 1.0);
+        assert_eq!(pr.true_positives, 1);
+
+        let pr = precision_recall(&base, &[EventId(0), EventId(1)], Timestamp(50), 1, tau);
+        assert_eq!(pr.precision, 0.5);
+        assert_eq!(pr.recall, 1.0);
+        assert!((pr.f1() - 2.0 / 3.0).abs() < 1e-12);
+
+        let pr = precision_recall(&base, &[], Timestamp(50), 1, tau);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 0.0);
+        assert_eq!(pr.f1(), 0.0);
+    }
+
+    #[test]
+    fn series_shapes() {
+        let base = fixture();
+        let tau = BurstSpan::new(10).unwrap();
+        let series = burstiness_series(&base, EventId(0), tau, Timestamp(100), 10);
+        assert_eq!(series.len(), 11);
+        assert_eq!(series[0].0, Timestamp(0));
+        let rates = incoming_rate_series(&base, EventId(0), tau, Timestamp(100), 25);
+        assert_eq!(rates.len(), 5);
+        // constant-rate event: steady incoming rate mid-stream
+        assert_eq!(rates[2].1, 10);
+    }
+}

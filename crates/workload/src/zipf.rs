@@ -1,0 +1,111 @@
+//! Zipf(α) sampling over a finite rank space.
+//!
+//! The uspolitics dataset's defining property is that "events have very
+//! different population: some attract a lot of attention, while others have
+//! only a few discussions" (Section VI-C) — i.e. a heavy-tailed popularity
+//! distribution, which we model as Zipf with configurable exponent.
+
+use rand::Rng;
+
+/// Inverse-CDF Zipf sampler: rank `r ∈ [0, n)` has probability
+/// `∝ 1 / (r + 1)^alpha`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative distribution, cdf[r] = P(rank ≤ r).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with exponent `alpha ≥ 0`
+    /// (`alpha = 0` is uniform; the classic web/word skew is `alpha ≈ 1`).
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "rank space must be non-empty");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be a finite non-negative number");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the rank space is trivial.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability mass of rank `r`.
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one_and_decreases() {
+        let z = Zipf::new(100, 1.0);
+        let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for r in 1..100 {
+            assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empirical_skew_matches_alpha() {
+        let z = Zipf::new(50, 1.2);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 50];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // rank 0 should dominate and the tail should be thin
+        assert!(counts[0] > counts[10] * 5, "{} vs {}", counts[0], counts[10]);
+        assert!(counts[0] as f64 / n as f64 > 0.2);
+        // every expected-frequent rank appears
+        assert!(counts[..5].iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn sample_is_always_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # bed — Bursty Event Detection Throughout Histories
+//!
+//! Facade crate re-exporting the full public API of the `bed` workspace, a
+//! Rust implementation of *"Bursty Event Detection Throughout Histories"*
+//! (Paul, Peng & Li, ICDE 2019).
+//!
+//! Start with [`bed_core::BurstDetector`]; see the `examples/` directory for
+//! runnable walkthroughs and `crates/bench` for the paper's experiments.
+
+#![forbid(unsafe_code)]
+
+pub use bed_core as core;
+pub use bed_hierarchy as hierarchy;
+pub use bed_pbe as pbe;
+pub use bed_sketch as sketch;
+pub use bed_stream as stream;
+pub use bed_workload as workload;
+
+pub use bed_core::*;

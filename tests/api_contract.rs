@@ -1,0 +1,122 @@
+//! API-contract integration tests: error paths and misuse across the
+//! public surface.
+
+use bed::{BedError, BurstDetector, BurstSpan, EventId, PbeVariant, Timestamp};
+
+#[test]
+fn builder_rejects_bad_parameters() {
+    assert!(BurstDetector::builder()
+        .variant(PbeVariant::Pbe1 { n_buf: 10, eta: 10 })
+        .build()
+        .is_err());
+    assert!(BurstDetector::builder()
+        .variant(PbeVariant::Pbe2 { gamma: -3.0, max_vertices: 64 })
+        .build()
+        .is_err());
+    assert!(BurstDetector::builder().universe(8).accuracy(1.5, 0.1).build().is_err());
+    assert!(BurstDetector::builder().universe(8).accuracy(0.1, 0.0).build().is_err());
+}
+
+#[test]
+fn mode_mismatches_are_descriptive() {
+    let mut single = BurstDetector::builder().single_event().build().unwrap();
+    let err = single.ingest(EventId(0), Timestamp(0)).unwrap_err();
+    assert!(matches!(err, BedError::WrongMode { .. }));
+    assert!(err.to_string().contains("ingest"));
+
+    let mut mixed = BurstDetector::builder().universe(4).build().unwrap();
+    let err = mixed.ingest_single(Timestamp(0)).unwrap_err();
+    assert!(matches!(err, BedError::WrongMode { .. }));
+}
+
+#[test]
+fn timestamps_must_not_go_backwards() {
+    let mut det = BurstDetector::builder().universe(4).build().unwrap();
+    det.ingest(EventId(1), Timestamp(100)).unwrap();
+    let err = det.ingest(EventId(2), Timestamp(99)).unwrap_err();
+    assert!(err.to_string().contains("non-monotonic"));
+    // the failed ingest must not corrupt state: same timestamp is still fine
+    det.ingest(EventId(2), Timestamp(100)).unwrap();
+    assert_eq!(det.arrivals(), 2);
+}
+
+#[test]
+fn universe_bounds_are_enforced() {
+    let mut det = BurstDetector::builder().universe(4).build().unwrap();
+    let err = det.ingest(EventId(4), Timestamp(0)).unwrap_err();
+    assert!(err.to_string().contains("universe"));
+}
+
+#[test]
+fn burst_span_construction() {
+    assert!(BurstSpan::new(0).is_err());
+    let tau = BurstSpan::new(60).unwrap();
+    assert_eq!(tau.ticks(), 60);
+}
+
+#[test]
+fn queries_on_empty_detectors_are_sane() {
+    let det = BurstDetector::builder().universe(16).build().unwrap();
+    let tau = BurstSpan::new(10).unwrap();
+    assert_eq!(det.point_query(EventId(3), Timestamp(100), tau), 0.0);
+    assert_eq!(det.cumulative_frequency(EventId(3), Timestamp(100)), 0.0);
+    let (hits, _) = det.bursty_events(Timestamp(100), 1.0, tau).unwrap();
+    assert!(hits.is_empty());
+    assert!(det.bursty_times(EventId(3), 1.0, tau, Timestamp(1_000)).is_empty());
+    assert_eq!(det.arrivals(), 0);
+}
+
+#[test]
+fn finalize_is_idempotent() {
+    let mut det =
+        BurstDetector::builder().universe(4).variant(PbeVariant::pbe1(8)).build().unwrap();
+    for t in 0..100u64 {
+        det.ingest(EventId((t % 4) as u32), Timestamp(t)).unwrap();
+    }
+    det.finalize();
+    let size = det.size_bytes();
+    let tau = BurstSpan::new(10).unwrap();
+    let b = det.point_query(EventId(0), Timestamp(99), tau);
+    det.finalize();
+    assert_eq!(det.size_bytes(), size);
+    assert_eq!(det.point_query(EventId(0), Timestamp(99), tau), b);
+}
+
+#[test]
+fn ingest_after_finalize_continues_the_stream() {
+    let mut det =
+        BurstDetector::builder().universe(4).variant(PbeVariant::pbe2(2.0)).build().unwrap();
+    for t in 0..50u64 {
+        det.ingest(EventId(0), Timestamp(t)).unwrap();
+    }
+    det.finalize();
+    for t in 50..100u64 {
+        det.ingest(EventId(0), Timestamp(t)).unwrap();
+    }
+    det.finalize();
+    let f = det.cumulative_frequency(EventId(0), Timestamp(99));
+    assert!((f - 100.0).abs() <= 4.0, "F̃ = {f}");
+}
+
+#[test]
+fn errors_are_std_error_and_send_sync() {
+    fn assert_properties<E: std::error::Error + Send + Sync + 'static>() {}
+    assert_properties::<BedError>();
+    assert_properties::<bed::stream::StreamError>();
+}
+
+#[test]
+fn nonpositive_theta_is_a_typed_error_not_a_panic() {
+    let mut det = BurstDetector::builder().universe(4).build().unwrap();
+    det.ingest(EventId(0), Timestamp(0)).unwrap();
+    let tau = BurstSpan::new(10).unwrap();
+    for theta in [0.0, -5.0, f64::NAN] {
+        let err = det.bursty_events(Timestamp(0), theta, tau).unwrap_err();
+        assert!(err.to_string().contains("theta"), "{err}");
+        let err = det.bursty_events_in_range(0, 4, Timestamp(0), theta, tau).unwrap_err();
+        assert!(err.to_string().contains("theta"), "{err}");
+    }
+    // inverted id range is also a typed error
+    let err = det.bursty_events_in_range(3, 3, Timestamp(0), 1.0, tau).unwrap_err();
+    assert!(err.to_string().contains("inverted"), "{err}");
+}
