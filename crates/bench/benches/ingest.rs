@@ -1,10 +1,14 @@
 //! Ingest throughput of every sketch variant.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 
+use bed_core::{BurstDetector, PbeVariant};
 use bed_pbe::{CurveSketch, Pbe1, Pbe1Config, Pbe2, Pbe2Config};
 use bed_sketch::{CmPbe, SketchParams};
 use bed_stream::{EventId, Timestamp};
+use bed_workload::Zipf;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 /// A deterministic mixed workload: 50k elements over 1k events, mildly
 /// bursty timestamps.
@@ -111,9 +115,50 @@ fn bench_ingest(c: &mut Criterion) {
     g.finish();
 }
 
+/// A 1M-arrival Zipf(1.1) stream over 1024 events — the heavy-tailed
+/// mixed workload the sharding layer targets.
+fn zipf_workload(n: u64, universe: u32) -> Vec<(EventId, Timestamp)> {
+    let zipf = Zipf::new(universe as usize, 1.1);
+    let mut rng = SmallRng::seed_from_u64(0xBED);
+    (0..n).map(|i| (EventId(zipf.sample(&mut rng) as u32), Timestamp(i / 20))).collect()
+}
+
+/// Shard scaling of batch ingestion: the same hierarchical detector
+/// configuration split 1/2/4/8 ways. `results/sharded_ingest.md` tracks
+/// the throughput curve; speedup above 1 shard needs as many free cores.
+fn bench_ingest_sharded(c: &mut Criterion) {
+    let universe = 1_024u32;
+    let els = zipf_workload(1_000_000, universe);
+    let mut g = c.benchmark_group("ingest_sharded");
+    g.throughput(Throughput::Elements(els.len() as u64));
+    for shards in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &n| {
+            b.iter_batched(
+                || {
+                    BurstDetector::builder()
+                        .universe(universe)
+                        .variant(PbeVariant::pbe2(8.0))
+                        .accuracy(0.005, 0.02)
+                        .seed(7)
+                        .shards(n)
+                        .build()
+                        .unwrap()
+                },
+                |mut det| {
+                    det.ingest_batch(&els).unwrap();
+                    det.finalize();
+                    det.arrivals()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_ingest
+    targets = bench_ingest, bench_ingest_sharded
 }
 criterion_main!(benches);

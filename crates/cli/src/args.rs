@@ -41,6 +41,8 @@ pub enum Command {
         flat: bool,
         /// Hash seed.
         seed: u64,
+        /// Shard count for parallel ingestion (1 = unsharded).
+        shards: usize,
     },
     /// `bed info` — describe a persisted sketch.
     Info {
@@ -225,6 +227,15 @@ where
             let delta = o.optional_num("delta", 0.02f64)?;
             let flat = o.optional("flat").is_some();
             let seed = o.optional_num("seed", 0xBEDu64)?;
+            let shards = o.optional_num("shards", 1usize)?;
+            if shards == 0 {
+                return Err(CliError::Usage("build: --shards must be at least 1".into()));
+            }
+            if shards > 1 && universe.is_none() {
+                return Err(CliError::Usage(
+                    "build: --shards partitions an event universe; add --universe K".into(),
+                ));
+            }
             o.finish()?;
             Ok(Command::Build {
                 input,
@@ -237,6 +248,7 @@ where
                 delta,
                 flat,
                 seed,
+                shards,
             })
         }
         "info" => {
@@ -356,18 +368,47 @@ mod tests {
             "--flat",
             "--seed",
             "9",
+            "--shards",
+            "4",
         ]);
-        match c {
-            Command::Build { variant, eta, universe, epsilon, flat, seed, .. } => {
-                assert_eq!(variant, "pbe1");
-                assert_eq!(eta, 64);
-                assert_eq!(universe, Some(864));
-                assert_eq!(epsilon, 0.01);
-                assert!(flat);
-                assert_eq!(seed, 9);
+        assert_eq!(
+            c,
+            Command::Build {
+                input: "a.tsv".into(),
+                out: "a.bed".into(),
+                variant: "pbe1".into(),
+                eta: 64,
+                gamma: 8.0,
+                universe: Some(864),
+                epsilon: 0.01,
+                delta: 0.05,
+                flat: true,
+                seed: 9,
+                shards: 4,
             }
-            other => panic!("{other:?}"),
-        }
+        );
+    }
+
+    #[test]
+    fn malformed_subcommand_is_an_error_not_a_panic() {
+        // a typo'd subcommand must surface as Err(CliError::Usage), never abort
+        let err = parse(["bui1d", "--input", "a.tsv", "--out", "a.bed"]).unwrap_err();
+        assert!(matches!(&err, CliError::Usage(_)), "{err:?}");
+        assert!(err.to_string().contains("unknown command 'bui1d'"), "{err}");
+    }
+
+    #[test]
+    fn shard_flag_is_validated() {
+        let base = ["build", "--input", "a", "--out", "b", "--universe", "8"];
+        let with = |extra: &[&str]| parse(base.iter().chain(extra).copied().collect::<Vec<_>>());
+        assert!(matches!(with(&[]).unwrap(), Command::Build { shards: 1, .. }));
+        assert!(matches!(with(&["--shards", "8"]).unwrap(), Command::Build { shards: 8, .. }));
+        let e = with(&["--shards", "0"]).unwrap_err().to_string();
+        assert!(e.contains("at least 1"), "{e}");
+        let e = parse(["build", "--input", "a", "--out", "b", "--shards", "2"])
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("--universe"), "{e}");
     }
 
     #[test]

@@ -3,12 +3,118 @@
 use std::fmt::Write as _;
 use std::fs;
 
-use bed_core::{BurstDetector, PbeVariant};
+use bed_core::{BurstDetector, BurstyEventHit, PbeVariant, QueryStats, ShardedDetector};
 use bed_stream::{BurstSpan, Codec, EventId, Timestamp};
 use bed_workload::{olympics, politics};
 
 use crate::args::Command;
 use crate::CliError;
+
+/// A persisted sketch of either format, dispatched by magic bytes:
+/// `BEDD` (unsharded [`BurstDetector`]) or `BEDS` ([`ShardedDetector`]).
+enum AnySketch {
+    /// Unsharded detector.
+    Plain(BurstDetector),
+    /// Hash-sharded detector.
+    Sharded(ShardedDetector),
+}
+
+impl AnySketch {
+    fn arrivals(&self) -> u64 {
+        match self {
+            AnySketch::Plain(d) => d.arrivals(),
+            AnySketch::Sharded(d) => d.arrivals(),
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        match self {
+            AnySketch::Plain(d) => d.size_bytes(),
+            AnySketch::Sharded(d) => d.size_bytes(),
+        }
+    }
+
+    fn config(&self) -> &bed_core::DetectorConfig {
+        match self {
+            AnySketch::Plain(d) => d.config(),
+            AnySketch::Sharded(d) => d.config(),
+        }
+    }
+
+    fn point_query(&self, event: EventId, t: Timestamp, tau: BurstSpan) -> f64 {
+        match self {
+            AnySketch::Plain(d) => d.point_query(event, t, tau),
+            AnySketch::Sharded(d) => d.point_query(event, t, tau),
+        }
+    }
+
+    fn burst_frequency(&self, event: EventId, t: Timestamp, tau: BurstSpan) -> f64 {
+        match self {
+            AnySketch::Plain(d) => d.burst_frequency(event, t, tau),
+            AnySketch::Sharded(d) => d.burst_frequency(event, t, tau),
+        }
+    }
+
+    fn cumulative_frequency(&self, event: EventId, t: Timestamp) -> f64 {
+        match self {
+            AnySketch::Plain(d) => d.cumulative_frequency(event, t),
+            AnySketch::Sharded(d) => d.cumulative_frequency(event, t),
+        }
+    }
+
+    fn bursty_times(
+        &self,
+        event: EventId,
+        theta: f64,
+        tau: BurstSpan,
+        horizon: Timestamp,
+    ) -> Vec<(Timestamp, f64)> {
+        match self {
+            AnySketch::Plain(d) => d.bursty_times(event, theta, tau, horizon),
+            AnySketch::Sharded(d) => d.bursty_times(event, theta, tau, horizon),
+        }
+    }
+
+    fn bursty_events(
+        &self,
+        t: Timestamp,
+        theta: f64,
+        tau: BurstSpan,
+    ) -> Result<(Vec<BurstyEventHit>, QueryStats), bed_core::BedError> {
+        match self {
+            AnySketch::Plain(d) => d.bursty_events(t, theta, tau),
+            AnySketch::Sharded(d) => d.bursty_events(t, theta, tau),
+        }
+    }
+
+    fn burstiness_series(
+        &self,
+        event: EventId,
+        tau: BurstSpan,
+        range: bed_core::TimeRange,
+        step: u64,
+    ) -> Vec<(Timestamp, f64)> {
+        match self {
+            AnySketch::Plain(d) => d.burstiness_series(event, tau, range, step),
+            AnySketch::Sharded(d) => d.burstiness_series(event, tau, range, step),
+        }
+    }
+
+    fn bursty_time_ranges(
+        &self,
+        theta: f64,
+        tau: BurstSpan,
+        horizon: Timestamp,
+    ) -> Result<Vec<bed_core::TimeRange>, bed_core::BedError> {
+        match self {
+            AnySketch::Plain(d) => d.bursty_time_ranges(theta, tau, horizon),
+            AnySketch::Sharded(_) => Err(bed_core::BedError::WrongMode {
+                operation: "bursty_time_ranges",
+                built_for: "mixed event streams (use bursty_times)",
+            }),
+        }
+    }
+}
 
 /// Executes a parsed command, returning its stdout text.
 pub fn execute(command: Command) -> Result<String, CliError> {
@@ -25,7 +131,10 @@ pub fn execute(command: Command) -> Result<String, CliError> {
             delta,
             flat,
             seed,
-        } => build(&input, &out, &variant, eta, gamma, universe, epsilon, delta, flat, seed),
+            shards,
+        } => {
+            build(&input, &out, &variant, eta, gamma, universe, epsilon, delta, flat, seed, shards)
+        }
         Command::Info { sketch } => info(&sketch),
         Command::Point { sketch, event, t, tau } => point(&sketch, event, t, tau),
         Command::Times { sketch, event, theta, tau, horizon } => {
@@ -84,6 +193,7 @@ fn build(
     delta: f64,
     flat: bool,
     seed: u64,
+    shards: usize,
 ) -> Result<String, CliError> {
     let text = fs::read_to_string(input)?;
     let variant = match variant {
@@ -99,44 +209,60 @@ fn build(
         Some(k) => builder.universe(k),
         None => builder.single_event(),
     };
-    let mut det = builder.build()?;
 
-    let mut count = 0u64;
+    let mut els = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.is_empty() {
             continue;
         }
-        let (event, ts) = parse_line(line, i + 1)?;
-        if universe.is_some() {
-            det.ingest(event, ts)?;
-        } else {
-            det.ingest_single(ts)?;
-        }
-        count += 1;
+        els.push(parse_line(line, i + 1)?);
     }
-    det.finalize();
-    let bytes = det.to_bytes();
+    let count = els.len();
+
+    let (bytes, summary_bytes) = if shards > 1 {
+        let mut det = builder.shards(shards).build()?;
+        det.ingest_batch(&els)?;
+        det.finalize();
+        (det.to_bytes(), det.size_bytes())
+    } else {
+        let mut det = builder.build()?;
+        for &(event, ts) in &els {
+            if universe.is_some() {
+                det.ingest(event, ts)?;
+            } else {
+                det.ingest_single(ts)?;
+            }
+        }
+        det.finalize();
+        (det.to_bytes(), det.size_bytes())
+    };
     fs::write(out, &bytes)?;
     Ok(format!(
-        "ingested {count} elements; sketch summary {} bytes (file {} bytes) -> {out}\n",
-        det.size_bytes(),
+        "ingested {count} elements; sketch summary {summary_bytes} bytes (file {} bytes) -> {out}\n",
         bytes.len()
     ))
 }
 
-fn load(path: &str) -> Result<BurstDetector, CliError> {
+fn load(path: &str) -> Result<AnySketch, CliError> {
     let bytes = fs::read(path)?;
-    Ok(BurstDetector::from_bytes(&bytes)?)
+    if bytes.starts_with(b"BEDS") {
+        Ok(AnySketch::Sharded(ShardedDetector::from_bytes(&bytes)?))
+    } else {
+        Ok(AnySketch::Plain(BurstDetector::from_bytes(&bytes)?))
+    }
 }
 
 fn info(path: &str) -> Result<String, CliError> {
     let det = load(path)?;
     let c = det.config();
-    let mode = match (c.universe, c.hierarchical) {
+    let mut mode = match (c.universe, c.hierarchical) {
         (None, _) => "single-event".to_string(),
         (Some(k), true) => format!("mixed, K={k}, hierarchical"),
         (Some(k), false) => format!("mixed, K={k}, flat"),
     };
+    if let AnySketch::Sharded(s) = &det {
+        write!(mode, ", {} shards", s.num_shards()).expect("string write");
+    }
     Ok(format!(
         "sketch: {path}\n mode: {mode}\n variant: {:?}\n epsilon/delta: {}/{}\n seed: {}\n arrivals: {}\n summary bytes: {}\n",
         c.variant, c.sketch.epsilon, c.sketch.delta, c.seed, det.arrivals(), det.size_bytes()
@@ -294,20 +420,17 @@ mod tests {
             }
         }
         std::fs::write(&tsv, text).unwrap();
-        run(["build", "--input", &tsv, "--out", &sk, "--variant", "pbe2", "--gamma", "2"])
-            .unwrap();
+        run(["build", "--input", &tsv, "--out", &sk, "--variant", "pbe2", "--gamma", "2"]).unwrap();
 
-        let out = run([
-            "ranges", "--sketch", &sk, "--theta", "100", "--tau", "40", "--horizon", "400",
-        ])
-        .unwrap();
+        let out =
+            run(["ranges", "--sketch", &sk, "--theta", "100", "--tau", "40", "--horizon", "400"])
+                .unwrap();
         assert!(out.contains("bursty ranges"), "{out}");
         assert!(out.contains('['), "expected at least one interval: {out}");
 
-        let out = run([
-            "series", "--sketch", &sk, "--tau", "40", "--horizon", "300", "--step", "50",
-        ])
-        .unwrap();
+        let out =
+            run(["series", "--sketch", &sk, "--tau", "40", "--horizon", "300", "--step", "50"])
+                .unwrap();
         assert_eq!(out.lines().count(), 1 + 7, "{out}"); // header + 0..=300 step 50
 
         // ranges requires a single-event sketch
@@ -315,11 +438,83 @@ mod tests {
         let sk2 = tmp("rs2.bed");
         std::fs::write(&tsv2, "0\t1\n1\t2\n").unwrap();
         run(["build", "--input", &tsv2, "--out", &sk2, "--universe", "4"]).unwrap();
-        let err = run([
-            "ranges", "--sketch", &sk2, "--theta", "1", "--tau", "5", "--horizon", "10",
-        ])
-        .unwrap_err();
+        let err =
+            run(["ranges", "--sketch", &sk2, "--theta", "1", "--tau", "5", "--horizon", "10"])
+                .unwrap_err();
         assert!(err.to_string().contains("mixed"), "{err}");
+    }
+
+    #[test]
+    fn sharded_build_and_queries() {
+        let tsv = tmp("shard.tsv");
+        let sk = tmp("shard.beds");
+        let sk1 = tmp("shard1.bed");
+        let mut text = String::new();
+        for t in 0..200u64 {
+            text.push_str(&format!("0\t{t}\n3\t{t}\n"));
+            if t >= 180 {
+                for _ in 0..10 {
+                    text.push_str(&format!("5\t{t}\n"));
+                }
+            }
+        }
+        std::fs::write(&tsv, text).unwrap();
+        let base = ["build", "--input", &tsv, "--universe", "8", "--gamma", "1", "--seed", "3"];
+        run(base.iter().chain(["--out", &sk, "--shards", "4"].iter()).copied()).unwrap();
+        run(base.iter().chain(["--out", &sk1].iter()).copied()).unwrap();
+
+        let out = run(["info", "--sketch", &sk]).unwrap();
+        assert!(out.contains("mixed, K=8, hierarchical, 4 shards"), "{out}");
+
+        // sharding is invisible to point queries: same answer as unsharded
+        let args = ["--event", "5", "--t", "199", "--tau", "20"];
+        let sharded = run(["point", "--sketch", &sk].iter().chain(&args).copied()).unwrap();
+        let plain = run(["point", "--sketch", &sk1].iter().chain(&args).copied()).unwrap();
+        assert_eq!(
+            sharded.lines().skip(1).collect::<Vec<_>>(),
+            plain.lines().skip(1).collect::<Vec<_>>()
+        );
+
+        let out =
+            run(["events", "--sketch", &sk, "--t", "199", "--theta", "50", "--tau", "20"]).unwrap();
+        assert!(out.contains("event 5"), "{out}");
+
+        let out = run([
+            "times",
+            "--sketch",
+            &sk,
+            "--event",
+            "5",
+            "--theta",
+            "50",
+            "--tau",
+            "20",
+            "--horizon",
+            "300",
+        ])
+        .unwrap();
+        assert!(out.contains("bursty instants"), "{out}");
+
+        let out = run([
+            "series",
+            "--sketch",
+            &sk,
+            "--event",
+            "5",
+            "--tau",
+            "20",
+            "--horizon",
+            "200",
+            "--step",
+            "50",
+        ])
+        .unwrap();
+        assert_eq!(out.lines().count(), 1 + 5, "{out}");
+
+        // interval semantics stay single-event-only
+        let err = run(["ranges", "--sketch", &sk, "--theta", "1", "--tau", "5", "--horizon", "10"])
+            .unwrap_err();
+        assert!(err.to_string().contains("bursty_time_ranges"), "{err}");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! bed generate --dataset olympics --n 200000 --out stream.tsv
 //! bed build    --input stream.tsv --universe 864 --variant pbe2 --gamma 8 --out rio.bed
+//! bed build    --input stream.tsv --universe 864 --shards 4 --out rio.beds
 //! bed info     --sketch rio.bed
 //! bed point    --sketch rio.bed --event 0 --t 1814400 --tau 86400
 //! bed times    --sketch rio.bed --event 0 --theta 1000 --tau 86400 --horizon 2678400

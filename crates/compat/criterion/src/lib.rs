@@ -1,0 +1,339 @@
+//! Offline stand-in for the subset of the `criterion` crate this
+//! workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a tiny API-compatible harness: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`Throughput`], [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark calibrates an
+//! iteration count against a wall-clock budget
+//! (`measurement_time / sample_size` scaled), then reports the mean time
+//! per iteration and, when a [`Throughput`] is set, the implied rate.
+//! There is no statistical analysis, outlier rejection, or HTML report —
+//! one line per benchmark on stdout, which is what `results/` captures.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard opaque-value barrier, as upstream offers.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How much work a single benchmark iteration represents.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Hint for how much setup output to buffer in `iter_batched`.
+///
+/// The stub runs one setup per timed invocation regardless, so the
+/// variants only exist for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier, optionally parameterised (`"cht/1024"`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and a parameter into `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Uses the parameter alone as the identifier.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Top-level benchmark harness configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` forwards its trailing arguments here;
+        // flags like `--bench` that cargo itself injects are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { sample_size: 100, measurement_time: Duration::from_secs(1), filter }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal sample count (scales the per-benchmark budget).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-clock budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    fn budget(&self) -> Duration {
+        // Upstream spends roughly measurement_time per benchmark and
+        // scales with sample_size; mirror that coarsely so
+        // `sample_size(10)` keeps CI-sized runs quick.
+        self.measurement_time.mul_f64((self.sample_size as f64 / 100.0).clamp(0.05, 1.0))
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let budget = self.budget();
+        let filter = self.filter.clone();
+        run_one(&filter, "", &id.into().id, None, budget, f);
+    }
+
+    /// Upstream prints a summary here; the stub has nothing buffered.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration of subsequent benchmarks does.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the nominal sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let budget = self.criterion.budget();
+        let filter = self.criterion.filter.clone();
+        run_one(&filter, &self.name, &id.into().id, self.throughput, budget, f);
+    }
+
+    /// Runs one benchmark that borrows a shared input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (drop does the same; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures to time the routine under test.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` back-to-back until the budget is spent.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget {
+                self.iters = iters;
+                self.elapsed = elapsed;
+                return;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh `setup()` outputs, excluding setup time.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut iters = 0u64;
+        let mut in_routine = Duration::ZERO;
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            in_routine += t0.elapsed();
+            iters += 1;
+            if in_routine >= self.budget {
+                self.iters = iters;
+                self.elapsed = in_routine;
+                return;
+            }
+        }
+    }
+}
+
+fn run_one(
+    filter: &Option<String>,
+    group: &str,
+    id: &str,
+    throughput: Option<Throughput>,
+    budget: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let full = if group.is_empty() { id.to_owned() } else { format!("{group}/{id}") };
+    if let Some(pat) = filter {
+        if !full.contains(pat.as_str()) {
+            return;
+        }
+    }
+    // One untimed warmup pass (tiny budget) so cold caches and lazy
+    // allocations don't land in the measured run.
+    let mut warm = Bencher { budget: budget.mul_f64(0.1), iters: 0, elapsed: Duration::ZERO };
+    f(&mut warm);
+    let mut b = Bencher { budget, iters: 0, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  thrpt: {}/s", si(n as f64 / per_iter, "elem")),
+        Some(Throughput::Bytes(n)) => format!("  thrpt: {}/s", si(n as f64 / per_iter, "B")),
+        None => String::new(),
+    };
+    println!("{full:<40} time: {}  ({} iters){rate}", fmt_time(per_iter), b.iters);
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+fn si(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.2} {unit}")
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, in both the
+/// positional and the `name = …; config = …; targets = …` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+            $crate::Criterion::final_summary(&mut criterion);
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default().sample_size(1).measurement_time(Duration::from_millis(20))
+    }
+
+    #[test]
+    fn groups_run_and_report() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("stub");
+        g.throughput(Throughput::Elements(100));
+        let mut ran = 0u32;
+        g.bench_function("noop", |b| {
+            ran += 1;
+            b.iter(|| black_box(1 + 1))
+        });
+        let data = vec![1u64; 16];
+        g.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter(|| d.iter().sum::<u64>())
+        });
+        g.finish();
+        assert!(ran >= 2, "warmup + measured run expected, got {ran}");
+    }
+
+    #[test]
+    fn iter_batched_times_only_routine() {
+        let mut c = quick();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![0u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

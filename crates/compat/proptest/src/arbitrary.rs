@@ -1,0 +1,50 @@
+//! `any::<T>()` and the [`Arbitrary`] trait for full-domain strategies.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Debug + Sized {
+    /// Draws one value uniformly from the type's domain.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Arbitrary for f64 {
+    /// Uniform in `[0, 1)` — enough for the probability-shaped uses in
+    /// this workspace (upstream draws from the full bit domain).
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.gen()
+    }
+}
+
+/// Strategy over the full domain of `T`.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy for `T` (`any::<u8>()`, …).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}

@@ -1,0 +1,119 @@
+//! Deterministic case runner behind the [`proptest!`](crate::proptest)
+//! macro.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+    /// A `prop_assume!` was not met; the case is discarded and redrawn.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds the discard variant.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Default number of passing cases required per test.
+const DEFAULT_CASES: u32 = 64;
+
+/// Abort if rejections outnumber passes by this factor.
+const MAX_REJECTS_PER_CASE: u32 = 64;
+
+fn configured_cases() -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("PROPTEST_CASES must be a positive integer, got {s:?}")),
+        Err(_) => DEFAULT_CASES,
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `case` until `PROPTEST_CASES` (default 64) cases pass, panicking
+/// on the first failure with the generated inputs and the case seed.
+///
+/// The seed for attempt `i` of test `name` is `hash(name) ⊕ mix(i)`, so a
+/// failure reproduces by rerunning the same test on the same build — no
+/// regression files are involved.
+pub fn run(name: &str, mut case: impl FnMut(&mut SmallRng, &mut Vec<String>) -> TestCaseResult) {
+    let cases = configured_cases();
+    let base = fnv1a(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut attempt = 0u64;
+    while passed < cases {
+        let seed = base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        attempt += 1;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut inputs = Vec::new();
+        match case(&mut rng, &mut inputs) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= cases.saturating_mul(MAX_REJECTS_PER_CASE),
+                    "proptest `{name}`: too many rejected cases \
+                     ({rejected} rejects for {passed} passes; last assume: {why})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{name}` failed after {passed} passing case(s)\n\
+                     {msg}\n\
+                     inputs:\n  {}\n\
+                     (case seed {seed:#x}; no shrinking in the offline stub)",
+                    inputs.join("\n  ")
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_only_passing_cases() {
+        let mut calls = 0u32;
+        run("counts_only_passing_cases", |_rng, _inputs| {
+            calls += 1;
+            if calls % 3 == 0 {
+                Err(TestCaseError::reject("every third"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls >= DEFAULT_CASES);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failure_panics_with_message() {
+        run("failure_panics_with_message", |_rng, _inputs| Err(TestCaseError::fail("boom")));
+    }
+}

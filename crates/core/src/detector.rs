@@ -216,20 +216,57 @@ impl BurstDetector {
             }),
             Backend::Flat(grid) => {
                 let k = self.config.universe.expect("flat mode implies a universe");
-                let mut hits = Vec::new();
-                let mut stats = QueryStats::default();
-                for e in 0..k {
-                    stats.point_queries += 1;
-                    stats.leaves_probed += 1;
-                    let b = grid.estimate_burstiness(EventId(e), t, tau);
-                    if b >= theta {
-                        hits.push(BurstyEventHit { event: EventId(e), burstiness: b });
-                    }
-                }
-                Ok((hits, stats))
+                Ok(Self::scan_grid(grid, k, t, theta, tau))
             }
             Backend::Hierarchical(forest) => Ok(forest.bursty_events(t, theta, tau)),
         }
+    }
+
+    /// BURSTY EVENT QUERY via exhaustive scan over the universe — no
+    /// dyadic pruning, so the hit set is exactly the events whose point
+    /// query reaches θ. The reference answer for equivalence tests (the
+    /// pruned search may skip events masked by sign cancellation).
+    pub fn bursty_events_scan(
+        &self,
+        t: Timestamp,
+        theta: f64,
+        tau: BurstSpan,
+    ) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError> {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must fail too
+        if !(theta > 0.0) {
+            return Err(StreamError::InvalidProbability { parameter: "theta", got: theta }.into());
+        }
+        match &self.backend {
+            Backend::Single(_) => Err(BedError::WrongMode {
+                operation: "bursty_events_scan",
+                built_for: "a single event stream",
+            }),
+            Backend::Flat(grid) => {
+                let k = self.config.universe.expect("flat mode implies a universe");
+                Ok(Self::scan_grid(grid, k, t, theta, tau))
+            }
+            Backend::Hierarchical(forest) => Ok(forest.bursty_events_scan(t, theta, tau)),
+        }
+    }
+
+    fn scan_grid(
+        grid: &CmPbe<PbeCell>,
+        k: u32,
+        t: Timestamp,
+        theta: f64,
+        tau: BurstSpan,
+    ) -> (Vec<BurstyEventHit>, QueryStats) {
+        let mut hits = Vec::new();
+        let mut stats = QueryStats::default();
+        for e in 0..k {
+            stats.point_queries += 1;
+            stats.leaves_probed += 1;
+            let b = grid.estimate_burstiness(EventId(e), t, tau);
+            if b >= theta {
+                hits.push(BurstyEventHit { event: EventId(e), burstiness: b });
+            }
+        }
+        (hits, stats)
     }
 
     /// BURSTY EVENT QUERY restricted to event ids `[lo, hi)` — exploits the
@@ -353,6 +390,13 @@ impl BurstDetectorBuilder {
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
         self
+    }
+
+    /// Splits the configured universe across `n` hash-partitioned shards,
+    /// switching to a [`crate::ShardedDetector`] builder for parallel
+    /// ingestion (requires `.universe(k)`).
+    pub fn shards(self, n: usize) -> crate::shard::ShardedDetectorBuilder {
+        crate::shard::ShardedDetectorBuilder { config: self.config, shards: n }
     }
 
     /// Builds the detector.
@@ -588,9 +632,8 @@ mod tests {
             .unwrap();
         burst_fixture(&mut det);
         let tau = BurstSpan::new(10).unwrap();
-        let range = bed_stream::TimeRange::up_to(Timestamp(120)).merge(
-            &bed_stream::TimeRange { start: Timestamp(0), end: Timestamp(120) },
-        );
+        let range = bed_stream::TimeRange::up_to(Timestamp(120))
+            .merge(&bed_stream::TimeRange { start: Timestamp(0), end: Timestamp(120) });
         let series = det.burstiness_series(EventId(1), tau, range, 10);
         assert_eq!(series.len(), 13);
         // the series peaks inside the burst window (t ≈ 90..100)

@@ -20,6 +20,11 @@ pub enum BedError {
     /// A bursty event query needs the dyadic hierarchy, which was disabled
     /// at build time.
     HierarchyDisabled,
+    /// A sharded detector needs at least one shard.
+    InvalidShardCount {
+        /// The shard count requested.
+        got: usize,
+    },
 }
 
 impl fmt::Display for BedError {
@@ -31,6 +36,9 @@ impl fmt::Display for BedError {
             }
             BedError::HierarchyDisabled => {
                 write!(f, "bursty event queries need .hierarchical(true) at build time")
+            }
+            BedError::InvalidShardCount { got } => {
+                write!(f, "shard count must be at least 1, got {got}")
             }
         }
     }

@@ -44,13 +44,15 @@ pub mod detector;
 pub mod error;
 pub mod monitor;
 pub mod pipeline;
+pub mod shard;
 
 pub use cell::PbeCell;
 pub use config::{DetectorConfig, PbeVariant};
 pub use detector::{BurstDetector, BurstDetectorBuilder};
 pub use error::BedError;
 pub use monitor::BurstMonitor;
-pub use pipeline::MessagePipeline;
+pub use pipeline::{EventSink, MessagePipeline};
+pub use shard::{ShardedDetector, ShardedDetectorBuilder};
 
 // Re-export the vocabulary types users need alongside the detector.
 pub use bed_hierarchy::{BurstyEventHit, QueryStats};

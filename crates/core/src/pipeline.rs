@@ -10,11 +10,69 @@
 
 use bed_stream::element::{EventMapper, Message, StreamElement};
 use bed_stream::reorder::{LatePolicy, ReorderBuffer};
+use bed_stream::{EventId, Timestamp};
 
 use crate::detector::BurstDetector;
 use crate::error::BedError;
+use crate::shard::ShardedDetector;
 
-/// Raw-message front end for a [`BurstDetector`].
+/// Anything that can consume a (locally ordered) event stream — the
+/// contract the pipeline needs from its back end, satisfied by both
+/// [`BurstDetector`] and [`ShardedDetector`].
+pub trait EventSink {
+    /// Records one arrival.
+    fn ingest(&mut self, event: EventId, ts: Timestamp) -> Result<(), BedError>;
+
+    /// Records a non-decreasing batch. The default loops [`Self::ingest`];
+    /// implementations with a parallel fast path override it.
+    fn ingest_batch(&mut self, batch: &[(EventId, Timestamp)]) -> Result<(), BedError> {
+        for &(event, ts) in batch {
+            self.ingest(event, ts)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes internal buffering.
+    fn finalize(&mut self);
+
+    /// Elements ingested so far.
+    fn arrivals(&self) -> u64;
+}
+
+impl EventSink for BurstDetector {
+    fn ingest(&mut self, event: EventId, ts: Timestamp) -> Result<(), BedError> {
+        BurstDetector::ingest(self, event, ts)
+    }
+
+    fn finalize(&mut self) {
+        BurstDetector::finalize(self)
+    }
+
+    fn arrivals(&self) -> u64 {
+        BurstDetector::arrivals(self)
+    }
+}
+
+impl EventSink for ShardedDetector {
+    fn ingest(&mut self, event: EventId, ts: Timestamp) -> Result<(), BedError> {
+        ShardedDetector::ingest(self, event, ts)
+    }
+
+    fn ingest_batch(&mut self, batch: &[(EventId, Timestamp)]) -> Result<(), BedError> {
+        ShardedDetector::ingest_batch(self, batch)
+    }
+
+    fn finalize(&mut self) {
+        ShardedDetector::finalize(self)
+    }
+
+    fn arrivals(&self) -> u64 {
+        ShardedDetector::arrivals(self)
+    }
+}
+
+/// Raw-message front end for a [`BurstDetector`] (or any [`EventSink`],
+/// e.g. a [`ShardedDetector`] for parallel ingestion).
 ///
 /// ```
 /// use bed_core::pipeline::MessagePipeline;
@@ -36,27 +94,29 @@ use crate::error::BedError;
 /// assert_eq!(det.arrivals(), 3); // two tags + one tag
 /// ```
 #[derive(Debug)]
-pub struct MessagePipeline<M> {
-    detector: BurstDetector,
+pub struct MessagePipeline<M, D = BurstDetector> {
+    detector: D,
     mapper: M,
     reorder: ReorderBuffer,
     scratch: Vec<StreamElement>,
     ready: Vec<StreamElement>,
+    batch: Vec<(EventId, Timestamp)>,
     messages: u64,
     unmapped: u64,
 }
 
-impl<M: EventMapper> MessagePipeline<M> {
+impl<M: EventMapper, D: EventSink> MessagePipeline<M, D> {
     /// Wraps a detector with a mapper and a lateness window (in ticks).
     /// Late messages beyond the window are clamped forward (counts are
     /// preserved; a historical summary should not silently lose mentions).
-    pub fn new(detector: BurstDetector, mapper: M, lateness: u64) -> Self {
+    pub fn new(detector: D, mapper: M, lateness: u64) -> Self {
         MessagePipeline {
             detector,
             mapper,
             reorder: ReorderBuffer::new(lateness, LatePolicy::ClampForward),
             scratch: Vec::new(),
             ready: Vec::new(),
+            batch: Vec::new(),
             messages: 0,
             unmapped: 0,
         }
@@ -78,11 +138,16 @@ impl<M: EventMapper> MessagePipeline<M> {
         self.flush_ready()
     }
 
+    /// Hands everything the reorder buffer released to the sink as one
+    /// batch — the fast path that lets a [`ShardedDetector`] fan the
+    /// drained window out across its shards instead of element-at-a-time.
     fn flush_ready(&mut self) -> Result<(), BedError> {
-        for el in self.ready.drain(..) {
-            self.detector.ingest(el.event, el.ts)?;
+        if self.ready.is_empty() {
+            return Ok(());
         }
-        Ok(())
+        self.batch.clear();
+        self.batch.extend(self.ready.drain(..).map(|el| (el.event, el.ts)));
+        self.detector.ingest_batch(&self.batch)
     }
 
     /// Messages offered so far.
@@ -102,12 +167,12 @@ impl<M: EventMapper> MessagePipeline<M> {
 
     /// Read-only access to the detector mid-stream (queries lag by the
     /// lateness window: elements still pending are not yet visible).
-    pub fn detector(&self) -> &BurstDetector {
+    pub fn detector(&self) -> &D {
         &self.detector
     }
 
     /// Drains the reorder window, finalizes, and returns the detector.
-    pub fn finish(mut self) -> Result<BurstDetector, BedError> {
+    pub fn finish(mut self) -> Result<D, BedError> {
         self.reorder.drain(&mut self.ready);
         self.flush_ready()?;
         self.detector.finalize();

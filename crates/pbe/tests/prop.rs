@@ -29,6 +29,20 @@ fn arb_arrivals() -> impl Strategy<Value = Vec<u64>> {
     })
 }
 
+/// A *dense* stream: 1–4 arrivals at every tick of a short horizon. Every
+/// tick is then a PBE-2 constraint instant, so Lemma 4's premise — the γ
+/// bound at the instants the sketch saw — extends to all integer times.
+fn arb_dense_counts() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1u64..5, 20..120)
+}
+
+/// Exact burstiness `b(t) = F(t) − 2F(t−τ) + F(t−2τ)` (Eq. 2),
+/// pre-epoch terms zero — mirroring `CurveSketch::estimate_burstiness`.
+fn exact_burstiness(curve: &FrequencyCurve, t: u64, tau: u64) -> f64 {
+    let f = |q: Option<u64>| q.map_or(0.0, |q| curve.value_at(Timestamp(q)) as f64);
+    f(Some(t)) - 2.0 * f(t.checked_sub(tau)) + f(t.checked_sub(2 * tau))
+}
+
 /// Staircase induced by a subset of corner indices, evaluated at `t`.
 fn subset_value(points: &[CornerPoint], chosen: &[usize], t: u64) -> u64 {
     let mut val = 0;
@@ -175,6 +189,84 @@ proptest! {
             let truth = p.cum as f64;
             prop_assert!(est <= truth + 1e-6, "overestimate at {}: {} > {}", p.t, est, truth);
             prop_assert!(truth - est <= gamma + 1e-6, "γ violated at {}: {} vs {}", p.t, truth, est);
+        }
+    }
+
+    /// Lemma 4 on dense streams: with an arrival at every tick, PBE-2's
+    /// cumulative estimate obeys `F(t) − γ ≤ F̃(t) ≤ F(t)` at *every*
+    /// integer time, and the burstiness estimate composed from it obeys
+    /// `|b̃(t) − b(t)| ≤ 4γ` for every query span τ.
+    #[test]
+    fn pbe2_lemma4_bounds_on_dense_streams(
+        counts in arb_dense_counts(),
+        gamma in 1u32..20,
+        tau in 1u64..40,
+    ) {
+        let gamma = gamma as f64;
+        let ts: Vec<u64> = counts
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &c)| std::iter::repeat_n(i as u64, c as usize))
+            .collect();
+        let exact = FrequencyCurve::from_stream(&SingleEventStream::from_sorted(
+            ts.iter().map(|&t| Timestamp(t)).collect()).unwrap());
+        let mut pbe = Pbe2::new(Pbe2Config { gamma, max_vertices: 64 }).unwrap();
+        for &t in &ts {
+            pbe.update(Timestamp(t));
+        }
+        pbe.finalize();
+        let tau_span = bed_stream::BurstSpan::new(tau).unwrap();
+        let horizon = counts.len() as u64 - 1 + 2 * tau;
+        for t in 0..=horizon {
+            let truth = exact.value_at(Timestamp(t)) as f64;
+            let est = pbe.estimate_cum(Timestamp(t));
+            prop_assert!(est <= truth + 1e-6, "overestimate at t={}: {} > {}", t, est, truth);
+            prop_assert!(truth - est <= gamma + 1e-6, "γ violated at t={}: F={} F̃={}", t, truth, est);
+            let b_true = exact_burstiness(&exact, t, tau);
+            let b_est = pbe.estimate_burstiness(Timestamp(t), tau_span);
+            prop_assert!(
+                (b_est - b_true).abs() <= 4.0 * gamma + 1e-6,
+                "Lemma 4 burstiness bound violated at t={}: b={} b̃={} γ={}",
+                t, b_true, b_est, gamma
+            );
+        }
+    }
+
+    /// Lemma 3 for PBE-1: with `Δ* = max_t (F(t) − F̃(t))` the maximum
+    /// pointwise deviation, every burstiness estimate is within `4Δ*` of
+    /// the truth — at every tick, for the sampled τ.
+    #[test]
+    fn pbe1_lemma3_burstiness_bound(
+        ts in arb_arrivals(),
+        n_buf in 6usize..40,
+        eta in 2usize..6,
+        tau in 1u64..60,
+    ) {
+        prop_assume!(eta < n_buf);
+        let exact = FrequencyCurve::from_stream(&SingleEventStream::from_sorted(
+            ts.iter().map(|&t| Timestamp(t)).collect()).unwrap());
+        let mut pbe = Pbe1::new(Pbe1Config { n_buf, eta }).unwrap();
+        for &t in &ts {
+            pbe.update(Timestamp(t));
+        }
+        pbe.finalize();
+        let horizon = ts.last().unwrap() + 2 * tau + 10;
+        // Δ* — PBE-1 is one-sided, so the deviation is never negative.
+        let mut delta_star = 0.0f64;
+        for t in 0..=horizon {
+            let d = exact.value_at(Timestamp(t)) as f64 - pbe.estimate_cum(Timestamp(t));
+            prop_assert!(d >= -1e-9, "PBE-1 overestimated at t={}", t);
+            delta_star = delta_star.max(d);
+        }
+        let tau_span = bed_stream::BurstSpan::new(tau).unwrap();
+        for t in 0..=horizon {
+            let b_true = exact_burstiness(&exact, t, tau);
+            let b_est = pbe.estimate_burstiness(Timestamp(t), tau_span);
+            prop_assert!(
+                (b_est - b_true).abs() <= 4.0 * delta_star + 1e-6,
+                "Lemma 3 violated at t={}: b={} b̃={} Δ*={}",
+                t, b_true, b_est, delta_star
+            );
         }
     }
 

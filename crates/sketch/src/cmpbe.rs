@@ -221,7 +221,8 @@ impl<P: CurveSketch> CmPbe<P> {
             Some(q) => self.estimate_cum_with(event, q, combiner),
             None => 0.0,
         };
-        at(Some(t)) - 2.0 * at(t.checked_sub(tau.ticks())) + at(t.checked_sub(tau.ticks().saturating_mul(2)))
+        at(Some(t)) - 2.0 * at(t.checked_sub(tau.ticks()))
+            + at(t.checked_sub(tau.ticks().saturating_mul(2)))
     }
 
     /// `F̃_e(t − delta)` with pre-epoch times as 0.

@@ -1,12 +1,26 @@
 //! Property-based tests for the Count-Min substrate and CM-PBE.
 
 use bed_pbe::{ExactCurve, Pbe2, Pbe2Config};
-use bed_sketch::{CmPbe, CountMin};
+use bed_sketch::{CmPbe, Combiner, CountMin};
 use bed_stream::{EventId, EventStream, Timestamp};
 use proptest::prelude::*;
 
 fn arb_stream() -> impl Strategy<Value = Vec<(u32, u64)>> {
     prop::collection::vec((0u32..32, 0u64..1_000), 1..300).prop_map(|mut v| {
+        v.sort_by_key(|&(_, t)| t);
+        v
+    })
+}
+
+/// A Zipf-flavoured heavy-tailed stream: raw draws are folded through a
+/// square so low ids dominate — with a 4-cell-wide grid every row is
+/// collision-heavy, which is exactly where the combiners diverge.
+fn arb_skewed_stream() -> impl Strategy<Value = Vec<(u32, u64)>> {
+    prop::collection::vec((0u32..1_024, 0u64..1_000), 32..300).prop_map(|mut v| {
+        for (e, _) in &mut v {
+            let u = *e as f64 / 1_024.0;
+            *e = (31.0 * u * u) as u32; // quadratic fold: mass piles on small ids
+        }
         v.sort_by_key(|&(_, t)| t);
         v
     })
@@ -84,6 +98,115 @@ proptest! {
             // lower side: PBE underestimates by ≤ γ per cell; median keeps it
             prop_assert!(est >= truth - 2.0 - 1e-6, "event {}: {} < {}", e, est, truth);
             prop_assert!(est <= n + 1e-6);
+        }
+    }
+
+    /// Combiner ablation on collision-heavy skewed streams: rows with
+    /// exact cells only ever *over*-count (collision mass is one-sided),
+    /// so at every query time `truth ≤ Min ≤ Median ≤ Max` — the median
+    /// is never farther from the per-event truth than the Max row, and
+    /// the public `estimate_cum` is exactly the Median combiner.
+    #[test]
+    fn median_combiner_is_bracketed(els in arb_skewed_stream(), seed in 0u64..100, q in 0u64..1_200) {
+        let stream: EventStream = els.iter().copied().collect();
+        let mut cm = CmPbe::with_dimensions(3, 4, seed, ExactCurve::new);
+        for el in stream.iter() {
+            cm.update(el.event, el.ts);
+        }
+        let t = Timestamp(q);
+        for e in 0..32u32 {
+            let e = EventId(e);
+            let truth = stream.project(e).cumulative_frequency(t) as f64;
+            let lo = cm.estimate_cum_with(e, t, Combiner::Min);
+            let med = cm.estimate_cum_with(e, t, Combiner::Median);
+            let hi = cm.estimate_cum_with(e, t, Combiner::Max);
+            prop_assert!(truth <= lo + 1e-9, "exact cells cannot undershoot: {} < {}", lo, truth);
+            prop_assert!(lo <= med + 1e-9 && med <= hi + 1e-9, "ordering broke: {} {} {}", lo, med, hi);
+            prop_assert!(
+                (med - truth).abs() <= (hi - truth).abs() + 1e-9,
+                "median farther from truth than max: |{} − {}| vs |{} − {}|",
+                med, truth, hi, truth
+            );
+            prop_assert_eq!(cm.estimate_cum(e, t).to_bits(), med.to_bits());
+        }
+    }
+
+    /// The same bracketing holds with lossy PBE-2 cells, where rows are
+    /// two-sided (collision mass up, γ down): the median's distance to the
+    /// truth never exceeds the worse of the Min and Max rows, at any time
+    /// and for burstiness composed per-term from the same combiner.
+    #[test]
+    fn median_combiner_never_worst_with_pbe2_cells(
+        els in arb_skewed_stream(),
+        seed in 0u64..50,
+        q in 0u64..1_200,
+        tau in 1u64..200,
+    ) {
+        use bed_stream::BurstSpan;
+        let stream: EventStream = els.iter().copied().collect();
+        let mut cm = CmPbe::with_dimensions(3, 4, seed, || {
+            Pbe2::new(Pbe2Config { gamma: 2.0, max_vertices: 32 }).unwrap()
+        });
+        for el in stream.iter() {
+            cm.update(el.event, el.ts);
+        }
+        cm.finalize();
+        let t = Timestamp(q);
+        let tau = BurstSpan::new(tau).unwrap();
+        for e in [0u32, 1, 2, 7, 31] {
+            let e = EventId(e);
+            let truth = stream.project(e).cumulative_frequency(t) as f64;
+            let lo = cm.estimate_cum_with(e, t, Combiner::Min);
+            let med = cm.estimate_cum_with(e, t, Combiner::Median);
+            let hi = cm.estimate_cum_with(e, t, Combiner::Max);
+            prop_assert!(lo <= med + 1e-9 && med <= hi + 1e-9);
+            let worst = (lo - truth).abs().max((hi - truth).abs());
+            prop_assert!(
+                (med - truth).abs() <= worst + 1e-9,
+                "median is the farthest combiner: med={} min={} max={} truth={}",
+                med, lo, hi, truth
+            );
+            // Eq. 2 composition is combiner-consistent: each burstiness is
+            // the telescope of its own combiner's cumulative estimates.
+            for c in [Combiner::Min, Combiner::Median, Combiner::Max] {
+                let expect = cm.estimate_cum_with(e, t, c)
+                    - 2.0 * t.checked_sub(tau.ticks())
+                        .map_or(0.0, |p| cm.estimate_cum_with(e, p, c))
+                    + t.checked_sub(2 * tau.ticks())
+                        .map_or(0.0, |p| cm.estimate_cum_with(e, p, c));
+                prop_assert_eq!(cm.estimate_burstiness_with(e, t, tau, c).to_bits(), expect.to_bits());
+            }
+            // Lemma 5's rationale end-to-end, in envelope form. The naive
+            // pairing "dist(median) ≤ max(dist(Min), dist(Max))" is FALSE
+            // for burstiness — Eq. 2's offset terms enter with opposite
+            // sign, so a Min (or Max) row can cancel toward the truth
+            // while the median's terms do not (found by this very test).
+            // The sound statement: every per-term combination of row
+            // extremes brackets the median telescope, so the median's
+            // burstiness is never farther from the exact truth than the
+            // worst corner of the Min/Max envelope.
+            let cum = |q: Option<Timestamp>, c: Combiner| {
+                q.map_or(0.0, |q| cm.estimate_cum_with(e, q, c))
+            };
+            let (t1, t2) = (t.checked_sub(tau.ticks()), t.checked_sub(2 * tau.ticks()));
+            let b_lo = cum(Some(t), Combiner::Min) - 2.0 * cum(t1, Combiner::Max)
+                + cum(t2, Combiner::Min);
+            let b_hi = cum(Some(t), Combiner::Max) - 2.0 * cum(t1, Combiner::Min)
+                + cum(t2, Combiner::Max);
+            let b_med = cm.estimate_burstiness_with(e, t, tau, Combiner::Median);
+            prop_assert!(
+                b_lo - 1e-9 <= b_med && b_med <= b_hi + 1e-9,
+                "median burstiness escaped the Min/Max envelope: {} ∉ [{}, {}]",
+                b_med, b_lo, b_hi
+            );
+            let own = stream.project(e);
+            let f = |q: Option<Timestamp>| q.map_or(0.0, |q| own.cumulative_frequency(q) as f64);
+            let b_true = f(Some(t)) - 2.0 * f(t1) + f(t2);
+            prop_assert!(
+                (b_med - b_true).abs() <= (b_lo - b_true).abs().max((b_hi - b_true).abs()) + 1e-9,
+                "median farther from truth than both envelope corners for {:?} at t={} τ={}",
+                e, t.ticks(), tau.ticks()
+            );
         }
     }
 

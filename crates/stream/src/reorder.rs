@@ -110,10 +110,7 @@ impl ReorderBuffer {
         let el = match self.watermark() {
             Some(w) if el.ts < w => match self.policy {
                 LatePolicy::Reject => {
-                    return Err(StreamError::NonMonotonicTimestamp {
-                        previous: w,
-                        offered: el.ts,
-                    });
+                    return Err(StreamError::NonMonotonicTimestamp { previous: w, offered: el.ts });
                 }
                 LatePolicy::ClampForward => {
                     self.clamped += 1;
