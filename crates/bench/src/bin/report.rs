@@ -1,15 +1,15 @@
 //! estorm-style HTML report (the paper's web demo at estorm.org, Fig. 13):
 //! a self-contained SVG timeline of Democrat vs Republican burstiness with
-//! the major "national moments" circled on top of their bursts.
+//! the major "national moments" circled on top of their bursts, plus the
+//! run's `bed-obs` metrics snapshot (ingest/query latency histograms and
+//! structural gauges) for the detector that produced the timeline.
 //!
 //! Writes `results/report.html`; open it in any browser.
 
 use std::fmt::Write as _;
 
 use bed_bench::{data, env_scale};
-use bed_core::PbeCell;
-use bed_hierarchy::DyadicCmPbe;
-use bed_pbe::{Pbe2, Pbe2Config};
+use bed_core::{BurstDetector, PbeVariant, QueryStrategy};
 use bed_sketch::SketchParams;
 use bed_stream::{BurstSpan, Timestamp};
 use bed_workload::politics::{Party, POLITICS_HORIZON_SECS, POLITICS_UNIVERSE};
@@ -23,14 +23,17 @@ fn main() -> std::io::Result<()> {
     let tau = BurstSpan::DAY_SECONDS;
     let s = data::politics_stream(n);
 
-    let mut forest = DyadicCmPbe::new(POLITICS_UNIVERSE, SketchParams::PAPER, 17, |_| {
-        PbeCell::Two(Pbe2::new(Pbe2Config { gamma: 8.0, max_vertices: 64 }).unwrap())
-    })
-    .expect("paper params are valid");
+    let mut det = BurstDetector::builder()
+        .universe(POLITICS_UNIVERSE)
+        .variant(PbeVariant::pbe2(8.0))
+        .accuracy(SketchParams::PAPER.epsilon, SketchParams::PAPER.delta)
+        .seed(17)
+        .build()
+        .expect("paper params are valid");
     for el in s.stream.iter() {
-        forest.update(el.event, el.ts).expect("generator stays in universe");
+        det.ingest(el.event, el.ts).expect("generator stays in universe");
     }
-    forest.finalize();
+    det.finalize();
 
     let theta = (n as f64 * 5e-5).max(2.0);
     let days = POLITICS_HORIZON_SECS / 86_400;
@@ -38,7 +41,9 @@ fn main() -> std::io::Result<()> {
     let mut rep_series = Vec::new();
     for d in 1..days {
         let t = Timestamp(d * 86_400 + 43_200);
-        let (hits, _) = forest.bursty_events(t, theta, tau);
+        let (hits, _) = det
+            .bursty_events_with(t, theta, tau, QueryStrategy::Pruned)
+            .expect("theta is positive and finite");
         let (mut dem, mut rep) = (0.0, 0.0);
         for h in &hits {
             match s.party_of(h.event) {
@@ -110,6 +115,10 @@ fn main() -> std::io::Result<()> {
         }
     }
 
+    // bed-obs snapshot of the run that produced the figure: every ingest,
+    // each day's bursty-event query, and the finished structure's gauges.
+    let metrics_text = det.metrics().to_text();
+
     let html = format!(
         r##"<!doctype html>
 <html><head><meta charset="utf-8"><title>bed — burst timeline</title></head>
@@ -121,6 +130,8 @@ Detected with a CM-PBE-2-backed dyadic hierarchy
 <span style="color:#d62728">&#9632; Republican</span>; circles mark planted
 national moments — conventions, debates, election day).</p>
 <svg width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">{svg}</svg>
+<h3>Run metrics (bed-obs)</h3>
+<pre style="font-size: 12px; background: #f6f6f6; padding: 1em; overflow-x: auto;">{metrics_text}</pre>
 <p style="color:#777">Generated by <code>bed-bench::report</code>, after Fig. 13
 of Paul, Peng &amp; Li, ICDE 2019 (estorm.org).</p>
 </body></html>

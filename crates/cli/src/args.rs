@@ -59,6 +59,8 @@ pub enum Command {
         t: u64,
         /// Burst span τ.
         tau: u64,
+        /// Append a metrics snapshot to the output.
+        metrics: bool,
     },
     /// `bed times` — bursty-time query.
     Times {
@@ -72,6 +74,8 @@ pub enum Command {
         tau: u64,
         /// Horizon.
         horizon: u64,
+        /// Append a metrics snapshot to the output.
+        metrics: bool,
     },
     /// `bed events` — bursty-event query.
     Events {
@@ -83,6 +87,10 @@ pub enum Command {
         theta: f64,
         /// Burst span τ.
         tau: u64,
+        /// Exhaustive scan instead of the pruned dyadic search.
+        scan: bool,
+        /// Append a metrics snapshot to the output.
+        metrics: bool,
     },
     /// `bed ranges` — interval bursty-time query (single-event sketches).
     Ranges {
@@ -107,6 +115,15 @@ pub enum Command {
         horizon: u64,
         /// Sample step in ticks.
         step: u64,
+        /// Append a metrics snapshot to the output.
+        metrics: bool,
+    },
+    /// `bed stats` — metrics snapshot of a persisted sketch.
+    Stats {
+        /// Sketch path.
+        sketch: String,
+        /// Render aligned text instead of JSON.
+        text: bool,
     },
 }
 
@@ -119,7 +136,7 @@ fn options<I: Iterator<Item = String>>(rest: I) -> Result<BTreeMap<String, Strin
             return Err(CliError::Usage(format!("expected --option, found '{key}'")));
         };
         // boolean flags take no value
-        if name == "flat" {
+        if matches!(name, "flat" | "metrics" | "scan" | "text") {
             map.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -263,8 +280,9 @@ where
             let event = o.optional_num("event", 0u32)?;
             let t = o.required_num("t")?;
             let tau = o.optional_num("tau", 86_400u64)?;
+            let metrics = o.optional("metrics").is_some();
             o.finish()?;
-            Ok(Command::Point { sketch, event, t, tau })
+            Ok(Command::Point { sketch, event, t, tau, metrics })
         }
         "times" => {
             let mut o = Opts { map, command: "times" };
@@ -273,8 +291,9 @@ where
             let theta = o.required_num("theta")?;
             let tau = o.optional_num("tau", 86_400u64)?;
             let horizon = o.required_num("horizon")?;
+            let metrics = o.optional("metrics").is_some();
             o.finish()?;
-            Ok(Command::Times { sketch, event, theta, tau, horizon })
+            Ok(Command::Times { sketch, event, theta, tau, horizon, metrics })
         }
         "events" => {
             let mut o = Opts { map, command: "events" };
@@ -282,8 +301,10 @@ where
             let t = o.required_num("t")?;
             let theta = o.required_num("theta")?;
             let tau = o.optional_num("tau", 86_400u64)?;
+            let scan = o.optional("scan").is_some();
+            let metrics = o.optional("metrics").is_some();
             o.finish()?;
-            Ok(Command::Events { sketch, t, theta, tau })
+            Ok(Command::Events { sketch, t, theta, tau, scan, metrics })
         }
         "ranges" => {
             let mut o = Opts { map, command: "ranges" };
@@ -304,11 +325,19 @@ where
             if step == 0 {
                 return Err(CliError::Usage("series: --step must be positive".into()));
             }
+            let metrics = o.optional("metrics").is_some();
             o.finish()?;
-            Ok(Command::Series { sketch, event, tau, horizon, step })
+            Ok(Command::Series { sketch, event, tau, horizon, step, metrics })
+        }
+        "stats" => {
+            let mut o = Opts { map, command: "stats" };
+            let sketch = o.required("sketch")?;
+            let text = o.optional("text").is_some();
+            o.finish()?;
+            Ok(Command::Stats { sketch, text })
         }
         other => Err(CliError::Usage(format!(
-            "unknown command '{other}'; try: generate, build, info, point, times, events, ranges, series"
+            "unknown command '{other}'; try: generate, build, info, point, times, events, ranges, series, stats"
         ))),
     }
 }
@@ -432,10 +461,33 @@ mod tests {
     #[test]
     fn query_commands() {
         let c = parse_ok(&["point", "--sketch", "s.bed", "--event", "3", "--t", "100"]);
-        assert_eq!(c, Command::Point { sketch: "s.bed".into(), event: 3, t: 100, tau: 86_400 });
+        assert_eq!(
+            c,
+            Command::Point {
+                sketch: "s.bed".into(),
+                event: 3,
+                t: 100,
+                tau: 86_400,
+                metrics: false
+            }
+        );
         let c = parse_ok(&["times", "--sketch", "s", "--theta", "5.5", "--horizon", "99"]);
         assert!(matches!(c, Command::Times { theta, horizon: 99, .. } if theta == 5.5));
         let c = parse_ok(&["events", "--sketch", "s", "--t", "7", "--theta", "2"]);
-        assert!(matches!(c, Command::Events { t: 7, .. }));
+        assert!(matches!(c, Command::Events { t: 7, scan: false, metrics: false, .. }));
+    }
+
+    #[test]
+    fn metrics_and_stats_flags() {
+        let c = parse_ok(&["point", "--sketch", "s", "--t", "1", "--metrics"]);
+        assert!(matches!(c, Command::Point { metrics: true, .. }));
+        let c = parse_ok(&["events", "--sketch", "s", "--t", "1", "--theta", "2", "--scan"]);
+        assert!(matches!(c, Command::Events { scan: true, .. }));
+        let c = parse_ok(&["stats", "--sketch", "s"]);
+        assert_eq!(c, Command::Stats { sketch: "s".into(), text: false });
+        let c = parse_ok(&["stats", "--sketch", "s", "--text"]);
+        assert!(matches!(c, Command::Stats { text: true, .. }));
+        let e = parse(["stats"]).unwrap_err().to_string();
+        assert!(e.contains("--sketch"), "{e}");
     }
 }

@@ -3,7 +3,10 @@
 use std::fmt::Write as _;
 use std::fs;
 
-use bed_core::{BurstDetector, BurstyEventHit, PbeVariant, QueryStats, ShardedDetector};
+use bed_core::{
+    BurstDetector, BurstQueries, PbeVariant, QueryRequest, QueryResponse, QueryStrategy,
+    ShardedDetector,
+};
 use bed_stream::{BurstSpan, Codec, EventId, Timestamp};
 use bed_workload::{olympics, politics};
 
@@ -13,90 +16,20 @@ use crate::CliError;
 /// A persisted sketch of either format, dispatched by magic bytes:
 /// `BEDD` (unsharded [`BurstDetector`]) or `BEDS` ([`ShardedDetector`]).
 enum AnySketch {
-    /// Unsharded detector.
-    Plain(BurstDetector),
+    /// Unsharded detector (boxed: the detector embeds its metric handles
+    /// and dwarfs the sharded facade variant).
+    Plain(Box<BurstDetector>),
     /// Hash-sharded detector.
     Sharded(ShardedDetector),
 }
 
 impl AnySketch {
-    fn arrivals(&self) -> u64 {
+    /// The unified query surface — every query command goes through this,
+    /// so the CLI is agnostic of the physical layout.
+    fn queries(&self) -> &dyn BurstQueries {
         match self {
-            AnySketch::Plain(d) => d.arrivals(),
-            AnySketch::Sharded(d) => d.arrivals(),
-        }
-    }
-
-    fn size_bytes(&self) -> usize {
-        match self {
-            AnySketch::Plain(d) => d.size_bytes(),
-            AnySketch::Sharded(d) => d.size_bytes(),
-        }
-    }
-
-    fn config(&self) -> &bed_core::DetectorConfig {
-        match self {
-            AnySketch::Plain(d) => d.config(),
-            AnySketch::Sharded(d) => d.config(),
-        }
-    }
-
-    fn point_query(&self, event: EventId, t: Timestamp, tau: BurstSpan) -> f64 {
-        match self {
-            AnySketch::Plain(d) => d.point_query(event, t, tau),
-            AnySketch::Sharded(d) => d.point_query(event, t, tau),
-        }
-    }
-
-    fn burst_frequency(&self, event: EventId, t: Timestamp, tau: BurstSpan) -> f64 {
-        match self {
-            AnySketch::Plain(d) => d.burst_frequency(event, t, tau),
-            AnySketch::Sharded(d) => d.burst_frequency(event, t, tau),
-        }
-    }
-
-    fn cumulative_frequency(&self, event: EventId, t: Timestamp) -> f64 {
-        match self {
-            AnySketch::Plain(d) => d.cumulative_frequency(event, t),
-            AnySketch::Sharded(d) => d.cumulative_frequency(event, t),
-        }
-    }
-
-    fn bursty_times(
-        &self,
-        event: EventId,
-        theta: f64,
-        tau: BurstSpan,
-        horizon: Timestamp,
-    ) -> Vec<(Timestamp, f64)> {
-        match self {
-            AnySketch::Plain(d) => d.bursty_times(event, theta, tau, horizon),
-            AnySketch::Sharded(d) => d.bursty_times(event, theta, tau, horizon),
-        }
-    }
-
-    fn bursty_events(
-        &self,
-        t: Timestamp,
-        theta: f64,
-        tau: BurstSpan,
-    ) -> Result<(Vec<BurstyEventHit>, QueryStats), bed_core::BedError> {
-        match self {
-            AnySketch::Plain(d) => d.bursty_events(t, theta, tau),
-            AnySketch::Sharded(d) => d.bursty_events(t, theta, tau),
-        }
-    }
-
-    fn burstiness_series(
-        &self,
-        event: EventId,
-        tau: BurstSpan,
-        range: bed_core::TimeRange,
-        step: u64,
-    ) -> Vec<(Timestamp, f64)> {
-        match self {
-            AnySketch::Plain(d) => d.burstiness_series(event, tau, range, step),
-            AnySketch::Sharded(d) => d.burstiness_series(event, tau, range, step),
+            AnySketch::Plain(d) => d.as_ref(),
+            AnySketch::Sharded(d) => d,
         }
     }
 
@@ -113,6 +46,20 @@ impl AnySketch {
                 built_for: "mixed event streams (use bursty_times)",
             }),
         }
+    }
+}
+
+/// The query answered a different variant than asked — impossible per the
+/// [`BurstQueries`] contract, surfaced as an error rather than a panic.
+fn mismatched() -> CliError {
+    CliError::BadInput("internal: query response variant mismatch".into())
+}
+
+/// Appends a text-rendered metrics snapshot when `--metrics` was given.
+fn append_metrics(out: &mut String, det: &AnySketch, wanted: bool) {
+    if wanted {
+        out.push_str("\nmetrics:\n");
+        out.push_str(&det.queries().metrics().to_text());
     }
 }
 
@@ -136,15 +83,18 @@ pub fn execute(command: Command) -> Result<String, CliError> {
             build(&input, &out, &variant, eta, gamma, universe, epsilon, delta, flat, seed, shards)
         }
         Command::Info { sketch } => info(&sketch),
-        Command::Point { sketch, event, t, tau } => point(&sketch, event, t, tau),
-        Command::Times { sketch, event, theta, tau, horizon } => {
-            times(&sketch, event, theta, tau, horizon)
+        Command::Point { sketch, event, t, tau, metrics } => point(&sketch, event, t, tau, metrics),
+        Command::Times { sketch, event, theta, tau, horizon, metrics } => {
+            times(&sketch, event, theta, tau, horizon, metrics)
         }
-        Command::Events { sketch, t, theta, tau } => events(&sketch, t, theta, tau),
+        Command::Events { sketch, t, theta, tau, scan, metrics } => {
+            events(&sketch, t, theta, tau, scan, metrics)
+        }
         Command::Ranges { sketch, theta, tau, horizon } => ranges(&sketch, theta, tau, horizon),
-        Command::Series { sketch, event, tau, horizon, step } => {
-            series(&sketch, event, tau, horizon, step)
+        Command::Series { sketch, event, tau, horizon, step, metrics } => {
+            series(&sketch, event, tau, horizon, step, metrics)
         }
+        Command::Stats { sketch, text } => stats(&sketch, text),
     }
 }
 
@@ -248,13 +198,13 @@ fn load(path: &str) -> Result<AnySketch, CliError> {
     if bytes.starts_with(b"BEDS") {
         Ok(AnySketch::Sharded(ShardedDetector::from_bytes(&bytes)?))
     } else {
-        Ok(AnySketch::Plain(BurstDetector::from_bytes(&bytes)?))
+        Ok(AnySketch::Plain(Box::new(BurstDetector::from_bytes(&bytes)?)))
     }
 }
 
 fn info(path: &str) -> Result<String, CliError> {
     let det = load(path)?;
-    let c = det.config();
+    let c = det.queries().config();
     let mut mode = match (c.universe, c.hierarchical) {
         (None, _) => "single-event".to_string(),
         (Some(k), true) => format!("mixed, K={k}, hierarchical"),
@@ -265,26 +215,47 @@ fn info(path: &str) -> Result<String, CliError> {
     }
     Ok(format!(
         "sketch: {path}\n mode: {mode}\n variant: {:?}\n epsilon/delta: {}/{}\n seed: {}\n arrivals: {}\n summary bytes: {}\n",
-        c.variant, c.sketch.epsilon, c.sketch.delta, c.seed, det.arrivals(), det.size_bytes()
+        c.variant, c.sketch.epsilon, c.sketch.delta, c.seed,
+        det.queries().arrivals(), det.queries().size_bytes()
     ))
 }
 
-fn point(path: &str, event: u32, t: u64, tau: u64) -> Result<String, CliError> {
+fn point(path: &str, event: u32, t: u64, tau: u64, metrics: bool) -> Result<String, CliError> {
     let det = load(path)?;
     let tau = BurstSpan::new(tau).map_err(bed_core::BedError::from)?;
-    let b = det.point_query(EventId(event), Timestamp(t), tau);
-    let bf = det.burst_frequency(EventId(event), Timestamp(t), tau);
-    let f = det.cumulative_frequency(EventId(event), Timestamp(t));
-    Ok(format!(
+    let request = QueryRequest::Point { event: EventId(event), t: Timestamp(t), tau };
+    let QueryResponse::Point { burstiness: b, burst_frequency: bf, cumulative: f } =
+        det.queries().query(&request)?
+    else {
+        return Err(mismatched());
+    };
+    let mut out = format!(
         "event {event} at t={t} (tau={}):\n burstiness  {b:.1}\n rate/span   {bf:.1}\n cumulative  {f:.1}\n",
         tau.ticks()
-    ))
+    );
+    append_metrics(&mut out, &det, metrics);
+    Ok(out)
 }
 
-fn times(path: &str, event: u32, theta: f64, tau: u64, horizon: u64) -> Result<String, CliError> {
+fn times(
+    path: &str,
+    event: u32,
+    theta: f64,
+    tau: u64,
+    horizon: u64,
+    metrics: bool,
+) -> Result<String, CliError> {
     let det = load(path)?;
     let tau = BurstSpan::new(tau).map_err(bed_core::BedError::from)?;
-    let hits = det.bursty_times(EventId(event), theta, tau, Timestamp(horizon));
+    let request = QueryRequest::BurstyTimes {
+        event: EventId(event),
+        theta,
+        tau,
+        horizon: Timestamp(horizon),
+    };
+    let QueryResponse::BurstyTimes(hits) = det.queries().query(&request)? else {
+        return Err(mismatched());
+    };
     let mut out = format!(
         "event {event}, theta={theta}, tau={}: {} bursty instants\n",
         tau.ticks(),
@@ -293,13 +264,25 @@ fn times(path: &str, event: u32, theta: f64, tau: u64, horizon: u64) -> Result<S
     for (t, b) in hits {
         writeln!(out, "  t={}\tb={b:.1}", t.ticks()).expect("string write");
     }
+    append_metrics(&mut out, &det, metrics);
     Ok(out)
 }
 
-fn events(path: &str, t: u64, theta: f64, tau: u64) -> Result<String, CliError> {
+fn events(
+    path: &str,
+    t: u64,
+    theta: f64,
+    tau: u64,
+    scan: bool,
+    metrics: bool,
+) -> Result<String, CliError> {
     let det = load(path)?;
     let tau = BurstSpan::new(tau).map_err(bed_core::BedError::from)?;
-    let (hits, stats) = det.bursty_events(Timestamp(t), theta, tau)?;
+    let strategy = if scan { QueryStrategy::ExactScan } else { QueryStrategy::Pruned };
+    let request = QueryRequest::BurstyEvents { t: Timestamp(t), theta, tau, strategy };
+    let QueryResponse::BurstyEvents { hits, stats } = det.queries().query(&request)? else {
+        return Err(mismatched());
+    };
     let mut out = format!(
         "t={t}, theta={theta}, tau={}: {} bursty events ({} probes)\n",
         tau.ticks(),
@@ -309,6 +292,7 @@ fn events(path: &str, t: u64, theta: f64, tau: u64) -> Result<String, CliError> 
     for h in hits {
         writeln!(out, "  event {}\tb={:.1}", h.event.value(), h.burstiness).expect("string write");
     }
+    append_metrics(&mut out, &det, metrics);
     Ok(out)
 }
 
@@ -324,16 +308,33 @@ fn ranges(path: &str, theta: f64, tau: u64, horizon: u64) -> Result<String, CliE
     Ok(out)
 }
 
-fn series(path: &str, event: u32, tau: u64, horizon: u64, step: u64) -> Result<String, CliError> {
+fn series(
+    path: &str,
+    event: u32,
+    tau: u64,
+    horizon: u64,
+    step: u64,
+    metrics: bool,
+) -> Result<String, CliError> {
     let det = load(path)?;
     let tau = BurstSpan::new(tau).map_err(bed_core::BedError::from)?;
     let range = bed_core::TimeRange { start: Timestamp(0), end: Timestamp(horizon) };
-    let series = det.burstiness_series(EventId(event), tau, range, step);
+    let request = QueryRequest::Series { event: EventId(event), tau, range, step };
+    let QueryResponse::Series(series) = det.queries().query(&request)? else {
+        return Err(mismatched());
+    };
     let mut out = format!("event {event}, tau={}, step={step}:\n", tau.ticks());
     for (t, b) in series {
         writeln!(out, "{}\t{b:.1}", t.ticks()).expect("string write");
     }
+    append_metrics(&mut out, &det, metrics);
     Ok(out)
+}
+
+fn stats(path: &str, text: bool) -> Result<String, CliError> {
+    let det = load(path)?;
+    let snap = det.queries().metrics();
+    Ok(if text { snap.to_text() } else { format!("{}\n", snap.to_json()) })
 }
 
 #[cfg(test)]
@@ -515,6 +516,34 @@ mod tests {
         let err = run(["ranges", "--sketch", &sk, "--theta", "1", "--tau", "5", "--horizon", "10"])
             .unwrap_err();
         assert!(err.to_string().contains("bursty_time_ranges"), "{err}");
+    }
+
+    #[test]
+    fn stats_and_metrics_flags() {
+        let tsv = tmp("stats.tsv");
+        let sk = tmp("stats.bed");
+        std::fs::write(&tsv, "0\t1\n1\t2\n2\t3\n").unwrap();
+        run(["build", "--input", &tsv, "--out", &sk, "--universe", "4"]).unwrap();
+
+        let out = run(["stats", "--sketch", &sk]).unwrap();
+        assert!(out.starts_with('{'), "{out}");
+        assert!(out.contains("\"ingest.count\""), "{out}");
+        assert!(out.contains("\"value\":3"), "decoded sketches seed ingest.count: {out}");
+        assert!(out.contains("\"structure.bytes\""), "{out}");
+        assert!(out.contains("\"query.point.latency_ns\""), "{out}");
+
+        let out = run(["stats", "--sketch", &sk, "--text"]).unwrap();
+        assert!(!out.starts_with('{') && out.contains("ingest.count"), "{out}");
+
+        let out = run(["point", "--sketch", &sk, "--event", "0", "--t", "3", "--metrics"]).unwrap();
+        assert!(out.contains("burstiness"), "{out}");
+        assert!(out.contains("metrics:"), "{out}");
+        assert!(out.contains("query.point.count"), "{out}");
+
+        let out =
+            run(["events", "--sketch", &sk, "--t", "3", "--theta", "0.5", "--tau", "2", "--scan"])
+                .unwrap();
+        assert!(out.contains("bursty events"), "{out}");
     }
 
     #[test]

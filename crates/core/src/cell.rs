@@ -73,6 +73,13 @@ impl CurveSketch for PbeCell {
             PbeCell::Two(p) => p.arrivals(),
         }
     }
+
+    fn summary_stats(&self) -> bed_pbe::SummaryStats {
+        match self {
+            PbeCell::One(p) => p.summary_stats(),
+            PbeCell::Two(p) => p.summary_stats(),
+        }
+    }
 }
 
 /// Persistence: a one-byte variant tag followed by the inner sketch's own

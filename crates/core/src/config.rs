@@ -73,10 +73,17 @@ pub struct DetectorConfig {
     pub universe: Option<u32>,
     /// Maintain the dyadic hierarchy for bursty event queries. Costs
     /// `O(log K)` extra CM-PBEs; required by
-    /// [`crate::BurstDetector::bursty_events`].
+    /// [`crate::BurstDetector::bursty_events_with`] under
+    /// [`crate::QueryStrategy::Pruned`].
     pub hierarchical: bool,
     /// Seed for all hash functions.
     pub seed: u64,
+    /// Collect runtime metrics (counters, latency histograms; see
+    /// [`crate::BurstDetector::metrics`]). On by default — the hot-path cost
+    /// is one relaxed atomic add per ingest plus a sampled timer — and
+    /// runtime-only: the flag is not persisted by the codec, so a decoded
+    /// detector always starts with metrics on.
+    pub metrics: bool,
 }
 
 impl Default for DetectorConfig {
@@ -87,6 +94,7 @@ impl Default for DetectorConfig {
             universe: None,
             hierarchical: true,
             seed: 0xBED,
+            metrics: true,
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use bed_hierarchy::query::{bursty_times_over, bursty_times_single};
 use bed_hierarchy::{BurstyEventHit, DyadicCmPbe, QueryStats};
+use bed_obs::MetricsSnapshot;
 use bed_pbe::CurveSketch;
 use bed_sketch::CmPbe;
 use bed_stream::{BurstSpan, EventId, StreamError, Timestamp};
@@ -9,6 +10,11 @@ use bed_stream::{BurstSpan, EventId, StreamError, Timestamp};
 use crate::cell::PbeCell;
 use crate::config::{DetectorConfig, PbeVariant};
 use crate::error::BedError;
+use crate::metrics::DetectorMetrics;
+use crate::query::{
+    check_range, check_step, check_theta_finite, check_theta_positive, sort_hits, BurstQueries,
+    QueryRequest, QueryResponse, QueryStrategy,
+};
 
 /// Storage backend selected by the configuration.
 #[derive(Debug, Clone)]
@@ -30,6 +36,7 @@ pub struct BurstDetector {
     config: DetectorConfig,
     backend: Backend,
     last_ts: Option<Timestamp>,
+    metrics: DetectorMetrics,
 }
 
 /// Builder for [`BurstDetector`].
@@ -59,7 +66,8 @@ impl BurstDetector {
                 config.variant.make_cell()
             })?),
         };
-        Ok(BurstDetector { config, backend, last_ts: None })
+        let metrics = DetectorMetrics::new(config.metrics);
+        Ok(BurstDetector { config, backend, last_ts: None, metrics })
     }
 
     /// The configuration in force.
@@ -81,6 +89,13 @@ impl BurstDetector {
 
     /// Records one arrival of `event` at `ts` (mixed-stream modes).
     pub fn ingest(&mut self, event: EventId, ts: Timestamp) -> Result<(), BedError> {
+        let started = self.metrics.ingest_begin();
+        let result = self.ingest_inner(event, ts);
+        self.metrics.ingest_end(started, result.is_ok());
+        result
+    }
+
+    fn ingest_inner(&mut self, event: EventId, ts: Timestamp) -> Result<(), BedError> {
         self.check_monotone(ts)?;
         match &mut self.backend {
             Backend::Single(_) => Err(BedError::WrongMode {
@@ -106,6 +121,13 @@ impl BurstDetector {
 
     /// Records one arrival on a single-event detector.
     pub fn ingest_single(&mut self, ts: Timestamp) -> Result<(), BedError> {
+        let started = self.metrics.ingest_begin();
+        let result = self.ingest_single_inner(ts);
+        self.metrics.ingest_end(started, result.is_ok());
+        result
+    }
+
+    fn ingest_single_inner(&mut self, ts: Timestamp) -> Result<(), BedError> {
         self.check_monotone(ts)?;
         match &mut self.backend {
             Backend::Single(pbe) => {
@@ -122,11 +144,13 @@ impl BurstDetector {
     /// Flushes internal buffering; queries are valid before and after, but
     /// `size_bytes` reflects the final summary only afterwards.
     pub fn finalize(&mut self) {
+        let started = self.metrics.finalize_begin();
         match &mut self.backend {
             Backend::Single(pbe) => pbe.finalize(),
             Backend::Flat(grid) => grid.finalize(),
             Backend::Hierarchical(forest) => forest.finalize(),
         }
+        self.metrics.finalize_end(started);
     }
 
     /// POINT QUERY `q(e, t, τ)`: estimated burstiness `b̃_e(t)`.
@@ -192,76 +216,104 @@ impl BurstDetector {
     }
 
     /// BURSTY EVENT QUERY `q(t, θ, τ)`: events whose estimated burstiness at
-    /// `t` reaches θ (θ > 0), plus probe statistics.
+    /// `t` reaches θ (θ finite and positive), plus probe statistics.
     ///
-    /// Uses the pruned dyadic search when the hierarchy is enabled, else a
-    /// full scan over the universe.
-    pub fn bursty_events(
+    /// The `strategy` picks the hierarchy trade-off explicitly:
+    /// [`QueryStrategy::Pruned`] runs the Eq. 6 dyadic search (falling back
+    /// to a scan on detectors built without the hierarchy);
+    /// [`QueryStrategy::ExactScan`] probes every event id and is exact with
+    /// respect to point queries. Hits are returned in the canonical order —
+    /// descending burstiness, ties by event id — matching
+    /// [`crate::ShardedDetector`]'s merged answers.
+    pub fn bursty_events_with(
         &self,
         t: Timestamp,
         theta: f64,
         tau: BurstSpan,
+        strategy: QueryStrategy,
     ) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError> {
-        // NaN must fail too, so the negated comparison is deliberate: the
-        // dyadic pruning bound compares squares and a non-positive threshold
-        // is meaningless (and would assert in the hierarchy).
-        #[allow(clippy::neg_cmp_op_on_partial_ord)]
-        if !(theta > 0.0) {
-            return Err(StreamError::InvalidProbability { parameter: "theta", got: theta }.into());
-        }
-        match &self.backend {
-            Backend::Single(_) => Err(BedError::WrongMode {
-                operation: "bursty_events",
-                built_for: "a single event stream",
-            }),
-            Backend::Flat(grid) => {
-                let k = self.config.universe.expect("flat mode implies a universe");
-                Ok(Self::scan_grid(grid, k, t, theta, tau))
+        check_theta_positive(theta)?;
+        let (mut hits, stats) = match (&self.backend, strategy) {
+            (Backend::Single(_), _) => {
+                return Err(BedError::WrongMode {
+                    operation: "bursty_events",
+                    built_for: "a single event stream",
+                })
             }
-            Backend::Hierarchical(forest) => Ok(forest.bursty_events(t, theta, tau)),
-        }
+            // A flat detector has no hierarchy to prune: both strategies
+            // scan, keeping Pruned usable as the universal default.
+            (Backend::Flat(_), _) => self.scan_range(0, u32::MAX, t, theta, tau),
+            (Backend::Hierarchical(forest), QueryStrategy::Pruned) => {
+                forest.bursty_events(t, theta, tau)
+            }
+            (Backend::Hierarchical(forest), QueryStrategy::ExactScan) => {
+                forest.bursty_events_scan(t, theta, tau)
+            }
+        };
+        sort_hits(&mut hits);
+        self.metrics.record_query_stats(&stats);
+        Ok((hits, stats))
     }
 
-    /// BURSTY EVENT QUERY via exhaustive scan over the universe — no
-    /// dyadic pruning, so the hit set is exactly the events whose point
-    /// query reaches θ. The reference answer for equivalence tests (the
-    /// pruned search may skip events masked by sign cancellation).
-    pub fn bursty_events_scan(
+    /// BURSTY EVENT QUERY restricted to event ids `[lo, hi)`.
+    ///
+    /// [`QueryStrategy::Pruned`] exploits the dyadic structure to skip
+    /// disjoint subtrees and needs the hierarchy
+    /// ([`BedError::HierarchyDisabled`] otherwise);
+    /// [`QueryStrategy::ExactScan`] probes every id in the range and works
+    /// in flat mode too. Hits are in the canonical descending-burstiness
+    /// order.
+    pub fn bursty_events_in_range_with(
         &self,
+        lo: u32,
+        hi: u32,
         t: Timestamp,
         theta: f64,
         tau: BurstSpan,
+        strategy: QueryStrategy,
     ) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError> {
-        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must fail too
-        if !(theta > 0.0) {
-            return Err(StreamError::InvalidProbability { parameter: "theta", got: theta }.into());
-        }
-        match &self.backend {
-            Backend::Single(_) => Err(BedError::WrongMode {
-                operation: "bursty_events_scan",
-                built_for: "a single event stream",
-            }),
-            Backend::Flat(grid) => {
-                let k = self.config.universe.expect("flat mode implies a universe");
-                Ok(Self::scan_grid(grid, k, t, theta, tau))
+        check_theta_positive(theta)?;
+        if lo >= hi {
+            return Err(StreamError::InvertedRange {
+                start: Timestamp(lo as u64),
+                end: Timestamp(hi as u64),
             }
-            Backend::Hierarchical(forest) => Ok(forest.bursty_events_scan(t, theta, tau)),
+            .into());
         }
+        let (mut hits, stats) = match (&self.backend, strategy) {
+            (Backend::Single(_), _) => {
+                return Err(BedError::WrongMode {
+                    operation: "bursty_events_in_range",
+                    built_for: "a single event stream",
+                })
+            }
+            (Backend::Hierarchical(forest), QueryStrategy::Pruned) => {
+                forest.bursty_events_in_range(lo, hi, t, theta, tau)
+            }
+            (_, QueryStrategy::ExactScan) => self.scan_range(lo, hi, t, theta, tau),
+            (Backend::Flat(_), QueryStrategy::Pruned) => return Err(BedError::HierarchyDisabled),
+        };
+        sort_hits(&mut hits);
+        self.metrics.record_query_stats(&stats);
+        Ok((hits, stats))
     }
 
-    fn scan_grid(
-        grid: &CmPbe<PbeCell>,
-        k: u32,
+    /// Probes every event id in `[lo, min(hi, K))` with a point query.
+    fn scan_range(
+        &self,
+        lo: u32,
+        hi: u32,
         t: Timestamp,
         theta: f64,
         tau: BurstSpan,
     ) -> (Vec<BurstyEventHit>, QueryStats) {
+        let k = self.config.universe.expect("mixed mode implies a universe");
         let mut hits = Vec::new();
         let mut stats = QueryStats::default();
-        for e in 0..k {
+        for e in lo..hi.min(k) {
             stats.point_queries += 1;
             stats.leaves_probed += 1;
-            let b = grid.estimate_burstiness(EventId(e), t, tau);
+            let b = self.point_query(EventId(e), t, tau);
             if b >= theta {
                 hits.push(BurstyEventHit { event: EventId(e), burstiness: b });
             }
@@ -269,8 +321,36 @@ impl BurstDetector {
         (hits, stats)
     }
 
-    /// BURSTY EVENT QUERY restricted to event ids `[lo, hi)` — exploits the
-    /// dyadic structure to skip disjoint subtrees (hierarchical mode only).
+    /// BURSTY EVENT QUERY with the default pruned strategy.
+    #[deprecated(since = "0.1.0", note = "use bursty_events_with(t, θ, τ, QueryStrategy::Pruned)")]
+    pub fn bursty_events(
+        &self,
+        t: Timestamp,
+        theta: f64,
+        tau: BurstSpan,
+    ) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError> {
+        self.bursty_events_with(t, theta, tau, QueryStrategy::Pruned)
+    }
+
+    /// BURSTY EVENT QUERY via exhaustive scan.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use bursty_events_with(t, θ, τ, QueryStrategy::ExactScan)"
+    )]
+    pub fn bursty_events_scan(
+        &self,
+        t: Timestamp,
+        theta: f64,
+        tau: BurstSpan,
+    ) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError> {
+        self.bursty_events_with(t, theta, tau, QueryStrategy::ExactScan)
+    }
+
+    /// Range-restricted BURSTY EVENT QUERY with the pruned strategy.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use bursty_events_in_range_with(lo, hi, t, θ, τ, QueryStrategy::Pruned)"
+    )]
     pub fn bursty_events_in_range(
         &self,
         lo: u32,
@@ -279,28 +359,15 @@ impl BurstDetector {
         theta: f64,
         tau: BurstSpan,
     ) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError> {
-        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must fail too
-        if !(theta > 0.0) {
-            return Err(StreamError::InvalidProbability { parameter: "theta", got: theta }.into());
-        }
-        if lo >= hi {
-            return Err(StreamError::InvertedRange {
-                start: Timestamp(lo as u64),
-                end: Timestamp(hi as u64),
-            }
-            .into());
-        }
-        match &self.backend {
-            Backend::Hierarchical(forest) => {
-                Ok(forest.bursty_events_in_range(lo, hi, t, theta, tau))
-            }
-            _ => Err(BedError::HierarchyDisabled),
-        }
+        self.bursty_events_in_range_with(lo, hi, t, theta, tau, QueryStrategy::Pruned)
     }
 
     /// Estimated burstiness time series of one event, sampled every `step`
     /// ticks over `[range.start, range.end]` — the data behind dashboards
     /// and the paper's Fig. 7b / Fig. 13 plots.
+    ///
+    /// A `step` of zero saturates to 1; use [`BurstQueries::query`] with
+    /// [`QueryRequest::Series`] for strict (`Err`-returning) validation.
     pub fn burstiness_series(
         &self,
         event: EventId,
@@ -308,7 +375,7 @@ impl BurstDetector {
         range: bed_stream::TimeRange,
         step: u64,
     ) -> Vec<(Timestamp, f64)> {
-        assert!(step > 0, "step must be positive");
+        let step = step.max(1);
         let mut out = Vec::new();
         let mut t = range.start.ticks();
         while t <= range.end.ticks() {
@@ -352,6 +419,124 @@ impl BurstDetector {
             Backend::Hierarchical(forest) => forest.size_bytes(),
         }
     }
+
+    /// Captures a [`MetricsSnapshot`] of runtime counters and latency
+    /// histograms, refreshing the structural gauges (summary sizes, sketch
+    /// fill, forest occupancy) from the backend first. See the crate docs
+    /// for the metric name schema. With metrics disabled
+    /// ([`BurstDetectorBuilder::metrics`]) the snapshot still exists but
+    /// every counter is frozen at zero.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.set_gauge("detector.arrivals", self.arrivals() as f64);
+        self.metrics.set_gauge("structure.bytes", self.size_bytes() as f64);
+        match &self.backend {
+            Backend::Single(pbe) => {
+                let s = pbe.summary_stats();
+                self.metrics.set_gauge("structure.pbe.pieces", s.pieces as f64);
+                self.metrics.set_gauge("structure.pbe.buffered", s.buffered as f64);
+            }
+            Backend::Flat(grid) => self.set_cm_gauges(&grid.structure()),
+            Backend::Hierarchical(forest) => {
+                let s = forest.structure();
+                self.metrics.set_gauge("structure.forest.levels", f64::from(s.levels));
+                self.metrics.set_gauge("structure.forest.nodes", s.nodes as f64);
+                self.metrics.set_gauge("structure.forest.occupied_nodes", s.occupied_nodes as f64);
+                self.metrics.set_gauge("structure.forest.pieces", s.pieces as f64);
+                self.metrics.set_gauge("structure.forest.buffered", s.buffered as f64);
+                self.set_cm_gauges(&s.leaf);
+            }
+        }
+        self.metrics.refresh_prune_ratio();
+        self.metrics.snapshot()
+    }
+
+    /// Refreshes the leaf-grid gauges (`structure.cmpbe.*`).
+    fn set_cm_gauges(&self, s: &bed_sketch::CmStructure) {
+        self.metrics.set_gauge("structure.cmpbe.depth", s.depth as f64);
+        self.metrics.set_gauge("structure.cmpbe.width", s.width as f64);
+        self.metrics.set_gauge("structure.cmpbe.occupied_cells", s.occupied_cells as f64);
+        if s.cells > 0 {
+            let fill = s.occupied_cells as f64 / s.cells as f64;
+            self.metrics.set_gauge("structure.cmpbe.fill_ratio", fill);
+        }
+        self.metrics
+            .set_gauge("structure.cmpbe.heaviest_cell_arrivals", s.heaviest_cell_arrivals as f64);
+        self.metrics.set_gauge("structure.cmpbe.pieces", s.pieces as f64);
+        self.metrics.set_gauge("structure.cmpbe.buffered", s.buffered as f64);
+    }
+
+    /// Validates an event id against the universe. Single-event detectors
+    /// expose their stream as event `0` in a universe of 1, so the unified
+    /// query API stays total across modes.
+    fn check_event(&self, event: EventId) -> Result<(), BedError> {
+        let k = self.config.universe.unwrap_or(1);
+        if event.value() >= k {
+            return Err(
+                StreamError::EventOutOfUniverse { event: event.value(), universe: k }.into()
+            );
+        }
+        Ok(())
+    }
+
+    /// Routes one [`QueryRequest`] (validation already uniform per the
+    /// [`BurstQueries`] contract).
+    fn dispatch(&self, request: &QueryRequest) -> Result<QueryResponse, BedError> {
+        match *request {
+            QueryRequest::Point { event, t, tau } => {
+                self.check_event(event)?;
+                Ok(QueryResponse::Point {
+                    burstiness: self.point_query(event, t, tau),
+                    burst_frequency: self.burst_frequency(event, t, tau),
+                    cumulative: self.cumulative_frequency(event, t),
+                })
+            }
+            QueryRequest::BurstyTimes { event, theta, tau, horizon } => {
+                self.check_event(event)?;
+                check_theta_finite(theta)?;
+                Ok(QueryResponse::BurstyTimes(self.bursty_times(event, theta, tau, horizon)))
+            }
+            QueryRequest::BurstyEvents { t, theta, tau, strategy } => {
+                let (hits, stats) = self.bursty_events_with(t, theta, tau, strategy)?;
+                Ok(QueryResponse::BurstyEvents { hits, stats })
+            }
+            QueryRequest::Series { event, tau, range, step } => {
+                self.check_event(event)?;
+                check_range(range)?;
+                check_step(step)?;
+                Ok(QueryResponse::Series(self.burstiness_series(event, tau, range, step)))
+            }
+            QueryRequest::TopK { event, k, tau, horizon } => {
+                self.check_event(event)?;
+                Ok(QueryResponse::TopK(self.top_bursts(event, k, tau, horizon)))
+            }
+        }
+    }
+}
+
+impl BurstQueries for BurstDetector {
+    fn query(&self, request: &QueryRequest) -> Result<QueryResponse, BedError> {
+        let kind = request.kind();
+        let started = self.metrics.query_begin(kind);
+        let result = self.dispatch(request);
+        self.metrics.query_end(kind, started, result.is_ok());
+        result
+    }
+
+    fn arrivals(&self) -> u64 {
+        BurstDetector::arrivals(self)
+    }
+
+    fn size_bytes(&self) -> usize {
+        BurstDetector::size_bytes(self)
+    }
+
+    fn config(&self) -> &DetectorConfig {
+        BurstDetector::config(self)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        BurstDetector::metrics(self)
+    }
 }
 
 impl BurstDetectorBuilder {
@@ -389,6 +574,13 @@ impl BurstDetectorBuilder {
     /// Sets the hash seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
+        self
+    }
+
+    /// Enables/disables runtime metric collection (default on; see
+    /// [`BurstDetector::metrics`]).
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.config.metrics = on;
         self
     }
 
@@ -507,8 +699,16 @@ impl bed_stream::Codec for BurstDetector {
             1 => Some(Timestamp::decode(r)?),
             _ => return Err(CodecError::Invalid { context: "detector last_ts flag" }),
         };
-        let config =
-            crate::config::DetectorConfig { variant, sketch, universe, hierarchical, seed };
+        // `metrics` is runtime-only and deliberately not part of the BEDD
+        // format; decoded detectors always start with collection on.
+        let config = crate::config::DetectorConfig {
+            variant,
+            sketch,
+            universe,
+            hierarchical,
+            seed,
+            metrics: true,
+        };
         let backend = match r.u8("backend tag")? {
             0 => Backend::Single(PbeCell::decode(r)?),
             1 => Backend::Flat(bed_sketch::CmPbe::decode(r)?),
@@ -525,7 +725,10 @@ impl bed_stream::Codec for BurstDetector {
         if !consistent {
             return Err(CodecError::Invalid { context: "backend/config mismatch" });
         }
-        Ok(BurstDetector { config, backend, last_ts })
+        let metrics = DetectorMetrics::new(true);
+        let det = BurstDetector { config, backend, last_ts, metrics };
+        det.metrics.seed_ingests(det.arrivals());
+        Ok(det)
     }
 }
 
@@ -561,7 +764,7 @@ mod tests {
         // mixed-mode operations are rejected
         assert!(matches!(det.ingest(EventId(0), Timestamp(60)), Err(BedError::WrongMode { .. })));
         assert!(matches!(
-            det.bursty_events(Timestamp(0), 1.0, tau),
+            det.bursty_events_with(Timestamp(0), 1.0, tau, QueryStrategy::Pruned),
             Err(BedError::WrongMode { .. })
         ));
     }
@@ -577,7 +780,8 @@ mod tests {
             .unwrap();
         burst_fixture(&mut det);
         let tau = BurstSpan::new(10).unwrap();
-        let (hits, stats) = det.bursty_events(Timestamp(99), 50.0, tau).unwrap();
+        let (hits, stats) =
+            det.bursty_events_with(Timestamp(99), 50.0, tau, QueryStrategy::Pruned).unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].event, EventId(1));
         assert!(stats.point_queries > 0);
@@ -598,7 +802,8 @@ mod tests {
             .unwrap();
         burst_fixture(&mut det);
         let tau = BurstSpan::new(10).unwrap();
-        let (hits, stats) = det.bursty_events(Timestamp(99), 50.0, tau).unwrap();
+        let (hits, stats) =
+            det.bursty_events_with(Timestamp(99), 50.0, tau, QueryStrategy::Pruned).unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].event, EventId(1));
         assert_eq!(stats.point_queries, 8); // full scan
@@ -658,12 +863,16 @@ mod tests {
             .unwrap();
         burst_fixture(&mut det); // event 1 bursts
         let tau = BurstSpan::new(10).unwrap();
-        let (hits, _) = det.bursty_events_in_range(0, 4, Timestamp(99), 50.0, tau).unwrap();
+        let (hits, _) = det
+            .bursty_events_in_range_with(0, 4, Timestamp(99), 50.0, tau, QueryStrategy::Pruned)
+            .unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].event, EventId(1));
-        let (hits, _) = det.bursty_events_in_range(4, 8, Timestamp(99), 50.0, tau).unwrap();
+        let (hits, _) = det
+            .bursty_events_in_range_with(4, 8, Timestamp(99), 50.0, tau, QueryStrategy::Pruned)
+            .unwrap();
         assert!(hits.is_empty());
-        // flat detectors reject the range query
+        // flat detectors reject the pruned range query but can scan it
         let mut flat = BurstDetector::builder()
             .universe(8)
             .hierarchical(false)
@@ -672,9 +881,14 @@ mod tests {
             .unwrap();
         flat.ingest(EventId(0), Timestamp(0)).unwrap();
         assert!(matches!(
-            flat.bursty_events_in_range(0, 4, Timestamp(0), 1.0, tau),
+            flat.bursty_events_in_range_with(0, 4, Timestamp(0), 1.0, tau, QueryStrategy::Pruned),
             Err(BedError::HierarchyDisabled)
         ));
+        let (hits, stats) = flat
+            .bursty_events_in_range_with(0, 4, Timestamp(0), 5.0, tau, QueryStrategy::ExactScan)
+            .unwrap();
+        assert!(hits.is_empty());
+        assert_eq!(stats.point_queries, 4);
     }
 
     #[test]

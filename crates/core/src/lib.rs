@@ -30,10 +30,44 @@
 //! let b0 = det.point_query(EventId(0), Timestamp(49), tau);
 //! assert!(b1 > 40.0 && b0.abs() < 5.0);
 //!
-//! let (hits, _) = det.bursty_events(Timestamp(49), 40.0, tau).unwrap();
+//! let (hits, _) = det
+//!     .bursty_events_with(Timestamp(49), 40.0, tau, bed_core::QueryStrategy::Pruned)
+//!     .unwrap();
 //! assert_eq!(hits.len(), 1);
 //! assert_eq!(hits[0].event, EventId(1));
 //! ```
+//!
+//! ## Unified query API
+//!
+//! Both [`BurstDetector`] and [`ShardedDetector`] implement [`BurstQueries`]
+//! — one `query(&QueryRequest) -> Result<QueryResponse, BedError>` covering
+//! the five canonical query kinds, so front-ends can hold a
+//! `&dyn BurstQueries` and stay agnostic of the physical layout.
+//!
+//! ## Observability
+//!
+//! Every detector collects runtime metrics by default (disable with
+//! `.metrics(false)`) through the zero-dependency `bed-obs` crate, exposed
+//! as [`MetricsSnapshot`] via `detector.metrics()`. The name schema:
+//!
+//! * `ingest.count` / `ingest.errors` / `ingest.latency_ns` (sampled 1-in-64)
+//! * `finalize.latency_ns`
+//! * `query.<kind>.count` / `query.<kind>.latency_ns` for each of `point`,
+//!   `bursty_times`, `bursty_events`, `series`, `top_k`, plus `query.errors`
+//! * `query.stats.{point_queries,pruned_subtrees,leaves_probed}` counters and
+//!   the derived `query.stats.prune_ratio` gauge
+//! * `structure.*` gauges refreshed at snapshot time: `structure.bytes`,
+//!   `detector.arrivals`, `structure.pbe.{pieces,buffered}` (single mode),
+//!   `structure.cmpbe.{depth,width,occupied_cells,fill_ratio,`
+//!   `heaviest_cell_arrivals,pieces,buffered}` (mixed modes), and
+//!   `structure.forest.{levels,nodes,occupied_nodes,pieces,buffered}`
+//!   (hierarchical mode)
+//! * `shard.batch.{count,elements,latency_ns}`,
+//!   `shard.fan_out.{count,latency_ns}`, `shard.count`, and per-shard
+//!   `shard.<i>.{arrivals,bytes}` gauges on a [`ShardedDetector`]
+//! * `pipeline.flush.{count,elements,latency_ns}` plus
+//!   `pipeline.{messages,unmapped,pending}` gauges on a
+//!   [`MessagePipeline`]
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,8 +76,10 @@ pub mod cell;
 pub mod config;
 pub mod detector;
 pub mod error;
+mod metrics;
 pub mod monitor;
 pub mod pipeline;
+pub mod query;
 pub mod shard;
 
 pub use cell::PbeCell;
@@ -52,9 +88,11 @@ pub use detector::{BurstDetector, BurstDetectorBuilder};
 pub use error::BedError;
 pub use monitor::BurstMonitor;
 pub use pipeline::{EventSink, MessagePipeline};
+pub use query::{BurstQueries, QueryRequest, QueryResponse, QueryStrategy};
 pub use shard::{ShardedDetector, ShardedDetectorBuilder};
 
 // Re-export the vocabulary types users need alongside the detector.
 pub use bed_hierarchy::{BurstyEventHit, QueryStats};
+pub use bed_obs::{MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use bed_sketch::SketchParams;
 pub use bed_stream::{BurstSpan, Burstiness, EventId, TimeRange, Timestamp};

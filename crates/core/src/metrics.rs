@@ -1,0 +1,289 @@
+//! Metric plumbing between the detectors and `bed-obs`.
+//!
+//! Each detector owns a [`DetectorMetrics`] (and a sharded facade
+//! additionally a [`ShardMetrics`]) holding pre-registered handles so the
+//! hot paths never touch the registry lock. Ingest latency is **sampled**
+//! 1-in-[`INGEST_SAMPLE_EVERY`] — two `Instant::now()` calls per sketch
+//! update would dominate the update itself — while query latency is timed
+//! on every call (queries are orders of magnitude rarer).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bed_hierarchy::QueryStats;
+use bed_obs::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
+
+use crate::query::QueryKind;
+
+/// Ingest latency is recorded on one ingest out of this many (power of two).
+pub(crate) const INGEST_SAMPLE_EVERY: u64 = 64;
+
+/// Runtime metrics of one [`crate::BurstDetector`].
+///
+/// Not `Copy`/auto-`Clone`: cloning deep-copies the registry so the clone's
+/// counters continue from the same values on independent storage.
+#[derive(Debug)]
+pub(crate) struct DetectorMetrics {
+    enabled: bool,
+    registry: MetricsRegistry,
+    ingest_count: Arc<Counter>,
+    ingest_errors: Arc<Counter>,
+    ingest_latency: Arc<Histogram>,
+    finalize_latency: Arc<Histogram>,
+    query_count: [Arc<Counter>; QueryKind::ALL.len()],
+    query_errors: Arc<Counter>,
+    query_latency: [Arc<Histogram>; QueryKind::ALL.len()],
+    point_queries: Arc<Counter>,
+    pruned_subtrees: Arc<Counter>,
+    leaves_probed: Arc<Counter>,
+}
+
+impl DetectorMetrics {
+    pub(crate) fn new(enabled: bool) -> Self {
+        Self::from_registry(MetricsRegistry::new(), enabled)
+    }
+
+    /// Fetches (registering if absent) every handle from `registry` — the
+    /// one constructor, so a deep clone re-binds to identical names.
+    fn from_registry(registry: MetricsRegistry, enabled: bool) -> Self {
+        let query_count = QueryKind::ALL.map(|k| registry.counter(k.count_metric()));
+        let query_latency = QueryKind::ALL.map(|k| registry.histogram(k.latency_metric()));
+        DetectorMetrics {
+            enabled,
+            ingest_count: registry.counter("ingest.count"),
+            ingest_errors: registry.counter("ingest.errors"),
+            ingest_latency: registry.histogram("ingest.latency_ns"),
+            finalize_latency: registry.histogram("finalize.latency_ns"),
+            query_count,
+            query_errors: registry.counter("query.errors"),
+            query_latency,
+            point_queries: registry.counter("query.stats.point_queries"),
+            pruned_subtrees: registry.counter("query.stats.pruned_subtrees"),
+            leaves_probed: registry.counter("query.stats.leaves_probed"),
+            registry,
+        }
+    }
+
+    /// Counts one ingest attempt; returns a start instant on the sampled
+    /// ones. The unconditional cost is a single relaxed `fetch_add`.
+    #[inline]
+    pub(crate) fn ingest_begin(&self) -> Option<Instant> {
+        if !self.enabled {
+            return None;
+        }
+        let n = self.ingest_count.inc_fetch();
+        n.is_multiple_of(INGEST_SAMPLE_EVERY).then(Instant::now)
+    }
+
+    /// Closes an ingest attempt opened by [`Self::ingest_begin`].
+    #[inline]
+    pub(crate) fn ingest_end(&self, started: Option<Instant>, ok: bool) {
+        if !self.enabled {
+            return;
+        }
+        if !ok {
+            self.ingest_errors.inc();
+        }
+        if let Some(t0) = started {
+            self.ingest_latency.observe(t0.elapsed());
+        }
+    }
+
+    /// Starts timing a `finalize` (cold path, always timed).
+    pub(crate) fn finalize_begin(&self) -> Option<Instant> {
+        self.enabled.then(Instant::now)
+    }
+
+    pub(crate) fn finalize_end(&self, started: Option<Instant>) {
+        if let Some(t0) = started {
+            self.finalize_latency.observe(t0.elapsed());
+        }
+    }
+
+    /// Counts one query of `kind` and starts its latency timer.
+    pub(crate) fn query_begin(&self, kind: QueryKind) -> Option<Instant> {
+        if !self.enabled {
+            return None;
+        }
+        self.query_count[kind.index()].inc();
+        Some(Instant::now())
+    }
+
+    /// Closes a query opened by [`Self::query_begin`].
+    pub(crate) fn query_end(&self, kind: QueryKind, started: Option<Instant>, ok: bool) {
+        if !self.enabled {
+            return;
+        }
+        if !ok {
+            self.query_errors.inc();
+        }
+        if let Some(t0) = started {
+            self.query_latency[kind.index()].observe(t0.elapsed());
+        }
+    }
+
+    /// Accumulates probe statistics of a bursty-event search.
+    pub(crate) fn record_query_stats(&self, stats: &QueryStats) {
+        if !self.enabled {
+            return;
+        }
+        self.point_queries.add(stats.point_queries as u64);
+        self.pruned_subtrees.add(stats.pruned_subtrees as u64);
+        self.leaves_probed.add(stats.leaves_probed as u64);
+    }
+
+    /// Seeds `ingest.count` from persisted state (a decoded sketch has
+    /// ingested its arrivals, just not in this process).
+    pub(crate) fn seed_ingests(&self, arrivals: u64) {
+        self.ingest_count.set(arrivals);
+    }
+
+    /// Refreshes a structural gauge (cold path; registers on first use).
+    pub(crate) fn set_gauge(&self, name: &str, value: f64) {
+        if self.enabled {
+            self.registry.gauge(name).set(value);
+        }
+    }
+
+    /// Derived pruning effectiveness: subtrees skipped per subtree visited.
+    pub(crate) fn refresh_prune_ratio(&self) {
+        if !self.enabled {
+            return;
+        }
+        let pruned = self.pruned_subtrees.get() as f64;
+        let probed = self.leaves_probed.get() as f64;
+        if pruned + probed > 0.0 {
+            self.registry.gauge("query.stats.prune_ratio").set(pruned / (pruned + probed));
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+}
+
+impl Clone for DetectorMetrics {
+    fn clone(&self) -> Self {
+        Self::from_registry(self.registry.deep_clone(), self.enabled)
+    }
+}
+
+/// Facade-level metrics of a [`crate::ShardedDetector`]: batch ingestion and
+/// fan-out/merge timings that no single shard can observe.
+#[derive(Debug)]
+pub(crate) struct ShardMetrics {
+    enabled: bool,
+    registry: MetricsRegistry,
+    batches: Arc<Counter>,
+    batch_elements: Arc<Counter>,
+    batch_latency: Arc<Histogram>,
+    fan_outs: Arc<Counter>,
+    fan_out_latency: Arc<Histogram>,
+}
+
+impl ShardMetrics {
+    pub(crate) fn new(enabled: bool) -> Self {
+        Self::from_registry(MetricsRegistry::new(), enabled)
+    }
+
+    fn from_registry(registry: MetricsRegistry, enabled: bool) -> Self {
+        ShardMetrics {
+            enabled,
+            batches: registry.counter("shard.batch.count"),
+            batch_elements: registry.counter("shard.batch.elements"),
+            batch_latency: registry.histogram("shard.batch.latency_ns"),
+            fan_outs: registry.counter("shard.fan_out.count"),
+            fan_out_latency: registry.histogram("shard.fan_out.latency_ns"),
+            registry,
+        }
+    }
+
+    /// Starts timing one `ingest_batch` call of `len` elements.
+    pub(crate) fn batch_begin(&self, len: usize) -> Option<Instant> {
+        if !self.enabled {
+            return None;
+        }
+        self.batches.inc();
+        self.batch_elements.add(len as u64);
+        Some(Instant::now())
+    }
+
+    pub(crate) fn batch_end(&self, started: Option<Instant>) {
+        if let Some(t0) = started {
+            self.batch_latency.observe(t0.elapsed());
+        }
+    }
+
+    /// Starts timing one cross-shard fan-out/merge.
+    pub(crate) fn fan_out_begin(&self) -> Option<Instant> {
+        if !self.enabled {
+            return None;
+        }
+        self.fan_outs.inc();
+        Some(Instant::now())
+    }
+
+    pub(crate) fn fan_out_end(&self, started: Option<Instant>) {
+        if let Some(t0) = started {
+            self.fan_out_latency.observe(t0.elapsed());
+        }
+    }
+
+    /// Refreshes a facade-level gauge (cold path).
+    pub(crate) fn set_gauge(&self, name: &str, value: f64) {
+        if self.enabled {
+            self.registry.gauge(name).set(value);
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+}
+
+impl Clone for ShardMetrics {
+    fn clone(&self) -> Self {
+        Self::from_registry(self.registry.deep_clone(), self.enabled)
+    }
+}
+
+/// Metrics of a [`crate::MessagePipeline`]: flush batching and latency.
+#[derive(Debug)]
+pub(crate) struct PipelineMetrics {
+    registry: MetricsRegistry,
+    flushes: Arc<Counter>,
+    flushed_elements: Arc<Counter>,
+    flush_latency: Arc<Histogram>,
+}
+
+impl PipelineMetrics {
+    pub(crate) fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        PipelineMetrics {
+            flushes: registry.counter("pipeline.flush.count"),
+            flushed_elements: registry.counter("pipeline.flush.elements"),
+            flush_latency: registry.histogram("pipeline.flush.latency_ns"),
+            registry,
+        }
+    }
+
+    /// Starts timing one flush of `len` released elements.
+    pub(crate) fn flush_begin(&self, len: usize) -> Instant {
+        self.flushes.inc();
+        self.flushed_elements.add(len as u64);
+        Instant::now()
+    }
+
+    pub(crate) fn flush_end(&self, started: Instant) {
+        self.flush_latency.observe(started.elapsed());
+    }
+
+    /// Refreshes a pipeline gauge (cold path).
+    pub(crate) fn set_gauge(&self, name: &str, value: f64) {
+        self.registry.gauge(name).set(value);
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+}

@@ -1,7 +1,7 @@
 //! Current-burst monitoring on top of the historical detector.
 //!
 //! The paper positions historical queries against the prior art's
-//! *real-time* burst detection ([6], [7], [3] in its related work) and
+//! *real-time* burst detection (\[6\], \[7\], \[3\] in its related work) and
 //! notes both are wanted in practice. Since the persistent sketch always
 //! knows `F̃_e` up to the latest ingested instant, "what is bursting right
 //! now?" is just a bursty-event query at the stream head — this module
@@ -13,9 +13,12 @@ use bed_stream::{BurstSpan, Timestamp};
 
 use crate::detector::BurstDetector;
 use crate::error::BedError;
+use crate::pipeline::EventSink;
+use crate::query::{BurstQueries, QueryRequest, QueryResponse, QueryStrategy};
 
-/// Live view over a [`BurstDetector`]: tracks the stream head and answers
-/// "now" queries.
+/// Live view over a [`BurstDetector`] — or any backend implementing
+/// [`BurstQueries`] + [`EventSink`], e.g. a [`crate::ShardedDetector`] —
+/// tracking the stream head and answering "now" queries.
 ///
 /// ```
 /// use bed_core::monitor::BurstMonitor;
@@ -41,15 +44,15 @@ use crate::error::BedError;
 /// assert_eq!(top[0].event, EventId(9));
 /// ```
 #[derive(Debug, Clone)]
-pub struct BurstMonitor {
-    detector: BurstDetector,
+pub struct BurstMonitor<D = BurstDetector> {
+    detector: D,
     tau: BurstSpan,
     now: Option<Timestamp>,
 }
 
-impl BurstMonitor {
+impl<D: BurstQueries + EventSink> BurstMonitor<D> {
     /// Wraps a (mixed-stream) detector with a monitoring burst span.
-    pub fn new(detector: BurstDetector, tau: BurstSpan) -> Self {
+    pub fn new(detector: D, tau: BurstSpan) -> Self {
         BurstMonitor { detector, tau, now: None }
     }
 
@@ -66,24 +69,32 @@ impl BurstMonitor {
     }
 
     /// The wrapped detector (all historical queries remain available).
-    pub fn detector(&self) -> &BurstDetector {
+    pub fn detector(&self) -> &D {
         &self.detector
     }
 
     /// Consumes the monitor, returning the detector.
-    pub fn into_detector(mut self) -> BurstDetector {
+    pub fn into_detector(mut self) -> D {
         self.detector.finalize();
         self.detector
     }
 
     /// Currently bursting events (estimated `b̃_e(now) ≥ θ`), most bursty
-    /// first.
+    /// first — a [`QueryRequest::BurstyEvents`] at the stream head.
     pub fn bursting_now(&self, theta: f64) -> Result<Vec<BurstyEventHit>, BedError> {
         let Some(now) = self.now else {
             return Ok(Vec::new());
         };
-        let (mut hits, _) = self.detector.bursty_events(now, theta, self.tau)?;
-        hits.sort_by(|a, b| b.burstiness.partial_cmp(&a.burstiness).expect("finite estimates"));
+        let response = self.detector.query(&QueryRequest::BurstyEvents {
+            t: now,
+            theta,
+            tau: self.tau,
+            strategy: QueryStrategy::Pruned,
+        })?;
+        // Hits arrive in the canonical descending-burstiness order.
+        let QueryResponse::BurstyEvents { hits, .. } = response else {
+            return Ok(Vec::new());
+        };
         Ok(hits)
     }
 
@@ -101,6 +112,28 @@ mod tests {
     use super::*;
     use crate::config::PbeVariant;
     use bed_stream::EventId;
+
+    #[test]
+    fn sharded_backend_behind_the_same_monitor() {
+        let det = crate::ShardedDetector::builder(3)
+            .universe(32)
+            .variant(PbeVariant::pbe2(1.0))
+            .accuracy(0.005, 0.05)
+            .seed(3)
+            .build()
+            .unwrap();
+        let mut mon = BurstMonitor::new(det, BurstSpan::new(25).unwrap());
+        for t in 0..200u64 {
+            mon.ingest(EventId(0), Timestamp(t)).unwrap();
+            if t >= 175 {
+                for _ in 0..8 {
+                    mon.ingest(EventId(6), Timestamp(t)).unwrap();
+                }
+            }
+        }
+        let top = mon.top_k_now(1, 5.0).unwrap();
+        assert_eq!(top[0].event, EventId(6));
+    }
 
     fn monitor() -> BurstMonitor {
         let det = BurstDetector::builder()

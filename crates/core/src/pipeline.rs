@@ -8,12 +8,15 @@
 //! timestamp disorder) and ask historical burstiness questions on the other
 //! side.
 
+use bed_obs::MetricsSnapshot;
 use bed_stream::element::{EventMapper, Message, StreamElement};
 use bed_stream::reorder::{LatePolicy, ReorderBuffer};
 use bed_stream::{EventId, Timestamp};
 
 use crate::detector::BurstDetector;
 use crate::error::BedError;
+use crate::metrics::PipelineMetrics;
+use crate::query::BurstQueries;
 use crate::shard::ShardedDetector;
 
 /// Anything that can consume a (locally ordered) event stream — the
@@ -103,6 +106,7 @@ pub struct MessagePipeline<M, D = BurstDetector> {
     batch: Vec<(EventId, Timestamp)>,
     messages: u64,
     unmapped: u64,
+    metrics: PipelineMetrics,
 }
 
 impl<M: EventMapper, D: EventSink> MessagePipeline<M, D> {
@@ -119,6 +123,7 @@ impl<M: EventMapper, D: EventSink> MessagePipeline<M, D> {
             batch: Vec::new(),
             messages: 0,
             unmapped: 0,
+            metrics: PipelineMetrics::new(),
         }
     }
 
@@ -147,7 +152,10 @@ impl<M: EventMapper, D: EventSink> MessagePipeline<M, D> {
         }
         self.batch.clear();
         self.batch.extend(self.ready.drain(..).map(|el| (el.event, el.ts)));
-        self.detector.ingest_batch(&self.batch)
+        let started = self.metrics.flush_begin(self.batch.len());
+        let result = self.detector.ingest_batch(&self.batch);
+        self.metrics.flush_end(started);
+        result
     }
 
     /// Messages offered so far.
@@ -177,6 +185,18 @@ impl<M: EventMapper, D: EventSink> MessagePipeline<M, D> {
         self.flush_ready()?;
         self.detector.finalize();
         Ok(self.detector)
+    }
+}
+
+impl<M, D: BurstQueries> MessagePipeline<M, D> {
+    /// Captures flush counters/latency plus the
+    /// `pipeline.{messages,unmapped,pending}` gauges, merged with the
+    /// wrapped detector's own [`MetricsSnapshot`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.set_gauge("pipeline.messages", self.messages as f64);
+        self.metrics.set_gauge("pipeline.unmapped", self.unmapped as f64);
+        self.metrics.set_gauge("pipeline.pending", self.reorder.pending() as f64);
+        self.metrics.snapshot().merge(&self.detector.metrics())
     }
 }
 

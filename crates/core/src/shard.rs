@@ -16,21 +16,24 @@
 //! globally.
 //!
 //! One caveat is inherited rather than introduced: the pruned dyadic
-//! bursty-event search ([`ShardedDetector::bursty_events`]) skips a
-//! subtree when the Eq. 6 bound says no descendant can reach θ, and
-//! sign cancellation between siblings can mask a bursting event. Each
-//! shard prunes over *its own* forest, so the pruned hit set of a sharded
-//! detector may differ from the unsharded one's (both are subsets of the
-//! exact scan answer, and every reported hit is a true point-query hit).
-//! [`ShardedDetector::bursty_events_scan`] is exact with respect to
-//! point queries and matches the unsharded scan set for set.
+//! bursty-event search ([`QueryStrategy::Pruned`]) skips a subtree when
+//! the Eq. 6 bound says no descendant can reach θ, and sign cancellation
+//! between siblings can mask a bursting event. Each shard prunes over
+//! *its own* forest, so the pruned hit set of a sharded detector may
+//! differ from the unsharded one's (both are subsets of the exact scan
+//! answer, and every reported hit is a true point-query hit).
+//! [`QueryStrategy::ExactScan`] is exact with respect to point queries
+//! and matches the unsharded scan set for set.
 
 use bed_hierarchy::{BurstyEventHit, QueryStats};
+use bed_obs::MetricsSnapshot;
 use bed_stream::{BurstSpan, EventId, StreamError, TimeRange, Timestamp};
 
 use crate::config::DetectorConfig;
 use crate::detector::BurstDetector;
 use crate::error::BedError;
+use crate::metrics::ShardMetrics;
+use crate::query::{BurstQueries, QueryRequest, QueryResponse, QueryStrategy};
 
 /// Batches below this size are ingested inline: spawning scoped threads
 /// costs more than a few thousand sketch updates.
@@ -85,7 +88,9 @@ fn route(event: EventId, n: usize) -> usize {
 /// let b0 = det.point_query(EventId(0), Timestamp(49), tau);
 /// assert!(b1 > 40.0 && b0.abs() < 5.0);
 ///
-/// let (hits, _) = det.bursty_events(Timestamp(49), 40.0, tau).unwrap();
+/// let (hits, _) = det
+///     .bursty_events_with(Timestamp(49), 40.0, tau, bed_core::QueryStrategy::Pruned)
+///     .unwrap();
 /// assert_eq!(hits.len(), 1);
 /// assert_eq!(hits[0].event, EventId(1));
 /// ```
@@ -93,6 +98,7 @@ fn route(event: EventId, n: usize) -> usize {
 pub struct ShardedDetector {
     shards: Vec<BurstDetector>,
     last_ts: Option<Timestamp>,
+    metrics: ShardMetrics,
 }
 
 /// Builder for [`ShardedDetector`]; usually reached via
@@ -123,7 +129,8 @@ impl ShardedDetector {
         }
         let shards =
             (0..n).map(|_| BurstDetector::from_config(config)).collect::<Result<Vec<_>, _>>()?;
-        Ok(ShardedDetector { shards, last_ts: None })
+        let metrics = ShardMetrics::new(config.metrics);
+        Ok(ShardedDetector { shards, last_ts: None, metrics })
     }
 
     /// The per-shard configuration (identical across shards).
@@ -194,6 +201,13 @@ impl ShardedDetector {
     /// either fully or not at all. Per-shard order equals arrival order
     /// because partitioning is a stable single pass.
     pub fn ingest_batch(&mut self, batch: &[(EventId, Timestamp)]) -> Result<(), BedError> {
+        let started = self.metrics.batch_begin(batch.len());
+        let result = self.ingest_batch_inner(batch);
+        self.metrics.batch_end(started);
+        result
+    }
+
+    fn ingest_batch_inner(&mut self, batch: &[(EventId, Timestamp)]) -> Result<(), BedError> {
         let last = self.validate_batch(batch)?;
         let n = self.shards.len();
         if n == 1 || batch.len() < PARALLEL_MIN_BATCH {
@@ -293,32 +307,66 @@ impl ShardedDetector {
         self.shards[self.owner(event)].top_bursts(event, k, tau, horizon)
     }
 
-    /// BURSTY EVENT QUERY `q(t, θ, τ)` via each shard's pruned search,
-    /// merged across shards (see the module docs for the pruning caveat).
+    /// BURSTY EVENT QUERY `q(t, θ, τ)`: each shard searches with the given
+    /// `strategy`, hits are merged across shards (see the module docs for
+    /// the [`QueryStrategy::Pruned`] caveat).
     ///
     /// Hits are sorted by descending burstiness, ties by event id; stats
     /// are summed over shards.
+    pub fn bursty_events_with(
+        &self,
+        t: Timestamp,
+        theta: f64,
+        tau: BurstSpan,
+        strategy: QueryStrategy,
+    ) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError> {
+        self.fan_out(|shard| shard.bursty_events_with(t, theta, tau, strategy))
+    }
+
+    /// BURSTY EVENT QUERY restricted to event ids `[lo, hi)`, merged
+    /// across shards.
+    pub fn bursty_events_in_range_with(
+        &self,
+        lo: u32,
+        hi: u32,
+        t: Timestamp,
+        theta: f64,
+        tau: BurstSpan,
+        strategy: QueryStrategy,
+    ) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError> {
+        self.fan_out(|shard| shard.bursty_events_in_range_with(lo, hi, t, theta, tau, strategy))
+    }
+
+    /// BURSTY EVENT QUERY with the default pruned strategy.
+    #[deprecated(since = "0.1.0", note = "use bursty_events_with(t, θ, τ, QueryStrategy::Pruned)")]
     pub fn bursty_events(
         &self,
         t: Timestamp,
         theta: f64,
         tau: BurstSpan,
     ) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError> {
-        self.fan_out(|shard| shard.bursty_events(t, theta, tau))
+        self.bursty_events_with(t, theta, tau, QueryStrategy::Pruned)
     }
 
-    /// BURSTY EVENT QUERY via exhaustive scan — exact with respect to
-    /// point queries, hence set-equal to the unsharded scan.
+    /// BURSTY EVENT QUERY via exhaustive scan.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use bursty_events_with(t, θ, τ, QueryStrategy::ExactScan)"
+    )]
     pub fn bursty_events_scan(
         &self,
         t: Timestamp,
         theta: f64,
         tau: BurstSpan,
     ) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError> {
-        self.fan_out(|shard| shard.bursty_events_scan(t, theta, tau))
+        self.bursty_events_with(t, theta, tau, QueryStrategy::ExactScan)
     }
 
-    /// BURSTY EVENT QUERY restricted to event ids `[lo, hi)`.
+    /// Range-restricted BURSTY EVENT QUERY with the pruned strategy.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use bursty_events_in_range_with(lo, hi, t, θ, τ, QueryStrategy::Pruned)"
+    )]
     pub fn bursty_events_in_range(
         &self,
         lo: u32,
@@ -327,13 +375,23 @@ impl ShardedDetector {
         theta: f64,
         tau: BurstSpan,
     ) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError> {
-        self.fan_out(|shard| shard.bursty_events_in_range(lo, hi, t, theta, tau))
+        self.bursty_events_in_range_with(lo, hi, t, theta, tau, QueryStrategy::Pruned)
     }
 
     /// Runs an event-set query on every shard, keeps each shard's hits on
     /// the events it owns (a shard's sketch can only over-count, so it may
     /// report collision ghosts for ids it never saw), dedups, and merges.
     fn fan_out(
+        &self,
+        query: impl Fn(&BurstDetector) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError>,
+    ) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError> {
+        let started = self.metrics.fan_out_begin();
+        let result = self.fan_out_inner(query);
+        self.metrics.fan_out_end(started);
+        result
+    }
+
+    fn fan_out_inner(
         &self,
         query: impl Fn(&BurstDetector) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError>,
     ) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError> {
@@ -372,6 +430,61 @@ impl ShardedDetector {
     pub fn size_bytes(&self) -> usize {
         self.shards.iter().map(BurstDetector::size_bytes).sum()
     }
+
+    /// Captures a [`MetricsSnapshot`] rolling every shard up: counters and
+    /// histograms are summed across shards, facade-level batch/fan-out
+    /// timings are kept as-is, and per-shard `shard.<i>.{arrivals,bytes}`
+    /// gauges plus `shard.count` are refreshed first.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.set_gauge("shard.count", self.shards.len() as f64);
+        for (i, shard) in self.shards.iter().enumerate() {
+            self.metrics.set_gauge(&format!("shard.{i}.arrivals"), shard.arrivals() as f64);
+            self.metrics.set_gauge(&format!("shard.{i}.bytes"), shard.size_bytes() as f64);
+        }
+        let mut merged = self.metrics.snapshot();
+        for shard in &self.shards {
+            merged = merged.merge(&shard.metrics());
+        }
+        merged
+    }
+
+    /// Routes one [`QueryRequest`]: per-event kinds go to the owning shard's
+    /// [`BurstQueries::query`] (whose universe check covers the full `K`),
+    /// bursty-event kinds fan out and merge.
+    fn dispatch(&self, request: &QueryRequest) -> Result<QueryResponse, BedError> {
+        match *request {
+            QueryRequest::Point { event, .. }
+            | QueryRequest::BurstyTimes { event, .. }
+            | QueryRequest::Series { event, .. }
+            | QueryRequest::TopK { event, .. } => self.shards[self.owner(event)].query(request),
+            QueryRequest::BurstyEvents { t, theta, tau, strategy } => {
+                let (hits, stats) = self.bursty_events_with(t, theta, tau, strategy)?;
+                Ok(QueryResponse::BurstyEvents { hits, stats })
+            }
+        }
+    }
+}
+
+impl BurstQueries for ShardedDetector {
+    fn query(&self, request: &QueryRequest) -> Result<QueryResponse, BedError> {
+        self.dispatch(request)
+    }
+
+    fn arrivals(&self) -> u64 {
+        ShardedDetector::arrivals(self)
+    }
+
+    fn size_bytes(&self) -> usize {
+        ShardedDetector::size_bytes(self)
+    }
+
+    fn config(&self) -> &DetectorConfig {
+        ShardedDetector::config(self)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        ShardedDetector::metrics(self)
+    }
 }
 
 impl ShardedDetectorBuilder {
@@ -402,6 +515,13 @@ impl ShardedDetectorBuilder {
     /// Sets the hash seed (shared, so equal-config shards stay equal).
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
+        self
+    }
+
+    /// Enables/disables runtime metric collection in the facade and every
+    /// shard (default on; see [`ShardedDetector::metrics`]).
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.config.metrics = on;
         self
     }
 
@@ -455,7 +575,8 @@ impl bed_stream::Codec for ShardedDetector {
         if shards.iter().any(|s| s.config().universe.is_none()) {
             return Err(CodecError::Invalid { context: "sharded shard mode" });
         }
-        Ok(ShardedDetector { shards, last_ts })
+        // Like BEDD, metric collection restarts on decode (runtime-only).
+        Ok(ShardedDetector { shards, last_ts, metrics: ShardMetrics::new(true) })
     }
 }
 
@@ -537,11 +658,13 @@ mod tests {
         det.ingest_batch(&fixture_batch()).unwrap();
         det.finalize();
         let tau = BurstSpan::new(10).unwrap();
-        let (hits, stats) = det.bursty_events(Timestamp(99), 50.0, tau).unwrap();
+        let (hits, stats) =
+            det.bursty_events_with(Timestamp(99), 50.0, tau, QueryStrategy::Pruned).unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].event, EventId(5));
         assert!(stats.point_queries > 0);
-        let (scan_hits, _) = det.bursty_events_scan(Timestamp(99), 50.0, tau).unwrap();
+        let (scan_hits, _) =
+            det.bursty_events_with(Timestamp(99), 50.0, tau, QueryStrategy::ExactScan).unwrap();
         assert_eq!(scan_hits.len(), 1);
         assert_eq!(scan_hits[0].event, EventId(5));
     }

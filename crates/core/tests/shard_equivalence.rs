@@ -11,7 +11,7 @@
 //! cancellation inside dyadic sums differs per forest), so for it we
 //! assert precision against the exact scan instead of set equality.
 
-use bed_core::{BurstDetector, PbeVariant, ShardedDetector};
+use bed_core::{BurstDetector, PbeVariant, QueryStrategy, ShardedDetector};
 use bed_stream::{BurstSpan, EventId, Timestamp};
 use proptest::prelude::*;
 
@@ -158,14 +158,15 @@ proptest! {
         let theta = theta_i as f64;
         let t = Timestamp(q);
 
-        let (scan_p, _) = plain.bursty_events_scan(t, theta, tau).unwrap();
-        let (scan_s, _) = sharded.bursty_events_scan(t, theta, tau).unwrap();
+        let (scan_p, _) = plain.bursty_events_with(t, theta, tau, QueryStrategy::ExactScan).unwrap();
+        let (scan_s, _) =
+            sharded.bursty_events_with(t, theta, tau, QueryStrategy::ExactScan).unwrap();
         prop_assert_eq!(hit_set(&scan_p), hit_set(&scan_s), "scan sets diverged");
 
         let scan_set = hit_set(&scan_p);
         for (name, det_hits) in [
-            ("plain", plain.bursty_events(t, theta, tau).unwrap().0),
-            ("sharded", sharded.bursty_events(t, theta, tau).unwrap().0),
+            ("plain", plain.bursty_events_with(t, theta, tau, QueryStrategy::Pruned).unwrap().0),
+            ("sharded", sharded.bursty_events_with(t, theta, tau, QueryStrategy::Pruned).unwrap().0),
         ] {
             for h in &det_hits {
                 prop_assert!(h.burstiness >= theta, "{name}: sub-θ hit {h:?}");

@@ -208,6 +208,49 @@ impl<P: CurveSketch> DyadicCmPbe<P> {
     pub fn size_bytes(&self) -> usize {
         self.grids.iter().map(|g| g.size_bytes()).sum()
     }
+
+    /// Structural readings for observability: level count, the leaf grid's
+    /// shape, and node/cell fill totals over the whole forest.
+    pub fn structure(&self) -> ForestStructure {
+        let mut total = bed_sketch::CmStructure::default();
+        for grid in &self.grids {
+            total.accumulate(&grid.structure());
+        }
+        ForestStructure {
+            levels: self.levels(),
+            universe: self.universe(),
+            padded_universe: self.padded_universe(),
+            leaf: self.grids[0].structure(),
+            nodes: total.cells,
+            occupied_nodes: total.occupied_cells,
+            pieces: total.pieces,
+            buffered: total.buffered,
+            bytes: total.bytes,
+        }
+    }
+}
+
+/// Structural readings of one dyadic forest (see [`DyadicCmPbe::structure`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForestStructure {
+    /// Levels in the hierarchy (`log₂ K + 1`).
+    pub levels: u32,
+    /// Declared event-id universe `K`.
+    pub universe: u32,
+    /// Universe padded to the next power of two.
+    pub padded_universe: u32,
+    /// Structure of the leaf grid (level 0), which answers point queries.
+    pub leaf: bed_sketch::CmStructure,
+    /// Total sketch cells across every level.
+    pub nodes: usize,
+    /// Cells that have ingested at least one arrival, across every level.
+    pub occupied_nodes: usize,
+    /// Summary pieces across every level.
+    pub pieces: usize,
+    /// Buffered exact state across every level awaiting compression.
+    pub buffered: usize,
+    /// Total byte footprint of the forest.
+    pub bytes: usize,
 }
 
 /// Persistence (format `DYAD` v1): universe sizes plus one CM-PBE per level.

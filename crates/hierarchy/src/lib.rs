@@ -30,5 +30,5 @@ pub mod forest;
 pub mod query;
 
 pub use dyadic::DyadicRange;
-pub use forest::DyadicCmPbe;
+pub use forest::{DyadicCmPbe, ForestStructure};
 pub use query::{BurstyEventHit, QueryStats};

@@ -1,0 +1,45 @@
+//! # bed-obs — observability primitives for the `bed` workspace
+//!
+//! A zero-dependency, std-only instrumentation layer: atomic [`Counter`]s,
+//! [`Gauge`]s and fixed-bucket latency [`Histogram`]s collected in a
+//! [`MetricsRegistry`] and exported as an immutable [`MetricsSnapshot`] with
+//! deterministic text and JSON renderers.
+//!
+//! Design constraints (in priority order):
+//!
+//! 1. **Cheap enough to stay on by default.** Every hot-path operation is a
+//!    single relaxed atomic RMW; the registry mutex is only taken at
+//!    registration and snapshot time, never per event. Latency histograms are
+//!    meant to be *sampled* by the caller (e.g. 1-in-64 ingests) so that
+//!    `Instant::now()` never dominates a sketch update.
+//! 2. **No dependencies.** The container builds offline; everything here is
+//!    `std` only, including the hand-rolled JSON renderer.
+//! 3. **Deterministic output.** Snapshots are sorted by metric name and the
+//!    JSON renderer is byte-stable for identical values, so golden tests can
+//!    pin the schema.
+//!
+//! ```
+//! use bed_obs::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::new();
+//! let ingests = registry.counter("ingest.count");
+//! let latency = registry.histogram("ingest.latency_ns");
+//!
+//! ingests.inc();
+//! latency.record_ns(1_200);
+//!
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("ingest.count"), Some(1));
+//! assert!(snap.to_json().contains("\"ingest.count\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod registry;
+mod snapshot;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, LATENCY_BOUNDS_NS};
+pub use registry::{Metric, MetricsRegistry};
+pub use snapshot::{MetricValue, MetricsSnapshot};

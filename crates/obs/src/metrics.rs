@@ -1,0 +1,311 @@
+//! Atomic metric primitives: counters, gauges, and latency histograms.
+//!
+//! All types are internally synchronised with relaxed atomics: they are safe
+//! to share across threads behind an `Arc`, and no operation takes a lock.
+//! Relaxed ordering is sufficient because metrics are monotone accumulators —
+//! readers only need *eventually consistent* totals, never cross-metric
+//! ordering guarantees.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// A monotonically increasing `u64` counter.
+///
+/// `Clone` copies the *current value* into an independent counter — cloning a
+/// detector must not leave the two halves sharing metric storage.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Increments by one and returns the *previous* value (used for cheap
+    /// 1-in-N sampling decisions on hot paths).
+    #[inline]
+    pub fn inc_fetch(&self) -> u64 {
+        self.0.fetch_add(1, Relaxed)
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+
+    /// Overwrites the value (used to seed counters from persisted state,
+    /// e.g. `ingest.count` from a decoded sketch's arrival total).
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Relaxed);
+    }
+}
+
+impl Clone for Counter {
+    fn clone(&self) -> Self {
+        Self(AtomicU64::new(self.get()))
+    }
+}
+
+/// A last-write-wins `f64` gauge (stored as IEEE-754 bits in an `AtomicU64`).
+///
+/// Gauges carry *structural* readings — segment counts, cell occupancy,
+/// bytes — refreshed at snapshot time rather than maintained incrementally.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Creates a gauge at `0.0`.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Overwrites the reading.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Relaxed);
+    }
+
+    /// Current reading.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Relaxed))
+    }
+}
+
+impl Clone for Gauge {
+    fn clone(&self) -> Self {
+        let g = Self::new();
+        g.set(self.get());
+        g
+    }
+}
+
+/// Exponential latency bucket upper bounds, in nanoseconds.
+///
+/// Roughly ×4 spacing from 250 ns to 1 s; a final implicit overflow bucket
+/// catches anything slower. Thirteen buckets keep a histogram at ~15 words —
+/// small enough to hold one per query kind per detector.
+pub const LATENCY_BOUNDS_NS: [u64; 12] = [
+    250,
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    250_000,
+    1_000_000,
+    4_000_000,
+    16_000_000,
+    64_000_000,
+    250_000_000,
+    1_000_000_000,
+];
+
+/// A fixed-bucket latency histogram over [`LATENCY_BOUNDS_NS`].
+///
+/// Bucket `i` counts observations `<= LATENCY_BOUNDS_NS[i]` (first matching
+/// bound, Prometheus-style cumulative rendering is left to consumers); the
+/// final bucket counts overflows. `record_ns` is two relaxed adds plus a
+/// 12-element scan — callers that can't afford `Instant::now()` per event
+/// should sample (see `bed-core`, which times 1-in-64 ingests).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; LATENCY_BOUNDS_NS.len() + 1],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation of `ns` nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        let idx =
+            LATENCY_BOUNDS_NS.iter().position(|&b| ns <= b).unwrap_or(LATENCY_BOUNDS_NS.len());
+        self.buckets[idx].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum_ns.fetch_add(ns, Relaxed);
+    }
+
+    /// Records a [`Duration`] observation (saturating at `u64::MAX` ns).
+    #[inline]
+    pub fn observe(&self, d: Duration) {
+        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Sum of recorded nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Relaxed)
+    }
+
+    /// Immutable copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Relaxed)).collect(),
+            count: self.count(),
+            sum_ns: self.sum_ns(),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for Histogram {
+    fn clone(&self) -> Self {
+        let snap = self.snapshot();
+        let h = Self::new();
+        for (dst, src) in h.buckets.iter().zip(snap.buckets.iter()) {
+            dst.store(*src, Relaxed);
+        }
+        h.count.store(snap.count, Relaxed);
+        h.sum_ns.store(snap.sum_ns, Relaxed);
+        h
+    }
+}
+
+/// Immutable histogram state: per-bucket counts over [`LATENCY_BOUNDS_NS`]
+/// (plus one overflow bucket), total count, and total nanoseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts; `buckets[i]` pairs with
+    /// `LATENCY_BOUNDS_NS[i]`, the last entry is the overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Total observed nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation in nanoseconds (`0` when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile observation
+    /// (`q` in `[0, 1]`), or `None` when empty. The overflow bucket reports
+    /// `u64::MAX`. This is a bucket-resolution estimate, not an exact rank.
+    pub fn quantile_bound_ns(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(LATENCY_BOUNDS_NS.get(i).copied().unwrap_or(u64::MAX));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Element-wise sum with `other`. Both sides always share the static
+    /// bound layout, so merging is a plain vector add.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        debug_assert_eq!(self.buckets.len(), other.buckets.len());
+        HistogramSnapshot {
+            buckets: self.buckets.iter().zip(other.buckets.iter()).map(|(a, b)| a + b).collect(),
+            count: self.count + other.count,
+            sum_ns: self.sum_ns + other.sum_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_roundtrip() {
+        let c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.inc_fetch(), 10);
+        let d = c.clone();
+        c.inc();
+        assert_eq!(d.get(), 11, "clone is an independent value copy");
+        assert_eq!(c.get(), 12);
+    }
+
+    #[test]
+    fn gauge_stores_f64() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(3.25);
+        assert_eq!(g.get(), 3.25);
+        g.set(-1.5);
+        assert_eq!(g.clone().get(), -1.5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().quantile_bound_ns(0.5), None);
+        h.record_ns(100); // bucket 0 (<=250)
+        h.record_ns(250); // bucket 0 (inclusive)
+        h.record_ns(251); // bucket 1
+        h.record_ns(2_000_000_000); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum_ns, 100 + 250 + 251 + 2_000_000_000);
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(*s.buckets.last().unwrap(), 1);
+        assert_eq!(s.quantile_bound_ns(0.5), Some(250));
+        assert_eq!(s.quantile_bound_ns(1.0), Some(u64::MAX));
+        assert_eq!(s.mean_ns(), (100 + 250 + 251 + 2_000_000_000u64) / 4);
+    }
+
+    #[test]
+    fn histogram_merge_sums() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record_ns(10);
+        b.record_ns(10);
+        b.record_ns(5_000);
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(m.count, 3);
+        assert_eq!(m.buckets[0], 2);
+        assert_eq!(m.buckets[3], 1, "5000ns lands in the <=16000ns bucket");
+    }
+
+    #[test]
+    fn observe_duration() {
+        let h = Histogram::new();
+        h.observe(Duration::from_micros(2));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum_ns(), 2_000);
+    }
+}

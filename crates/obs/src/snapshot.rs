@@ -1,0 +1,358 @@
+//! Immutable metric snapshots with deterministic text and JSON renderers.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{HistogramSnapshot, LATENCY_BOUNDS_NS};
+
+/// One captured metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(f64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// An immutable, name-sorted capture of a [`MetricsRegistry`] — the unit
+/// that renderers, the CLI, and the bench report consume.
+///
+/// [`MetricsRegistry`]: crate::MetricsRegistry
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Builds a snapshot from `(name, value)` pairs; entries are sorted by
+    /// name and later duplicates win (mirrors map semantics).
+    pub fn from_entries(entries: impl IntoIterator<Item = (String, MetricValue)>) -> Self {
+        let mut entries: Vec<(String, MetricValue)> = entries.into_iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                earlier.1 = later.1.clone();
+                true
+            } else {
+                false
+            }
+        });
+        Self { entries }
+    }
+
+    /// Number of metrics captured.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no metrics were captured.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Looks up any metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Counter total by name (`None` if absent or not a counter).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge reading by name (`None` if absent or not a gauge).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram state by name (`None` if absent or not a histogram).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name)? {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Returns a snapshot with every name prefixed by `prefix` (no separator
+    /// is inserted; pass e.g. `"shard.3."`). Used for per-shard rollups.
+    pub fn with_prefix(self, prefix: &str) -> Self {
+        Self {
+            entries: self.entries.into_iter().map(|(n, v)| (format!("{prefix}{n}"), v)).collect(),
+        }
+    }
+
+    /// Merges `other` into `self` by name: counters and histogram buckets
+    /// sum, gauges sum (structural gauges aggregate additively across
+    /// shards), and names present on one side only pass through. Summing is
+    /// the right default for the sharded rollup; keep distinct names for
+    /// readings where a sum is meaningless.
+    pub fn merge(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut merged: Vec<(String, MetricValue)> = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() || j < other.entries.len() {
+            let take_left = match (self.entries.get(i), other.entries.get(j)) {
+                (Some(a), Some(b)) => a.0 <= b.0,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_left {
+                let (name, a) = &self.entries[i];
+                if let Some((_, b)) = other.entries.get(j).filter(|(n, _)| n == name) {
+                    merged.push((name.clone(), Self::merge_values(a, b)));
+                    j += 1;
+                } else {
+                    merged.push((name.clone(), a.clone()));
+                }
+                i += 1;
+            } else {
+                merged.push(other.entries[j].clone());
+                j += 1;
+            }
+        }
+        MetricsSnapshot { entries: merged }
+    }
+
+    fn merge_values(a: &MetricValue, b: &MetricValue) -> MetricValue {
+        match (a, b) {
+            (MetricValue::Counter(x), MetricValue::Counter(y)) => MetricValue::Counter(x + y),
+            (MetricValue::Gauge(x), MetricValue::Gauge(y)) => MetricValue::Gauge(x + y),
+            (MetricValue::Histogram(x), MetricValue::Histogram(y)) => {
+                MetricValue::Histogram(x.merge(y))
+            }
+            // Type clash across sides: keep the left reading rather than
+            // invent a unit; registries under our control never hit this.
+            _ => a.clone(),
+        }
+    }
+
+    /// Renders the snapshot as a deterministic JSON object keyed by metric
+    /// name. Counters render as `{"type":"counter","value":N}`, gauges as
+    /// `{"type":"gauge","value":X}` (non-finite readings render as `null`),
+    /// histograms as `{"type":"histogram","count":N,"sum_ns":N,
+    /// "buckets":[[bound_ns,count],...]}` with `null` as the overflow bound.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (idx, (name, value)) in self.entries.iter().enumerate() {
+            if idx > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:", json_string(name));
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "{{\"type\":\"counter\",\"value\":{v}}}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, "{{\"type\":\"gauge\",\"value\":{}}}", json_f64(*v));
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\":\"histogram\",\"count\":{},\"sum_ns\":{},\"buckets\":[",
+                        h.count, h.sum_ns
+                    );
+                    for (i, c) in h.buckets.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        match LATENCY_BOUNDS_NS.get(i) {
+                            Some(bound) => {
+                                let _ = write!(out, "[{bound},{c}]");
+                            }
+                            None => {
+                                let _ = write!(out, "[null,{c}]");
+                            }
+                        }
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Renders the snapshot as aligned human-readable text, one metric per
+    /// line. Histograms summarise as count / mean / p50 / p99 bucket bounds.
+    pub fn to_text(&self) -> String {
+        let width = self.entries.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in self.iter() {
+            let _ = write!(out, "{name:<width$}  ");
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{v}");
+                }
+                MetricValue::Histogram(h) => {
+                    if h.count == 0 {
+                        let _ = writeln!(out, "count=0");
+                    } else {
+                        let _ = writeln!(
+                            out,
+                            "count={} mean={}ns p50<={} p99<={}",
+                            h.count,
+                            h.mean_ns(),
+                            fmt_bound(h.quantile_bound_ns(0.50)),
+                            fmt_bound(h.quantile_bound_ns(0.99)),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn fmt_bound(b: Option<u64>) -> String {
+    match b {
+        Some(u64::MAX) => ">1s".to_owned(),
+        Some(ns) => format!("{ns}ns"),
+        None => "-".to_owned(),
+    }
+}
+
+/// Escapes `s` as a JSON string literal. Metric names are ASCII identifiers
+/// in practice, but the escaper is complete for control chars and quotes.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON value: shortest round-trip decimal for finite
+/// readings, `null` for NaN/infinities (which JSON cannot represent).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{}` prints integral floats without a decimal point ("3"), which is
+        // still a valid JSON number; keep it — brevity beats bikeshedding.
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    fn snap() -> MetricsSnapshot {
+        let h = Histogram::new();
+        h.record_ns(100);
+        h.record_ns(5_000);
+        MetricsSnapshot::from_entries([
+            ("b.count".to_owned(), MetricValue::Counter(7)),
+            ("a.gauge".to_owned(), MetricValue::Gauge(2.5)),
+            ("c.lat".to_owned(), MetricValue::Histogram(h.snapshot())),
+        ])
+    }
+
+    #[test]
+    fn json_is_deterministic_and_sorted() {
+        let s = snap();
+        let j = s.to_json();
+        assert_eq!(j, s.to_json());
+        let a = j.find("a.gauge").unwrap();
+        let b = j.find("b.count").unwrap();
+        let c = j.find("c.lat").unwrap();
+        assert!(a < b && b < c);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"a.gauge\":{\"type\":\"gauge\",\"value\":2.5}"));
+        assert!(j.contains("\"b.count\":{\"type\":\"counter\",\"value\":7}"));
+        assert!(j.contains("\"count\":2,\"sum_ns\":5100"));
+        assert!(j.contains("[null,0]"), "overflow bucket rendered as null bound");
+    }
+
+    #[test]
+    fn text_render_mentions_every_metric() {
+        let t = snap().to_text();
+        assert!(t.contains("a.gauge"));
+        assert!(t.contains("b.count"));
+        assert!(t.contains("count=2 mean="));
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let s = snap();
+        assert_eq!(s.counter("b.count"), Some(7));
+        assert_eq!(s.gauge("a.gauge"), Some(2.5));
+        assert_eq!(s.histogram("c.lat").unwrap().count, 2);
+        assert_eq!(s.counter("a.gauge"), None, "type-checked lookup");
+        assert_eq!(s.counter("missing"), None);
+    }
+
+    #[test]
+    fn merge_sums_by_name_and_passes_singletons() {
+        let a = MetricsSnapshot::from_entries([
+            ("n".to_owned(), MetricValue::Counter(1)),
+            ("g".to_owned(), MetricValue::Gauge(0.5)),
+            ("only_a".to_owned(), MetricValue::Counter(9)),
+        ]);
+        let b = MetricsSnapshot::from_entries([
+            ("n".to_owned(), MetricValue::Counter(2)),
+            ("g".to_owned(), MetricValue::Gauge(1.0)),
+            ("only_b".to_owned(), MetricValue::Gauge(4.0)),
+        ]);
+        let m = a.merge(&b);
+        assert_eq!(m.counter("n"), Some(3));
+        assert_eq!(m.gauge("g"), Some(1.5));
+        assert_eq!(m.counter("only_a"), Some(9));
+        assert_eq!(m.gauge("only_b"), Some(4.0));
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn with_prefix_renames() {
+        let s = MetricsSnapshot::from_entries([("x".to_owned(), MetricValue::Counter(1))])
+            .with_prefix("shard.0.");
+        assert_eq!(s.counter("shard.0.x"), Some(1));
+        assert_eq!(s.counter("x"), None);
+    }
+
+    #[test]
+    fn non_finite_gauge_renders_null() {
+        let s = MetricsSnapshot::from_entries([("g".to_owned(), MetricValue::Gauge(f64::NAN))]);
+        assert!(s.to_json().contains("\"value\":null"));
+    }
+
+    #[test]
+    fn duplicate_names_last_wins() {
+        let s = MetricsSnapshot::from_entries([
+            ("x".to_owned(), MetricValue::Counter(1)),
+            ("x".to_owned(), MetricValue::Counter(2)),
+        ]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.counter("x"), Some(2));
+    }
+}

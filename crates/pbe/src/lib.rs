@@ -36,4 +36,4 @@ pub mod traits;
 pub use exact::ExactCurve;
 pub use pbe1::{Pbe1, Pbe1Config};
 pub use pbe2::{Pbe2, Pbe2Config};
-pub use traits::{bursty_time_ranges, CurveSketch, Interpolation};
+pub use traits::{bursty_time_ranges, CurveSketch, Interpolation, SummaryStats};

@@ -18,7 +18,7 @@ pub mod dp;
 use bed_stream::curve::{CornerPoint, FrequencyCurve};
 use bed_stream::{Codec, StreamError, Timestamp};
 
-use crate::traits::CurveSketch;
+use crate::traits::{CurveSketch, SummaryStats};
 
 /// Configuration of a PBE-1 sketch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -243,6 +243,14 @@ impl CurveSketch for Pbe1 {
 
     fn arrivals(&self) -> u64 {
         self.arrivals
+    }
+
+    fn summary_stats(&self) -> SummaryStats {
+        SummaryStats {
+            pieces: self.summary.len(),
+            buffered: self.buffer.len(),
+            bytes: self.size_bytes(),
+        }
     }
 }
 

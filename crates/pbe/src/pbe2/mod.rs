@@ -22,7 +22,7 @@ pub mod polygon;
 
 use bed_stream::{StreamError, Timestamp};
 
-use crate::traits::CurveSketch;
+use crate::traits::{CurveSketch, SummaryStats};
 use polygon::{HalfPlane, Polygon};
 
 /// Bounds of the initial polygon box. Constraints are expressed in
@@ -351,6 +351,14 @@ impl CurveSketch for Pbe2 {
 
     fn arrivals(&self) -> u64 {
         self.arrivals
+    }
+
+    fn summary_stats(&self) -> SummaryStats {
+        SummaryStats {
+            pieces: self.segments.len() + usize::from(self.poly.is_some()),
+            buffered: self.poly.as_ref().map_or(0, |p| p.vertex_count()),
+            bytes: self.size_bytes(),
+        }
     }
 }
 

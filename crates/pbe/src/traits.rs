@@ -14,6 +14,22 @@ pub enum Interpolation {
     Linear,
 }
 
+/// Structural readings of one summary, for observability rollups
+/// (`bed-obs`): how many pieces the approximation holds, how much exact
+/// state is still buffered, and the byte footprint. Plain data — this crate
+/// stays dependency-free and leaves metric registration to `bed-core`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SummaryStats {
+    /// Compressed pieces retained (staircase points for PBE-1, PLA segments
+    /// for PBE-2 — including the open piece, if any).
+    pub pieces: usize,
+    /// Exact state awaiting compression (PBE-1 buffer corner points; PBE-2
+    /// feasible-polygon vertices of the open piece).
+    pub buffered: usize,
+    /// Byte footprint, same accounting as [`CurveSketch::size_bytes`].
+    pub bytes: usize,
+}
+
 /// A streaming summary of one cumulative frequency curve `F(t)` supporting
 /// historical estimates.
 ///
@@ -82,6 +98,13 @@ pub trait CurveSketch {
 
     /// Number of arrivals ingested so far.
     fn arrivals(&self) -> u64;
+
+    /// Structural readings for observability. The default derives `pieces`
+    /// from [`segment_starts`](CurveSketch::segment_starts) and reports no
+    /// buffering; implementations with internal buffers should override.
+    fn summary_stats(&self) -> SummaryStats {
+        SummaryStats { pieces: self.segment_starts().len(), buffered: 0, bytes: self.size_bytes() }
+    }
 }
 
 /// Blanket helper: candidate query instants for a bursty-time query over a

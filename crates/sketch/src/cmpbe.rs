@@ -275,6 +275,73 @@ impl<P: CurveSketch> CmPbe<P> {
     pub fn size_bytes(&self) -> usize {
         self.cells.iter().map(|c| c.size_bytes()).sum()
     }
+
+    /// Structural readings for observability: grid dimensions, cell fill,
+    /// and the heaviest cell's arrival count (a collision proxy — in a
+    /// direct-indexed grid it is simply the most frequent event, while in a
+    /// hashed grid a cell far above `N/w` signals colliding heavy ids).
+    pub fn structure(&self) -> CmStructure {
+        let mut occupied = 0usize;
+        let mut heaviest = 0u64;
+        let mut pieces = 0usize;
+        let mut buffered = 0usize;
+        for cell in &self.cells {
+            let a = cell.arrivals();
+            if a > 0 {
+                occupied += 1;
+            }
+            heaviest = heaviest.max(a);
+            let stats = cell.summary_stats();
+            pieces += stats.pieces;
+            buffered += stats.buffered;
+        }
+        CmStructure {
+            depth: self.depth(),
+            width: self.width(),
+            cells: self.cells.len(),
+            occupied_cells: occupied,
+            heaviest_cell_arrivals: heaviest,
+            pieces,
+            buffered,
+            bytes: self.size_bytes(),
+        }
+    }
+}
+
+/// Structural readings of one CM-PBE grid (see [`CmPbe::structure`]).
+/// Plain data consumed by `bed-core`'s metrics layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CmStructure {
+    /// Rows `d`.
+    pub depth: usize,
+    /// Columns `w`.
+    pub width: usize,
+    /// Total cells `d·w`.
+    pub cells: usize,
+    /// Cells that have ingested at least one arrival.
+    pub occupied_cells: usize,
+    /// Largest per-cell arrival count (collision proxy).
+    pub heaviest_cell_arrivals: u64,
+    /// Summary pieces across all cells (staircase points / PLA segments).
+    pub pieces: usize,
+    /// Buffered exact state across all cells awaiting compression.
+    pub buffered: usize,
+    /// Total byte footprint of the grid's summaries.
+    pub bytes: usize,
+}
+
+impl CmStructure {
+    /// Element-wise sum (used by the hierarchy to roll levels up).
+    pub fn accumulate(&mut self, other: &CmStructure) {
+        self.depth += other.depth;
+        self.width += other.width;
+        self.cells += other.cells;
+        self.occupied_cells += other.occupied_cells;
+        self.heaviest_cell_arrivals = self.heaviest_cell_arrivals.max(other.heaviest_cell_arrivals);
+        self.pieces += other.pieces;
+        self.buffered += other.buffered;
+        self.bytes += other.bytes;
+    }
 }
 
 /// Persistence (format `CMPB` v1): hash family, every cell, the arrival

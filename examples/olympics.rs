@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release --example olympics`
 
 use bed::workload::olympics::{self, OlympicsConfig};
-use bed::{BurstDetector, BurstSpan, PbeVariant, Timestamp};
+use bed::{BurstDetector, BurstSpan, PbeVariant, QueryStrategy, Timestamp};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = olympics::generate(OlympicsConfig { total_elements: 200_000, seed: 2016 });
@@ -59,7 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // What burst on day 21? (bursty-event query, pruned dyadic search)
-    let (hits, stats) = detector.bursty_events(day(21), 2_000.0, tau)?;
+    let (hits, stats) =
+        detector.bursty_events_with(day(21), 2_000.0, tau, QueryStrategy::Pruned)?;
     println!(
         "\nbursty events on day 21 (θ=2000): {} hits using {} probes (vs {} events)",
         hits.len(),

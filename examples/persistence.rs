@@ -6,7 +6,7 @@
 
 use bed::stream::Codec;
 use bed::workload::olympics::{self, OlympicsConfig};
-use bed::{BurstDetector, BurstSpan, PbeVariant, Timestamp};
+use bed::{BurstDetector, BurstSpan, PbeVariant, QueryStrategy, Timestamp};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = olympics::generate(OlympicsConfig { total_elements: 100_000, seed: 2016 });
@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tau = BurstSpan::DAY_SECONDS;
     let day21 = Timestamp(21 * 86_400);
     println!("\nhistorian asks: what burst on day 21?");
-    let (hits, stats) = restored.bursty_events(day21, 1_000.0, tau)?;
+    let (hits, stats) = restored.bursty_events_with(day21, 1_000.0, tau, QueryStrategy::Pruned)?;
     for h in &hits {
         println!("  {}  b̃ = {:.0}", h.event, h.burstiness);
     }

@@ -11,6 +11,7 @@
 
 pub use bed_core as core;
 pub use bed_hierarchy as hierarchy;
+pub use bed_obs as obs;
 pub use bed_pbe as pbe;
 pub use bed_sketch as sketch;
 pub use bed_stream as stream;

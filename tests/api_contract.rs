@@ -1,7 +1,11 @@
 //! API-contract integration tests: error paths and misuse across the
 //! public surface.
 
-use bed::{BedError, BurstDetector, BurstSpan, EventId, PbeVariant, Timestamp};
+use bed::obs::Histogram;
+use bed::{
+    BedError, BurstDetector, BurstQueries, BurstSpan, EventId, MetricValue, MetricsSnapshot,
+    PbeVariant, QueryRequest, QueryStrategy, ShardedDetector, TimeRange, Timestamp,
+};
 
 #[test]
 fn builder_rejects_bad_parameters() {
@@ -60,7 +64,8 @@ fn queries_on_empty_detectors_are_sane() {
     let tau = BurstSpan::new(10).unwrap();
     assert_eq!(det.point_query(EventId(3), Timestamp(100), tau), 0.0);
     assert_eq!(det.cumulative_frequency(EventId(3), Timestamp(100)), 0.0);
-    let (hits, _) = det.bursty_events(Timestamp(100), 1.0, tau).unwrap();
+    let (hits, _) =
+        det.bursty_events_with(Timestamp(100), 1.0, tau, QueryStrategy::Pruned).unwrap();
     assert!(hits.is_empty());
     assert!(det.bursty_times(EventId(3), 1.0, tau, Timestamp(1_000)).is_empty());
     assert_eq!(det.arrivals(), 0);
@@ -111,12 +116,209 @@ fn nonpositive_theta_is_a_typed_error_not_a_panic() {
     det.ingest(EventId(0), Timestamp(0)).unwrap();
     let tau = BurstSpan::new(10).unwrap();
     for theta in [0.0, -5.0, f64::NAN] {
-        let err = det.bursty_events(Timestamp(0), theta, tau).unwrap_err();
-        assert!(err.to_string().contains("theta"), "{err}");
-        let err = det.bursty_events_in_range(0, 4, Timestamp(0), theta, tau).unwrap_err();
-        assert!(err.to_string().contains("theta"), "{err}");
+        for strategy in [QueryStrategy::Pruned, QueryStrategy::ExactScan] {
+            let err = det.bursty_events_with(Timestamp(0), theta, tau, strategy).unwrap_err();
+            assert!(err.to_string().contains("theta"), "{err}");
+            let err = det
+                .bursty_events_in_range_with(0, 4, Timestamp(0), theta, tau, strategy)
+                .unwrap_err();
+            assert!(err.to_string().contains("theta"), "{err}");
+        }
     }
     // inverted id range is also a typed error
-    let err = det.bursty_events_in_range(3, 3, Timestamp(0), 1.0, tau).unwrap_err();
+    let err = det
+        .bursty_events_in_range_with(3, 3, Timestamp(0), 1.0, tau, QueryStrategy::Pruned)
+        .unwrap_err();
     assert!(err.to_string().contains("inverted"), "{err}");
+}
+
+/// The deprecated aliases stay pinned to their `_with` replacements.
+#[test]
+#[allow(deprecated)]
+fn deprecated_aliases_match_their_replacements() {
+    let mut det = BurstDetector::builder().universe(8).build().unwrap();
+    for t in 0..200u64 {
+        det.ingest(EventId((t % 3) as u32), Timestamp(t)).unwrap();
+        if t >= 150 {
+            for _ in 0..6 {
+                det.ingest(EventId(5), Timestamp(t)).unwrap();
+            }
+        }
+    }
+    det.finalize();
+    let tau = BurstSpan::new(20).unwrap();
+    let t = Timestamp(199);
+    assert_eq!(
+        det.bursty_events(t, 2.0, tau).unwrap(),
+        det.bursty_events_with(t, 2.0, tau, QueryStrategy::Pruned).unwrap()
+    );
+    assert_eq!(
+        det.bursty_events_scan(t, 2.0, tau).unwrap(),
+        det.bursty_events_with(t, 2.0, tau, QueryStrategy::ExactScan).unwrap()
+    );
+    assert_eq!(
+        det.bursty_events_in_range(2, 7, t, 2.0, tau).unwrap(),
+        det.bursty_events_in_range_with(2, 7, t, 2.0, tau, QueryStrategy::Pruned).unwrap()
+    );
+}
+
+/// Builds one plain and one sharded detector over the same stream in the
+/// direct-indexed (collision-free) regime, where answers match bit for bit.
+fn contract_pair() -> (BurstDetector, ShardedDetector) {
+    let stream: Vec<(EventId, Timestamp)> = (0..400u64)
+        .flat_map(|t| {
+            let mut els = vec![(EventId((t % 8) as u32), Timestamp(t))];
+            if (300..330).contains(&t) {
+                els.extend(std::iter::repeat_n((EventId(6), Timestamp(t)), 8));
+            }
+            els
+        })
+        .collect();
+    let mut plain = BurstDetector::builder()
+        .universe(8)
+        .variant(PbeVariant::pbe2(1.0))
+        .seed(42)
+        .build()
+        .unwrap();
+    for &(e, t) in &stream {
+        plain.ingest(e, t).unwrap();
+    }
+    plain.finalize();
+    let mut sharded = BurstDetector::builder()
+        .universe(8)
+        .variant(PbeVariant::pbe2(1.0))
+        .seed(42)
+        .shards(3)
+        .build()
+        .unwrap();
+    sharded.ingest_batch(&stream).unwrap();
+    sharded.finalize();
+    (plain, sharded)
+}
+
+/// Both detectors answer every [`QueryRequest`] variant through a
+/// `&dyn BurstQueries` with equal [`QueryResponse`]s (hits-only for
+/// `BurstyEvents`, whose probe statistics legitimately depend on layout).
+#[test]
+fn dyn_query_round_trips_are_shard_invariant() {
+    let (plain, sharded) = contract_pair();
+    let dets: [&dyn BurstQueries; 2] = [&plain, &sharded];
+    let tau = BurstSpan::new(20).unwrap();
+    let requests = [
+        QueryRequest::Point { event: EventId(6), t: Timestamp(329), tau },
+        QueryRequest::BurstyTimes { event: EventId(6), theta: 10.0, tau, horizon: Timestamp(450) },
+        QueryRequest::Series {
+            event: EventId(2),
+            tau,
+            range: TimeRange { start: Timestamp(0), end: Timestamp(399) },
+            step: 25,
+        },
+        QueryRequest::TopK { event: EventId(6), k: 3, tau, horizon: Timestamp(450) },
+    ];
+    for req in &requests {
+        let a = dets[0].query(req).unwrap();
+        let b = dets[1].query(req).unwrap();
+        assert_eq!(a, b, "response diverged for {req:?}");
+    }
+    // the burst around t=300..330 must actually be visible through the trait
+    let resp =
+        dets[0].query(&QueryRequest::Point { event: EventId(6), t: Timestamp(329), tau }).unwrap();
+    assert!(resp.burstiness().unwrap() > 50.0, "{resp:?}");
+
+    // BurstyEvents: compare hits only (stats depend on the physical layout)
+    let req = QueryRequest::BurstyEvents {
+        t: Timestamp(329),
+        theta: 10.0,
+        tau,
+        strategy: QueryStrategy::ExactScan,
+    };
+    let (a, b) = (dets[0].query(&req).unwrap(), dets[1].query(&req).unwrap());
+    let (ha, hb) = (a.hits().unwrap(), b.hits().unwrap());
+    assert_eq!(ha, hb, "hit sets diverged");
+    assert!(ha.iter().any(|h| h.event == EventId(6)), "{ha:?}");
+
+    // validation is uniform across implementors, through the same trait
+    for det in dets {
+        assert!(det
+            .query(&QueryRequest::Point { event: EventId(8), t: Timestamp(0), tau })
+            .is_err());
+        assert!(det
+            .query(&QueryRequest::BurstyEvents {
+                t: Timestamp(0),
+                theta: f64::NAN,
+                tau,
+                strategy: QueryStrategy::Pruned,
+            })
+            .is_err());
+        assert!(det
+            .query(&QueryRequest::Series {
+                event: EventId(0),
+                tau,
+                range: TimeRange { start: Timestamp(5), end: Timestamp(1) },
+                step: 1,
+            })
+            .is_err());
+        assert!(det
+            .query(&QueryRequest::Series {
+                event: EventId(0),
+                tau,
+                range: TimeRange { start: Timestamp(0), end: Timestamp(10) },
+                step: 0,
+            })
+            .is_err());
+    }
+}
+
+/// The JSON rendering of a snapshot is byte-stable — goldens downstream
+/// consumers (dashboards, the bench report) can rely on.
+#[test]
+fn metrics_snapshot_json_is_golden() {
+    let h = Histogram::new();
+    h.record_ns(100);
+    let snap = MetricsSnapshot::from_entries([
+        ("ingest.count".to_owned(), MetricValue::Counter(3)),
+        ("ingest.latency_ns".to_owned(), MetricValue::Histogram(h.snapshot())),
+        ("structure.bytes".to_owned(), MetricValue::Gauge(1024.5)),
+    ]);
+    let golden = concat!(
+        "{\"ingest.count\":{\"type\":\"counter\",\"value\":3},",
+        "\"ingest.latency_ns\":{\"type\":\"histogram\",\"count\":1,\"sum_ns\":100,",
+        "\"buckets\":[[250,1],[1000,0],[4000,0],[16000,0],[64000,0],[250000,0],",
+        "[1000000,0],[4000000,0],[16000000,0],[64000000,0],[250000000,0],",
+        "[1000000000,0],[null,0]]},",
+        "\"structure.bytes\":{\"type\":\"gauge\",\"value\":1024.5}}"
+    );
+    assert_eq!(snap.to_json(), golden);
+    assert_eq!(snap.to_json(), snap.to_json(), "rendering is deterministic");
+}
+
+/// Counters only ever move forward: successive snapshots of a live detector
+/// are monotone in every counter, and work done between them shows up.
+#[test]
+fn metric_counters_are_monotone() {
+    let (plain, sharded) = contract_pair();
+    let tau = BurstSpan::new(20).unwrap();
+    for det in [&plain as &dyn BurstQueries, &sharded as &dyn BurstQueries] {
+        let before = det.metrics();
+        for _ in 0..5 {
+            det.query(&QueryRequest::Point { event: EventId(1), t: Timestamp(100), tau }).unwrap();
+        }
+        // a failing query still counts (and increments query.errors)
+        let _ = det.query(&QueryRequest::Point { event: EventId(99), t: Timestamp(0), tau });
+        let after = det.metrics();
+        for (name, value) in before.iter() {
+            if let MetricValue::Counter(b) = value {
+                let a = after.counter(name).expect("counters never disappear");
+                assert!(a >= *b, "{name} went backwards: {b} -> {a}");
+            }
+        }
+        let delta = after.counter("query.point.count").unwrap()
+            - before.counter("query.point.count").unwrap();
+        assert_eq!(delta, 6, "five hits + one miss");
+        assert!(
+            after.counter("query.errors").unwrap() > before.counter("query.errors").unwrap(),
+            "the out-of-universe query must count as an error"
+        );
+        assert_eq!(after.counter("ingest.count"), before.counter("ingest.count"));
+    }
 }

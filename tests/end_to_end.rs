@@ -4,7 +4,7 @@
 use bed::stream::ExactBaseline;
 use bed::workload::olympics::{self, OlympicsConfig};
 use bed::workload::truth;
-use bed::{BurstDetector, BurstSpan, PbeVariant, Timestamp};
+use bed::{BurstDetector, BurstSpan, PbeVariant, QueryStrategy, Timestamp};
 
 fn build(
     variant: PbeVariant,
@@ -67,7 +67,8 @@ fn bursty_event_query_has_high_precision_and_recall() {
     let mut clear_total = 0usize;
     for &d in &days {
         let t = Timestamp(d * 86_400);
-        let (hits, _) = det.bursty_events(t, theta as f64, tau).unwrap();
+        let (hits, _) =
+            det.bursty_events_with(t, theta as f64, tau, QueryStrategy::Pruned).unwrap();
         for h in &hits {
             reported_total += 1;
             if baseline.point_query(h.event, t, tau) >= theta / 2 {
@@ -90,7 +91,7 @@ fn bursty_event_query_has_high_precision_and_recall() {
     // The strict metrics still get computed (they drive fig12); just assert
     // they are non-degenerate here.
     let t = Timestamp(21 * 86_400);
-    let (hits, _) = det.bursty_events(t, theta as f64, tau).unwrap();
+    let (hits, _) = det.bursty_events_with(t, theta as f64, tau, QueryStrategy::Pruned).unwrap();
     let reported: Vec<_> = hits.iter().map(|h| h.event).collect();
     let pr = truth::precision_recall(&baseline, &reported, t, theta, tau);
     assert!(pr.precision > 0.5 && pr.recall > 0.5, "{pr:?}");

@@ -145,8 +145,9 @@ fn detector_roundtrip_all_backends() {
             }
         }
         if !single {
-            let (h1, _) = det.bursty_events(Timestamp(1_999), 10.0, tau).unwrap();
-            let (h2, _) = decoded.bursty_events(Timestamp(1_999), 10.0, tau).unwrap();
+            let strat = bed::QueryStrategy::Pruned;
+            let (h1, _) = det.bursty_events_with(Timestamp(1_999), 10.0, tau, strat).unwrap();
+            let (h2, _) = decoded.bursty_events_with(Timestamp(1_999), 10.0, tau, strat).unwrap();
             assert_eq!(h1, h2);
         }
     }

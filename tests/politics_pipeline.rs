@@ -4,7 +4,7 @@
 
 use bed::stream::Codec;
 use bed::workload::politics::{self, Party, PoliticsConfig};
-use bed::{BurstDetector, BurstMonitor, BurstSpan, PbeVariant, Timestamp};
+use bed::{BurstDetector, BurstMonitor, BurstSpan, PbeVariant, QueryStrategy, Timestamp};
 
 fn build_politics() -> (BurstDetector, politics::PoliticsStream) {
     let data = politics::generate(PoliticsConfig { total_elements: 120_000, skew: 1.0, seed: 6 });
@@ -29,7 +29,7 @@ fn national_moments_dominate_their_party() {
     // RNC day (48): total Republican burstiness among bursty events should
     // dwarf the Democrat total at the same instant.
     let t = Timestamp(48 * 86_400 + 43_200);
-    let (hits, _) = det.bursty_events(t, 20.0, tau).unwrap();
+    let (hits, _) = det.bursty_events_with(t, 20.0, tau, QueryStrategy::Pruned).unwrap();
     let mut dem = 0.0;
     let mut rep = 0.0;
     for h in &hits {
@@ -42,7 +42,7 @@ fn national_moments_dominate_their_party() {
 
     // DNC day (55): the reverse.
     let t = Timestamp(55 * 86_400 + 43_200);
-    let (hits, _) = det.bursty_events(t, 20.0, tau).unwrap();
+    let (hits, _) = det.bursty_events_with(t, 20.0, tau, QueryStrategy::Pruned).unwrap();
     let mut dem = 0.0;
     let mut rep = 0.0;
     for h in &hits {
