@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use bed_hierarchy::DyadicCmPbe;
 use bed_pbe::{CurveSketch, Pbe1, Pbe1Config, Pbe2, Pbe2Config};
-use bed_sketch::SketchParams;
+use bed_sketch::{Combiner, QueryScratch, SketchParams};
 use bed_stream::{BurstSpan, EventId, ExactBaseline, Timestamp};
 
 const UNIVERSE: u32 = 1_024;
@@ -70,6 +70,72 @@ fn bench_query(c: &mut Criterion) {
     let mut g = c.benchmark_group("bursty_event_query");
     g.bench_function("dyadic_pruned", |b| b.iter(|| forest.bursty_events(t_query, 2_000.0, tau)));
     g.bench_function("naive_scan", |b| b.iter(|| forest.bursty_events_scan(t_query, 2_000.0, tau)));
+    g.finish();
+
+    // Fused kernels vs the composed reference path (three independent
+    // Vec-median estimates per probe, fresh candidate allocation per query)
+    // — the before/after pair behind results/query_throughput.md.
+    let grid = forest.grid(0);
+    let theta = 1_000.0;
+    let horizon = Timestamp(11_000);
+
+    let mut g = c.benchmark_group("query");
+    g.bench_function("bursty_time/composed", |b| {
+        b.iter(|| {
+            let mut cands: Vec<u64> = Vec::new();
+            for knee in grid.segment_starts(EventId(17)) {
+                for delta in [0, tau.ticks(), tau.ticks().saturating_mul(2)] {
+                    let t = knee.ticks().saturating_add(delta);
+                    if t <= horizon.ticks() {
+                        cands.push(t);
+                    }
+                }
+            }
+            cands.sort_unstable();
+            cands.dedup();
+            let mut hits: Vec<(Timestamp, f64)> = Vec::new();
+            for t in cands {
+                let b =
+                    grid.estimate_burstiness_with(EventId(17), Timestamp(t), tau, Combiner::Median);
+                if b >= theta {
+                    hits.push((Timestamp(t), b));
+                }
+            }
+            hits
+        })
+    });
+    g.bench_function("bursty_time/fused", |b| {
+        let mut scratch = QueryScratch::new();
+        let mut out: Vec<(Timestamp, f64)> = Vec::new();
+        b.iter(|| {
+            grid.bursty_times_into(EventId(17), theta, tau, horizon, &mut scratch, &mut out);
+            out.len()
+        })
+    });
+    g.bench_function("bursty_event/composed", |b| {
+        b.iter(|| {
+            let mut hits: Vec<(EventId, f64)> = Vec::new();
+            for e in 0..UNIVERSE {
+                let b = grid.estimate_burstiness_with(EventId(e), t_query, tau, Combiner::Median);
+                if b >= theta {
+                    hits.push((EventId(e), b));
+                }
+            }
+            hits
+        })
+    });
+    g.bench_function("bursty_event/batched", |b| {
+        let mut scratch = QueryScratch::new();
+        b.iter(|| {
+            let mut hits = 0u32;
+            grid.burstiness_scan_into(0, UNIVERSE, t_query, tau, &mut scratch, |_, b| {
+                if b >= theta {
+                    hits += 1;
+                }
+            });
+            hits
+        })
+    });
     g.finish();
 }
 

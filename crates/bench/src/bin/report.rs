@@ -119,6 +119,16 @@ fn main() -> std::io::Result<()> {
     // each day's bursty-event query, and the finished structure's gauges.
     let metrics_text = det.metrics().to_text();
 
+    // Latest recorded query-kernel numbers, if a perf run has been logged.
+    let query_perf = std::fs::read_to_string("results/query_throughput.md")
+        .map(|md| {
+            format!(
+                r##"<h3>Query-kernel throughput (recorded)</h3>
+<pre style="font-size: 12px; background: #f6f6f6; padding: 1em; overflow-x: auto;">{md}</pre>"##
+            )
+        })
+        .unwrap_or_default();
+
     let html = format!(
         r##"<!doctype html>
 <html><head><meta charset="utf-8"><title>bed — burst timeline</title></head>
@@ -132,6 +142,7 @@ national moments — conventions, debates, election day).</p>
 <svg width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">{svg}</svg>
 <h3>Run metrics (bed-obs)</h3>
 <pre style="font-size: 12px; background: #f6f6f6; padding: 1em; overflow-x: auto;">{metrics_text}</pre>
+{query_perf}
 <p style="color:#777">Generated by <code>bed-bench::report</code>, after Fig. 13
 of Paul, Peng &amp; Li, ICDE 2019 (estorm.org).</p>
 </body></html>

@@ -4,8 +4,8 @@ use std::fmt::Write as _;
 use std::fs;
 
 use bed_core::{
-    BurstDetector, BurstQueries, PbeVariant, QueryRequest, QueryResponse, QueryStrategy,
-    ShardedDetector,
+    BurstDetector, BurstQueries, PbeVariant, QueryRequest, QueryResponse, QueryScratch,
+    QueryStrategy, ShardedDetector,
 };
 use bed_stream::{BurstSpan, Codec, EventId, Timestamp};
 use bed_workload::{olympics, politics};
@@ -31,6 +31,17 @@ impl AnySketch {
             AnySketch::Plain(d) => d.as_ref(),
             AnySketch::Sharded(d) => d,
         }
+    }
+
+    /// Runs one query through the scratch-reusing fast path. Each command
+    /// owns a single [`QueryScratch`], so even multi-probe queries (series,
+    /// bursty-events scans) stay off the per-probe allocator.
+    fn query(
+        &self,
+        request: &QueryRequest,
+        scratch: &mut QueryScratch,
+    ) -> Result<QueryResponse, bed_core::BedError> {
+        self.queries().query_reusing(request, scratch)
     }
 
     fn bursty_time_ranges(
@@ -224,8 +235,9 @@ fn point(path: &str, event: u32, t: u64, tau: u64, metrics: bool) -> Result<Stri
     let det = load(path)?;
     let tau = BurstSpan::new(tau).map_err(bed_core::BedError::from)?;
     let request = QueryRequest::Point { event: EventId(event), t: Timestamp(t), tau };
+    let mut scratch = QueryScratch::new();
     let QueryResponse::Point { burstiness: b, burst_frequency: bf, cumulative: f } =
-        det.queries().query(&request)?
+        det.query(&request, &mut scratch)?
     else {
         return Err(mismatched());
     };
@@ -253,7 +265,8 @@ fn times(
         tau,
         horizon: Timestamp(horizon),
     };
-    let QueryResponse::BurstyTimes(hits) = det.queries().query(&request)? else {
+    let mut scratch = QueryScratch::new();
+    let QueryResponse::BurstyTimes(hits) = det.query(&request, &mut scratch)? else {
         return Err(mismatched());
     };
     let mut out = format!(
@@ -280,7 +293,8 @@ fn events(
     let tau = BurstSpan::new(tau).map_err(bed_core::BedError::from)?;
     let strategy = if scan { QueryStrategy::ExactScan } else { QueryStrategy::Pruned };
     let request = QueryRequest::BurstyEvents { t: Timestamp(t), theta, tau, strategy };
-    let QueryResponse::BurstyEvents { hits, stats } = det.queries().query(&request)? else {
+    let mut scratch = QueryScratch::new();
+    let QueryResponse::BurstyEvents { hits, stats } = det.query(&request, &mut scratch)? else {
         return Err(mismatched());
     };
     let mut out = format!(
@@ -320,7 +334,8 @@ fn series(
     let tau = BurstSpan::new(tau).map_err(bed_core::BedError::from)?;
     let range = bed_core::TimeRange { start: Timestamp(0), end: Timestamp(horizon) };
     let request = QueryRequest::Series { event: EventId(event), tau, range, step };
-    let QueryResponse::Series(series) = det.queries().query(&request)? else {
+    let mut scratch = QueryScratch::new();
+    let QueryResponse::Series(series) = det.query(&request, &mut scratch)? else {
         return Err(mismatched());
     };
     let mut out = format!("event {event}, tau={}, step={step}:\n", tau.ticks());

@@ -5,8 +5,9 @@
 //! from configuration, so it routes through this small enum rather than
 //! monomorphising the whole stack twice behind a trait object.
 
+use bed_pbe::kernel::CumHint;
 use bed_pbe::{CurveSketch, Pbe1, Pbe2};
-use bed_stream::Timestamp;
+use bed_stream::{BurstSpan, Timestamp};
 
 /// A PBE of either variant.
 #[derive(Debug, Clone)]
@@ -29,6 +30,30 @@ impl CurveSketch for PbeCell {
         match self {
             PbeCell::One(p) => p.estimate_cum(t),
             PbeCell::Two(p) => p.estimate_cum(t),
+        }
+    }
+
+    // The query-kernel fast paths must be forwarded explicitly — the trait
+    // defaults would silently fall back to unhinted searches.
+
+    fn estimate_cum_hinted(&self, t: Timestamp, hint: &mut CumHint) -> f64 {
+        match self {
+            PbeCell::One(p) => p.estimate_cum_hinted(t, hint),
+            PbeCell::Two(p) => p.estimate_cum_hinted(t, hint),
+        }
+    }
+
+    fn probe3(&self, t: Timestamp, tau: BurstSpan) -> [f64; 3] {
+        match self {
+            PbeCell::One(p) => p.probe3(t, tau),
+            PbeCell::Two(p) => p.probe3(t, tau),
+        }
+    }
+
+    fn for_each_segment_start(&self, f: &mut dyn FnMut(Timestamp)) {
+        match self {
+            PbeCell::One(p) => p.for_each_segment_start(f),
+            PbeCell::Two(p) => p.for_each_segment_start(f),
         }
     }
 

@@ -4,7 +4,7 @@ use bed_hierarchy::query::{bursty_times_over, bursty_times_single};
 use bed_hierarchy::{BurstyEventHit, DyadicCmPbe, QueryStats};
 use bed_obs::MetricsSnapshot;
 use bed_pbe::CurveSketch;
-use bed_sketch::CmPbe;
+use bed_sketch::{CmPbe, QueryScratch};
 use bed_stream::{BurstSpan, EventId, StreamError, Timestamp};
 
 use crate::cell::PbeCell;
@@ -196,6 +196,32 @@ impl BurstDetector {
         }
     }
 
+    /// [`Self::bursty_times`] with caller-provided scratch for the fused
+    /// hinted-cursor sweep's working memory (identical results; a warm
+    /// scratch removes the per-query allocations on the CM-PBE paths).
+    pub fn bursty_times_reusing(
+        &self,
+        event: EventId,
+        theta: f64,
+        tau: BurstSpan,
+        horizon: Timestamp,
+        scratch: &mut QueryScratch,
+    ) -> Vec<(Timestamp, f64)> {
+        match &self.backend {
+            Backend::Single(pbe) => bursty_times_single(pbe, theta, tau, horizon),
+            Backend::Flat(grid) => {
+                let mut out = Vec::new();
+                grid.bursty_times_into(event, theta, tau, horizon, scratch, &mut out);
+                out
+            }
+            Backend::Hierarchical(forest) => {
+                let mut out = Vec::new();
+                forest.grid(0).bursty_times_into(event, theta, tau, horizon, scratch, &mut out);
+                out
+            }
+        }
+    }
+
     /// BURSTY TIME QUERY with **interval semantics** (single-event mode
     /// only): the maximal time ranges within `[0, horizon]` where the
     /// estimated burstiness reaches θ — exact with respect to the sketch,
@@ -232,6 +258,20 @@ impl BurstDetector {
         tau: BurstSpan,
         strategy: QueryStrategy,
     ) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError> {
+        let mut scratch = QueryScratch::new();
+        self.bursty_events_with_reusing(t, theta, tau, strategy, &mut scratch)
+    }
+
+    /// [`Self::bursty_events_with`] with caller-provided scratch for the
+    /// batched scan kernel's working memory (identical results).
+    pub fn bursty_events_with_reusing(
+        &self,
+        t: Timestamp,
+        theta: f64,
+        tau: BurstSpan,
+        strategy: QueryStrategy,
+        scratch: &mut QueryScratch,
+    ) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError> {
         check_theta_positive(theta)?;
         let (mut hits, stats) = match (&self.backend, strategy) {
             (Backend::Single(_), _) => {
@@ -242,12 +282,12 @@ impl BurstDetector {
             }
             // A flat detector has no hierarchy to prune: both strategies
             // scan, keeping Pruned usable as the universal default.
-            (Backend::Flat(_), _) => self.scan_range(0, u32::MAX, t, theta, tau),
+            (Backend::Flat(_), _) => self.scan_range(0, u32::MAX, t, theta, tau, scratch),
             (Backend::Hierarchical(forest), QueryStrategy::Pruned) => {
                 forest.bursty_events(t, theta, tau)
             }
             (Backend::Hierarchical(forest), QueryStrategy::ExactScan) => {
-                forest.bursty_events_scan(t, theta, tau)
+                forest.bursty_events_scan_reusing(t, theta, tau, scratch)
             }
         };
         sort_hits(&mut hits);
@@ -272,6 +312,23 @@ impl BurstDetector {
         tau: BurstSpan,
         strategy: QueryStrategy,
     ) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError> {
+        let mut scratch = QueryScratch::new();
+        self.bursty_events_in_range_with_reusing(lo, hi, t, theta, tau, strategy, &mut scratch)
+    }
+
+    /// [`Self::bursty_events_in_range_with`] with caller-provided scratch
+    /// for the batched scan kernel's working memory (identical results).
+    #[allow(clippy::too_many_arguments)]
+    pub fn bursty_events_in_range_with_reusing(
+        &self,
+        lo: u32,
+        hi: u32,
+        t: Timestamp,
+        theta: f64,
+        tau: BurstSpan,
+        strategy: QueryStrategy,
+        scratch: &mut QueryScratch,
+    ) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError> {
         check_theta_positive(theta)?;
         if lo >= hi {
             return Err(StreamError::InvertedRange {
@@ -290,7 +347,7 @@ impl BurstDetector {
             (Backend::Hierarchical(forest), QueryStrategy::Pruned) => {
                 forest.bursty_events_in_range(lo, hi, t, theta, tau)
             }
-            (_, QueryStrategy::ExactScan) => self.scan_range(lo, hi, t, theta, tau),
+            (_, QueryStrategy::ExactScan) => self.scan_range(lo, hi, t, theta, tau, scratch),
             (Backend::Flat(_), QueryStrategy::Pruned) => return Err(BedError::HierarchyDisabled),
         };
         sort_hits(&mut hits);
@@ -298,7 +355,11 @@ impl BurstDetector {
         Ok((hits, stats))
     }
 
-    /// Probes every event id in `[lo, min(hi, K))` with a point query.
+    /// Evaluates every event id in `[lo, min(hi, K))` through the leaf
+    /// grid's batched row-major kernel
+    /// ([`CmPbe::burstiness_scan_into`]) — bit-for-bit the same hits and
+    /// stats as a [`Self::point_query`] loop, without its per-event
+    /// scattered searches and allocations.
     fn scan_range(
         &self,
         lo: u32,
@@ -306,18 +367,26 @@ impl BurstDetector {
         t: Timestamp,
         theta: f64,
         tau: BurstSpan,
+        scratch: &mut QueryScratch,
     ) -> (Vec<BurstyEventHit>, QueryStats) {
         let k = self.config.universe.expect("mixed mode implies a universe");
         let mut hits = Vec::new();
         let mut stats = QueryStats::default();
-        for e in lo..hi.min(k) {
+        let grid = match &self.backend {
+            Backend::Flat(grid) => grid,
+            // The forest's per-event estimate IS the leaf grid's estimate
+            // (levels above only serve the pruned search), so scanning the
+            // leaf grid directly is bit-identical.
+            Backend::Hierarchical(forest) => forest.grid(0),
+            Backend::Single(_) => unreachable!("scan_range requires a universe"),
+        };
+        grid.burstiness_scan_into(lo, hi.min(k), t, tau, scratch, |event, b| {
             stats.point_queries += 1;
             stats.leaves_probed += 1;
-            let b = self.point_query(EventId(e), t, tau);
             if b >= theta {
-                hits.push(BurstyEventHit { event: EventId(e), burstiness: b });
+                hits.push(BurstyEventHit { event, burstiness: b });
             }
-        }
+        });
         (hits, stats)
     }
 
@@ -396,7 +465,21 @@ impl BurstDetector {
         tau: BurstSpan,
         horizon: Timestamp,
     ) -> Vec<(Timestamp, f64)> {
-        let mut hits = self.bursty_times(event, f64::MIN, tau, horizon);
+        let mut scratch = QueryScratch::new();
+        self.top_bursts_reusing(event, k, tau, horizon, &mut scratch)
+    }
+
+    /// [`Self::top_bursts`] with caller-provided scratch (identical
+    /// results).
+    pub fn top_bursts_reusing(
+        &self,
+        event: EventId,
+        k: usize,
+        tau: BurstSpan,
+        horizon: Timestamp,
+        scratch: &mut QueryScratch,
+    ) -> Vec<(Timestamp, f64)> {
+        let mut hits = self.bursty_times_reusing(event, f64::MIN, tau, horizon, scratch);
         hits.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite estimates"));
         hits.truncate(k);
         hits
@@ -479,8 +562,13 @@ impl BurstDetector {
     }
 
     /// Routes one [`QueryRequest`] (validation already uniform per the
-    /// [`BurstQueries`] contract).
-    fn dispatch(&self, request: &QueryRequest) -> Result<QueryResponse, BedError> {
+    /// [`BurstQueries`] contract), threading `scratch` through the fused
+    /// kernels.
+    fn dispatch(
+        &self,
+        request: &QueryRequest,
+        scratch: &mut QueryScratch,
+    ) -> Result<QueryResponse, BedError> {
         match *request {
             QueryRequest::Point { event, t, tau } => {
                 self.check_event(event)?;
@@ -493,10 +581,13 @@ impl BurstDetector {
             QueryRequest::BurstyTimes { event, theta, tau, horizon } => {
                 self.check_event(event)?;
                 check_theta_finite(theta)?;
-                Ok(QueryResponse::BurstyTimes(self.bursty_times(event, theta, tau, horizon)))
+                Ok(QueryResponse::BurstyTimes(
+                    self.bursty_times_reusing(event, theta, tau, horizon, scratch),
+                ))
             }
             QueryRequest::BurstyEvents { t, theta, tau, strategy } => {
-                let (hits, stats) = self.bursty_events_with(t, theta, tau, strategy)?;
+                let (hits, stats) =
+                    self.bursty_events_with_reusing(t, theta, tau, strategy, scratch)?;
                 Ok(QueryResponse::BurstyEvents { hits, stats })
             }
             QueryRequest::Series { event, tau, range, step } => {
@@ -507,7 +598,7 @@ impl BurstDetector {
             }
             QueryRequest::TopK { event, k, tau, horizon } => {
                 self.check_event(event)?;
-                Ok(QueryResponse::TopK(self.top_bursts(event, k, tau, horizon)))
+                Ok(QueryResponse::TopK(self.top_bursts_reusing(event, k, tau, horizon, scratch)))
             }
         }
     }
@@ -515,9 +606,18 @@ impl BurstDetector {
 
 impl BurstQueries for BurstDetector {
     fn query(&self, request: &QueryRequest) -> Result<QueryResponse, BedError> {
+        let mut scratch = QueryScratch::new();
+        self.query_reusing(request, &mut scratch)
+    }
+
+    fn query_reusing(
+        &self,
+        request: &QueryRequest,
+        scratch: &mut QueryScratch,
+    ) -> Result<QueryResponse, BedError> {
         let kind = request.kind();
         let started = self.metrics.query_begin(kind);
-        let result = self.dispatch(request);
+        let result = self.dispatch(request, scratch);
         self.metrics.query_end(kind, started, result.is_ok());
         result
     }

@@ -94,5 +94,5 @@ pub use shard::{ShardedDetector, ShardedDetectorBuilder};
 // Re-export the vocabulary types users need alongside the detector.
 pub use bed_hierarchy::{BurstyEventHit, QueryStats};
 pub use bed_obs::{MetricValue, MetricsRegistry, MetricsSnapshot};
-pub use bed_sketch::SketchParams;
+pub use bed_sketch::{QueryScratch, SketchParams};
 pub use bed_stream::{BurstSpan, Burstiness, EventId, TimeRange, Timestamp};

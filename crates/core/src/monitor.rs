@@ -8,7 +8,10 @@
 //! packages that as a [`BurstMonitor`] with top-k reporting, so one
 //! structure serves both the live dashboard and the historian.
 
+use std::cell::RefCell;
+
 use bed_hierarchy::BurstyEventHit;
+use bed_sketch::QueryScratch;
 use bed_stream::{BurstSpan, Timestamp};
 
 use crate::detector::BurstDetector;
@@ -48,12 +51,17 @@ pub struct BurstMonitor<D = BurstDetector> {
     detector: D,
     tau: BurstSpan,
     now: Option<Timestamp>,
+    /// Working memory for the repeated "now" queries — a monitor issues the
+    /// same bursty-event scan every refresh, so one warm scratch keeps the
+    /// steady state allocation-free. Interior mutability keeps the query
+    /// surface `&self`.
+    scratch: RefCell<QueryScratch>,
 }
 
 impl<D: BurstQueries + EventSink> BurstMonitor<D> {
     /// Wraps a (mixed-stream) detector with a monitoring burst span.
     pub fn new(detector: D, tau: BurstSpan) -> Self {
-        BurstMonitor { detector, tau, now: None }
+        BurstMonitor { detector, tau, now: None, scratch: RefCell::new(QueryScratch::new()) }
     }
 
     /// Ingests one arrival and advances the stream head.
@@ -85,12 +93,13 @@ impl<D: BurstQueries + EventSink> BurstMonitor<D> {
         let Some(now) = self.now else {
             return Ok(Vec::new());
         };
-        let response = self.detector.query(&QueryRequest::BurstyEvents {
+        let request = QueryRequest::BurstyEvents {
             t: now,
             theta,
             tau: self.tau,
             strategy: QueryStrategy::Pruned,
-        })?;
+        };
+        let response = self.detector.query_reusing(&request, &mut self.scratch.borrow_mut())?;
         // Hits arrive in the canonical descending-burstiness order.
         let QueryResponse::BurstyEvents { hits, .. } = response else {
             return Ok(Vec::new());

@@ -266,6 +266,20 @@ pub trait BurstQueries {
     /// Answers one canonical query.
     fn query(&self, request: &QueryRequest) -> Result<QueryResponse, BedError>;
 
+    /// Answers one canonical query, reusing the caller's
+    /// [`QueryScratch`](bed_sketch::QueryScratch) for the kernels' working
+    /// memory. Identical results to [`query`](BurstQueries::query) — a warm
+    /// scratch only removes the per-query allocations on the batched
+    /// bursty-event and bursty-time paths. The default ignores the scratch.
+    fn query_reusing(
+        &self,
+        request: &QueryRequest,
+        scratch: &mut bed_sketch::QueryScratch,
+    ) -> Result<QueryResponse, BedError> {
+        let _ = scratch;
+        self.query(request)
+    }
+
     /// Elements ingested so far.
     fn arrivals(&self) -> u64;
 

@@ -323,6 +323,20 @@ impl ShardedDetector {
         self.fan_out(|shard| shard.bursty_events_with(t, theta, tau, strategy))
     }
 
+    /// [`Self::bursty_events_with`] with caller-provided scratch: the
+    /// fan-out visits shards sequentially, so one scratch serves every
+    /// shard's batched scan kernel in turn (identical results).
+    pub fn bursty_events_with_reusing(
+        &self,
+        t: Timestamp,
+        theta: f64,
+        tau: BurstSpan,
+        strategy: QueryStrategy,
+        scratch: &mut bed_sketch::QueryScratch,
+    ) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError> {
+        self.fan_out(|shard| shard.bursty_events_with_reusing(t, theta, tau, strategy, scratch))
+    }
+
     /// BURSTY EVENT QUERY restricted to event ids `[lo, hi)`, merged
     /// across shards.
     pub fn bursty_events_in_range_with(
@@ -383,7 +397,7 @@ impl ShardedDetector {
     /// report collision ghosts for ids it never saw), dedups, and merges.
     fn fan_out(
         &self,
-        query: impl Fn(&BurstDetector) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError>,
+        query: impl FnMut(&BurstDetector) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError>,
     ) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError> {
         let started = self.metrics.fan_out_begin();
         let result = self.fan_out_inner(query);
@@ -393,7 +407,7 @@ impl ShardedDetector {
 
     fn fan_out_inner(
         &self,
-        query: impl Fn(&BurstDetector) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError>,
+        mut query: impl FnMut(&BurstDetector) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError>,
     ) -> Result<(Vec<BurstyEventHit>, QueryStats), BedError> {
         let mut merged: Vec<BurstyEventHit> = Vec::new();
         let mut stats = QueryStats::default();
@@ -449,16 +463,24 @@ impl ShardedDetector {
     }
 
     /// Routes one [`QueryRequest`]: per-event kinds go to the owning shard's
-    /// [`BurstQueries::query`] (whose universe check covers the full `K`),
-    /// bursty-event kinds fan out and merge.
-    fn dispatch(&self, request: &QueryRequest) -> Result<QueryResponse, BedError> {
+    /// [`BurstQueries::query_reusing`] (whose universe check covers the full
+    /// `K`), bursty-event kinds fan out and merge with the scratch shared
+    /// across the sequential shard visits.
+    fn dispatch(
+        &self,
+        request: &QueryRequest,
+        scratch: &mut bed_sketch::QueryScratch,
+    ) -> Result<QueryResponse, BedError> {
         match *request {
             QueryRequest::Point { event, .. }
             | QueryRequest::BurstyTimes { event, .. }
             | QueryRequest::Series { event, .. }
-            | QueryRequest::TopK { event, .. } => self.shards[self.owner(event)].query(request),
+            | QueryRequest::TopK { event, .. } => {
+                self.shards[self.owner(event)].query_reusing(request, scratch)
+            }
             QueryRequest::BurstyEvents { t, theta, tau, strategy } => {
-                let (hits, stats) = self.bursty_events_with(t, theta, tau, strategy)?;
+                let (hits, stats) =
+                    self.bursty_events_with_reusing(t, theta, tau, strategy, scratch)?;
                 Ok(QueryResponse::BurstyEvents { hits, stats })
             }
         }
@@ -467,7 +489,16 @@ impl ShardedDetector {
 
 impl BurstQueries for ShardedDetector {
     fn query(&self, request: &QueryRequest) -> Result<QueryResponse, BedError> {
-        self.dispatch(request)
+        let mut scratch = bed_sketch::QueryScratch::new();
+        self.dispatch(request, &mut scratch)
+    }
+
+    fn query_reusing(
+        &self,
+        request: &QueryRequest,
+        scratch: &mut bed_sketch::QueryScratch,
+    ) -> Result<QueryResponse, BedError> {
+        self.dispatch(request, scratch)
     }
 
     fn arrivals(&self) -> u64 {

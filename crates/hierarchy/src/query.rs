@@ -1,9 +1,10 @@
 //! Bursty event and bursty time queries over the dyadic forest
 //! (Section V, Algorithm 3).
 
+use bed_pbe::kernel::CurveCursor;
 use bed_pbe::traits::bursty_time_candidates;
 use bed_pbe::CurveSketch;
-use bed_sketch::CmPbe;
+use bed_sketch::{CmPbe, QueryScratch};
 use bed_stream::{BurstSpan, EventId, Timestamp};
 
 use crate::dyadic::DyadicRange;
@@ -183,16 +184,32 @@ impl<P: CurveSketch> DyadicCmPbe<P> {
         theta: f64,
         tau: BurstSpan,
     ) -> (Vec<BurstyEventHit>, QueryStats) {
+        let mut scratch = QueryScratch::new();
+        self.bursty_events_scan_reusing(t, theta, tau, &mut scratch)
+    }
+
+    /// [`Self::bursty_events_scan`] with caller-provided scratch: the whole
+    /// universe is evaluated through the leaf grid's batched row-major
+    /// kernel ([`CmPbe::burstiness_scan_into`]), which is bit-for-bit equal
+    /// to the per-event loop ([`crate::forest::DyadicCmPbe::estimate_burstiness`]
+    /// delegates to the leaf grid) but walks each grid row sequentially and
+    /// probes each distinct cell once.
+    pub fn bursty_events_scan_reusing(
+        &self,
+        t: Timestamp,
+        theta: f64,
+        tau: BurstSpan,
+        scratch: &mut QueryScratch,
+    ) -> (Vec<BurstyEventHit>, QueryStats) {
         let mut hits = Vec::new();
         let mut stats = QueryStats::default();
-        for e in 0..self.universe() {
+        self.grid(0).burstiness_scan_into(0, self.universe(), t, tau, scratch, |event, b| {
             stats.point_queries += 1;
             stats.leaves_probed += 1;
-            let b = self.estimate_burstiness(EventId(e), t, tau);
             if b >= theta {
-                hits.push(BurstyEventHit { event: EventId(e), burstiness: b });
+                hits.push(BurstyEventHit { event, burstiness: b });
             }
-        }
+        });
         (hits, stats)
     }
 
@@ -211,7 +228,13 @@ impl<P: CurveSketch> DyadicCmPbe<P> {
     }
 }
 
-/// Bursty-time query over a single CM-PBE (also usable without a hierarchy).
+/// Bursty-time query over a single CM-PBE (also usable without a
+/// hierarchy). Candidate instants are the knees of every cell the event
+/// maps to, plus their `+τ/+2τ` echoes (burstiness changes only when a term
+/// of Eq. 2 crosses a knee); the sweep runs through the grid's fused
+/// hinted-cursor kernel ([`CmPbe::bursty_times_into`]), which is bit-for-bit
+/// equal to filtering the candidates through
+/// [`CmPbe::estimate_burstiness`].
 pub fn bursty_times_over<P: CurveSketch>(
     grid: &CmPbe<P>,
     event: EventId,
@@ -219,42 +242,27 @@ pub fn bursty_times_over<P: CurveSketch>(
     tau: BurstSpan,
     horizon: Timestamp,
 ) -> Vec<(Timestamp, f64)> {
-    // Candidate instants: knees of every cell the event maps to, plus their
-    // +τ/+2τ echoes (burstiness changes only when a term of Eq. 2 crosses a
-    // knee).
-    let knees = grid.segment_starts(event);
-    let mut candidates: Vec<u64> = Vec::with_capacity(knees.len() * 3);
-    for knee in knees {
-        for delta in [0, tau.ticks(), tau.ticks().saturating_mul(2)] {
-            let t = knee.ticks().saturating_add(delta);
-            if t <= horizon.ticks() {
-                candidates.push(t);
-            }
-        }
-    }
-    candidates.sort_unstable();
-    candidates.dedup();
-    candidates
-        .into_iter()
-        .filter_map(|t| {
-            let b = grid.estimate_burstiness(event, Timestamp(t), tau);
-            (b >= theta).then_some((Timestamp(t), b))
-        })
-        .collect()
+    let mut scratch = QueryScratch::new();
+    let mut out = Vec::new();
+    grid.bursty_times_into(event, theta, tau, horizon, &mut scratch, &mut out);
+    out
 }
 
 /// Bursty-time query over a bare single-stream sketch (no CM layout) — used
-/// by the single-event fast path in `bed-core`.
+/// by the single-event fast path in `bed-core`. The candidate sweep is
+/// monotone, so probes go through a [`CurveCursor`] that resumes each
+/// Eq. 2 offset stream's piece search instead of re-searching per instant.
 pub fn bursty_times_single<S: CurveSketch>(
     sketch: &S,
     theta: f64,
     tau: BurstSpan,
     horizon: Timestamp,
 ) -> Vec<(Timestamp, f64)> {
+    let mut cursor = CurveCursor::new(sketch);
     bursty_time_candidates(sketch, tau, horizon)
         .into_iter()
         .filter_map(|t| {
-            let b = sketch.estimate_burstiness(t, tau);
+            let b = cursor.burstiness(t, tau);
             (b >= theta).then_some((t, b))
         })
         .collect()

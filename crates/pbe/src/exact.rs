@@ -6,8 +6,9 @@
 //! space/accuracy trade-off curves in the experiments.
 
 use bed_stream::curve::FrequencyCurve;
-use bed_stream::Timestamp;
+use bed_stream::{BurstSpan, Timestamp};
 
+use crate::kernel::{rank_resume, CumHint};
 use crate::traits::CurveSketch;
 
 /// Exact frequency curve: zero approximation error, O(n) space.
@@ -27,6 +28,23 @@ impl ExactCurve {
     pub fn curve(&self) -> &FrequencyCurve {
         &self.curve
     }
+
+    /// Corner value at rank `r` (`partition_point` result), matching
+    /// `FrequencyCurve::value_at`'s indexing.
+    #[inline]
+    fn cum_at_rank(&self, r: usize) -> f64 {
+        if r == 0 {
+            0.0
+        } else {
+            self.curve.corners()[r - 1].cum as f64
+        }
+    }
+
+    #[inline]
+    fn rank_of(&self, t: Timestamp, from: usize) -> usize {
+        let corners = self.curve.corners();
+        rank_resume(corners.len(), from, |i| corners[i].t <= t)
+    }
 }
 
 impl CurveSketch for ExactCurve {
@@ -39,6 +57,32 @@ impl CurveSketch for ExactCurve {
         self.curve.value_at(t) as f64
     }
 
+    #[inline]
+    fn estimate_cum_hinted(&self, t: Timestamp, hint: &mut CumHint) -> f64 {
+        let r = self.rank_of(t, hint.rank);
+        hint.rank = r;
+        self.cum_at_rank(r)
+    }
+
+    #[inline]
+    fn probe3(&self, t: Timestamp, tau: BurstSpan) -> [f64; 3] {
+        let n = self.curve.corners().len();
+        let r0 = self.rank_of(t, n);
+        let f0 = self.cum_at_rank(r0);
+        let (f1, r1) = match t.checked_sub(tau.ticks()) {
+            Some(earlier) => {
+                let r = self.rank_of(earlier, r0);
+                (self.cum_at_rank(r), r)
+            }
+            None => (0.0, r0),
+        };
+        let f2 = match t.checked_sub(tau.ticks().saturating_mul(2)) {
+            Some(earlier) => self.cum_at_rank(self.rank_of(earlier, r1)),
+            None => 0.0,
+        };
+        [f0, f1, f2]
+    }
+
     fn finalize(&mut self) {}
 
     fn size_bytes(&self) -> usize {
@@ -47,6 +91,12 @@ impl CurveSketch for ExactCurve {
 
     fn segment_starts(&self) -> Vec<Timestamp> {
         self.curve.corners().iter().map(|c| c.t).collect()
+    }
+
+    fn for_each_segment_start(&self, f: &mut dyn FnMut(Timestamp)) {
+        for c in self.curve.corners() {
+            f(c.t);
+        }
     }
 
     fn arrivals(&self) -> u64 {

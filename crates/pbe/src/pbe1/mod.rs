@@ -18,6 +18,9 @@ pub mod dp;
 use bed_stream::curve::{CornerPoint, FrequencyCurve};
 use bed_stream::{Codec, StreamError, Timestamp};
 
+use bed_stream::BurstSpan;
+
+use crate::kernel::{rank_resume, CumHint};
 use crate::traits::{CurveSketch, SummaryStats};
 
 /// Configuration of a PBE-1 sketch.
@@ -187,6 +190,41 @@ impl Pbe1 {
             self.summary[idx - 1].cum
         }
     }
+
+    // --- rank-based view of the conceptual concatenation summary ⊕ buffer,
+    //     for the hinted/fused query kernels. Buffer timestamps are strictly
+    //     after summary timestamps, so the concatenation is globally sorted
+    //     and `value_at(t) == cum_at_rank(rank_of(t))`.
+
+    #[inline]
+    fn n_points(&self) -> usize {
+        self.summary.len() + self.buffer.len()
+    }
+
+    #[inline]
+    fn point_t(&self, i: usize) -> Timestamp {
+        if i < self.summary.len() {
+            self.summary[i].t
+        } else {
+            self.buffer[i - self.summary.len()].t
+        }
+    }
+
+    #[inline]
+    fn cum_at_rank(&self, r: usize) -> f64 {
+        if r == 0 {
+            0.0
+        } else if r <= self.summary.len() {
+            self.summary[r - 1].cum as f64
+        } else {
+            self.buffer[r - 1 - self.summary.len()].cum as f64
+        }
+    }
+
+    #[inline]
+    fn rank_of(&self, t: Timestamp, from: usize) -> usize {
+        rank_resume(self.n_points(), from, |i| self.point_t(i) <= t)
+    }
 }
 
 impl CurveSketch for Pbe1 {
@@ -229,6 +267,33 @@ impl CurveSketch for Pbe1 {
         self.value_at(t) as f64
     }
 
+    #[inline]
+    fn estimate_cum_hinted(&self, t: Timestamp, hint: &mut CumHint) -> f64 {
+        let r = self.rank_of(t, hint.rank);
+        hint.rank = r;
+        self.cum_at_rank(r)
+    }
+
+    #[inline]
+    fn probe3(&self, t: Timestamp, tau: BurstSpan) -> [f64; 3] {
+        // One full-width search for the latest offset, then bounded backward
+        // resumption for t−τ and t−2τ (t−2τ ≤ t−τ ≤ t).
+        let r0 = self.rank_of(t, self.n_points());
+        let f0 = self.cum_at_rank(r0);
+        let (f1, r1) = match t.checked_sub(tau.ticks()) {
+            Some(earlier) => {
+                let r = self.rank_of(earlier, r0);
+                (self.cum_at_rank(r), r)
+            }
+            None => (0.0, r0),
+        };
+        let f2 = match t.checked_sub(tau.ticks().saturating_mul(2)) {
+            Some(earlier) => self.cum_at_rank(self.rank_of(earlier, r1)),
+            None => 0.0,
+        };
+        [f0, f1, f2]
+    }
+
     fn finalize(&mut self) {
         self.compress_buffer();
     }
@@ -239,6 +304,12 @@ impl CurveSketch for Pbe1 {
 
     fn segment_starts(&self) -> Vec<Timestamp> {
         self.summary.iter().chain(self.buffer.iter()).map(|c| c.t).collect()
+    }
+
+    fn for_each_segment_start(&self, f: &mut dyn FnMut(Timestamp)) {
+        for c in self.summary.iter().chain(self.buffer.iter()) {
+            f(c.t);
+        }
     }
 
     fn arrivals(&self) -> u64 {

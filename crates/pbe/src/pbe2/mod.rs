@@ -20,8 +20,9 @@
 
 pub mod polygon;
 
-use bed_stream::{StreamError, Timestamp};
+use bed_stream::{BurstSpan, StreamError, Timestamp};
 
+use crate::kernel::{rank_resume, CumHint};
 use crate::traits::{CurveSketch, SummaryStats};
 use polygon::{HalfPlane, Polygon};
 
@@ -87,6 +88,7 @@ pub struct Segment {
 impl Segment {
     /// Line value at `t`, clamped to the segment's own time range (beyond
     /// `end` the last value holds until the next segment begins).
+    #[inline]
     fn eval_clamped(&self, t: Timestamp) -> f64 {
         let t = t.ticks().min(self.end.ticks()).max(self.start.ticks());
         let dt = (t - self.start.ticks()) as f64;
@@ -238,10 +240,37 @@ impl Pbe2 {
     }
 
     /// Virtual segment view of the open polygon (for queries mid-stream).
+    #[inline]
     fn open_segment(&self) -> Option<Segment> {
         let poly = self.poly.as_ref()?;
         let (a, b) = poly.representative()?;
         Some(Segment { a, b, start: self.open_start, end: self.open_end })
+    }
+
+    /// `estimate_cum` body with rank resumption: same control flow (and
+    /// bit-identical values), but the finished-segment search starts from
+    /// `from` and the rank actually used is returned alongside the value.
+    /// `open` is the caller's precomputed [`Self::open_segment`] so a fused
+    /// probe resolves the polygon representative once, not three times.
+    #[inline]
+    fn cum_with_rank(&self, t: Timestamp, open: &Option<Segment>, from: usize) -> (f64, usize) {
+        if let Some(seg) = open {
+            if t >= seg.start {
+                // The open piece starts after every finished one, so the
+                // full rank is exact here.
+                return (seg.eval_clamped(t), self.segments.len());
+            }
+        }
+        let idx = rank_resume(self.segments.len(), from, |i| self.segments[i].start <= t);
+        if idx == 0 {
+            if let Some(t0) = self.pending_t {
+                if t >= t0 && open.is_none() && self.segments.is_empty() {
+                    return (self.cum as f64, 0);
+                }
+            }
+            return (0.0, 0);
+        }
+        (self.segments[idx - 1].eval_clamped(t), idx)
     }
 }
 
@@ -294,6 +323,31 @@ impl CurveSketch for Pbe2 {
         self.segments[idx - 1].eval_clamped(t)
     }
 
+    #[inline]
+    fn estimate_cum_hinted(&self, t: Timestamp, hint: &mut CumHint) -> f64 {
+        let open = self.open_segment();
+        let (v, r) = self.cum_with_rank(t, &open, hint.rank);
+        hint.rank = r;
+        v
+    }
+
+    #[inline]
+    fn probe3(&self, t: Timestamp, tau: BurstSpan) -> [f64; 3] {
+        // Resolve the open polygon's representative line once, search the
+        // finished segments once, then step backward for t−τ and t−2τ.
+        let open = self.open_segment();
+        let (f0, r0) = self.cum_with_rank(t, &open, self.segments.len());
+        let (f1, r1) = match t.checked_sub(tau.ticks()) {
+            Some(earlier) => self.cum_with_rank(earlier, &open, r0),
+            None => (0.0, r0),
+        };
+        let f2 = match t.checked_sub(tau.ticks().saturating_mul(2)) {
+            Some(earlier) => self.cum_with_rank(earlier, &open, r1).0,
+            None => 0.0,
+        };
+        [f0, f1, f2]
+    }
+
     fn finalize(&mut self) {
         self.flush_pending(None);
         if let Some(poly) = self.poly.take() {
@@ -314,6 +368,15 @@ impl CurveSketch for Pbe2 {
             v.push(seg.start);
         }
         v
+    }
+
+    fn for_each_segment_start(&self, f: &mut dyn FnMut(Timestamp)) {
+        for s in &self.segments {
+            f(s.start);
+        }
+        if let Some(seg) = self.open_segment() {
+            f(seg.start);
+        }
     }
 
     fn piece_boundaries(&self) -> Vec<Timestamp> {

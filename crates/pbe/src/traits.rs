@@ -1,5 +1,6 @@
 //! The common interface of all frequency-curve summaries.
 
+use crate::kernel::CumHint;
 use bed_stream::{BurstSpan, TimeRange, Timestamp};
 
 /// How a summary's estimate behaves between its piece boundaries — drives
@@ -48,6 +49,29 @@ pub trait CurveSketch {
     /// Estimated cumulative frequency `F̃(t)`.
     fn estimate_cum(&self, t: Timestamp) -> f64;
 
+    /// `F̃(t)` with rank resumption: identical value to
+    /// [`estimate_cum`](CurveSketch::estimate_cum), but implementations with
+    /// a sorted piece array resume the search from `hint` (the rank of the
+    /// previous call) and store the new rank back, making monotone probe
+    /// sequences `O(1)` amortised. The default ignores the hint.
+    fn estimate_cum_hinted(&self, t: Timestamp, hint: &mut CumHint) -> f64 {
+        let _ = hint;
+        self.estimate_cum(t)
+    }
+
+    /// Fused `[F̃(t), F̃(t−τ), F̃(t−2τ)]` — the three probes of Eq. 2 in one
+    /// call, pre-epoch offsets reading 0. Implementations resolve the
+    /// latest offset with one full search and reach the earlier two by
+    /// bounded backward steps (`t−2τ ≤ t−τ ≤ t`). Must be bit-for-bit equal
+    /// to composing three [`estimate_cum`](CurveSketch::estimate_cum) calls.
+    fn probe3(&self, t: Timestamp, tau: BurstSpan) -> [f64; 3] {
+        [
+            self.estimate_cum(t),
+            self.estimate_cum_offset(t, tau.ticks()),
+            self.estimate_cum_offset(t, tau.ticks().saturating_mul(2)),
+        ]
+    }
+
     /// `F̃(t − delta)`, treating pre-epoch times as 0.
     fn estimate_cum_offset(&self, t: Timestamp, delta: u64) -> f64 {
         match t.checked_sub(delta) {
@@ -61,11 +85,10 @@ pub trait CurveSketch {
         self.estimate_cum(t) - self.estimate_cum_offset(t, tau.ticks())
     }
 
-    /// Estimated burstiness `b̃(t) = F̃(t) − 2·F̃(t−τ) + F̃(t−2τ)` (Eq. 2).
+    /// Estimated burstiness `b̃(t) = F̃(t) − 2·F̃(t−τ) + F̃(t−2τ)` (Eq. 2),
+    /// evaluated through the fused [`probe3`](CurveSketch::probe3) kernel.
     fn estimate_burstiness(&self, t: Timestamp, tau: BurstSpan) -> f64 {
-        let f0 = self.estimate_cum(t);
-        let f1 = self.estimate_cum_offset(t, tau.ticks());
-        let f2 = self.estimate_cum_offset(t, tau.ticks().saturating_mul(2));
+        let [f0, f1, f2] = self.probe3(t, tau);
         f0 - 2.0 * f1 + f2
     }
 
@@ -82,6 +105,19 @@ pub trait CurveSketch {
     /// consecutive knees the approximate incoming rate is constant, which is
     /// what makes bursty-time queries linear in the summary size (Section V).
     fn segment_starts(&self) -> Vec<Timestamp>;
+
+    /// Visits every piece-start timestamp without allocating. The default
+    /// walks [`segment_starts`](CurveSketch::segment_starts); summaries
+    /// backed by in-memory piece arrays override this with a plain loop so
+    /// the hot bursty-time candidate path stays heap-free. Visit order and
+    /// multiplicity follow the underlying piece array (callers that need a
+    /// sorted, deduplicated list must do so themselves, as
+    /// [`bursty_time_candidates`] does).
+    fn for_each_segment_start(&self, f: &mut dyn FnMut(Timestamp)) {
+        for t in self.segment_starts() {
+            f(t);
+        }
+    }
 
     /// All timestamps at which the estimate's slope may change — piece
     /// starts *and* the first tick after each piece ends (where a PLA
@@ -116,17 +152,31 @@ pub fn bursty_time_candidates<S: CurveSketch + ?Sized>(
     horizon: Timestamp,
 ) -> Vec<Timestamp> {
     let mut out: Vec<u64> = Vec::new();
-    for knee in sketch.segment_starts() {
+    bursty_time_candidates_into(sketch, tau, horizon, &mut out);
+    out.into_iter().map(Timestamp).collect()
+}
+
+/// Allocation-reusing form of [`bursty_time_candidates`]: fills `out` with
+/// the sorted, deduplicated candidate ticks, clearing it first. Knees are
+/// gathered through the [`CurveSketch::for_each_segment_start`] visitor, so
+/// no intermediate `Vec` of piece starts is built.
+pub fn bursty_time_candidates_into<S: CurveSketch + ?Sized>(
+    sketch: &S,
+    tau: BurstSpan,
+    horizon: Timestamp,
+    out: &mut Vec<u64>,
+) {
+    out.clear();
+    sketch.for_each_segment_start(&mut |knee| {
         for delta in [0, tau.ticks(), tau.ticks().saturating_mul(2)] {
             let t = knee.ticks().saturating_add(delta);
             if t <= horizon.ticks() {
                 out.push(t);
             }
         }
-    }
+    });
     out.sort_unstable();
     out.dedup();
-    out.into_iter().map(Timestamp).collect()
 }
 
 /// Exact bursty-time **ranges** over a sketch's estimate (an extension of

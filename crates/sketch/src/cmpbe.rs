@@ -1,6 +1,7 @@
 //! CM-PBE: Count-Min layout with persistent burstiness estimators as cells
 //! (Section IV, Fig. 5).
 
+use bed_pbe::kernel::CumHint;
 use bed_pbe::CurveSketch;
 use bed_stream::{BurstSpan, EventId, StreamError, Timestamp};
 
@@ -80,6 +81,11 @@ impl<P: CurveSketch> CmPbe<P> {
         seed: u64,
         mut make_cell: impl FnMut() -> P,
     ) -> Self {
+        // A zero-dimension grid has no rows to combine: every estimate
+        // would be a fold over an empty sample (±∞ under Min/Max, a panic
+        // under Median). Reject at construction instead.
+        assert!(depth >= 1, "CmPbe needs at least one row (depth = 0)");
+        assert!(width >= 1, "CmPbe needs at least one column (width = 0)");
         let hashes = HashFamily::new(depth, width, seed);
         let cells = (0..depth * width).map(|_| make_cell()).collect();
         CmPbe { hashes, cells, arrivals: 0, identity: false }
@@ -91,6 +97,7 @@ impl<P: CurveSketch> CmPbe<P> {
     /// would need (e.g. the upper levels of the dyadic hierarchy, where a
     /// 2-bucket hashed row would collide half the time).
     pub fn direct_indexed(universe: usize, mut make_cell: impl FnMut() -> P) -> Self {
+        assert!(universe >= 1, "direct-indexed CmPbe needs a non-empty universe");
         let hashes = HashFamily::new(1, universe, 0);
         let cells = (0..universe).map(|_| make_cell()).collect();
         CmPbe { hashes, cells, arrivals: 0, identity: true }
@@ -192,7 +199,49 @@ impl<P: CurveSketch> CmPbe<P> {
 
     /// Median-combined estimate `F̃_e(t)` (Theorem 1).
     pub fn estimate_cum(&self, event: EventId, t: Timestamp) -> f64 {
-        median(self.row_estimates(event, t))
+        let d = self.depth();
+        if d <= MEDIAN_STACK {
+            let mut vals = [0.0f64; MEDIAN_STACK];
+            for (row, v) in vals[..d].iter_mut().enumerate() {
+                *v = self.cells[self.cell_index(row, event)].estimate_cum(t);
+            }
+            median_stack(&mut vals[..d])
+        } else {
+            median(self.row_estimates(event, t))
+        }
+    }
+
+    /// Fused `[F̃_e(t), F̃_e(t−τ), F̃_e(t−2τ)]` — the three Eq. 2 probes of
+    /// one event resolved cell by cell (each cell's own
+    /// [`CurveSketch::probe3`] fast path runs once per row), then combined
+    /// by three stack medians. Pre-epoch offsets read 0, matching
+    /// [`CmPbe::estimate_cum_offset`]. Bit-for-bit equal to three
+    /// [`CmPbe::estimate_cum`] calls; allocation-free for `d ≤ 16`.
+    pub fn probe3(&self, event: EventId, t: Timestamp, tau: BurstSpan) -> [f64; 3] {
+        let d = self.depth();
+        let t1 = t.checked_sub(tau.ticks());
+        let t2 = t.checked_sub(tau.ticks().saturating_mul(2));
+        if d > MEDIAN_STACK {
+            return [
+                self.estimate_cum(event, t),
+                t1.map_or(0.0, |e| self.estimate_cum(event, e)),
+                t2.map_or(0.0, |e| self.estimate_cum(event, e)),
+            ];
+        }
+        let mut v0 = [0.0f64; MEDIAN_STACK];
+        let mut v1 = [0.0f64; MEDIAN_STACK];
+        let mut v2 = [0.0f64; MEDIAN_STACK];
+        for row in 0..d {
+            let p = self.cells[self.cell_index(row, event)].probe3(t, tau);
+            v0[row] = p[0];
+            v1[row] = p[1];
+            v2[row] = p[2];
+        }
+        [
+            median_stack(&mut v0[..d]),
+            if t1.is_some() { median_stack(&mut v1[..d]) } else { 0.0 },
+            if t2.is_some() { median_stack(&mut v2[..d]) } else { 0.0 },
+        ]
     }
 
     /// Estimate with an explicit row combiner — ablation hook for comparing
@@ -239,11 +288,10 @@ impl<P: CurveSketch> CmPbe<P> {
     }
 
     /// Estimated burstiness `b̃_e(t)` from the median cumulative estimates
-    /// (Lemma 5; the paper composes b̃ from the three median F̃ terms).
+    /// (Lemma 5; the paper composes b̃ from the three median F̃ terms),
+    /// evaluated through the fused [`CmPbe::probe3`] kernel.
     pub fn estimate_burstiness(&self, event: EventId, t: Timestamp, tau: BurstSpan) -> f64 {
-        let f0 = self.estimate_cum(event, t);
-        let f1 = self.estimate_cum_offset(event, t, tau.ticks());
-        let f2 = self.estimate_cum_offset(event, t, tau.ticks().saturating_mul(2));
+        let [f0, f1, f2] = self.probe3(event, t, tau);
         f0 - 2.0 * f1 + f2
     }
 
@@ -259,16 +307,246 @@ impl<P: CurveSketch> CmPbe<P> {
         median(vals)
     }
 
+    /// Visits every segment-start knee of every cell `event` maps to,
+    /// without allocating (duplicates across rows included — see
+    /// [`CmPbe::segment_starts`] for the sorted, deduplicated form).
+    pub fn for_each_segment_start(&self, event: EventId, f: &mut dyn FnMut(Timestamp)) {
+        for row in 0..self.depth() {
+            self.cells[self.cell_index(row, event)].for_each_segment_start(f);
+        }
+    }
+
     /// Union of segment-start knees across the cells `event` maps to —
     /// the probe instants for a bursty-time query over this event
-    /// (Section V).
+    /// (Section V). Thin wrapper over
+    /// [`CmPbe::for_each_segment_start`].
     pub fn segment_starts(&self, event: EventId) -> Vec<Timestamp> {
-        let mut out: Vec<Timestamp> = (0..self.depth())
-            .flat_map(|row| self.cells[self.cell_index(row, event)].segment_starts())
-            .collect();
+        let mut out: Vec<Timestamp> = Vec::new();
+        self.for_each_segment_start(event, &mut |t| out.push(t));
         out.sort_unstable();
         out.dedup();
         out
+    }
+
+    /// Batched bursty-event kernel: evaluates `b̃_e(t)` for every event id
+    /// in `lo..hi` and calls `emit(event, burstiness)` for each, in id
+    /// order. Instead of `(hi−lo)·d` scattered per-event probes, each
+    /// distinct cell answers its fused [`CurveSketch::probe3`] exactly once
+    /// into a per-cell probe cache — hash-colliding candidates share one
+    /// search, and a scan covering a full row walks the d×w table
+    /// **row-major** (one sequential pass over each row's cells) instead of
+    /// hopping around it per candidate. Results are bit-for-bit the
+    /// per-event [`CmPbe::estimate_burstiness`] values.
+    ///
+    /// All working memory lives in `scratch`; after its buffers have grown
+    /// to the high-water mark the kernel performs no heap allocation.
+    /// Grids deeper than [`MEDIAN_STACK`] rows fall back to the per-event
+    /// path.
+    pub fn burstiness_scan_into(
+        &self,
+        lo: u32,
+        hi: u32,
+        t: Timestamp,
+        tau: BurstSpan,
+        scratch: &mut QueryScratch,
+        mut emit: impl FnMut(EventId, f64),
+    ) {
+        let d = self.depth();
+        let count = hi.saturating_sub(lo) as usize;
+        if count == 0 {
+            return;
+        }
+        if d > MEDIAN_STACK {
+            for e in lo..hi {
+                emit(EventId(e), self.estimate_burstiness(EventId(e), t, tau));
+            }
+            return;
+        }
+        let t1 = t.checked_sub(tau.ticks());
+        let t2 = t.checked_sub(tau.ticks().saturating_mul(2));
+        let ncells = self.cells.len();
+        let QueryScratch { cells, order, probes, .. } = scratch;
+        // Resolve each candidate's cell per row exactly once (one hash each).
+        cells.clear();
+        cells.resize(count * d, 0);
+        for row in 0..d {
+            for (i, e) in (lo..hi).enumerate() {
+                cells[i * d + row] = self.cell_index(row, EventId(e));
+            }
+        }
+        probes.clear();
+        probes.resize(ncells * 3, 0.0);
+        if count >= self.width() {
+            // Dense scan: nearly every cell is some candidate's — probe the
+            // whole table row-major, one sequential cache-friendly pass.
+            for (ci, cell) in self.cells.iter().enumerate() {
+                probes[ci * 3..ci * 3 + 3].copy_from_slice(&cell.probe3(t, tau));
+            }
+        } else {
+            // Sparse scan: lazily probe only the cells candidates map to.
+            order.clear();
+            order.resize(ncells, 0);
+            for &ci in cells.iter() {
+                if order[ci] == 0 {
+                    order[ci] = 1;
+                    probes[ci * 3..ci * 3 + 3].copy_from_slice(&self.cells[ci].probe3(t, tau));
+                }
+            }
+        }
+        let mut v0 = [0.0f64; MEDIAN_STACK];
+        let mut v1 = [0.0f64; MEDIAN_STACK];
+        let mut v2 = [0.0f64; MEDIAN_STACK];
+        for i in 0..count {
+            for row in 0..d {
+                let base = cells[i * d + row] * 3;
+                v0[row] = probes[base];
+                v1[row] = probes[base + 1];
+                v2[row] = probes[base + 2];
+            }
+            let f0 = median_stack(&mut v0[..d]);
+            let f1 = if t1.is_some() { median_stack(&mut v1[..d]) } else { 0.0 };
+            let f2 = if t2.is_some() { median_stack(&mut v2[..d]) } else { 0.0 };
+            emit(EventId(lo + i as u32), f0 - 2.0 * f1 + f2);
+        }
+    }
+
+    /// Fused bursty-time kernel for one event: fills `out` with every
+    /// `(t, b̃_e(t))` where `t` is a candidate instant (each knee of the
+    /// event's cells plus its `+τ`/`+2τ` echoes, clipped to `horizon`) and
+    /// `b̃_e(t) ≥ theta`, in ascending `t` order — the same contract as
+    /// filtering [`CmPbe::segment_starts`] candidates through
+    /// [`CmPbe::estimate_burstiness`], bit for bit.
+    ///
+    /// The candidate sweep is monotone, so each of the event's `d` cells
+    /// keeps one [`CumHint`] per Eq. 2 offset stream and resumes its piece
+    /// search instead of re-running `3·d` binary searches per instant. All
+    /// working memory lives in `scratch` and `out` (cleared first); after
+    /// warm-up the sweep performs no heap allocation beyond `out` growth.
+    pub fn bursty_times_into(
+        &self,
+        event: EventId,
+        theta: f64,
+        tau: BurstSpan,
+        horizon: Timestamp,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<(Timestamp, f64)>,
+    ) {
+        out.clear();
+        let d = self.depth();
+        let QueryScratch { times, knees, probes, order, .. } = scratch;
+        // Sort the knees alone, then produce the `+0/+τ/+2τ` echo candidates
+        // by a three-way merge of the shifted knee streams — O(n) instead of
+        // sorting a 3n-element echo list.
+        knees.clear();
+        self.for_each_segment_start(event, &mut |knee| knees.push(knee.ticks()));
+        knees.sort_unstable();
+        knees.dedup();
+        times.clear();
+        let shifts = [0, tau.ticks(), tau.ticks().saturating_mul(2)];
+        let mut at = [0usize; 3];
+        loop {
+            let mut next: Option<u64> = None;
+            for k in 0..3 {
+                if let Some(&knee) = knees.get(at[k]) {
+                    let c = knee.saturating_add(shifts[k]);
+                    next = Some(next.map_or(c, |n| n.min(c)));
+                }
+            }
+            let Some(c) = next else { break };
+            // Streams ascend, so once the minimum passes the horizon all
+            // remaining candidates do too.
+            if c > horizon.ticks() {
+                break;
+            }
+            for k in 0..3 {
+                if let Some(&knee) = knees.get(at[k]) {
+                    if knee.saturating_add(shifts[k]) == c {
+                        at[k] += 1;
+                    }
+                }
+            }
+            times.push(c);
+        }
+        if d > MEDIAN_STACK {
+            for &t in times.iter() {
+                let b = self.estimate_burstiness(event, Timestamp(t), tau);
+                if b >= theta {
+                    out.push((Timestamp(t), b));
+                }
+            }
+            return;
+        }
+        // The three Eq. 2 offset streams of the candidate sweep largely
+        // revisit each other's positions (the `t−τ` probe of a `knee+τ`
+        // candidate *is* `knee`), so first merge the distinct probe
+        // positions `⋃_k {t−kτ : t ∈ times, t ≥ kτ}` into one ascending
+        // list (`knees` is done feeding candidates and is reused), keeping
+        // for every (instant, offset) its position index in `order`
+        // (`u32::MAX` marks a pre-epoch offset, which reads 0).
+        order.clear();
+        order.resize(times.len() * 3, u32::MAX);
+        knees.clear();
+        let mut at = [0usize; 3];
+        for k in 0..3 {
+            // Skip the pre-epoch prefix: those instants keep the sentinel.
+            while at[k] < times.len() && times[at[k]] < shifts[k] {
+                at[k] += 1;
+            }
+        }
+        loop {
+            let mut next: Option<u64> = None;
+            for k in 0..3 {
+                if let Some(&t) = times.get(at[k]) {
+                    let pos = t - shifts[k];
+                    next = Some(next.map_or(pos, |n| n.min(pos)));
+                }
+            }
+            let Some(pos) = next else { break };
+            let pi = knees.len() as u32;
+            knees.push(pos);
+            for k in 0..3 {
+                if let Some(&t) = times.get(at[k]) {
+                    if t - shifts[k] == pos {
+                        order[at[k] * 3 + k] = pi;
+                        at[k] += 1;
+                    }
+                }
+            }
+        }
+        // Row-major sweep: each of the event's d cells answers every
+        // distinct position exactly once, in one tight ascending pass with a
+        // single resumed rank — its segment array stays in cache and no
+        // position is searched twice across the three offset streams.
+        let npos = knees.len();
+        probes.clear();
+        probes.resize(d * npos, 0.0);
+        for row in 0..d {
+            let cell = &self.cells[self.cell_index(row, event)];
+            let mut h = CumHint::new();
+            let base = row * npos;
+            for (i, &pos) in knees.iter().enumerate() {
+                probes[base + i] = cell.estimate_cum_hinted(Timestamp(pos), &mut h);
+            }
+        }
+        let mut v0 = [0.0f64; MEDIAN_STACK];
+        let mut v1 = [0.0f64; MEDIAN_STACK];
+        let mut v2 = [0.0f64; MEDIAN_STACK];
+        for (j, &tick) in times.iter().enumerate() {
+            let [p0, p1, p2] = [order[j * 3], order[j * 3 + 1], order[j * 3 + 2]];
+            for row in 0..d {
+                let base = row * npos;
+                v0[row] = probes[base + p0 as usize];
+                v1[row] = if p1 != u32::MAX { probes[base + p1 as usize] } else { 0.0 };
+                v2[row] = if p2 != u32::MAX { probes[base + p2 as usize] } else { 0.0 };
+            }
+            let f0 = median_stack(&mut v0[..d]);
+            let f1 = if p1 != u32::MAX { median_stack(&mut v1[..d]) } else { 0.0 };
+            let f2 = if p2 != u32::MAX { median_stack(&mut v2[..d]) } else { 0.0 };
+            let b = f0 - 2.0 * f1 + f2;
+            if b >= theta {
+                out.push((Timestamp(tick), b));
+            }
+        }
     }
 
     /// Summary size in bytes (sum over cells; hash seeds are negligible).
@@ -383,6 +661,12 @@ impl<P: bed_stream::Codec> bed_stream::Codec for CmPbe<P> {
     }
 }
 
+/// Deepest grid the stack-allocated query kernels cover. `d = ⌈ln(1/δ)⌉`,
+/// so 16 rows corresponds to a failure probability δ ≈ 1e−7 — far beyond
+/// any configuration the paper evaluates. Deeper grids fall back to the
+/// heap-allocating per-event path.
+pub const MEDIAN_STACK: usize = 16;
+
 /// Median of an unsorted sample; averages the two middles for even sizes.
 fn median(mut vals: Vec<f64>) -> f64 {
     assert!(!vals.is_empty(), "median of an empty sample");
@@ -392,6 +676,77 @@ fn median(mut vals: Vec<f64>) -> f64 {
         vals[n / 2]
     } else {
         (vals[n / 2 - 1] + vals[n / 2]) / 2.0
+    }
+}
+
+/// Median of a small sample by in-place insertion sort — no `Vec`, no
+/// comparator indirection. Bit-for-bit identical to [`median`] on NaN-free
+/// samples: both fully sort (stably — insertion with a strict `>` guard
+/// never reorders equal keys) and average the same two middles.
+#[inline]
+fn median_stack(vals: &mut [f64]) -> f64 {
+    debug_assert!(!vals.is_empty(), "median of an empty sample");
+    match *vals {
+        [a] => a,
+        // The 2- and 3-row cases are unrolled with the exact swap decisions
+        // of the general insertion sort (strict `>`, so equal keys — and
+        // -0.0/0.0 ties — land exactly where the stable sort puts them).
+        [a, b] => {
+            let (a, b) = if a > b { (b, a) } else { (a, b) };
+            (a + b) / 2.0
+        }
+        [a, b, c] => {
+            let (a, b) = if a > b { (b, a) } else { (a, b) };
+            let (b, c) = if b > c { (c, b) } else { (b, c) };
+            let b = if a > b { a } else { b };
+            let _ = c;
+            b
+        }
+        _ => {
+            for i in 1..vals.len() {
+                let mut j = i;
+                while j > 0 && vals[j - 1] > vals[j] {
+                    vals.swap(j - 1, j);
+                    j -= 1;
+                }
+            }
+            let n = vals.len();
+            if n % 2 == 1 {
+                vals[n / 2]
+            } else {
+                (vals[n / 2 - 1] + vals[n / 2]) / 2.0
+            }
+        }
+    }
+}
+
+/// Reusable working memory for the batched query kernels
+/// ([`CmPbe::burstiness_scan_into`], [`CmPbe::bursty_times_into`]).
+///
+/// Holds resolved cell indices, a candidate-order permutation, the
+/// row-major probe buffer, and the candidate-instant list. Buffers grow to
+/// the high-water mark of the queries they serve and are then reused, so a
+/// warm scratch makes the kernels allocation-free. Create one per query
+/// thread and pass it to every query (a fresh scratch is always valid —
+/// reuse only saves the allocations).
+#[derive(Debug, Clone, Default)]
+pub struct QueryScratch {
+    /// Resolved cell index per (candidate, row), candidate-major.
+    cells: Vec<usize>,
+    /// Candidate permutation used to group candidates by cell within a row.
+    order: Vec<u32>,
+    /// Row-major probe results: 3 values per (candidate, row).
+    probes: Vec<f64>,
+    /// Sorted, deduplicated candidate instants of a bursty-time sweep.
+    times: Vec<u64>,
+    /// Sorted, deduplicated knees feeding the candidate merge.
+    knees: Vec<u64>,
+}
+
+impl QueryScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -418,6 +773,87 @@ mod tests {
         assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
         assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), 2.5);
         assert_eq!(median(vec![7.0]), 7.0);
+    }
+
+    #[test]
+    fn median_stack_matches_heap_median() {
+        let samples: &[&[f64]] = &[
+            &[7.0],
+            &[3.0, 1.0],
+            &[3.0, 1.0, 2.0],
+            &[4.0, 1.0, 2.0, 3.0],
+            &[5.0, 5.0, 5.0, 1.0, 9.0],
+            &[0.0, -0.0, 2.5, 2.5, -1.0, 4.0],
+        ];
+        for s in samples {
+            let mut buf = s.to_vec();
+            assert_eq!(median_stack(&mut buf).to_bits(), median(s.to_vec()).to_bits(), "{s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn zero_depth_grid_is_rejected() {
+        let _ = CmPbe::with_dimensions(0, 16, 1, ExactCurve::new);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty universe")]
+    fn zero_universe_direct_grid_is_rejected() {
+        let _ = CmPbe::direct_indexed(0, ExactCurve::new);
+    }
+
+    #[test]
+    fn fused_kernels_match_composed_queries() {
+        let stream = mixed_stream(40, 30);
+        let mut cm = CmPbe::with_dimensions(4, 32, 99, || {
+            Pbe2::new(Pbe2Config { gamma: 2.0, max_vertices: 16 }).unwrap()
+        });
+        for el in stream.iter() {
+            cm.update(el.event, el.ts);
+        }
+        let tau = BurstSpan::new(40).unwrap();
+        let horizon = Timestamp(400);
+        let composed = |e: EventId, t: Timestamp| {
+            let f0 = cm.estimate_cum(e, t);
+            let f1 = cm.estimate_cum_offset(e, t, tau.ticks());
+            let f2 = cm.estimate_cum_offset(e, t, tau.ticks().saturating_mul(2));
+            f0 - 2.0 * f1 + f2
+        };
+        let mut scratch = QueryScratch::new();
+        // batched scan == per-event composition
+        let mut batched = Vec::new();
+        cm.burstiness_scan_into(0, 40, Timestamp(250), tau, &mut scratch, |e, b| {
+            batched.push((e, b));
+        });
+        assert_eq!(batched.len(), 40);
+        for &(e, b) in &batched {
+            assert_eq!(b.to_bits(), composed(e, Timestamp(250)).to_bits(), "event {e:?}");
+        }
+        // fused bursty-time sweep == candidate filter over composed probes
+        let mut fused = Vec::new();
+        cm.bursty_times_into(EventId(7), 0.5, tau, horizon, &mut scratch, &mut fused);
+        let mut reference = Vec::new();
+        for knee in cm.segment_starts(EventId(7)) {
+            for delta in [0, tau.ticks(), tau.ticks() * 2] {
+                let t = knee.ticks().saturating_add(delta);
+                if t <= horizon.ticks() {
+                    reference.push(t);
+                }
+            }
+        }
+        reference.sort_unstable();
+        reference.dedup();
+        let reference: Vec<(Timestamp, f64)> = reference
+            .into_iter()
+            .map(|t| (Timestamp(t), composed(EventId(7), Timestamp(t))))
+            .filter(|&(_, b)| b >= 0.5)
+            .collect();
+        assert_eq!(fused.len(), reference.len());
+        for (got, want) in fused.iter().zip(&reference) {
+            assert_eq!(got.0, want.0);
+            assert_eq!(got.1.to_bits(), want.1.to_bits());
+        }
     }
 
     #[test]

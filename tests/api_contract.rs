@@ -1,11 +1,16 @@
 //! API-contract integration tests: error paths and misuse across the
-//! public surface.
+//! public surface, plus the fused-query-kernel contract (bit-for-bit
+//! equivalence with the composed estimates, and zero per-probe heap
+//! allocation — this binary installs a counting global allocator).
 
 use bed::obs::Histogram;
+use bed::pbe::{CurveCursor, CurveSketch, ExactCurve, Pbe1, Pbe1Config, Pbe2, Pbe2Config};
+use bed::sketch::CmPbe;
 use bed::{
     BedError, BurstDetector, BurstQueries, BurstSpan, EventId, MetricValue, MetricsSnapshot,
-    PbeVariant, QueryRequest, QueryStrategy, ShardedDetector, TimeRange, Timestamp,
+    PbeVariant, QueryRequest, QueryScratch, QueryStrategy, ShardedDetector, TimeRange, Timestamp,
 };
+use proptest::prelude::*;
 
 #[test]
 fn builder_rejects_bad_parameters() {
@@ -321,4 +326,305 @@ fn metric_counters_are_monotone() {
         );
         assert_eq!(after.counter("ingest.count"), before.counter("ingest.count"));
     }
+}
+
+// ---------------------------------------------------------------------------
+// Fused query kernels: the probe3 / cursor / batched fast paths must be
+// bit-for-bit interchangeable with composing three estimate_cum calls.
+// ---------------------------------------------------------------------------
+
+/// Reference for `probe3`: three independent `estimate_cum` calls with
+/// pre-epoch offsets reading 0 — exactly the composition the fused kernel
+/// replaces.
+fn composed3<S: CurveSketch + ?Sized>(s: &S, t: Timestamp, tau: BurstSpan) -> [f64; 3] {
+    let at = |delta: u64| t.checked_sub(delta).map_or(0.0, |earlier| s.estimate_cum(earlier));
+    [at(0), at(tau.ticks()), at(tau.ticks().saturating_mul(2))]
+}
+
+fn bits3(v: [f64; 3]) -> [u64; 3] {
+    [v[0].to_bits(), v[1].to_bits(), v[2].to_bits()]
+}
+
+/// Drives every kernel entry point of one sketch against the composed
+/// reference: stateless `probe3`, `estimate_burstiness`, a cursor fed the
+/// probes in the given (arbitrary) order, and a second cursor on the sorted
+/// (monotone, hint-friendly) order. Probe times include pre-epoch `t < 2τ`
+/// whenever the generated `qs` contain small ticks.
+fn assert_fused_matches_composed<S: CurveSketch>(sketch: &S, qs: &[u64], tau: BurstSpan) {
+    let mut cursor = CurveCursor::new(sketch);
+    for &q in qs {
+        let t = Timestamp(q);
+        let want = composed3(sketch, t, tau);
+        assert_eq!(bits3(sketch.probe3(t, tau)), bits3(want), "probe3 diverged at t={q}");
+        assert_eq!(bits3(cursor.probe3(t, tau)), bits3(want), "cursor diverged at t={q}");
+        let b = want[0] - 2.0 * want[1] + want[2];
+        assert_eq!(sketch.estimate_burstiness(t, tau).to_bits(), b.to_bits());
+    }
+    let mut sorted: Vec<u64> = qs.to_vec();
+    sorted.sort_unstable();
+    let mut cursor = CurveCursor::new(sketch);
+    for &q in &sorted {
+        let t = Timestamp(q);
+        let want = composed3(sketch, t, tau);
+        assert_eq!(bits3(cursor.probe3(t, tau)), bits3(want), "monotone cursor at t={q}");
+        assert_eq!(
+            cursor.burstiness(t, tau).to_bits(),
+            sketch.estimate_burstiness(t, tau).to_bits()
+        );
+    }
+}
+
+fn arb_ticks() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..2_000, 1..250).prop_map(|mut v| {
+        v.sort_unstable();
+        v
+    })
+}
+
+fn arb_probes() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..3_000, 1..40)
+}
+
+proptest! {
+    /// PBE-1: fused kernels equal the composed estimates bit for bit, both
+    /// mid-stream (live buffer) and after finalize.
+    #[test]
+    fn pbe1_fused_kernel_matches_composed(
+        ticks in arb_ticks(),
+        qs in arb_probes(),
+        tau in 1u64..500,
+        fin in 0u8..2,
+    ) {
+        let mut p = Pbe1::new(Pbe1Config { n_buf: 64, eta: 8 }).unwrap();
+        for &t in &ticks {
+            p.update(Timestamp(t));
+        }
+        if fin == 1 {
+            p.finalize();
+        }
+        assert_fused_matches_composed(&p, &qs, BurstSpan::new(tau).unwrap());
+    }
+
+    /// PBE-2: same contract, covering the open PLA segment and the
+    /// pending-first-arrival state.
+    #[test]
+    fn pbe2_fused_kernel_matches_composed(
+        ticks in arb_ticks(),
+        qs in arb_probes(),
+        tau in 1u64..500,
+        fin in 0u8..2,
+    ) {
+        let mut p = Pbe2::new(Pbe2Config { gamma: 2.0, max_vertices: 16 }).unwrap();
+        for &t in &ticks {
+            p.update(Timestamp(t));
+        }
+        if fin == 1 {
+            p.finalize();
+        }
+        assert_fused_matches_composed(&p, &qs, BurstSpan::new(tau).unwrap());
+    }
+
+    /// Exact curves: the kernel contract holds for the lossless summary too.
+    #[test]
+    fn exact_curve_fused_kernel_matches_composed(
+        ticks in arb_ticks(),
+        qs in arb_probes(),
+        tau in 1u64..500,
+    ) {
+        let mut c = ExactCurve::new();
+        for &t in &ticks {
+            c.update(Timestamp(t));
+        }
+        assert_fused_matches_composed(&c, &qs, BurstSpan::new(tau).unwrap());
+    }
+
+    /// CM-PBE: the per-event fused probe, the batched row-major scan, and
+    /// the hinted bursty-time sweep all equal the composed median estimates
+    /// bit for bit (pre-epoch `t < 2τ` included whenever `q < 2τ`).
+    #[test]
+    fn cmpbe_fused_kernels_match_composed(
+        els in prop::collection::vec((0u32..32, 0u64..1_000), 1..300),
+        seed in 0u64..50,
+        q in 0u64..2_500,
+        tau in 1u64..400,
+        theta in -50.0f64..50.0,
+    ) {
+        let mut els = els;
+        els.sort_by_key(|&(_, t)| t);
+        let mut cm = CmPbe::with_dimensions(3, 4, seed, || {
+            Pbe2::new(Pbe2Config { gamma: 2.0, max_vertices: 16 }).unwrap()
+        });
+        for &(e, t) in &els {
+            cm.update(EventId(e), Timestamp(t));
+        }
+        cm.finalize();
+        let tau = BurstSpan::new(tau).unwrap();
+        let t = Timestamp(q);
+
+        for e in 0..32u32 {
+            let e = EventId(e);
+            let want = [
+                cm.estimate_cum(e, t),
+                cm.estimate_cum_offset(e, t, tau.ticks()),
+                cm.estimate_cum_offset(e, t, tau.ticks().saturating_mul(2)),
+            ];
+            prop_assert_eq!(bits3(cm.probe3(e, t, tau)), bits3(want));
+            let b = want[0] - 2.0 * want[1] + want[2];
+            prop_assert_eq!(cm.estimate_burstiness(e, t, tau).to_bits(), b.to_bits());
+        }
+
+        // batched row-major scan == per-event estimates, in id order
+        let mut scratch = QueryScratch::new();
+        let mut got: Vec<(EventId, f64)> = Vec::new();
+        cm.burstiness_scan_into(0, 32, t, tau, &mut scratch, |e, b| got.push((e, b)));
+        prop_assert_eq!(got.len(), 32);
+        for (i, &(e, b)) in got.iter().enumerate() {
+            prop_assert_eq!(e, EventId(i as u32));
+            prop_assert_eq!(b.to_bits(), cm.estimate_burstiness(e, t, tau).to_bits());
+        }
+
+        // hinted bursty-time sweep == candidate filter over estimate_burstiness
+        let horizon = Timestamp(2_000);
+        for e in [EventId(0), EventId(7), EventId(31)] {
+            let mut want: Vec<(Timestamp, f64)> = Vec::new();
+            let mut cands: Vec<u64> = Vec::new();
+            for knee in cm.segment_starts(e) {
+                for delta in [0, tau.ticks(), tau.ticks().saturating_mul(2)] {
+                    let c = knee.ticks().saturating_add(delta);
+                    if c <= horizon.ticks() {
+                        cands.push(c);
+                    }
+                }
+            }
+            cands.sort_unstable();
+            cands.dedup();
+            for c in cands {
+                let b = cm.estimate_burstiness(e, Timestamp(c), tau);
+                if b >= theta {
+                    want.push((Timestamp(c), b));
+                }
+            }
+            let mut out: Vec<(Timestamp, f64)> = Vec::new();
+            cm.bursty_times_into(e, theta, tau, horizon, &mut scratch, &mut out);
+            prop_assert_eq!(out.len(), want.len());
+            for (g, w) in out.iter().zip(&want) {
+                prop_assert_eq!(g.0, w.0);
+                prop_assert_eq!(g.1.to_bits(), w.1.to_bits());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-allocation contract: after scratch warm-up, the fused kernels never
+// touch the heap. A counting global allocator makes the claim checkable.
+// ---------------------------------------------------------------------------
+
+mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// System allocator wrapper counting allocation events per thread
+    /// (`dealloc` is free to run — dropping warm buffers is not a probe
+    /// cost, and other test threads never perturb this thread's count).
+    pub struct CountingAlloc;
+
+    impl CountingAlloc {
+        fn bump() {
+            let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        }
+
+        pub fn current() -> u64 {
+            ALLOCATIONS.with(Cell::get)
+        }
+    }
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            Self::bump();
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            Self::bump();
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            Self::bump();
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+}
+
+#[global_allocator]
+static ALLOC: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc;
+
+/// The tentpole's zero-allocation claim, enforced: once the scratch buffers
+/// have grown to their high-water mark, probe3, the cursor sweep, the
+/// batched bursty-event scan, and the hinted bursty-time sweep perform no
+/// heap allocation at all.
+#[test]
+fn warm_fused_kernels_do_not_allocate() {
+    const K: u32 = 64;
+    let mut cm = CmPbe::with_dimensions(4, 16, 9, || {
+        Pbe2::new(Pbe2Config { gamma: 1.0, max_vertices: 16 }).unwrap()
+    });
+    for t in 0..4_000u64 {
+        cm.update(EventId((t % K as u64) as u32), Timestamp(t));
+        if (3_000..3_200).contains(&t) {
+            for _ in 0..4 {
+                cm.update(EventId(11), Timestamp(t));
+            }
+        }
+    }
+    cm.finalize();
+    let tau = BurstSpan::new(200).unwrap();
+    let t = Timestamp(3_199);
+    let horizon = Timestamp(4_500);
+
+    // Warm-up: grow every scratch buffer to its high-water mark.
+    let mut scratch = QueryScratch::new();
+    let mut hits = 0u32;
+    cm.burstiness_scan_into(0, K, t, tau, &mut scratch, |_, _| hits += 1);
+    let mut out: Vec<(Timestamp, f64)> = Vec::new();
+    cm.bursty_times_into(EventId(11), -1e18, tau, horizon, &mut scratch, &mut out);
+    let warm_times = out.len();
+    assert!(warm_times > 0, "warm-up sweep must visit candidates");
+
+    // A standalone PBE-2 for the cursor sweep, built before measuring.
+    let mut single = Pbe2::new(Pbe2Config { gamma: 1.0, max_vertices: 16 }).unwrap();
+    for t in 0..2_000u64 {
+        single.update(Timestamp(t));
+    }
+    single.finalize();
+
+    let base = counting_alloc::CountingAlloc::current();
+
+    for q in 3_000..3_199u64 {
+        std::hint::black_box(cm.probe3(EventId(11), Timestamp(q), tau));
+        std::hint::black_box(cm.estimate_burstiness(EventId(3), Timestamp(q), tau));
+    }
+    for q in [3_000u64, 3_050, 3_100, 3_199] {
+        cm.burstiness_scan_into(0, K, Timestamp(q), tau, &mut scratch, |_, b| {
+            std::hint::black_box(b);
+        });
+    }
+    cm.bursty_times_into(EventId(11), -1e18, tau, horizon, &mut scratch, &mut out);
+    assert_eq!(out.len(), warm_times);
+    let mut cursor = CurveCursor::new(&single);
+    for q in (0..2_000u64).step_by(7) {
+        std::hint::black_box(cursor.burstiness(Timestamp(q), tau));
+    }
+
+    let delta = counting_alloc::CountingAlloc::current() - base;
+    assert_eq!(delta, 0, "warm fused kernels allocated {delta} times");
 }
