@@ -125,6 +125,55 @@ pub enum Command {
         /// Render aligned text instead of JSON.
         text: bool,
     },
+    /// `bed ingest` — durable build: WAL every arrival, checkpoint
+    /// periodically, survive a kill at any instant.
+    Ingest {
+        /// Input TSV path.
+        input: String,
+        /// Snapshot (checkpoint) path.
+        out: String,
+        /// Write-ahead-log path.
+        wal: String,
+        /// Checkpoint every this many arrivals.
+        every: u64,
+        /// `pbe1` or `pbe2`.
+        variant: String,
+        /// η for pbe1.
+        eta: usize,
+        /// γ for pbe2.
+        gamma: f64,
+        /// Universe size K (omit for single-event mode).
+        universe: Option<u32>,
+        /// Count-Min ε.
+        epsilon: f64,
+        /// Count-Min δ.
+        delta: f64,
+        /// Disable the dyadic hierarchy.
+        flat: bool,
+        /// Hash seed.
+        seed: u64,
+        /// Shard count for parallel ingestion (1 = unsharded).
+        shards: usize,
+    },
+    /// `bed checkpoint` — wrap an existing sketch in a BEDS v2 snapshot.
+    Checkpoint {
+        /// Sketch (or snapshot) path to read.
+        sketch: String,
+        /// Snapshot path to write.
+        out: String,
+    },
+    /// `bed restore` — recover a detector from a snapshot + WAL tail.
+    Restore {
+        /// Snapshot path (the store also consults `<path>.prev`).
+        snapshot: String,
+        /// Write-ahead-log path to replay past the watermark.
+        wal: Option<String>,
+        /// Where to write the recovered, finalized sketch.
+        out: String,
+        /// Existing sketch whose configuration the recovered state must
+        /// match (refuses with a config diff otherwise).
+        onto: Option<String>,
+    },
 }
 
 /// Splits `--key value` pairs after the subcommand.
@@ -336,8 +385,75 @@ where
             o.finish()?;
             Ok(Command::Stats { sketch, text })
         }
+        "ingest" => {
+            let mut o = Opts { map, command: "ingest" };
+            let input = o.required("input")?;
+            let out = o.required("out")?;
+            let wal = o.required("wal")?;
+            let every = o.optional_num("every", 65_536u64)?;
+            if every == 0 {
+                return Err(CliError::Usage("ingest: --every must be positive".into()));
+            }
+            let variant = o.optional("variant").unwrap_or_else(|| "pbe2".into());
+            if variant != "pbe1" && variant != "pbe2" {
+                return Err(CliError::Usage(format!(
+                    "ingest: --variant must be 'pbe1' or 'pbe2', got '{variant}'"
+                )));
+            }
+            let eta = o.optional_num("eta", 128usize)?;
+            let gamma = o.optional_num("gamma", 8.0f64)?;
+            let universe = match o.optional("universe") {
+                Some(raw) => Some(o.parse_num("universe", &raw)?),
+                None => None,
+            };
+            let epsilon = o.optional_num("epsilon", 0.005f64)?;
+            let delta = o.optional_num("delta", 0.02f64)?;
+            let flat = o.optional("flat").is_some();
+            let seed = o.optional_num("seed", 0xBEDu64)?;
+            let shards = o.optional_num("shards", 1usize)?;
+            if shards == 0 {
+                return Err(CliError::Usage("ingest: --shards must be at least 1".into()));
+            }
+            if shards > 1 && universe.is_none() {
+                return Err(CliError::Usage(
+                    "ingest: --shards partitions an event universe; add --universe K".into(),
+                ));
+            }
+            o.finish()?;
+            Ok(Command::Ingest {
+                input,
+                out,
+                wal,
+                every,
+                variant,
+                eta,
+                gamma,
+                universe,
+                epsilon,
+                delta,
+                flat,
+                seed,
+                shards,
+            })
+        }
+        "checkpoint" => {
+            let mut o = Opts { map, command: "checkpoint" };
+            let sketch = o.required("sketch")?;
+            let out = o.required("out")?;
+            o.finish()?;
+            Ok(Command::Checkpoint { sketch, out })
+        }
+        "restore" => {
+            let mut o = Opts { map, command: "restore" };
+            let snapshot = o.required("snapshot")?;
+            let wal = o.optional("wal");
+            let out = o.required("out")?;
+            let onto = o.optional("onto");
+            o.finish()?;
+            Ok(Command::Restore { snapshot, wal, out, onto })
+        }
         other => Err(CliError::Usage(format!(
-            "unknown command '{other}'; try: generate, build, info, point, times, events, ranges, series, stats"
+            "unknown command '{other}'; try: generate, build, ingest, info, point, times, events, ranges, series, stats, checkpoint, restore"
         ))),
     }
 }
@@ -475,6 +591,69 @@ mod tests {
         assert!(matches!(c, Command::Times { theta, horizon: 99, .. } if theta == 5.5));
         let c = parse_ok(&["events", "--sketch", "s", "--t", "7", "--theta", "2"]);
         assert!(matches!(c, Command::Events { t: 7, scan: false, metrics: false, .. }));
+    }
+
+    #[test]
+    fn durability_commands() {
+        let c = parse_ok(&["ingest", "--input", "a.tsv", "--out", "s.beds", "--wal", "a.wal"]);
+        assert!(
+            matches!(&c, Command::Ingest { every: 65_536, shards: 1, universe: None, .. }),
+            "{c:?}"
+        );
+        let c = parse_ok(&[
+            "ingest",
+            "--input",
+            "a.tsv",
+            "--out",
+            "s.beds",
+            "--wal",
+            "a.wal",
+            "--every",
+            "100",
+            "--universe",
+            "8",
+            "--shards",
+            "4",
+        ]);
+        assert!(matches!(&c, Command::Ingest { every: 100, shards: 4, .. }), "{c:?}");
+        let e = parse(["ingest", "--input", "a", "--out", "b"]).unwrap_err().to_string();
+        assert!(e.contains("--wal"), "{e}");
+        let e = parse(["ingest", "--input", "a", "--out", "b", "--wal", "w", "--every", "0"])
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("positive"), "{e}");
+        let e = parse(["ingest", "--input", "a", "--out", "b", "--wal", "w", "--shards", "2"])
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("--universe"), "{e}");
+
+        let c = parse_ok(&["checkpoint", "--sketch", "s.bed", "--out", "s.beds"]);
+        assert_eq!(c, Command::Checkpoint { sketch: "s.bed".into(), out: "s.beds".into() });
+
+        let c = parse_ok(&["restore", "--snapshot", "s.beds", "--out", "r.bed"]);
+        assert_eq!(
+            c,
+            Command::Restore {
+                snapshot: "s.beds".into(),
+                wal: None,
+                out: "r.bed".into(),
+                onto: None
+            }
+        );
+        let c = parse_ok(&[
+            "restore",
+            "--snapshot",
+            "s.beds",
+            "--wal",
+            "a.wal",
+            "--out",
+            "r.bed",
+            "--onto",
+            "other.bed",
+        ]);
+        assert!(matches!(&c, Command::Restore { wal: Some(_), onto: Some(_), .. }), "{c:?}");
+        let e = parse(["restore", "--snapshot", "s"]).unwrap_err().to_string();
+        assert!(e.contains("--out"), "{e}");
     }
 
     #[test]

@@ -4,8 +4,8 @@ use std::fmt::Write as _;
 use std::fs;
 
 use bed_core::{
-    BurstDetector, BurstQueries, PbeVariant, QueryRequest, QueryResponse, QueryScratch,
-    QueryStrategy, ShardedDetector,
+    AnyDetector, BurstDetector, EventSink as _, PbeVariant, QueryRequest, QueryResponse,
+    QueryScratch, QueryStrategy, Snapshot, SnapshotStore,
 };
 use bed_stream::{BurstSpan, Codec, EventId, Timestamp};
 use bed_workload::{olympics, politics};
@@ -13,50 +13,35 @@ use bed_workload::{olympics, politics};
 use crate::args::Command;
 use crate::CliError;
 
-/// A persisted sketch of either format, dispatched by magic bytes:
-/// `BEDD` (unsharded [`BurstDetector`]) or `BEDS` ([`ShardedDetector`]).
-enum AnySketch {
-    /// Unsharded detector (boxed: the detector embeds its metric handles
-    /// and dwarfs the sharded facade variant).
-    Plain(Box<BurstDetector>),
-    /// Hash-sharded detector.
-    Sharded(ShardedDetector),
+/// A persisted sketch of any format: `BEDD`, `BEDS v1`, or a `BEDS v2`
+/// snapshot envelope (whose embedded detector is unwrapped). The commands
+/// are agnostic of the physical layout and of whether the file was a
+/// checkpoint.
+type AnySketch = AnyDetector;
+
+/// Runs one query through the scratch-reusing fast path. Each command
+/// owns a single [`QueryScratch`], so even multi-probe queries (series,
+/// bursty-events scans) stay off the per-probe allocator.
+fn run_query(
+    det: &AnySketch,
+    request: &QueryRequest,
+    scratch: &mut QueryScratch,
+) -> Result<QueryResponse, bed_core::BedError> {
+    det.queries().query_reusing(request, scratch)
 }
 
-impl AnySketch {
-    /// The unified query surface — every query command goes through this,
-    /// so the CLI is agnostic of the physical layout.
-    fn queries(&self) -> &dyn BurstQueries {
-        match self {
-            AnySketch::Plain(d) => d.as_ref(),
-            AnySketch::Sharded(d) => d,
-        }
-    }
-
-    /// Runs one query through the scratch-reusing fast path. Each command
-    /// owns a single [`QueryScratch`], so even multi-probe queries (series,
-    /// bursty-events scans) stay off the per-probe allocator.
-    fn query(
-        &self,
-        request: &QueryRequest,
-        scratch: &mut QueryScratch,
-    ) -> Result<QueryResponse, bed_core::BedError> {
-        self.queries().query_reusing(request, scratch)
-    }
-
-    fn bursty_time_ranges(
-        &self,
-        theta: f64,
-        tau: BurstSpan,
-        horizon: Timestamp,
-    ) -> Result<Vec<bed_core::TimeRange>, bed_core::BedError> {
-        match self {
-            AnySketch::Plain(d) => d.bursty_time_ranges(theta, tau, horizon),
-            AnySketch::Sharded(_) => Err(bed_core::BedError::WrongMode {
-                operation: "bursty_time_ranges",
-                built_for: "mixed event streams (use bursty_times)",
-            }),
-        }
+fn bursty_time_ranges(
+    det: &AnySketch,
+    theta: f64,
+    tau: BurstSpan,
+    horizon: Timestamp,
+) -> Result<Vec<bed_core::TimeRange>, bed_core::BedError> {
+    match det {
+        AnyDetector::Plain(d) => d.bursty_time_ranges(theta, tau, horizon),
+        AnyDetector::Sharded(_) => Err(bed_core::BedError::WrongMode {
+            operation: "bursty_time_ranges",
+            built_for: "mixed event streams (use bursty_times)",
+        }),
     }
 }
 
@@ -106,6 +91,28 @@ pub fn execute(command: Command) -> Result<String, CliError> {
             series(&sketch, event, tau, horizon, step, metrics)
         }
         Command::Stats { sketch, text } => stats(&sketch, text),
+        Command::Ingest {
+            input,
+            out,
+            wal,
+            every,
+            variant,
+            eta,
+            gamma,
+            universe,
+            epsilon,
+            delta,
+            flat,
+            seed,
+            shards,
+        } => ingest(
+            &input, &out, &wal, every, &variant, eta, gamma, universe, epsilon, delta, flat, seed,
+            shards,
+        ),
+        Command::Checkpoint { sketch, out } => checkpoint(&sketch, &out),
+        Command::Restore { snapshot, wal, out, onto } => {
+            restore(&snapshot, wal.as_deref(), &out, onto.as_deref())
+        }
     }
 }
 
@@ -204,12 +211,143 @@ fn build(
     ))
 }
 
+/// Durable build: every arrival goes to the WAL (synced) before the
+/// detector, and a `BEDS v2` snapshot is taken every `--every` arrivals —
+/// so a `SIGKILL` at any instant loses nothing that was acknowledged.
+/// `bed restore` turns the snapshot + WAL back into a queryable sketch.
+#[allow(clippy::too_many_arguments)]
+fn ingest(
+    input: &str,
+    out: &str,
+    wal: &str,
+    every: u64,
+    variant: &str,
+    eta: usize,
+    gamma: f64,
+    universe: Option<u32>,
+    epsilon: f64,
+    delta: f64,
+    flat: bool,
+    seed: u64,
+    shards: usize,
+) -> Result<String, CliError> {
+    let text = fs::read_to_string(input)?;
+    let variant = match variant {
+        "pbe1" => PbeVariant::pbe1(eta),
+        _ => PbeVariant::pbe2(gamma),
+    };
+    let mut builder = BurstDetector::builder()
+        .variant(variant)
+        .accuracy(epsilon, delta)
+        .hierarchical(!flat)
+        .seed(seed);
+    builder = match universe {
+        Some(k) => builder.universe(k),
+        None => builder.single_event(),
+    };
+
+    let mut els = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        els.push(parse_line(line, i + 1)?);
+    }
+    let count = els.len();
+
+    let det = if shards > 1 {
+        AnyDetector::Sharded(builder.shards(shards).build()?)
+    } else {
+        AnyDetector::Plain(Box::new(builder.build()?))
+    };
+    let mut sink = bed_core::WalSink::create(wal, det)?;
+    let mut ckpt =
+        bed_core::Checkpointer::new(out, bed_core::CheckpointPolicy { every_arrivals: every });
+    // Batch bounded by the checkpoint period, so the policy is honoured to
+    // within one batch without an fsync per element.
+    let chunk = every.clamp(1, 4096) as usize;
+    for batch in els.chunks(chunk) {
+        sink.ingest_batch(batch)?;
+        ckpt.maybe_checkpoint(&sink)?;
+    }
+    // Final checkpoint covers the tail, so a restore replays zero records.
+    ckpt.checkpoint(&sink)?;
+    sink.into_inner()?;
+    Ok(format!(
+        "ingested {count} elements; {} checkpoints -> {out} (wal: {wal}, {count} records)\n",
+        ckpt.checkpoints_taken(),
+    ))
+}
+
+/// Wraps an existing sketch (any format) in a `BEDS v2` snapshot.
+fn checkpoint(sketch: &str, out: &str) -> Result<String, CliError> {
+    let det = load(sketch)?;
+    let store = SnapshotStore::new(out);
+    let bytes = store.save(&det)?;
+    Ok(format!(
+        "checkpointed {sketch} -> {out}: {bytes} bytes, watermark {} arrivals\n",
+        det.watermark().arrivals
+    ))
+}
+
+/// Recovers a detector from a snapshot plus the WAL tail, finalizes it,
+/// and writes it back out as a plain queryable sketch.
+fn restore(
+    snapshot: &str,
+    wal: Option<&str>,
+    out: &str,
+    onto: Option<&str>,
+) -> Result<String, CliError> {
+    let store = SnapshotStore::new(snapshot);
+    let outcome = bed_core::recover(&store, wal.map(std::path::Path::new))?;
+    let mut det = outcome.detector;
+    if let Some(onto_path) = onto {
+        let target = load(onto_path)?;
+        let mut diff = target.config().diff(det.config()).unwrap_or_default();
+        if target.layout_shards() != det.layout_shards() {
+            if !diff.is_empty() {
+                diff.push_str("; ");
+            }
+            diff.push_str(&format!(
+                "shards: {} vs {} (0 = unsharded)",
+                target.layout_shards(),
+                det.layout_shards()
+            ));
+        }
+        if !diff.is_empty() {
+            return Err(CliError::Recovery(bed_core::RecoveryError::ConfigMismatch { diff }));
+        }
+    }
+    det.finalize();
+    fs::write(out, det.to_bytes())?;
+    let mut notes = Vec::new();
+    if outcome.fell_back {
+        notes.push("fell back to the previous snapshot generation".to_string());
+    }
+    if outcome.torn_tail {
+        notes.push("dropped a torn (unacknowledged) wal tail".to_string());
+    }
+    let notes = if notes.is_empty() { String::new() } else { format!("  [{}]", notes.join("; ")) };
+    Ok(format!(
+        "restored {} arrivals (snapshot {} + {} replayed of {} wal records) -> {out}{notes}\n",
+        det.arrivals(),
+        outcome.watermark.arrivals,
+        outcome.replayed,
+        outcome.wal_records,
+    ))
+}
+
 fn load(path: &str) -> Result<AnySketch, CliError> {
     let bytes = fs::read(path)?;
-    if bytes.starts_with(b"BEDS") {
-        Ok(AnySketch::Sharded(ShardedDetector::from_bytes(&bytes)?))
+    // A BEDS v2 file is a snapshot envelope around a detector record;
+    // anything else is a bare BEDD / BEDS v1 record.
+    if bytes.len() >= 6
+        && bytes.starts_with(&bed_core::checkpoint::SNAPSHOT_MAGIC)
+        && u16::from_le_bytes([bytes[4], bytes[5]]) == bed_core::checkpoint::SNAPSHOT_VERSION
+    {
+        Ok(Snapshot::from_bytes(&bytes)?.detector)
     } else {
-        Ok(AnySketch::Plain(Box::new(BurstDetector::from_bytes(&bytes)?)))
+        Ok(AnyDetector::from_bytes(&bytes)?)
     }
 }
 
@@ -221,7 +359,7 @@ fn info(path: &str) -> Result<String, CliError> {
         (Some(k), true) => format!("mixed, K={k}, hierarchical"),
         (Some(k), false) => format!("mixed, K={k}, flat"),
     };
-    if let AnySketch::Sharded(s) = &det {
+    if let AnyDetector::Sharded(s) = &det {
         write!(mode, ", {} shards", s.num_shards()).expect("string write");
     }
     Ok(format!(
@@ -237,7 +375,7 @@ fn point(path: &str, event: u32, t: u64, tau: u64, metrics: bool) -> Result<Stri
     let request = QueryRequest::Point { event: EventId(event), t: Timestamp(t), tau };
     let mut scratch = QueryScratch::new();
     let QueryResponse::Point { burstiness: b, burst_frequency: bf, cumulative: f } =
-        det.query(&request, &mut scratch)?
+        run_query(&det, &request, &mut scratch)?
     else {
         return Err(mismatched());
     };
@@ -266,7 +404,7 @@ fn times(
         horizon: Timestamp(horizon),
     };
     let mut scratch = QueryScratch::new();
-    let QueryResponse::BurstyTimes(hits) = det.query(&request, &mut scratch)? else {
+    let QueryResponse::BurstyTimes(hits) = run_query(&det, &request, &mut scratch)? else {
         return Err(mismatched());
     };
     let mut out = format!(
@@ -294,7 +432,8 @@ fn events(
     let strategy = if scan { QueryStrategy::ExactScan } else { QueryStrategy::Pruned };
     let request = QueryRequest::BurstyEvents { t: Timestamp(t), theta, tau, strategy };
     let mut scratch = QueryScratch::new();
-    let QueryResponse::BurstyEvents { hits, stats } = det.query(&request, &mut scratch)? else {
+    let QueryResponse::BurstyEvents { hits, stats } = run_query(&det, &request, &mut scratch)?
+    else {
         return Err(mismatched());
     };
     let mut out = format!(
@@ -313,7 +452,7 @@ fn events(
 fn ranges(path: &str, theta: f64, tau: u64, horizon: u64) -> Result<String, CliError> {
     let det = load(path)?;
     let tau = BurstSpan::new(tau).map_err(bed_core::BedError::from)?;
-    let ranges = det.bursty_time_ranges(theta, tau, Timestamp(horizon))?;
+    let ranges = bursty_time_ranges(&det, theta, tau, Timestamp(horizon))?;
     let mut out = format!("theta={theta}, tau={}: {} bursty ranges\n", tau.ticks(), ranges.len());
     for r in ranges {
         writeln!(out, "  [{}, {}]  ({} ticks)", r.start.ticks(), r.end.ticks(), r.len_ticks())
@@ -335,7 +474,7 @@ fn series(
     let range = bed_core::TimeRange { start: Timestamp(0), end: Timestamp(horizon) };
     let request = QueryRequest::Series { event: EventId(event), tau, range, step };
     let mut scratch = QueryScratch::new();
-    let QueryResponse::Series(series) = det.query(&request, &mut scratch)? else {
+    let QueryResponse::Series(series) = run_query(&det, &request, &mut scratch)? else {
         return Err(mismatched());
     };
     let mut out = format!("event {event}, tau={}, step={step}:\n", tau.ticks());
@@ -559,6 +698,141 @@ mod tests {
             run(["events", "--sketch", &sk, "--t", "3", "--theta", "0.5", "--tau", "2", "--scan"])
                 .unwrap();
         assert!(out.contains("bursty events"), "{out}");
+    }
+
+    #[test]
+    fn ingest_checkpoint_restore_round_trip() {
+        let tsv = tmp("dur.tsv");
+        let snap = tmp("dur.ckpt");
+        let wal = tmp("dur.wal");
+        let restored = tmp("dur-restored.bed");
+        let golden = tmp("dur-golden.bed");
+        let mut text = String::new();
+        for t in 0..400u64 {
+            text.push_str(&format!("{}\t{t}\n", t % 8));
+            if t >= 350 {
+                for _ in 0..6 {
+                    text.push_str(&format!("2\t{t}\n"));
+                }
+            }
+        }
+        std::fs::write(&tsv, text).unwrap();
+
+        let base = ["--universe", "8", "--gamma", "1", "--seed", "5"];
+        let out = run(["ingest", "--input", &tsv, "--out", &snap, "--wal", &wal, "--every", "100"]
+            .iter()
+            .chain(&base)
+            .copied())
+        .unwrap();
+        assert!(out.contains("checkpoints"), "{out}");
+
+        let out = run(["restore", "--snapshot", &snap, "--wal", &wal, "--out", &restored]).unwrap();
+        assert!(out.contains("restored"), "{out}");
+
+        // the restored sketch answers exactly like a plain build
+        run(["build", "--input", &tsv, "--out", &golden].iter().chain(&base).copied()).unwrap();
+        let args = ["--event", "2", "--t", "399", "--tau", "30"];
+        let a = run(["point", "--sketch", &restored].iter().chain(&args).copied()).unwrap();
+        let b = run(["point", "--sketch", &golden].iter().chain(&args).copied()).unwrap();
+        assert_eq!(a.lines().skip(1).collect::<Vec<_>>(), b.lines().skip(1).collect::<Vec<_>>());
+
+        // every query command accepts the snapshot file directly
+        let out = run(["info", "--sketch", &snap]).unwrap();
+        assert!(out.contains("mixed, K=8"), "{out}");
+
+        // checkpoint an existing sketch, restore it without a wal
+        let resnap = tmp("dur-re.ckpt");
+        let reout = tmp("dur-re.bed");
+        let out = run(["checkpoint", "--sketch", &golden, "--out", &resnap]).unwrap();
+        assert!(out.contains("watermark"), "{out}");
+        let out = run(["restore", "--snapshot", &resnap, "--out", &reout]).unwrap();
+        assert!(out.contains("0 replayed of 0"), "{out}");
+        assert_eq!(std::fs::read(&reout).unwrap(), std::fs::read(&golden).unwrap());
+    }
+
+    #[test]
+    fn restore_onto_mismatched_config_diffs() {
+        let tsv = tmp("onto.tsv");
+        std::fs::write(&tsv, "0\t1\n1\t2\n2\t3\n").unwrap();
+        let snap = tmp("onto.ckpt");
+        let wal = tmp("onto.wal");
+        let other = tmp("onto-other.bed");
+        run([
+            "ingest",
+            "--input",
+            &tsv,
+            "--out",
+            &snap,
+            "--wal",
+            &wal,
+            "--universe",
+            "8",
+            "--seed",
+            "1",
+        ])
+        .unwrap();
+        // different universe AND seed
+        run(["build", "--input", &tsv, "--out", &other, "--universe", "16", "--seed", "2"])
+            .unwrap();
+        let out = tmp("onto-restored.bed");
+        let err =
+            run(["restore", "--snapshot", &snap, "--wal", &wal, "--out", &out, "--onto", &other])
+                .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("configuration mismatch"), "{msg}");
+        assert!(msg.contains("universe"), "{msg}");
+        assert!(msg.contains("seed"), "{msg}");
+        // matching config is accepted
+        let same = tmp("onto-same.bed");
+        run(["build", "--input", &tsv, "--out", &same, "--universe", "8", "--seed", "1"]).unwrap();
+        run(["restore", "--snapshot", &snap, "--wal", &wal, "--out", &out, "--onto", &same])
+            .unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_and_wal_are_reported_not_panics() {
+        let tsv = tmp("cor.tsv");
+        std::fs::write(&tsv, "0\t1\n1\t2\n2\t3\n3\t4\n").unwrap();
+        let snap = tmp("cor.ckpt");
+        let wal = tmp("cor.wal");
+        run(["ingest", "--input", &tsv, "--out", &snap, "--wal", &wal, "--universe", "4"]).unwrap();
+
+        // bit-flip the snapshot payload: CRC catches it; with no .prev the
+        // restore errors out cleanly
+        let prev = format!("{snap}.prev");
+        let _ = std::fs::remove_file(&prev);
+        let good = std::fs::read(&snap).unwrap();
+        let mut bad = good.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        std::fs::write(&snap, &bad).unwrap();
+        let out = tmp("cor-out.bed");
+        let err = run(["restore", "--snapshot", &snap, "--wal", &wal, "--out", &out]).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        // ...and `info` on the damaged snapshot reports the same, not a panic
+        let err = run(["info", "--sketch", &snap]).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+
+        // truncated snapshot
+        std::fs::write(&snap, &good[..good.len() / 3]).unwrap();
+        let err = run(["info", "--sketch", &snap]).unwrap_err();
+        assert!(matches!(err, CliError::Codec(_)), "{err}");
+
+        // snapshot version from the future
+        let mut future = good.clone();
+        future[4] = 0x2A;
+        future[5] = 0;
+        std::fs::write(&snap, &future).unwrap();
+        let err = run(["info", "--sketch", &snap]).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+
+        // corrupt wal header
+        std::fs::write(&snap, &good).unwrap();
+        let mut wal_bytes = std::fs::read(&wal).unwrap();
+        wal_bytes[8] ^= 0xFF;
+        std::fs::write(&wal, &wal_bytes).unwrap();
+        let err = run(["restore", "--snapshot", &snap, "--wal", &wal, "--out", &out]).unwrap_err();
+        assert!(matches!(err, CliError::Codec(_) | CliError::Recovery(_)), "{err}");
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! bed generate --dataset olympics --n 200000 --out stream.tsv
 //! bed build    --input stream.tsv --universe 864 --variant pbe2 --gamma 8 --out rio.bed
 //! bed build    --input stream.tsv --universe 864 --shards 4 --out rio.beds
+//! bed ingest   --input stream.tsv --universe 864 --wal rio.wal --every 50000 --out rio.ckpt
+//! bed restore  --snapshot rio.ckpt --wal rio.wal --out rio.bed
 //! bed info     --sketch rio.bed
 //! bed point    --sketch rio.bed --event 0 --t 1814400 --tau 86400
 //! bed times    --sketch rio.bed --event 0 --theta 1000 --tau 86400 --horizon 2678400
@@ -36,6 +38,9 @@ pub enum CliError {
     Bed(bed_core::BedError),
     /// A persisted sketch failed to decode.
     Codec(bed_stream::CodecError),
+    /// Checkpointing or recovery failed (snapshot/WAL damage, config
+    /// mismatch, replay rejection).
+    Recovery(bed_core::RecoveryError),
 }
 
 impl fmt::Display for CliError {
@@ -46,6 +51,7 @@ impl fmt::Display for CliError {
             CliError::BadInput(m) => write!(f, "bad input: {m}"),
             CliError::Bed(e) => write!(f, "{e}"),
             CliError::Codec(e) => write!(f, "corrupt sketch file: {e}"),
+            CliError::Recovery(e) => write!(f, "recovery error: {e}"),
         }
     }
 }
@@ -65,6 +71,16 @@ impl From<bed_core::BedError> for CliError {
 impl From<bed_stream::CodecError> for CliError {
     fn from(e: bed_stream::CodecError) -> Self {
         CliError::Codec(e)
+    }
+}
+impl From<bed_core::RecoveryError> for CliError {
+    fn from(e: bed_core::RecoveryError) -> Self {
+        // Pure decode failures keep their "corrupt sketch file" rendering
+        // so corrupt snapshots and corrupt sketches read the same.
+        match e {
+            bed_core::RecoveryError::Codec(c) => CliError::Codec(c),
+            other => CliError::Recovery(other),
+        }
     }
 }
 
@@ -88,12 +104,16 @@ USAGE:
 COMMANDS:
     generate   synthesise a workload stream as TSV (event_id<TAB>timestamp)
     build      build a sketch from a TSV stream and persist it
+    ingest     durable build: write-ahead log + periodic crash-safe checkpoints
+    checkpoint wrap an existing sketch in a CRC-validated BEDS v2 snapshot
+    restore    recover a sketch from a snapshot plus the WAL tail
     info       describe a persisted sketch
     point      point query: burstiness of an event at a time
     ranges     interval bursty-time query (single-event sketches)
     series     burstiness time series of one event
     times      bursty-time query: when was an event bursty?
     events     bursty-event query: which events were bursty at a time?
+    stats      metrics snapshot of a persisted sketch
 
 Run `bed <command> --help` semantics: every command lists its options on a
 usage error."

@@ -1,0 +1,186 @@
+//! Kill-and-restore round trip through the real `bed` binary.
+//!
+//! Spawns `bed ingest --wal` as a child process, SIGKILLs it mid-flight,
+//! then runs `bed restore` and checks the recovered sketch is bit-for-bit
+//! identical to a golden `bed build` over exactly the recovered prefix of
+//! the stream — and answers queries identically.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use bed_core::AnyDetector;
+use bed_stream::Codec;
+
+const UNIVERSE: u32 = 16;
+const N: usize = 60_000;
+
+/// Shared sketch-shape arguments; must match between `ingest` and the
+/// golden `build` for the bit-for-bit comparison to be meaningful.
+const BASE: [&str; 10] =
+    ["--universe", "16", "--gamma", "1", "--seed", "5", "--epsilon", "0.01", "--delta", "0.05"];
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("bed-kill-restore")
+        .join(format!("pid-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn stream_text() -> String {
+    let mut text = String::new();
+    for i in 0..N {
+        // A mildly bursty, fully deterministic workload.
+        let event = if i % 97 < 9 { 3 } else { (i % UNIVERSE as usize) as u32 };
+        let ts = (i / 8) as u64;
+        text.push_str(&format!("{event}\t{ts}\n"));
+    }
+    text
+}
+
+#[test]
+fn sigkill_mid_ingest_then_restore_matches_golden_build() {
+    let dir = scratch("kill");
+    let tsv = dir.join("stream.tsv");
+    let text = stream_text();
+    fs::write(&tsv, &text).unwrap();
+
+    // Retry with progressively later kills: an extremely early SIGKILL can
+    // land before the WAL header is even written, which is a legitimate
+    // "no state" outcome rather than a recovery failure.
+    let mut recovered: Option<(PathBuf, String)> = None;
+    for (attempt, delay_ms) in [250u64, 500, 1000, 2000].into_iter().enumerate() {
+        let snap = dir.join(format!("a{attempt}.ckpt"));
+        let wal = dir.join(format!("a{attempt}.wal"));
+        let restored = dir.join(format!("a{attempt}.bed"));
+
+        let mut child = Command::new(env!("CARGO_BIN_EXE_bed"))
+            .arg("ingest")
+            .args(["--input", tsv.to_str().unwrap()])
+            .args(["--out", snap.to_str().unwrap()])
+            .args(["--wal", wal.to_str().unwrap()])
+            .args(["--every", "8"])
+            .args(BASE)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn bed ingest");
+        std::thread::sleep(Duration::from_millis(delay_ms));
+        // On unix `kill()` delivers SIGKILL: no destructors, no flush.
+        let _ = child.kill();
+        let _ = child.wait();
+
+        let out = Command::new(env!("CARGO_BIN_EXE_bed"))
+            .arg("restore")
+            .args(["--snapshot", snap.to_str().unwrap()])
+            .args(["--wal", wal.to_str().unwrap()])
+            .args(["--out", restored.to_str().unwrap()])
+            .output()
+            .expect("run bed restore");
+        if out.status.success() {
+            recovered = Some((restored, String::from_utf8_lossy(&out.stdout).into_owned()));
+            break;
+        }
+        let err = String::from_utf8_lossy(&out.stderr).into_owned();
+        assert!(
+            err.contains("nothing to recover"),
+            "restore failed for a reason other than a too-early kill: {err}"
+        );
+    }
+    let (restored, message) = recovered.expect("restore never succeeded, even after 2s of ingest");
+    assert!(message.contains("restored"), "{message}");
+
+    // How far did the acknowledged state get before the kill?
+    let bytes = fs::read(&restored).unwrap();
+    let det = AnyDetector::from_bytes(&bytes).unwrap();
+    let arrivals = det.arrivals() as usize;
+    assert!(arrivals > 0, "recovered an empty detector");
+    assert!(arrivals <= N);
+
+    // Golden: a plain `bed build` over exactly the recovered prefix.
+    let prefix_tsv = dir.join("prefix.tsv");
+    let prefix: String = text.lines().take(arrivals).map(|l| format!("{l}\n")).collect();
+    fs::write(&prefix_tsv, prefix).unwrap();
+    let golden = dir.join("golden.bed");
+    bed_cli::run(
+        ["build", "--input", prefix_tsv.to_str().unwrap(), "--out", golden.to_str().unwrap()]
+            .iter()
+            .copied()
+            .chain(BASE),
+    )
+    .unwrap();
+
+    assert_eq!(
+        fs::read(&restored).unwrap(),
+        fs::read(&golden).unwrap(),
+        "restored sketch is not bit-for-bit the golden build over {arrivals} arrivals"
+    );
+
+    // And the query surface agrees (first line names the file, so skip it).
+    let t_max = ((arrivals.saturating_sub(1)) / 8) as u64;
+    let qargs = ["--t", &t_max.to_string(), "--theta", "4", "--tau", "16"];
+    let a = bed_cli::run(
+        ["events", "--sketch", restored.to_str().unwrap()].iter().copied().chain(qargs),
+    )
+    .unwrap();
+    let b =
+        bed_cli::run(["events", "--sketch", golden.to_str().unwrap()].iter().copied().chain(qargs))
+            .unwrap();
+    assert_eq!(a.lines().skip(1).collect::<Vec<_>>(), b.lines().skip(1).collect::<Vec<_>>());
+
+    let pargs = ["--event", "3", "--t", &t_max.to_string(), "--tau", "16"];
+    let a = bed_cli::run(
+        ["point", "--sketch", restored.to_str().unwrap()].iter().copied().chain(pargs),
+    )
+    .unwrap();
+    let b =
+        bed_cli::run(["point", "--sketch", golden.to_str().unwrap()].iter().copied().chain(pargs))
+            .unwrap();
+    assert_eq!(a.lines().skip(1).collect::<Vec<_>>(), b.lines().skip(1).collect::<Vec<_>>());
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A kill *after* ingest completes must restore to the full stream: the
+/// final checkpoint covers the tail, so replay is a no-op.
+#[test]
+fn restore_after_clean_exit_replays_nothing() {
+    let dir = scratch("clean");
+    let tsv = dir.join("stream.tsv");
+    // Small stream so the child finishes quickly.
+    let text: String = (0..500).map(|i| format!("{}\t{}\n", i % 16, i / 4)).collect();
+    fs::write(&tsv, &text).unwrap();
+    let snap = dir.join("s.ckpt");
+    let wal = dir.join("s.wal");
+    let restored = dir.join("s.bed");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_bed"))
+        .arg("ingest")
+        .args(["--input", tsv.to_str().unwrap()])
+        .args(["--out", snap.to_str().unwrap()])
+        .args(["--wal", wal.to_str().unwrap()])
+        .args(["--every", "100"])
+        .args(BASE)
+        .stdout(Stdio::null())
+        .status()
+        .expect("run bed ingest");
+    assert!(status.success());
+
+    let out = Command::new(env!("CARGO_BIN_EXE_bed"))
+        .arg("restore")
+        .args(["--snapshot", snap.to_str().unwrap()])
+        .args(["--wal", wal.to_str().unwrap()])
+        .args(["--out", restored.to_str().unwrap()])
+        .output()
+        .expect("run bed restore");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let msg = String::from_utf8_lossy(&out.stdout);
+    assert!(msg.contains("0 replayed"), "expected a zero-replay restore: {msg}");
+
+    let det = AnyDetector::from_bytes(&fs::read(&restored).unwrap()).unwrap();
+    assert_eq!(det.arrivals(), 500);
+    let _ = fs::remove_dir_all(&dir);
+}

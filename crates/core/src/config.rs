@@ -99,6 +99,91 @@ impl Default for DetectorConfig {
     }
 }
 
+impl DetectorConfig {
+    /// Structural equality for persistence purposes: every field that
+    /// shapes the summary (the runtime-only `metrics` flag is ignored).
+    pub fn same_shape(&self, other: &DetectorConfig) -> bool {
+        self.variant == other.variant
+            && self.sketch == other.sketch
+            && self.universe == other.universe
+            && self.hierarchical == other.hierarchical
+            && self.seed == other.seed
+    }
+
+    /// Human-readable diff of the persistence-relevant fields, one
+    /// `field: self vs other` clause per mismatch; `None` when the shapes
+    /// match. Powers the `bed restore` config-mismatch error, so a user
+    /// sees *which* knob diverged instead of a mixed-state detector.
+    pub fn diff(&self, other: &DetectorConfig) -> Option<String> {
+        let mut clauses = Vec::new();
+        if self.variant != other.variant {
+            clauses.push(format!("variant: {:?} vs {:?}", self.variant, other.variant));
+        }
+        if self.sketch.epsilon != other.sketch.epsilon {
+            clauses.push(format!("epsilon: {} vs {}", self.sketch.epsilon, other.sketch.epsilon));
+        }
+        if self.sketch.delta != other.sketch.delta {
+            clauses.push(format!("delta: {} vs {}", self.sketch.delta, other.sketch.delta));
+        }
+        if self.universe != other.universe {
+            clauses.push(format!("universe: {:?} vs {:?}", self.universe, other.universe));
+        }
+        if self.hierarchical != other.hierarchical {
+            clauses.push(format!("hierarchical: {} vs {}", self.hierarchical, other.hierarchical));
+        }
+        if self.seed != other.seed {
+            clauses.push(format!("seed: {} vs {}", self.seed, other.seed));
+        }
+        if clauses.is_empty() {
+            None
+        } else {
+            Some(clauses.join("; "))
+        }
+    }
+}
+
+/// Persistence of the summary-shaping configuration. The field order is
+/// exactly the `BEDD` v1 header layout (variant, ε, δ, universe,
+/// hierarchy, seed), so [`crate::BurstDetector`]'s codec and the WAL
+/// header share one definition and stay byte-compatible. The runtime-only
+/// `metrics` flag is not persisted; decoded configs default it on.
+impl bed_stream::Codec for DetectorConfig {
+    fn encode(&self, w: &mut bed_stream::codec::Writer) {
+        self.variant.encode(w);
+        w.f64(self.sketch.epsilon);
+        w.f64(self.sketch.delta);
+        match self.universe {
+            Some(k) => {
+                w.u8(1);
+                w.u32(k);
+            }
+            None => w.u8(0),
+        }
+        w.u8(u8::from(self.hierarchical));
+        w.u64(self.seed);
+    }
+
+    fn decode(r: &mut bed_stream::codec::Reader<'_>) -> Result<Self, bed_stream::CodecError> {
+        use bed_stream::CodecError;
+        let variant = PbeVariant::decode(r)?;
+        let sketch =
+            SketchParams { epsilon: r.f64("config epsilon")?, delta: r.f64("config delta")? };
+        sketch.validate().map_err(|_| CodecError::Invalid { context: "sketch params" })?;
+        let universe = match r.u8("config universe flag")? {
+            0 => None,
+            1 => Some(r.u32("config universe")?),
+            _ => return Err(CodecError::Invalid { context: "config universe flag" }),
+        };
+        let hierarchical = match r.u8("config hierarchy flag")? {
+            0 => false,
+            1 => true,
+            _ => return Err(CodecError::Invalid { context: "config hierarchy flag" }),
+        };
+        let seed = r.u64("config seed")?;
+        Ok(DetectorConfig { variant, sketch, universe, hierarchical, seed, metrics: true })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -494,6 +494,17 @@ impl BurstDetector {
         }
     }
 
+    /// Timestamp of the most recent arrival (`None` before the first).
+    pub fn last_timestamp(&self) -> Option<Timestamp> {
+        self.last_ts
+    }
+
+    /// The recovery watermark: how far the stream had been consumed when
+    /// this state was captured (see [`crate::checkpoint`]).
+    pub fn watermark(&self) -> crate::checkpoint::Watermark {
+        crate::checkpoint::Watermark { arrivals: self.arrivals(), last_ts: self.last_ts }
+    }
+
     /// Current summary size in bytes.
     pub fn size_bytes(&self) -> usize {
         match &self.backend {
@@ -738,18 +749,7 @@ impl bed_stream::Codec for BurstDetector {
     fn encode(&self, w: &mut bed_stream::codec::Writer) {
         w.magic(*b"BEDD");
         w.version(1);
-        self.config.variant.encode(w);
-        w.f64(self.config.sketch.epsilon);
-        w.f64(self.config.sketch.delta);
-        match self.config.universe {
-            Some(k) => {
-                w.u8(1);
-                w.u32(k);
-            }
-            None => w.u8(0),
-        }
-        w.u8(u8::from(self.config.hierarchical));
-        w.u64(self.config.seed);
+        self.config.encode(w);
         match self.last_ts {
             Some(t) => {
                 w.u8(1);
@@ -777,37 +777,14 @@ impl bed_stream::Codec for BurstDetector {
         use bed_stream::CodecError;
         r.magic(*b"BEDD")?;
         r.version(1)?;
-        let variant = PbeVariant::decode(r)?;
-        let sketch = bed_sketch::SketchParams {
-            epsilon: r.f64("config epsilon")?,
-            delta: r.f64("config delta")?,
-        };
-        sketch.validate().map_err(|_| CodecError::Invalid { context: "sketch params" })?;
-        let universe = match r.u8("config universe flag")? {
-            0 => None,
-            1 => Some(r.u32("config universe")?),
-            _ => return Err(CodecError::Invalid { context: "config universe flag" }),
-        };
-        let hierarchical = match r.u8("config hierarchy flag")? {
-            0 => false,
-            1 => true,
-            _ => return Err(CodecError::Invalid { context: "config hierarchy flag" }),
-        };
-        let seed = r.u64("config seed")?;
+        // `metrics` is runtime-only and deliberately not part of the BEDD
+        // format; decoded detectors always start with collection on.
+        let config = crate::config::DetectorConfig::decode(r)?;
+        let (universe, hierarchical) = (config.universe, config.hierarchical);
         let last_ts = match r.u8("detector last_ts flag")? {
             0 => None,
             1 => Some(Timestamp::decode(r)?),
             _ => return Err(CodecError::Invalid { context: "detector last_ts flag" }),
-        };
-        // `metrics` is runtime-only and deliberately not part of the BEDD
-        // format; decoded detectors always start with collection on.
-        let config = crate::config::DetectorConfig {
-            variant,
-            sketch,
-            universe,
-            hierarchical,
-            seed,
-            metrics: true,
         };
         let backend = match r.u8("backend tag")? {
             0 => Backend::Single(PbeCell::decode(r)?),

@@ -25,6 +25,13 @@ pub enum BedError {
         /// The shard count requested.
         got: usize,
     },
+    /// A write-ahead-log operation failed; the arrival was NOT ingested
+    /// (durability before state — see [`crate::wal::WalSink`]).
+    Wal(
+        /// The rendered [`crate::checkpoint::RecoveryError`] (stringly so
+        /// `BedError` stays `Clone + PartialEq`).
+        String,
+    ),
 }
 
 impl fmt::Display for BedError {
@@ -40,6 +47,7 @@ impl fmt::Display for BedError {
             BedError::InvalidShardCount { got } => {
                 write!(f, "shard count must be at least 1, got {got}")
             }
+            BedError::Wal(e) => write!(f, "write-ahead log failure (arrival not ingested): {e}"),
         }
     }
 }

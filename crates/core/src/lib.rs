@@ -68,11 +68,24 @@
 //! * `pipeline.flush.{count,elements,latency_ns}` plus
 //!   `pipeline.{messages,unmapped,pending}` gauges on a
 //!   [`MessagePipeline`]
+//! * `checkpoint.{count,errors,bytes,latency_ns}` and
+//!   `recovery.{count,fallbacks,replayed,torn_tails,latency_ns}` on a
+//!   [`Checkpointer`]; `wal.{appends,bytes}` and `wal.sync.latency_ns` on a
+//!   [`WalWriter`]
+//!
+//! ## Durability
+//!
+//! The [`checkpoint`] and [`wal`] modules persist a detector across
+//! crashes: CRC-validated `BEDS v2` snapshots written atomically with
+//! one-generation rotation, plus a write-ahead log of arrivals so recovery
+//! is "load the newest intact snapshot, replay the tail" — see
+//! [`recover`] and the module docs for the exact invariants.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cell;
+pub mod checkpoint;
 pub mod config;
 pub mod detector;
 pub mod error;
@@ -81,8 +94,13 @@ pub mod monitor;
 pub mod pipeline;
 pub mod query;
 pub mod shard;
+pub mod wal;
 
 pub use cell::PbeCell;
+pub use checkpoint::{
+    recover, AnyDetector, CheckpointPolicy, Checkpointable, Checkpointer, RecoveryError,
+    RecoveryOutcome, Snapshot, SnapshotStore, Watermark,
+};
 pub use config::{DetectorConfig, PbeVariant};
 pub use detector::{BurstDetector, BurstDetectorBuilder};
 pub use error::BedError;
@@ -90,6 +108,7 @@ pub use monitor::BurstMonitor;
 pub use pipeline::{EventSink, MessagePipeline};
 pub use query::{BurstQueries, QueryRequest, QueryResponse, QueryStrategy};
 pub use shard::{ShardedDetector, ShardedDetectorBuilder};
+pub use wal::{read_wal, WalContents, WalSink, WalWriter};
 
 // Re-export the vocabulary types users need alongside the detector.
 pub use bed_hierarchy::{BurstyEventHit, QueryStats};

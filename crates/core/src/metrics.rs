@@ -247,6 +247,113 @@ impl Clone for ShardMetrics {
     }
 }
 
+/// Metrics of a [`crate::checkpoint::Checkpointer`]: checkpoint cadence,
+/// cost, and recovery outcomes.
+#[derive(Debug)]
+pub(crate) struct CheckpointMetrics {
+    registry: MetricsRegistry,
+    checkpoints: Arc<Counter>,
+    checkpoint_errors: Arc<Counter>,
+    checkpoint_bytes: Arc<Counter>,
+    checkpoint_latency: Arc<Histogram>,
+    recoveries: Arc<Counter>,
+    recovery_fallbacks: Arc<Counter>,
+    recovery_replayed: Arc<Counter>,
+    recovery_torn_tails: Arc<Counter>,
+    recovery_latency: Arc<Histogram>,
+}
+
+impl CheckpointMetrics {
+    pub(crate) fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        CheckpointMetrics {
+            checkpoints: registry.counter("checkpoint.count"),
+            checkpoint_errors: registry.counter("checkpoint.errors"),
+            checkpoint_bytes: registry.counter("checkpoint.bytes"),
+            checkpoint_latency: registry.histogram("checkpoint.latency_ns"),
+            recoveries: registry.counter("recovery.count"),
+            recovery_fallbacks: registry.counter("recovery.fallbacks"),
+            recovery_replayed: registry.counter("recovery.replayed"),
+            recovery_torn_tails: registry.counter("recovery.torn_tails"),
+            recovery_latency: registry.histogram("recovery.latency_ns"),
+            registry,
+        }
+    }
+
+    /// Records one successful checkpoint of `bytes` envelope bytes.
+    pub(crate) fn checkpoint_ok(&self, bytes: u64, elapsed: std::time::Duration) {
+        self.checkpoints.inc();
+        self.checkpoint_bytes.add(bytes);
+        self.checkpoint_latency.observe(elapsed);
+    }
+
+    /// Records a failed checkpoint attempt.
+    pub(crate) fn checkpoint_err(&self) {
+        self.checkpoint_errors.inc();
+    }
+
+    /// Records one completed recovery and what it took.
+    pub(crate) fn recovery_ok(
+        &self,
+        outcome: &crate::checkpoint::RecoveryOutcome,
+        elapsed: std::time::Duration,
+    ) {
+        self.recoveries.inc();
+        self.recovery_replayed.add(outcome.replayed);
+        if outcome.fell_back {
+            self.recovery_fallbacks.inc();
+        }
+        if outcome.torn_tail {
+            self.recovery_torn_tails.inc();
+        }
+        self.recovery_latency.observe(elapsed);
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+}
+
+/// Metrics of a [`crate::wal::WalWriter`]: append volume and sync latency.
+#[derive(Debug)]
+pub(crate) struct WalMetrics {
+    registry: MetricsRegistry,
+    appends: Arc<Counter>,
+    bytes: Arc<Counter>,
+    sync_latency: Arc<Histogram>,
+}
+
+impl WalMetrics {
+    pub(crate) fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        WalMetrics {
+            appends: registry.counter("wal.appends"),
+            bytes: registry.counter("wal.bytes"),
+            sync_latency: registry.histogram("wal.sync.latency_ns"),
+            registry,
+        }
+    }
+
+    /// Records `n` appended records totalling `bytes` on-disk bytes.
+    pub(crate) fn appended(&self, n: u64, bytes: u64) {
+        self.appends.add(n);
+        self.bytes.add(bytes);
+    }
+
+    /// Times one durable sync.
+    pub(crate) fn sync_begin(&self) -> Instant {
+        Instant::now()
+    }
+
+    pub(crate) fn sync_end(&self, started: Instant) {
+        self.sync_latency.observe(started.elapsed());
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+}
+
 /// Metrics of a [`crate::MessagePipeline`]: flush batching and latency.
 #[derive(Debug)]
 pub(crate) struct PipelineMetrics {

@@ -188,6 +188,21 @@ impl<M: EventMapper, D: EventSink> MessagePipeline<M, D> {
     }
 }
 
+impl<M, D: crate::checkpoint::Checkpointable> MessagePipeline<M, D> {
+    /// Periodic-checkpoint hook: takes a snapshot of the wrapped detector
+    /// iff `ckpt`'s policy says one is due (call after a batch of
+    /// `offer`s; cheap when not due). Elements still in the reorder window
+    /// are not yet in the detector, so they are covered by the *next*
+    /// checkpoint — or by the WAL when the sink is a
+    /// [`crate::wal::WalSink`].
+    pub fn maybe_checkpoint(
+        &mut self,
+        ckpt: &mut crate::checkpoint::Checkpointer,
+    ) -> Result<bool, crate::checkpoint::RecoveryError> {
+        ckpt.maybe_checkpoint(&self.detector)
+    }
+}
+
 impl<M, D: BurstQueries> MessagePipeline<M, D> {
     /// Captures flush counters/latency plus the
     /// `pipeline.{messages,unmapped,pending}` gauges, merged with the

@@ -440,6 +440,18 @@ impl ShardedDetector {
         self.shards.iter().map(BurstDetector::arrivals).sum()
     }
 
+    /// Timestamp of the most recent arrival on any shard (`None` before
+    /// the first).
+    pub fn last_timestamp(&self) -> Option<Timestamp> {
+        self.last_ts
+    }
+
+    /// The recovery watermark: how far the stream had been consumed when
+    /// this state was captured (see [`crate::checkpoint`]).
+    pub fn watermark(&self) -> crate::checkpoint::Watermark {
+        crate::checkpoint::Watermark { arrivals: self.arrivals(), last_ts: self.last_ts }
+    }
+
     /// Current summary size in bytes, across all shards.
     pub fn size_bytes(&self) -> usize {
         self.shards.iter().map(BurstDetector::size_bytes).sum()

@@ -1,0 +1,89 @@
+//! Error-path tests for the `DYAD` v1 persistence format: malformed input
+//! must surface as a typed `CodecError`, never a panic.
+
+use bed_hierarchy::DyadicCmPbe;
+use bed_pbe::ExactCurve;
+use bed_sketch::SketchParams;
+use bed_stream::{Codec, CodecError, EventId, Timestamp};
+
+type Forest = DyadicCmPbe<ExactCurve>;
+
+fn sample() -> Vec<u8> {
+    let mut forest =
+        Forest::new(16, SketchParams { epsilon: 0.01, delta: 0.05 }, 7, |_| ExactCurve::new())
+            .unwrap();
+    for i in 0..200u64 {
+        forest.update(EventId((i % 16) as u32), Timestamp(i / 2)).unwrap();
+    }
+    forest.finalize();
+    forest.to_bytes()
+}
+
+#[test]
+fn roundtrip_is_exact() {
+    let bytes = sample();
+    let back = Forest::from_bytes(&bytes).unwrap();
+    assert_eq!(back.to_bytes(), bytes);
+}
+
+#[test]
+fn truncated_header() {
+    let bytes = sample();
+    for cut in [0, 2, 4, 5] {
+        match Forest::from_bytes(&bytes[..cut]) {
+            Err(CodecError::UnexpectedEof { .. }) => {}
+            other => panic!("cut at {cut}: expected UnexpectedEof, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn wrong_magic() {
+    let mut bytes = sample();
+    bytes[..4].copy_from_slice(b"NOPE");
+    assert!(matches!(
+        Forest::from_bytes(&bytes),
+        Err(CodecError::BadMagic { expected: [b'D', b'Y', b'A', b'D'], .. })
+    ));
+}
+
+#[test]
+fn version_from_the_future() {
+    let mut bytes = sample();
+    bytes[4..6].copy_from_slice(&7u16.to_le_bytes());
+    assert!(matches!(
+        Forest::from_bytes(&bytes),
+        Err(CodecError::UnsupportedVersion { found: 7, supported: 1 })
+    ));
+}
+
+#[test]
+fn corrupt_padding_is_invalid() {
+    let mut bytes = sample();
+    // Field layout: magic(4) version(2) universe:u32(4) k_padded:u32(4).
+    // 15 is not a power of two, so the padding invariant must trip.
+    bytes[10..14].copy_from_slice(&15u32.to_le_bytes());
+    assert!(matches!(
+        Forest::from_bytes(&bytes),
+        Err(CodecError::Invalid { context: "dyadic padding" })
+    ));
+}
+
+#[test]
+fn every_strict_prefix_is_rejected() {
+    let bytes = sample();
+    for cut in 0..bytes.len() {
+        assert!(
+            Forest::from_bytes(&bytes[..cut]).is_err(),
+            "a {cut}-byte prefix of a {}-byte record decoded successfully",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    let mut bytes = sample();
+    bytes.extend_from_slice(&[0, 0]);
+    assert!(matches!(Forest::from_bytes(&bytes), Err(CodecError::TrailingBytes { remaining: 2 })));
+}

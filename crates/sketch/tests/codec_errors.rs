@@ -1,0 +1,83 @@
+//! Error-path tests for the `CMPB` v1 persistence format: every malformed
+//! input must come back as a typed `CodecError`, never a panic or a
+//! silently wrong sketch.
+
+use bed_pbe::ExactCurve;
+use bed_sketch::CmPbe;
+use bed_stream::{Codec, CodecError, EventId, Timestamp};
+
+fn sample() -> Vec<u8> {
+    let mut cm = CmPbe::with_dimensions(3, 8, 42, ExactCurve::new);
+    for i in 0..200u64 {
+        cm.update(EventId((i % 13) as u32), Timestamp(i / 2));
+    }
+    cm.finalize();
+    cm.to_bytes()
+}
+
+type Sketch = CmPbe<ExactCurve>;
+
+#[test]
+fn roundtrip_is_exact() {
+    let bytes = sample();
+    let back = Sketch::from_bytes(&bytes).unwrap();
+    assert_eq!(back.to_bytes(), bytes);
+}
+
+#[test]
+fn truncated_header() {
+    let bytes = sample();
+    for cut in [0, 1, 3, 4, 5] {
+        match Sketch::from_bytes(&bytes[..cut]) {
+            Err(CodecError::UnexpectedEof { .. }) => {}
+            other => panic!("cut at {cut}: expected UnexpectedEof, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn wrong_magic() {
+    let mut bytes = sample();
+    bytes[..4].copy_from_slice(b"BOGU");
+    match Sketch::from_bytes(&bytes) {
+        Err(CodecError::BadMagic { expected, found }) => {
+            assert_eq!(&expected, b"CMPB");
+            assert_eq!(&found, b"BOGU");
+        }
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn version_from_the_future_and_version_zero() {
+    let mut bytes = sample();
+    bytes[4..6].copy_from_slice(&999u16.to_le_bytes());
+    match Sketch::from_bytes(&bytes) {
+        Err(CodecError::UnsupportedVersion { found: 999, supported: 1 }) => {}
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+    bytes[4..6].copy_from_slice(&0u16.to_le_bytes());
+    assert!(matches!(
+        Sketch::from_bytes(&bytes),
+        Err(CodecError::UnsupportedVersion { found: 0, .. })
+    ));
+}
+
+#[test]
+fn every_strict_prefix_is_rejected() {
+    let bytes = sample();
+    for cut in 0..bytes.len() {
+        assert!(
+            Sketch::from_bytes(&bytes[..cut]).is_err(),
+            "a {cut}-byte prefix of a {}-byte record decoded successfully",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    let mut bytes = sample();
+    bytes.push(0);
+    assert!(matches!(Sketch::from_bytes(&bytes), Err(CodecError::TrailingBytes { remaining: 1 })));
+}

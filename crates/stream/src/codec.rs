@@ -52,6 +52,16 @@ pub enum CodecError {
         /// Number of unread bytes.
         remaining: usize,
     },
+    /// A CRC-protected region failed its checksum — the bytes were damaged
+    /// after they were written (bit rot, torn write, truncation filler).
+    ChecksumMismatch {
+        /// What was being decoded.
+        context: &'static str,
+        /// Checksum stored alongside the data.
+        expected: u32,
+        /// Checksum recomputed over the data as read.
+        found: u32,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -69,6 +79,12 @@ impl fmt::Display for CodecError {
             CodecError::Invalid { context } => write!(f, "invalid value while decoding {context}"),
             CodecError::TrailingBytes { remaining } => {
                 write!(f, "{remaining} trailing bytes after decode")
+            }
+            CodecError::ChecksumMismatch { context, expected, found } => {
+                write!(
+                    f,
+                    "checksum mismatch in {context}: stored {expected:#010x}, computed {found:#010x}"
+                )
             }
         }
     }
@@ -92,6 +108,31 @@ impl<'a> Reader<'a> {
     /// Unread byte count.
     pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
+    }
+
+    /// Bytes consumed so far.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// The full underlying input (consumed and unconsumed alike) — lets
+    /// envelope decoders checksum exactly the bytes they already parsed.
+    pub fn source(&self) -> &'a [u8] {
+        self.buf
+    }
+
+    /// Looks at the next `n` bytes without consuming them (format
+    /// dispatch by magic/version prefix).
+    pub fn peek(&self, n: usize, context: &'static str) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof { context });
+        }
+        Ok(&self.buf[self.pos..self.pos + n])
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], CodecError> {
+        self.take(n, context)
     }
 
     /// Fails with [`CodecError::TrailingBytes`] unless fully consumed.
@@ -226,9 +267,24 @@ impl Writer {
         self.buf.push(v);
     }
 
+    /// Writes raw bytes verbatim.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
     /// Writes a `u64` length prefix.
     pub fn len(&mut self, n: usize) {
         self.u64(n as u64);
+    }
+
+    /// Bytes written so far (e.g. to delimit a CRC-protected region).
+    pub fn position(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Read access to everything written so far.
+    pub fn written(&self) -> &[u8] {
+        &self.buf
     }
 }
 

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod crc;
 pub mod curve;
 pub mod downsample;
 pub mod element;
@@ -37,6 +38,7 @@ pub mod stream;
 pub mod time;
 
 pub use codec::{Codec, CodecError};
+pub use crc::{crc32, Crc32};
 pub use curve::FrequencyCurve;
 pub use element::{EventMapper, HashtagMapper, Message, StreamElement};
 pub use error::StreamError;
