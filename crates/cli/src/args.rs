@@ -122,8 +122,28 @@ pub enum Command {
     Stats {
         /// Sketch path.
         sketch: String,
-        /// Render aligned text instead of JSON.
-        text: bool,
+        /// Output rendering.
+        format: StatsFormat,
+    },
+    /// `bed serve` — HTTP scrape endpoint over a live ingest.
+    Serve {
+        /// Input TSV stream drained by the background ingest thread.
+        input: String,
+        /// Listen address (`host:port`; port 0 picks a free port).
+        addr: String,
+        /// Detector construction options.
+        flags: DetectorFlags,
+        /// Trace 1 in N queries (0 disables tracing).
+        sample: u64,
+        /// Slow-query capture threshold in nanoseconds (0 captures every
+        /// traced query).
+        slow_threshold_ns: u64,
+        /// θ for the periodic watch query.
+        watch_theta: f64,
+        /// τ for the periodic watch query.
+        watch_tau: u64,
+        /// Milliseconds between watch queries (0 disables the watcher).
+        watch_every_ms: u64,
     },
     /// `bed ingest` — durable build: WAL every arrival, checkpoint
     /// periodically, survive a kill at any instant.
@@ -174,6 +194,43 @@ pub enum Command {
         /// match (refuses with a config diff otherwise).
         onto: Option<String>,
     },
+}
+
+/// Output format for `bed stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// One JSON object (the default).
+    Json,
+    /// Aligned human-readable text.
+    Text,
+    /// OpenMetrics text exposition — the exact bytes `bed serve` puts on
+    /// the `/metrics` wire, for offline snapshots.
+    OpenMetrics,
+}
+
+/// Detector-construction options shared by `build`, `ingest`, and `serve`.
+/// One parse helper (`detector_flags`) feeds all three, so defaults and
+/// validation cannot drift between the commands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorFlags {
+    /// `pbe1` or `pbe2`.
+    pub variant: String,
+    /// η for pbe1.
+    pub eta: usize,
+    /// γ for pbe2.
+    pub gamma: f64,
+    /// Universe size K (omit for single-event mode).
+    pub universe: Option<u32>,
+    /// Count-Min ε.
+    pub epsilon: f64,
+    /// Count-Min δ.
+    pub delta: f64,
+    /// Disable the dyadic hierarchy.
+    pub flat: bool,
+    /// Hash seed.
+    pub seed: u64,
+    /// Shard count for parallel ingestion (1 = unsharded).
+    pub shards: usize,
 }
 
 /// Splits `--key value` pairs after the subcommand.
@@ -245,6 +302,39 @@ impl Opts {
     }
 }
 
+/// Parses the detector-construction option block shared by `build`,
+/// `ingest`, and `serve` (variant/accuracy/universe/seed/shards).
+fn detector_flags(o: &mut Opts) -> Result<DetectorFlags, CliError> {
+    let variant = o.optional("variant").unwrap_or_else(|| "pbe2".into());
+    if variant != "pbe1" && variant != "pbe2" {
+        return Err(CliError::Usage(format!(
+            "{}: --variant must be 'pbe1' or 'pbe2', got '{variant}'",
+            o.command
+        )));
+    }
+    let eta = o.optional_num("eta", 128usize)?;
+    let gamma = o.optional_num("gamma", 8.0f64)?;
+    let universe = match o.optional("universe") {
+        Some(raw) => Some(o.parse_num("universe", &raw)?),
+        None => None,
+    };
+    let epsilon = o.optional_num("epsilon", 0.005f64)?;
+    let delta = o.optional_num("delta", 0.02f64)?;
+    let flat = o.optional("flat").is_some();
+    let seed = o.optional_num("seed", 0xBEDu64)?;
+    let shards = o.optional_num("shards", 1usize)?;
+    if shards == 0 {
+        return Err(CliError::Usage(format!("{}: --shards must be at least 1", o.command)));
+    }
+    if shards > 1 && universe.is_none() {
+        return Err(CliError::Usage(format!(
+            "{}: --shards partitions an event universe; add --universe K",
+            o.command
+        )));
+    }
+    Ok(DetectorFlags { variant, eta, gamma, universe, epsilon, delta, flat, seed, shards })
+}
+
 /// Parses a full argument vector (without the program name).
 pub fn parse<I, S>(argv: I) -> Result<Command, CliError>
 where
@@ -277,31 +367,8 @@ where
             let mut o = Opts { map, command: "build" };
             let input = o.required("input")?;
             let out = o.required("out")?;
-            let variant = o.optional("variant").unwrap_or_else(|| "pbe2".into());
-            if variant != "pbe1" && variant != "pbe2" {
-                return Err(CliError::Usage(format!(
-                    "build: --variant must be 'pbe1' or 'pbe2', got '{variant}'"
-                )));
-            }
-            let eta = o.optional_num("eta", 128usize)?;
-            let gamma = o.optional_num("gamma", 8.0f64)?;
-            let universe = match o.optional("universe") {
-                Some(raw) => Some(o.parse_num("universe", &raw)?),
-                None => None,
-            };
-            let epsilon = o.optional_num("epsilon", 0.005f64)?;
-            let delta = o.optional_num("delta", 0.02f64)?;
-            let flat = o.optional("flat").is_some();
-            let seed = o.optional_num("seed", 0xBEDu64)?;
-            let shards = o.optional_num("shards", 1usize)?;
-            if shards == 0 {
-                return Err(CliError::Usage("build: --shards must be at least 1".into()));
-            }
-            if shards > 1 && universe.is_none() {
-                return Err(CliError::Usage(
-                    "build: --shards partitions an event universe; add --universe K".into(),
-                ));
-            }
+            let DetectorFlags { variant, eta, gamma, universe, epsilon, delta, flat, seed, shards } =
+                detector_flags(&mut o)?;
             o.finish()?;
             Ok(Command::Build {
                 input,
@@ -382,8 +449,53 @@ where
             let mut o = Opts { map, command: "stats" };
             let sketch = o.required("sketch")?;
             let text = o.optional("text").is_some();
+            let format = match o.optional("format") {
+                None if text => StatsFormat::Text,
+                None => StatsFormat::Json,
+                Some(_) if text => {
+                    return Err(CliError::Usage(
+                        "stats: --text conflicts with --format (it is shorthand for --format text)"
+                            .into(),
+                    ));
+                }
+                Some(f) => match f.as_str() {
+                    "json" => StatsFormat::Json,
+                    "text" => StatsFormat::Text,
+                    "openmetrics" => StatsFormat::OpenMetrics,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "stats: --format must be 'json', 'text', or 'openmetrics', got '{other}'"
+                        )));
+                    }
+                },
+            };
             o.finish()?;
-            Ok(Command::Stats { sketch, text })
+            Ok(Command::Stats { sketch, format })
+        }
+        "serve" => {
+            let mut o = Opts { map, command: "serve" };
+            let input = o.required("input")?;
+            let addr = o.optional("addr").unwrap_or_else(|| "127.0.0.1:9184".into());
+            let flags = detector_flags(&mut o)?;
+            let sample = o.optional_num("sample", 1u64)?;
+            let slow_threshold_ns = o.optional_num("slow-threshold-ns", 10_000_000u64)?;
+            let watch_theta = o.optional_num("watch-theta", 10.0f64)?;
+            let watch_tau = o.optional_num("watch-tau", 86_400u64)?;
+            if watch_tau == 0 {
+                return Err(CliError::Usage("serve: --watch-tau must be positive".into()));
+            }
+            let watch_every_ms = o.optional_num("watch-every-ms", 500u64)?;
+            o.finish()?;
+            Ok(Command::Serve {
+                input,
+                addr,
+                flags,
+                sample,
+                slow_threshold_ns,
+                watch_theta,
+                watch_tau,
+                watch_every_ms,
+            })
         }
         "ingest" => {
             let mut o = Opts { map, command: "ingest" };
@@ -394,31 +506,8 @@ where
             if every == 0 {
                 return Err(CliError::Usage("ingest: --every must be positive".into()));
             }
-            let variant = o.optional("variant").unwrap_or_else(|| "pbe2".into());
-            if variant != "pbe1" && variant != "pbe2" {
-                return Err(CliError::Usage(format!(
-                    "ingest: --variant must be 'pbe1' or 'pbe2', got '{variant}'"
-                )));
-            }
-            let eta = o.optional_num("eta", 128usize)?;
-            let gamma = o.optional_num("gamma", 8.0f64)?;
-            let universe = match o.optional("universe") {
-                Some(raw) => Some(o.parse_num("universe", &raw)?),
-                None => None,
-            };
-            let epsilon = o.optional_num("epsilon", 0.005f64)?;
-            let delta = o.optional_num("delta", 0.02f64)?;
-            let flat = o.optional("flat").is_some();
-            let seed = o.optional_num("seed", 0xBEDu64)?;
-            let shards = o.optional_num("shards", 1usize)?;
-            if shards == 0 {
-                return Err(CliError::Usage("ingest: --shards must be at least 1".into()));
-            }
-            if shards > 1 && universe.is_none() {
-                return Err(CliError::Usage(
-                    "ingest: --shards partitions an event universe; add --universe K".into(),
-                ));
-            }
+            let DetectorFlags { variant, eta, gamma, universe, epsilon, delta, flat, seed, shards } =
+                detector_flags(&mut o)?;
             o.finish()?;
             Ok(Command::Ingest {
                 input,
@@ -453,7 +542,7 @@ where
             Ok(Command::Restore { snapshot, wal, out, onto })
         }
         other => Err(CliError::Usage(format!(
-            "unknown command '{other}'; try: generate, build, ingest, info, point, times, events, ranges, series, stats, checkpoint, restore"
+            "unknown command '{other}'; try: generate, build, ingest, info, point, times, events, ranges, series, stats, serve, checkpoint, restore"
         ))),
     }
 }
@@ -663,10 +752,84 @@ mod tests {
         let c = parse_ok(&["events", "--sketch", "s", "--t", "1", "--theta", "2", "--scan"]);
         assert!(matches!(c, Command::Events { scan: true, .. }));
         let c = parse_ok(&["stats", "--sketch", "s"]);
-        assert_eq!(c, Command::Stats { sketch: "s".into(), text: false });
+        assert_eq!(c, Command::Stats { sketch: "s".into(), format: StatsFormat::Json });
         let c = parse_ok(&["stats", "--sketch", "s", "--text"]);
-        assert!(matches!(c, Command::Stats { text: true, .. }));
+        assert!(matches!(c, Command::Stats { format: StatsFormat::Text, .. }));
         let e = parse(["stats"]).unwrap_err().to_string();
         assert!(e.contains("--sketch"), "{e}");
+    }
+
+    #[test]
+    fn stats_format_selection() {
+        for (raw, want) in [
+            ("json", StatsFormat::Json),
+            ("text", StatsFormat::Text),
+            ("openmetrics", StatsFormat::OpenMetrics),
+        ] {
+            let c = parse_ok(&["stats", "--sketch", "s", "--format", raw]);
+            assert!(matches!(c, Command::Stats { format, .. } if format == want), "{raw}");
+        }
+        let e = parse(["stats", "--sketch", "s", "--format", "xml"]).unwrap_err().to_string();
+        assert!(e.contains("openmetrics"), "{e}");
+        let e = parse(["stats", "--sketch", "s", "--text", "--format", "json"])
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("conflicts"), "{e}");
+    }
+
+    #[test]
+    fn serve_defaults_and_shared_detector_flags() {
+        let c = parse_ok(&["serve", "--input", "s.tsv", "--universe", "8"]);
+        let Command::Serve {
+            input, addr, flags, sample, slow_threshold_ns, watch_every_ms, ..
+        } = c
+        else {
+            panic!("expected serve");
+        };
+        assert_eq!(input, "s.tsv");
+        assert_eq!(addr, "127.0.0.1:9184");
+        assert_eq!(flags.universe, Some(8));
+        assert_eq!(flags.shards, 1);
+        assert_eq!(sample, 1);
+        assert_eq!(slow_threshold_ns, 10_000_000);
+        assert_eq!(watch_every_ms, 500);
+
+        let c = parse_ok(&[
+            "serve",
+            "--input",
+            "s.tsv",
+            "--addr",
+            "0.0.0.0:0",
+            "--universe",
+            "16",
+            "--shards",
+            "4",
+            "--flat",
+            "--sample",
+            "8",
+            "--slow-threshold-ns",
+            "0",
+            "--watch-theta",
+            "2.5",
+            "--watch-tau",
+            "60",
+            "--watch-every-ms",
+            "50",
+        ]);
+        let Command::Serve { flags, sample, slow_threshold_ns, watch_theta, watch_tau, .. } = c
+        else {
+            panic!("expected serve");
+        };
+        assert!(flags.flat && flags.shards == 4);
+        assert_eq!((sample, slow_threshold_ns), (8, 0));
+        assert_eq!((watch_theta, watch_tau), (2.5, 60));
+
+        // serve shares build/ingest's detector-flag validation
+        let e = parse(["serve", "--input", "s", "--shards", "2"]).unwrap_err().to_string();
+        assert!(e.contains("--universe"), "{e}");
+        let e = parse(["serve", "--input", "s", "--variant", "pbe9"]).unwrap_err().to_string();
+        assert!(e.contains("pbe1"), "{e}");
+        let e = parse(["serve", "--input", "s", "--watch-tau", "0"]).unwrap_err().to_string();
+        assert!(e.contains("positive"), "{e}");
     }
 }

@@ -10,7 +10,7 @@ use bed_core::{
 use bed_stream::{BurstSpan, Codec, EventId, Timestamp};
 use bed_workload::{olympics, politics};
 
-use crate::args::Command;
+use crate::args::{Command, DetectorFlags, StatsFormat};
 use crate::CliError;
 
 /// A persisted sketch of any format: `BEDD`, `BEDS v1`, or a `BEDS v2`
@@ -90,7 +90,28 @@ pub fn execute(command: Command) -> Result<String, CliError> {
         Command::Series { sketch, event, tau, horizon, step, metrics } => {
             series(&sketch, event, tau, horizon, step, metrics)
         }
-        Command::Stats { sketch, text } => stats(&sketch, text),
+        Command::Stats { sketch, format } => stats(&sketch, format),
+        Command::Serve {
+            input,
+            addr,
+            flags,
+            sample,
+            slow_threshold_ns,
+            watch_theta,
+            watch_tau,
+            watch_every_ms,
+        } => crate::serve::serve(
+            &input,
+            &flags,
+            &crate::serve::ServeOptions {
+                addr,
+                sample,
+                slow_threshold_ns,
+                watch_theta,
+                watch_tau,
+                watch_every_ms,
+            },
+        ),
         Command::Ingest {
             input,
             out,
@@ -149,6 +170,44 @@ fn parse_line(line: &str, lineno: usize) -> Result<(EventId, Timestamp), CliErro
     Ok((EventId(event), Timestamp(ts)))
 }
 
+/// Reads a whole TSV stream into memory. Shared by `build`, `ingest`, and
+/// `serve`.
+pub(crate) fn read_elements(input: &str) -> Result<Vec<(EventId, Timestamp)>, CliError> {
+    let text = fs::read_to_string(input)?;
+    let mut els = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        els.push(parse_line(line, i + 1)?);
+    }
+    Ok(els)
+}
+
+/// Builds an empty detector of the layout described by `flags`. Shared by
+/// `build`, `ingest`, and `serve` so flag semantics cannot drift between
+/// the three ingestion commands.
+pub(crate) fn detector_from_flags(f: &DetectorFlags) -> Result<AnyDetector, CliError> {
+    let variant = match f.variant.as_str() {
+        "pbe1" => PbeVariant::pbe1(f.eta),
+        _ => PbeVariant::pbe2(f.gamma),
+    };
+    let mut builder = BurstDetector::builder()
+        .variant(variant)
+        .accuracy(f.epsilon, f.delta)
+        .hierarchical(!f.flat)
+        .seed(f.seed);
+    builder = match f.universe {
+        Some(k) => builder.universe(k),
+        None => builder.single_event(),
+    };
+    Ok(if f.shards > 1 {
+        AnyDetector::Sharded(builder.shards(f.shards).build()?)
+    } else {
+        AnyDetector::Plain(Box::new(builder.build()?))
+    })
+}
+
 #[allow(clippy::too_many_arguments)]
 fn build(
     input: &str,
@@ -163,47 +222,36 @@ fn build(
     seed: u64,
     shards: usize,
 ) -> Result<String, CliError> {
-    let text = fs::read_to_string(input)?;
-    let variant = match variant {
-        "pbe1" => PbeVariant::pbe1(eta),
-        _ => PbeVariant::pbe2(gamma),
+    let flags = DetectorFlags {
+        variant: variant.to_string(),
+        eta,
+        gamma,
+        universe,
+        epsilon,
+        delta,
+        flat,
+        seed,
+        shards,
     };
-    let mut builder = BurstDetector::builder()
-        .variant(variant)
-        .accuracy(epsilon, delta)
-        .hierarchical(!flat)
-        .seed(seed);
-    builder = match universe {
-        Some(k) => builder.universe(k),
-        None => builder.single_event(),
-    };
-
-    let mut els = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        if line.is_empty() {
-            continue;
-        }
-        els.push(parse_line(line, i + 1)?);
-    }
+    let els = read_elements(input)?;
     let count = els.len();
-
-    let (bytes, summary_bytes) = if shards > 1 {
-        let mut det = builder.shards(shards).build()?;
-        det.ingest_batch(&els)?;
-        det.finalize();
-        (det.to_bytes(), det.size_bytes())
-    } else {
-        let mut det = builder.build()?;
-        for &(event, ts) in &els {
-            if universe.is_some() {
-                det.ingest(event, ts)?;
-            } else {
-                det.ingest_single(ts)?;
+    let mut det = detector_from_flags(&flags)?;
+    match &mut det {
+        AnyDetector::Sharded(d) => d.ingest_batch(&els)?,
+        AnyDetector::Plain(d) => {
+            let single = d.config().universe.is_none();
+            for &(event, ts) in &els {
+                if single {
+                    d.ingest_single(ts)?;
+                } else {
+                    d.ingest(event, ts)?;
+                }
             }
         }
-        det.finalize();
-        (det.to_bytes(), det.size_bytes())
-    };
+    }
+    det.finalize();
+    let bytes = det.to_bytes();
+    let summary_bytes = det.size_bytes();
     fs::write(out, &bytes)?;
     Ok(format!(
         "ingested {count} elements; sketch summary {summary_bytes} bytes (file {} bytes) -> {out}\n",
@@ -231,35 +279,20 @@ fn ingest(
     seed: u64,
     shards: usize,
 ) -> Result<String, CliError> {
-    let text = fs::read_to_string(input)?;
-    let variant = match variant {
-        "pbe1" => PbeVariant::pbe1(eta),
-        _ => PbeVariant::pbe2(gamma),
+    let flags = DetectorFlags {
+        variant: variant.to_string(),
+        eta,
+        gamma,
+        universe,
+        epsilon,
+        delta,
+        flat,
+        seed,
+        shards,
     };
-    let mut builder = BurstDetector::builder()
-        .variant(variant)
-        .accuracy(epsilon, delta)
-        .hierarchical(!flat)
-        .seed(seed);
-    builder = match universe {
-        Some(k) => builder.universe(k),
-        None => builder.single_event(),
-    };
-
-    let mut els = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        if line.is_empty() {
-            continue;
-        }
-        els.push(parse_line(line, i + 1)?);
-    }
+    let els = read_elements(input)?;
     let count = els.len();
-
-    let det = if shards > 1 {
-        AnyDetector::Sharded(builder.shards(shards).build()?)
-    } else {
-        AnyDetector::Plain(Box::new(builder.build()?))
-    };
+    let det = detector_from_flags(&flags)?;
     let mut sink = bed_core::WalSink::create(wal, det)?;
     let mut ckpt =
         bed_core::Checkpointer::new(out, bed_core::CheckpointPolicy { every_arrivals: every });
@@ -485,10 +518,14 @@ fn series(
     Ok(out)
 }
 
-fn stats(path: &str, text: bool) -> Result<String, CliError> {
+fn stats(path: &str, format: StatsFormat) -> Result<String, CliError> {
     let det = load(path)?;
     let snap = det.queries().metrics();
-    Ok(if text { snap.to_text() } else { format!("{}\n", snap.to_json()) })
+    Ok(match format {
+        StatsFormat::Json => format!("{}\n", snap.to_json()),
+        StatsFormat::Text => snap.to_text(),
+        StatsFormat::OpenMetrics => snap.to_openmetrics(),
+    })
 }
 
 #[cfg(test)]
@@ -688,6 +725,16 @@ mod tests {
 
         let out = run(["stats", "--sketch", &sk, "--text"]).unwrap();
         assert!(!out.starts_with('{') && out.contains("ingest.count"), "{out}");
+
+        // --format openmetrics emits exactly what `bed serve` puts on the
+        // `/metrics` wire: HELP/TYPE framing, suffix conventions, EOF.
+        let out = run(["stats", "--sketch", &sk, "--format", "openmetrics"]).unwrap();
+        assert!(out.starts_with("# HELP "), "{out}");
+        assert!(out.contains("# TYPE bed_ingest_count counter"), "{out}");
+        assert!(out.contains("bed_ingest_count_total 3"), "{out}");
+        assert!(out.contains("bed_structure_bytes "), "{out}");
+        assert!(out.contains("layer=\"cmpbe\""), "{out}");
+        assert!(out.ends_with("# EOF\n"), "{out}");
 
         let out = run(["point", "--sketch", &sk, "--event", "0", "--t", "3", "--metrics"]).unwrap();
         assert!(out.contains("burstiness"), "{out}");

@@ -10,6 +10,8 @@
 //! bed point    --sketch rio.bed --event 0 --t 1814400 --tau 86400
 //! bed times    --sketch rio.bed --event 0 --theta 1000 --tau 86400 --horizon 2678400
 //! bed events   --sketch rio.bed --t 1814400 --theta 1000 --tau 86400
+//! bed stats    --sketch rio.bed --format openmetrics
+//! bed serve    --input stream.tsv --universe 864 --addr 127.0.0.1:9184
 //! ```
 //!
 //! The library half (`run`) is process-free and returns the textual output,
@@ -20,6 +22,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod serve;
 
 use std::fmt;
 
@@ -113,7 +116,8 @@ COMMANDS:
     series     burstiness time series of one event
     times      bursty-time query: when was an event bursty?
     events     bursty-event query: which events were bursty at a time?
-    stats      metrics snapshot of a persisted sketch
+    stats      metrics snapshot of a persisted sketch (--format json|text|openmetrics)
+    serve      ingest a stream while serving GET /metrics, /healthz, /slow over HTTP
 
 Run `bed <command> --help` semantics: every command lists its options on a
 usage error."

@@ -1,10 +1,44 @@
 //! `bed` binary entry point.
+//!
+//! The only unsafe code in the workspace lives here: installing
+//! `SIGTERM`/`SIGINT` handlers through the C `signal` entry point so
+//! `bed serve` can shut down cleanly (the library half keeps
+//! `forbid(unsafe_code)`). The handler body is async-signal-safe — one
+//! atomic store.
+
+use std::os::raw::c_int;
+
+extern "C" {
+    fn signal(signum: c_int, handler: usize) -> usize;
+}
+
+extern "C" fn on_terminate(_signum: c_int) {
+    bed_cli::serve::request_shutdown();
+}
+
+/// Routes `SIGTERM`/`SIGINT` to the serve loop's shutdown flag. Installed
+/// only for `bed serve`: every other command keeps the default "terminate
+/// now" disposition.
+fn install_termination_handlers() {
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+    // SAFETY: `on_terminate` performs a single atomic store, which is
+    // async-signal-safe, and `signal` is handed a valid handler pointer.
+    let handler = on_terminate as extern "C" fn(c_int) as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" || args[0] == "help" {
         println!("{}", bed_cli::usage());
         return;
+    }
+    if args[0] == "serve" {
+        install_termination_handlers();
     }
     match bed_cli::run(args) {
         Ok(output) => print!("{output}"),

@@ -1,0 +1,436 @@
+//! `bed serve` — a hand-rolled HTTP/1.1 scrape endpoint over a live
+//! ingest.
+//!
+//! The container builds offline, so there is no HTTP framework: a
+//! non-blocking [`TcpListener`] accept loop parses just enough of HTTP/1.1
+//! to answer three `GET` routes, always closing the connection afterwards:
+//!
+//! - `/metrics` — the detector's metrics merged with the tracer's own,
+//!   rendered as OpenMetrics text exposition;
+//! - `/healthz` — liveness (`ok`);
+//! - `/slow` — the tracer's slow-query log as a JSON array.
+//!
+//! While the responder runs, a background thread drains the input TSV
+//! stream into the detector and fires a periodic traced "watch"
+//! bursty-event query, so the slow log and query metrics carry live
+//! content without an external client. Shutdown is cooperative: the
+//! `SIGTERM`/`SIGINT` handler installed by `main` (or a test harness)
+//! flips an [`AtomicBool`] and the accept loop notices within one poll
+//! interval, then joins the ingest thread and returns a summary line.
+
+use std::io::{ErrorKind, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bed_core::{
+    AnyDetector, QueryRequest, QueryScratch, QueryStrategy, Traceable as _, Tracer, TracerConfig,
+};
+use bed_stream::{BurstSpan, EventId, Timestamp};
+
+use crate::args::DetectorFlags;
+use crate::commands::{detector_from_flags, read_elements};
+use crate::CliError;
+
+/// Process-wide shutdown flag flipped by the signal handler in `main`.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Requests a cooperative shutdown of a running `bed serve` loop.
+///
+/// Async-signal-safe: a single atomic store, so `main` may call it from a
+/// `SIGTERM`/`SIGINT` handler.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Knobs for [`serve`] beyond detector construction.
+#[derive(Debug, Clone)]
+pub(crate) struct ServeOptions {
+    /// Listen address; port 0 binds any free port (the bound address is
+    /// printed before serving starts).
+    pub addr: String,
+    /// Trace 1 in N queries (0 disables tracing).
+    pub sample: u64,
+    /// Slow-query capture threshold in ns (0 captures every traced query).
+    pub slow_threshold_ns: u64,
+    /// θ of the periodic watch query.
+    pub watch_theta: f64,
+    /// τ of the periodic watch query.
+    pub watch_tau: u64,
+    /// Milliseconds between watch queries (0 disables the watcher).
+    pub watch_every_ms: u64,
+}
+
+/// Runs the scrape endpoint until `SIGTERM`/`SIGINT`, returning a summary.
+pub(crate) fn serve(
+    input: &str,
+    flags: &DetectorFlags,
+    opts: &ServeOptions,
+) -> Result<String, CliError> {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+    serve_until(input, flags, opts, &SHUTDOWN, |addr| {
+        println!("bed serve listening on http://{addr}/ (GET /metrics /healthz /slow)");
+    })
+}
+
+/// [`serve`] with an injected stop flag and bound-address callback, so the
+/// loop is drivable in-process by tests.
+fn serve_until(
+    input: &str,
+    flags: &DetectorFlags,
+    opts: &ServeOptions,
+    stop: &AtomicBool,
+    on_bound: impl FnOnce(SocketAddr),
+) -> Result<String, CliError> {
+    let els = read_elements(input)?;
+    let total = els.len();
+    let mut det = detector_from_flags(flags)?;
+    let tracer = Arc::new(Tracer::new(TracerConfig {
+        sample_every: opts.sample,
+        slow_threshold_ns: opts.slow_threshold_ns,
+        dump_slow_on_drop: true,
+        ..TracerConfig::default()
+    }));
+    det.set_tracer(Arc::clone(&tracer));
+    let det = Mutex::new(det);
+
+    let listener = TcpListener::bind(&opts.addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+    on_bound(bound);
+
+    let requests = AtomicU64::new(0);
+    let ingested = AtomicU64::new(0);
+
+    let result = std::thread::scope(|scope| {
+        scope.spawn(|| ingest_loop(&els, &det, stop, opts, &ingested));
+        let r = accept_loop(&listener, &det, &tracer, stop, &requests);
+        // Any exit from the accept loop (including an error) must release
+        // the ingest thread before the scope joins it.
+        stop.store(true, Ordering::SeqCst);
+        r
+    });
+    result?;
+
+    Ok(format!(
+        "served {} requests on {bound}; ingested {}/{total} elements\n",
+        requests.load(Ordering::Relaxed),
+        ingested.load(Ordering::Relaxed),
+    ))
+}
+
+/// Polls for connections until `stop`; each connection handles exactly one
+/// request and is closed. A failure on one connection never takes the
+/// server down.
+fn accept_loop(
+    listener: &TcpListener,
+    det: &Mutex<AnyDetector>,
+    tracer: &Tracer,
+    stop: &AtomicBool,
+    requests: &AtomicU64,
+) -> Result<(), CliError> {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                requests.fetch_add(1, Ordering::Relaxed);
+                let _ = handle_connection(stream, det, tracer);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                // Polling (rather than a blocking accept) keeps the loop
+                // responsive to the shutdown flag: a blocking accept would
+                // simply restart after the signal handler returns.
+                std::thread::sleep(Duration::from_millis(15));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(CliError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Drains the stream into the detector in small locked chunks, firing the
+/// watch query between chunks and after the drain until shutdown.
+fn ingest_loop(
+    els: &[(EventId, Timestamp)],
+    det: &Mutex<AnyDetector>,
+    stop: &AtomicBool,
+    opts: &ServeOptions,
+    ingested: &AtomicU64,
+) {
+    const CHUNK: usize = 512;
+    let watch_period = Duration::from_millis(opts.watch_every_ms.max(1));
+    let mut scratch = QueryScratch::new();
+    let mut last_watch = Instant::now();
+    let mut last_ts = Timestamp(0);
+    for chunk in els.chunks(CHUNK) {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        {
+            let mut d = det.lock().expect("detector lock");
+            for &(event, ts) in chunk {
+                if d.ingest(event, ts).is_ok() {
+                    last_ts = ts;
+                }
+            }
+        }
+        ingested.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+        if opts.watch_every_ms > 0 && last_watch.elapsed() >= watch_period {
+            watch_query(det, opts, last_ts, &mut scratch);
+            last_watch = Instant::now();
+        }
+    }
+    det.lock().expect("detector lock").finalize();
+    if opts.watch_every_ms == 0 {
+        return;
+    }
+    // The stream is drained; keep the watch firing so scrapes see fresh
+    // latency samples (and `/slow` has content) until shutdown.
+    watch_query(det, opts, last_ts, &mut scratch);
+    last_watch = Instant::now();
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(watch_period.min(Duration::from_millis(50)));
+        if last_watch.elapsed() >= watch_period {
+            watch_query(det, opts, last_ts, &mut scratch);
+            last_watch = Instant::now();
+        }
+    }
+}
+
+/// One traced bursty-event query at the newest ingested instant.
+/// Best-effort: single-event sketches reject it, which is fine — the
+/// point is to exercise the traced query path, not the answer.
+fn watch_query(
+    det: &Mutex<AnyDetector>,
+    opts: &ServeOptions,
+    t: Timestamp,
+    scratch: &mut QueryScratch,
+) {
+    let Ok(tau) = BurstSpan::new(opts.watch_tau) else { return };
+    let request = QueryRequest::BurstyEvents {
+        t,
+        theta: opts.watch_theta,
+        tau,
+        strategy: QueryStrategy::Pruned,
+    };
+    let d = det.lock().expect("detector lock");
+    let _ = d.queries().query_reusing(&request, scratch);
+}
+
+/// Answers one request on `stream` and closes it.
+fn handle_connection(
+    mut stream: TcpStream,
+    det: &Mutex<AnyDetector>,
+    tracer: &Tracer,
+) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let Some((method, path)) = read_request_line(&mut stream)? else {
+        return Ok(());
+    };
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", "text/plain; charset=utf-8", "method not allowed\n".to_string())
+    } else {
+        match path.as_str() {
+            "/metrics" => {
+                let snap = det.lock().expect("detector lock").queries().metrics();
+                let merged = snap.merge(&tracer.metrics_snapshot());
+                (
+                    "200 OK",
+                    "application/openmetrics-text; version=1.0.0; charset=utf-8",
+                    merged.to_openmetrics(),
+                )
+            }
+            "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+            "/slow" => ("200 OK", "application/json; charset=utf-8", tracer.slow_json()),
+            _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
+        }
+    };
+    write_response(&mut stream, status, content_type, &body)
+}
+
+/// Reads up to the end of the request headers and returns `(method, path)`
+/// from the request line, or `None` for an empty/garbled request.
+fn read_request_line(stream: &mut TcpStream) -> std::io::Result<Option<(String, String)>> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            // A stalled client's request is served from whatever arrived.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => break,
+            Err(e) => return Err(e),
+        };
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+            break;
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let mut parts = text.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method.is_empty() || path.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some((method.to_string(), path.to_string())))
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn fixture(name: &str) -> String {
+        let dir = std::env::temp_dir().join("bed-serve-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let mut text = String::new();
+        for t in 0..300u64 {
+            text.push_str(&format!("{}\t{t}\n", t % 8));
+            if t >= 250 {
+                for _ in 0..6 {
+                    text.push_str(&format!("2\t{t}\n"));
+                }
+            }
+        }
+        std::fs::write(&path, text).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: bed\r\nConnection: close\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        let split = resp.find("\r\n\r\n").expect("header/body split");
+        (resp[..split].to_string(), resp[split + 4..].to_string())
+    }
+
+    #[test]
+    fn serve_answers_metrics_healthz_and_slow_while_ingesting() {
+        let input = fixture("serve.tsv");
+        let stop = AtomicBool::new(false);
+        let opts = ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            sample: 1,
+            slow_threshold_ns: 0,
+            watch_theta: 1.0,
+            watch_tau: 40,
+            watch_every_ms: 10,
+        };
+        let flags = DetectorFlags {
+            variant: "pbe2".into(),
+            eta: 128,
+            gamma: 2.0,
+            universe: Some(8),
+            epsilon: 0.01,
+            delta: 0.05,
+            flat: false,
+            seed: 7,
+            shards: 1,
+        };
+        let (tx, rx) = mpsc::channel();
+        std::thread::scope(|scope| {
+            let handle = scope
+                .spawn(|| serve_until(&input, &flags, &opts, &stop, |addr| tx.send(addr).unwrap()));
+            let addr = rx.recv().unwrap();
+
+            let (head, body) = get(addr, "/healthz");
+            assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+            assert_eq!(body, "ok\n");
+
+            let (head, body) = get(addr, "/metrics");
+            assert!(head.contains("application/openmetrics-text"), "{head}");
+            assert!(body.contains("bed_ingest_count_total"), "{body}");
+            assert!(body.contains("bed_trace_sampled_total"), "{body}");
+            assert!(body.ends_with("# EOF\n"), "{body}");
+
+            // Threshold 0 captures every traced query, so the watch query
+            // must land in the slow log shortly.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                let (_, slow) = get(addr, "/slow");
+                if slow.contains("query.bursty_events") {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "no slow query captured: {slow}");
+                std::thread::sleep(Duration::from_millis(25));
+            }
+
+            let (head, _) = get(addr, "/nope");
+            assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+            stop.store(true, Ordering::SeqCst);
+            let summary = handle.join().unwrap().unwrap();
+            assert!(summary.contains("served"), "{summary}");
+            assert!(summary.contains("ingested"), "{summary}");
+        });
+    }
+
+    #[test]
+    fn serve_rejects_non_get_and_survives_garbage() {
+        let input = fixture("serve-bad.tsv");
+        let stop = AtomicBool::new(false);
+        let opts = ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            sample: 0,
+            slow_threshold_ns: 0,
+            watch_theta: 1.0,
+            watch_tau: 40,
+            watch_every_ms: 0,
+        };
+        let flags = DetectorFlags {
+            variant: "pbe2".into(),
+            eta: 128,
+            gamma: 2.0,
+            universe: Some(8),
+            epsilon: 0.01,
+            delta: 0.05,
+            flat: false,
+            seed: 7,
+            shards: 1,
+        };
+        let (tx, rx) = mpsc::channel();
+        std::thread::scope(|scope| {
+            let handle = scope
+                .spawn(|| serve_until(&input, &flags, &opts, &stop, |addr| tx.send(addr).unwrap()));
+            let addr = rx.recv().unwrap();
+
+            // POST is refused but answered
+            let mut s = TcpStream::connect(addr).unwrap();
+            write!(s, "POST /metrics HTTP/1.1\r\nHost: bed\r\n\r\n").unwrap();
+            let mut resp = String::new();
+            s.read_to_string(&mut resp).unwrap();
+            assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
+
+            // a connection that sends nothing and closes is ignored
+            drop(TcpStream::connect(addr).unwrap());
+
+            // the server still answers afterwards
+            let (head, _) = get(addr, "/healthz");
+            assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+
+            stop.store(true, Ordering::SeqCst);
+            handle.join().unwrap().unwrap();
+        });
+    }
+}

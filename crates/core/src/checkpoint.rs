@@ -48,6 +48,7 @@ use crate::config::DetectorConfig;
 use crate::detector::BurstDetector;
 use crate::error::BedError;
 use crate::metrics::CheckpointMetrics;
+use crate::observe::Traceable;
 use crate::query::BurstQueries;
 use crate::shard::ShardedDetector;
 use crate::wal::{read_wal, WalContents};
@@ -612,6 +613,22 @@ impl Default for CheckpointPolicy {
     }
 }
 
+impl Traceable for AnyDetector {
+    fn set_tracer(&mut self, tracer: std::sync::Arc<bed_obs::Tracer>) {
+        match self {
+            AnyDetector::Plain(d) => d.set_tracer(tracer),
+            AnyDetector::Sharded(d) => d.set_tracer(tracer),
+        }
+    }
+
+    fn tracer(&self) -> &std::sync::Arc<bed_obs::Tracer> {
+        match self {
+            AnyDetector::Plain(d) => d.tracer(),
+            AnyDetector::Sharded(d) => d.tracer(),
+        }
+    }
+}
+
 /// A [`SnapshotStore`] plus a periodic policy and metrics — the handle an
 /// ingest loop polls after every batch.
 #[derive(Debug)]
@@ -621,6 +638,7 @@ pub struct Checkpointer {
     last_arrivals: Option<u64>,
     checkpoints: u64,
     metrics: CheckpointMetrics,
+    tracer: std::sync::Arc<bed_obs::Tracer>,
 }
 
 impl Checkpointer {
@@ -632,7 +650,14 @@ impl Checkpointer {
             last_arrivals: None,
             checkpoints: 0,
             metrics: CheckpointMetrics::new(),
+            tracer: std::sync::Arc::new(bed_obs::Tracer::disabled()),
         }
+    }
+
+    /// Installs a tracer; checkpoint and recovery spans bypass the sampler
+    /// (`start_always`) because both are rare and heavyweight.
+    pub fn set_tracer(&mut self, tracer: std::sync::Arc<bed_obs::Tracer>) {
+        self.tracer = tracer;
     }
 
     /// The underlying store.
@@ -647,6 +672,7 @@ impl Checkpointer {
 
     /// Takes a checkpoint now, unconditionally.
     pub fn checkpoint(&mut self, state: &impl Checkpointable) -> Result<(), RecoveryError> {
+        let trace = self.tracer.start_always(bed_obs::SpanName::CHECKPOINT_SAVE);
         let started = std::time::Instant::now();
         let result = self.store.save(state);
         match &result {
@@ -656,6 +682,11 @@ impl Checkpointer {
                 self.checkpoints += 1;
             }
             Err(_) => self.metrics.checkpoint_err(),
+        }
+        if let Some(trace) = trace {
+            let arrivals = Checkpointable::watermark(state).arrivals;
+            let bytes = *result.as_ref().unwrap_or(&0);
+            trace.finish(move || format!("checkpoint arrivals={arrivals} bytes={bytes}"));
         }
         result.map(|_| ())
     }
@@ -678,8 +709,14 @@ impl Checkpointer {
 
     /// Recovers through this handle's store, recording recovery metrics.
     pub fn recover(&mut self, wal: Option<&Path>) -> Result<RecoveryOutcome, RecoveryError> {
+        let trace = self.tracer.start_always(bed_obs::SpanName::CHECKPOINT_RECOVER);
         let started = std::time::Instant::now();
-        let outcome = recover(&self.store, wal)?;
+        let result = recover(&self.store, wal);
+        if let Some(trace) = trace {
+            let replayed = result.as_ref().map(|o| o.replayed).unwrap_or(0);
+            trace.finish(move || format!("recover replayed={replayed}"));
+        }
+        let outcome = result?;
         self.metrics.recovery_ok(&outcome, started.elapsed());
         self.last_arrivals = Some(outcome.detector.arrivals());
         Ok(outcome)

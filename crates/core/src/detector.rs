@@ -2,7 +2,7 @@
 
 use bed_hierarchy::query::{bursty_times_over, bursty_times_single};
 use bed_hierarchy::{BurstyEventHit, DyadicCmPbe, QueryStats};
-use bed_obs::MetricsSnapshot;
+use bed_obs::{MetricsSnapshot, Tracer};
 use bed_pbe::CurveSketch;
 use bed_sketch::{CmPbe, QueryScratch};
 use bed_stream::{BurstSpan, EventId, StreamError, Timestamp};
@@ -11,6 +11,7 @@ use crate::cell::PbeCell;
 use crate::config::{DetectorConfig, PbeVariant};
 use crate::error::BedError;
 use crate::metrics::DetectorMetrics;
+use crate::observe::Traceable;
 use crate::query::{
     check_range, check_step, check_theta_finite, check_theta_positive, sort_hits, BurstQueries,
     QueryRequest, QueryResponse, QueryStrategy,
@@ -284,7 +285,12 @@ impl BurstDetector {
             // scan, keeping Pruned usable as the universal default.
             (Backend::Flat(_), _) => self.scan_range(0, u32::MAX, t, theta, tau, scratch),
             (Backend::Hierarchical(forest), QueryStrategy::Pruned) => {
-                forest.bursty_events(t, theta, tau)
+                let t0 = scratch.stages.enabled.then(std::time::Instant::now);
+                let r = forest.bursty_events(t, theta, tau);
+                if let Some(t0) = t0 {
+                    scratch.stages.hierarchy_prune_ns += t0.elapsed().as_nanos() as u64;
+                }
+                r
             }
             (Backend::Hierarchical(forest), QueryStrategy::ExactScan) => {
                 forest.bursty_events_scan_reusing(t, theta, tau, scratch)
@@ -345,7 +351,12 @@ impl BurstDetector {
                 })
             }
             (Backend::Hierarchical(forest), QueryStrategy::Pruned) => {
-                forest.bursty_events_in_range(lo, hi, t, theta, tau)
+                let t0 = scratch.stages.enabled.then(std::time::Instant::now);
+                let r = forest.bursty_events_in_range(lo, hi, t, theta, tau);
+                if let Some(t0) = t0 {
+                    scratch.stages.hierarchy_prune_ns += t0.elapsed().as_nanos() as u64;
+                }
+                r
             }
             (_, QueryStrategy::ExactScan) => self.scan_range(lo, hi, t, theta, tau, scratch),
             (Backend::Flat(_), QueryStrategy::Pruned) => return Err(BedError::HierarchyDisabled),
@@ -628,7 +639,20 @@ impl BurstQueries for BurstDetector {
     ) -> Result<QueryResponse, BedError> {
         let kind = request.kind();
         let started = self.metrics.query_begin(kind);
+        let trace = self.metrics.trace_query(kind);
+        // Arm the scratch stage clocks when this call owns the root span;
+        // leave them alone when an outer facade (sharded fan-out) armed
+        // them, so the facade can harvest our kernels' timings.
+        if trace.is_some() {
+            scratch.stages.reset(true);
+        } else if !scratch.stages.enabled {
+            scratch.stages.reset(false);
+        }
         let result = self.dispatch(request, scratch);
+        if let Some(trace) = trace {
+            crate::observe::finish_query_trace(trace, scratch, request);
+            scratch.stages.reset(false);
+        }
         self.metrics.query_end(kind, started, result.is_ok());
         result
     }
@@ -647,6 +671,16 @@ impl BurstQueries for BurstDetector {
 
     fn metrics(&self) -> MetricsSnapshot {
         BurstDetector::metrics(self)
+    }
+}
+
+impl Traceable for BurstDetector {
+    fn set_tracer(&mut self, tracer: std::sync::Arc<Tracer>) {
+        self.metrics.set_tracer(tracer);
+    }
+
+    fn tracer(&self) -> &std::sync::Arc<Tracer> {
+        self.metrics.tracer()
     }
 }
 

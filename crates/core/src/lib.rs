@@ -91,6 +91,7 @@ pub mod detector;
 pub mod error;
 mod metrics;
 pub mod monitor;
+pub mod observe;
 pub mod pipeline;
 pub mod query;
 pub mod shard;
@@ -105,6 +106,7 @@ pub use config::{DetectorConfig, PbeVariant};
 pub use detector::{BurstDetector, BurstDetectorBuilder};
 pub use error::BedError;
 pub use monitor::BurstMonitor;
+pub use observe::Traceable;
 pub use pipeline::{EventSink, MessagePipeline};
 pub use query::{BurstQueries, QueryRequest, QueryResponse, QueryStrategy};
 pub use shard::{ShardedDetector, ShardedDetectorBuilder};
@@ -112,6 +114,9 @@ pub use wal::{read_wal, WalContents, WalSink, WalWriter};
 
 // Re-export the vocabulary types users need alongside the detector.
 pub use bed_hierarchy::{BurstyEventHit, QueryStats};
-pub use bed_obs::{MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use bed_obs::{
+    MetricValue, MetricsRegistry, MetricsSnapshot, SlowQuery, SpanName, TraceEvent, TraceId,
+    Tracer, TracerConfig,
+};
 pub use bed_sketch::{QueryScratch, SketchParams};
 pub use bed_stream::{BurstSpan, Burstiness, EventId, TimeRange, Timestamp};

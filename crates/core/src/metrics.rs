@@ -11,8 +11,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bed_hierarchy::QueryStats;
-use bed_obs::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
+use bed_obs::{ActiveTrace, Counter, Histogram, MetricsRegistry, MetricsSnapshot, Tracer};
 
+use crate::observe::span_for;
 use crate::query::QueryKind;
 
 /// Ingest latency is recorded on one ingest out of this many (power of two).
@@ -36,6 +37,7 @@ pub(crate) struct DetectorMetrics {
     point_queries: Arc<Counter>,
     pruned_subtrees: Arc<Counter>,
     leaves_probed: Arc<Counter>,
+    tracer: Arc<Tracer>,
 }
 
 impl DetectorMetrics {
@@ -60,8 +62,25 @@ impl DetectorMetrics {
             point_queries: registry.counter("query.stats.point_queries"),
             pruned_subtrees: registry.counter("query.stats.pruned_subtrees"),
             leaves_probed: registry.counter("query.stats.leaves_probed"),
+            tracer: Arc::new(Tracer::disabled()),
             registry,
         }
+    }
+
+    /// Installs a tracer (replacing the default disabled one).
+    pub(crate) fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = tracer;
+    }
+
+    pub(crate) fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// Starts a sampled root span for a query of `kind`. `None` on the
+    /// untraced path — a single relaxed load when tracing is off.
+    #[inline]
+    pub(crate) fn trace_query(&self, kind: QueryKind) -> Option<ActiveTrace<'_>> {
+        self.tracer.start_sampled(span_for(kind))
     }
 
     /// Counts one ingest attempt; returns a start instant on the sampled
@@ -164,7 +183,11 @@ impl DetectorMetrics {
 
 impl Clone for DetectorMetrics {
     fn clone(&self) -> Self {
-        Self::from_registry(self.registry.deep_clone(), self.enabled)
+        let mut clone = Self::from_registry(self.registry.deep_clone(), self.enabled);
+        // The tracer is deliberately shared, not deep-cloned: spans from a
+        // clone belong to the same diagnostic surface.
+        clone.tracer = Arc::clone(&self.tracer);
+        clone
     }
 }
 
@@ -179,6 +202,7 @@ pub(crate) struct ShardMetrics {
     batch_latency: Arc<Histogram>,
     fan_outs: Arc<Counter>,
     fan_out_latency: Arc<Histogram>,
+    tracer: Arc<Tracer>,
 }
 
 impl ShardMetrics {
@@ -194,8 +218,24 @@ impl ShardMetrics {
             batch_latency: registry.histogram("shard.batch.latency_ns"),
             fan_outs: registry.counter("shard.fan_out.count"),
             fan_out_latency: registry.histogram("shard.fan_out.latency_ns"),
+            tracer: Arc::new(Tracer::disabled()),
             registry,
         }
+    }
+
+    /// Installs a tracer on the facade (shards keep disabled tracers).
+    pub(crate) fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = tracer;
+    }
+
+    pub(crate) fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// Starts a sampled facade root span for a query of `kind`.
+    #[inline]
+    pub(crate) fn trace_query(&self, kind: QueryKind) -> Option<ActiveTrace<'_>> {
+        self.tracer.start_sampled(span_for(kind))
     }
 
     /// Starts timing one `ingest_batch` call of `len` elements.
@@ -243,7 +283,9 @@ impl ShardMetrics {
 
 impl Clone for ShardMetrics {
     fn clone(&self) -> Self {
-        Self::from_registry(self.registry.deep_clone(), self.enabled)
+        let mut clone = Self::from_registry(self.registry.deep_clone(), self.enabled);
+        clone.tracer = Arc::clone(&self.tracer);
+        clone
     }
 }
 

@@ -16,6 +16,7 @@ use bed_stream::{BurstSpan, Timestamp};
 
 use crate::detector::BurstDetector;
 use crate::error::BedError;
+use crate::observe::Traceable;
 use crate::pipeline::EventSink;
 use crate::query::{BurstQueries, QueryRequest, QueryResponse, QueryStrategy};
 
@@ -56,6 +57,16 @@ pub struct BurstMonitor<D = BurstDetector> {
     /// steady state allocation-free. Interior mutability keeps the query
     /// surface `&self`.
     scratch: RefCell<QueryScratch>,
+}
+
+impl<D: Traceable> Traceable for BurstMonitor<D> {
+    fn set_tracer(&mut self, tracer: std::sync::Arc<bed_obs::Tracer>) {
+        self.detector.set_tracer(tracer);
+    }
+
+    fn tracer(&self) -> &std::sync::Arc<bed_obs::Tracer> {
+        self.detector.tracer()
+    }
 }
 
 impl<D: BurstQueries + EventSink> BurstMonitor<D> {

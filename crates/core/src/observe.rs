@@ -1,0 +1,152 @@
+//! Tracer wiring across the detector stack.
+//!
+//! Every component on the request path — detectors, the sharded facade,
+//! the monitor, the pipeline, the WAL sink, the checkpointer — holds an
+//! `Arc<Tracer>` that defaults to [`Tracer::disabled`] (one relaxed load
+//! per would-be span, zero allocation). [`Traceable`] is the uniform
+//! installation surface: hand one enabled tracer to the outermost
+//! component and it propagates to whatever it wraps.
+//!
+//! Span taxonomy (names live in `bed-obs`'s closed table):
+//!
+//! - roots `query.{point,bursty_times,bursty_events,series,top_k}` with
+//!   children `stage.cell_probe`, `stage.median_combine`,
+//!   `stage.hierarchy_prune`, and (sharded) `shard.fan_out`;
+//! - sampled roots `pipeline.flush` and `wal.append`;
+//! - unsampled roots `checkpoint.save` / `checkpoint.recover` (rare and
+//!   heavyweight, so the sampler is bypassed).
+//!
+//! On a sharded detector the tracer is installed at the **facade only**:
+//! shard-local detectors keep disabled tracers so one request never starts
+//! competing root spans. The facade arms the `QueryScratch` stage clocks
+//! and harvests them into child spans regardless of which shard ran the
+//! kernels.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use bed_obs::{SpanName, Tracer};
+
+use crate::query::{QueryKind, QueryRequest};
+
+/// A component that carries a [`Tracer`] and can have one installed.
+///
+/// Installation is by `Arc`, so one tracer can serve a whole stack and a
+/// scrape endpoint can read its ring/slow-log while requests run.
+pub trait Traceable {
+    /// Installs `tracer`; replaces the (initially disabled) current one.
+    fn set_tracer(&mut self, tracer: Arc<Tracer>);
+    /// The currently installed tracer.
+    fn tracer(&self) -> &Arc<Tracer>;
+}
+
+/// Root span name for a query of `kind`.
+pub(crate) fn span_for(kind: QueryKind) -> SpanName {
+    match kind {
+        QueryKind::Point => SpanName::QUERY_POINT,
+        QueryKind::BurstyTimes => SpanName::QUERY_BURSTY_TIMES,
+        QueryKind::BurstyEvents => SpanName::QUERY_BURSTY_EVENTS,
+        QueryKind::Series => SpanName::QUERY_SERIES,
+        QueryKind::TopK => SpanName::QUERY_TOP_K,
+    }
+}
+
+/// Renders a request's parameters for the slow-query log. Only called when
+/// a traced query crosses the slow threshold — never on the fast path.
+pub(crate) fn request_params(request: &QueryRequest) -> String {
+    let mut s = String::with_capacity(96);
+    match request {
+        QueryRequest::Point { event, t, tau } => {
+            let _ = write!(s, "point event={} t={} tau={}", event.0, t.ticks(), tau.ticks());
+        }
+        QueryRequest::BurstyTimes { event, theta, tau, horizon } => {
+            let _ = write!(
+                s,
+                "bursty_times event={} theta={theta} tau={} horizon={}",
+                event.0,
+                tau.ticks(),
+                horizon.ticks()
+            );
+        }
+        QueryRequest::BurstyEvents { t, theta, tau, strategy } => {
+            let _ = write!(
+                s,
+                "bursty_events t={} theta={theta} tau={} strategy={strategy:?}",
+                t.ticks(),
+                tau.ticks()
+            );
+        }
+        QueryRequest::Series { event, tau, range, step } => {
+            let _ = write!(
+                s,
+                "series event={} tau={} range=[{},{}] step={step}",
+                event.0,
+                tau.ticks(),
+                range.start.ticks(),
+                range.end.ticks()
+            );
+        }
+        QueryRequest::TopK { event, k, tau, horizon } => {
+            let _ = write!(
+                s,
+                "top_k event={} k={k} tau={} horizon={}",
+                event.0,
+                tau.ticks(),
+                horizon.ticks()
+            );
+        }
+    }
+    s
+}
+
+/// Harvests the stage clocks accumulated in `scratch` into child spans of
+/// `trace`, then finishes the root. Shared by the plain and sharded query
+/// paths.
+pub(crate) fn finish_query_trace(
+    trace: bed_obs::ActiveTrace<'_>,
+    scratch: &bed_sketch::QueryScratch,
+    request: &QueryRequest,
+) {
+    let mut trace = trace;
+    let stages = &scratch.stages;
+    if stages.cell_probe_ns > 0 {
+        trace.child_ns(SpanName::STAGE_CELL_PROBE, stages.cell_probe_ns);
+    }
+    if stages.median_combine_ns > 0 {
+        trace.child_ns(SpanName::STAGE_MEDIAN_COMBINE, stages.median_combine_ns);
+    }
+    if stages.hierarchy_prune_ns > 0 {
+        trace.child_ns(SpanName::STAGE_HIERARCHY_PRUNE, stages.hierarchy_prune_ns);
+    }
+    trace.finish(|| request_params(request));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bed_stream::{BurstSpan, EventId, Timestamp};
+
+    #[test]
+    fn params_render_every_kind() {
+        let tau = BurstSpan::new(10).unwrap();
+        let reqs = [
+            QueryRequest::Point { event: EventId(1), t: Timestamp(5), tau },
+            QueryRequest::BurstyTimes {
+                event: EventId(2),
+                theta: 1.5,
+                tau,
+                horizon: Timestamp(99),
+            },
+            QueryRequest::BurstyEvents {
+                t: Timestamp(5),
+                theta: 2.0,
+                tau,
+                strategy: crate::QueryStrategy::Pruned,
+            },
+        ];
+        let rendered: Vec<String> = reqs.iter().map(request_params).collect();
+        assert!(rendered[0].starts_with("point event=1 t=5 tau=10"));
+        assert!(rendered[1].contains("theta=1.5"));
+        assert!(rendered[2].contains("strategy=Pruned"));
+    }
+}

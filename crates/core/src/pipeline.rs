@@ -8,7 +8,7 @@
 //! timestamp disorder) and ask historical burstiness questions on the other
 //! side.
 
-use bed_obs::MetricsSnapshot;
+use bed_obs::{MetricsSnapshot, SpanName, Tracer};
 use bed_stream::element::{EventMapper, Message, StreamElement};
 use bed_stream::reorder::{LatePolicy, ReorderBuffer};
 use bed_stream::{EventId, Timestamp};
@@ -16,6 +16,7 @@ use bed_stream::{EventId, Timestamp};
 use crate::detector::BurstDetector;
 use crate::error::BedError;
 use crate::metrics::PipelineMetrics;
+use crate::observe::Traceable;
 use crate::query::BurstQueries;
 use crate::shard::ShardedDetector;
 
@@ -107,6 +108,7 @@ pub struct MessagePipeline<M, D = BurstDetector> {
     messages: u64,
     unmapped: u64,
     metrics: PipelineMetrics,
+    tracer: std::sync::Arc<Tracer>,
 }
 
 impl<M: EventMapper, D: EventSink> MessagePipeline<M, D> {
@@ -124,6 +126,7 @@ impl<M: EventMapper, D: EventSink> MessagePipeline<M, D> {
             messages: 0,
             unmapped: 0,
             metrics: PipelineMetrics::new(),
+            tracer: std::sync::Arc::new(Tracer::disabled()),
         }
     }
 
@@ -152,9 +155,14 @@ impl<M: EventMapper, D: EventSink> MessagePipeline<M, D> {
         }
         self.batch.clear();
         self.batch.extend(self.ready.drain(..).map(|el| (el.event, el.ts)));
+        let trace = self.tracer.start_sampled(SpanName::PIPELINE_FLUSH);
         let started = self.metrics.flush_begin(self.batch.len());
         let result = self.detector.ingest_batch(&self.batch);
         self.metrics.flush_end(started);
+        if let Some(trace) = trace {
+            let n = self.batch.len();
+            trace.finish(|| format!("flush elements={n}"));
+        }
         result
     }
 
@@ -185,6 +193,19 @@ impl<M: EventMapper, D: EventSink> MessagePipeline<M, D> {
         self.flush_ready()?;
         self.detector.finalize();
         Ok(self.detector)
+    }
+}
+
+impl<M, D: Traceable> Traceable for MessagePipeline<M, D> {
+    /// Installs the tracer on the pipeline's flush path **and** the wrapped
+    /// detector's query path.
+    fn set_tracer(&mut self, tracer: std::sync::Arc<Tracer>) {
+        self.tracer = std::sync::Arc::clone(&tracer);
+        self.detector.set_tracer(tracer);
+    }
+
+    fn tracer(&self) -> &std::sync::Arc<Tracer> {
+        &self.tracer
     }
 }
 

@@ -26,13 +26,14 @@
 //! and matches the unsharded scan set for set.
 
 use bed_hierarchy::{BurstyEventHit, QueryStats};
-use bed_obs::MetricsSnapshot;
+use bed_obs::{MetricsSnapshot, SpanName, Tracer};
 use bed_stream::{BurstSpan, EventId, StreamError, TimeRange, Timestamp};
 
 use crate::config::DetectorConfig;
 use crate::detector::BurstDetector;
 use crate::error::BedError;
 use crate::metrics::ShardMetrics;
+use crate::observe::Traceable;
 use crate::query::{BurstQueries, QueryRequest, QueryResponse, QueryStrategy};
 
 /// Batches below this size are ingested inline: spawning scoped threads
@@ -502,7 +503,7 @@ impl ShardedDetector {
 impl BurstQueries for ShardedDetector {
     fn query(&self, request: &QueryRequest) -> Result<QueryResponse, BedError> {
         let mut scratch = bed_sketch::QueryScratch::new();
-        self.dispatch(request, &mut scratch)
+        self.query_reusing(request, &mut scratch)
     }
 
     fn query_reusing(
@@ -510,7 +511,29 @@ impl BurstQueries for ShardedDetector {
         request: &QueryRequest,
         scratch: &mut bed_sketch::QueryScratch,
     ) -> Result<QueryResponse, BedError> {
-        self.dispatch(request, scratch)
+        let kind = request.kind();
+        // The facade owns the root span; shard-local tracers stay disabled
+        // (see `set_tracer`), so arming the scratch here lets the shards'
+        // kernels accumulate stage timings that we harvest below.
+        let mut trace = self.metrics.trace_query(kind);
+        if trace.is_some() {
+            scratch.stages.reset(true);
+        } else if !scratch.stages.enabled {
+            scratch.stages.reset(false);
+        }
+        let fan_out_t0 = match (&trace, request) {
+            (Some(_), QueryRequest::BurstyEvents { .. }) => Some(std::time::Instant::now()),
+            _ => None,
+        };
+        let result = self.dispatch(request, scratch);
+        if let Some(mut tr) = trace.take() {
+            if let Some(t0) = fan_out_t0 {
+                tr.child(SpanName::SHARD_FAN_OUT, t0);
+            }
+            crate::observe::finish_query_trace(tr, scratch, request);
+            scratch.stages.reset(false);
+        }
+        result
     }
 
     fn arrivals(&self) -> u64 {
@@ -527,6 +550,20 @@ impl BurstQueries for ShardedDetector {
 
     fn metrics(&self) -> MetricsSnapshot {
         ShardedDetector::metrics(self)
+    }
+}
+
+impl Traceable for ShardedDetector {
+    /// Installs the tracer on the **facade only**. Shard-local detectors
+    /// keep their disabled tracers, so one request produces exactly one
+    /// root span (with shard kernels contributing stage children via the
+    /// armed scratch) instead of a competing root per shard.
+    fn set_tracer(&mut self, tracer: std::sync::Arc<Tracer>) {
+        self.metrics.set_tracer(tracer);
+    }
+
+    fn tracer(&self) -> &std::sync::Arc<Tracer> {
+        self.metrics.tracer()
     }
 }
 

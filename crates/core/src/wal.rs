@@ -38,6 +38,7 @@ use crate::checkpoint::{Checkpointable, RecoveryError, Watermark};
 use crate::config::DetectorConfig;
 use crate::error::BedError;
 use crate::metrics::WalMetrics;
+use crate::observe::Traceable;
 use crate::pipeline::EventSink;
 
 /// Magic tag of the WAL file.
@@ -221,6 +222,7 @@ pub fn read_wal(path: impl AsRef<Path>) -> Result<WalContents, RecoveryError> {
 pub struct WalSink<D> {
     wal: WalWriter,
     inner: D,
+    tracer: std::sync::Arc<bed_obs::Tracer>,
 }
 
 impl<D: EventSink + Checkpointable> WalSink<D> {
@@ -228,7 +230,7 @@ impl<D: EventSink + Checkpointable> WalSink<D> {
     /// and layout) and wraps `inner`.
     pub fn create(path: impl Into<PathBuf>, inner: D) -> Result<Self, RecoveryError> {
         let wal = WalWriter::create(path, Checkpointable::config(&inner), inner.layout_shards())?;
-        Ok(WalSink { wal, inner })
+        Ok(WalSink { wal, inner, tracer: std::sync::Arc::new(bed_obs::Tracer::disabled()) })
     }
 
     /// The wrapped detector.
@@ -248,11 +250,32 @@ impl<D: EventSink + Checkpointable> WalSink<D> {
     }
 
     fn log_and_sync(&mut self, batch: &[(EventId, Timestamp)]) -> Result<(), BedError> {
+        let trace = self.tracer.start_sampled(bed_obs::SpanName::WAL_APPEND);
         let log = |e: RecoveryError| BedError::Wal(e.to_string());
-        for &(event, ts) in batch {
-            self.wal.append(event, ts).map_err(log)?;
+        let result = (|| {
+            for &(event, ts) in batch {
+                self.wal.append(event, ts).map_err(log)?;
+            }
+            self.wal.sync().map_err(log)
+        })();
+        if let Some(trace) = trace {
+            let n = batch.len();
+            trace.finish(|| format!("wal records={n}"));
         }
-        self.wal.sync().map_err(log)
+        result
+    }
+}
+
+impl<D: EventSink + Checkpointable + Traceable> Traceable for WalSink<D> {
+    /// Installs the tracer on the append/sync path **and** the wrapped
+    /// detector.
+    fn set_tracer(&mut self, tracer: std::sync::Arc<bed_obs::Tracer>) {
+        self.tracer = std::sync::Arc::clone(&tracer);
+        self.inner.set_tracer(tracer);
+    }
+
+    fn tracer(&self) -> &std::sync::Arc<bed_obs::Tracer> {
+        &self.tracer
     }
 }
 

@@ -36,10 +36,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+//! Since v2 the crate also carries a std-only structured tracing layer:
+//! sampled root spans with [`TraceId`]s, per-stage child spans, a lock-free
+//! bounded [`TraceBuffer`] ring, a [`TraceEvent`] JSON-lines encoder, and a
+//! bounded slow-query log on the [`Tracer`]. The untraced path is a single
+//! relaxed atomic load and allocates nothing.
+
 mod metrics;
 mod registry;
 mod snapshot;
+mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, LATENCY_BOUNDS_NS};
 pub use registry::{Metric, MetricsRegistry};
-pub use snapshot::{MetricValue, MetricsSnapshot};
+pub use snapshot::{MetricValue, MetricsSnapshot, RenderEntry};
+pub use trace::{
+    ActiveTrace, SlowQuery, SpanName, TraceBuffer, TraceEvent, TraceId, Tracer, TracerConfig,
+    MAX_CHILDREN,
+};

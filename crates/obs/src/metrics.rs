@@ -302,6 +302,55 @@ mod tests {
     }
 
     #[test]
+    fn quantile_bound_edge_cases() {
+        // Empty histogram: every quantile is undefined.
+        let empty = Histogram::new().snapshot();
+        assert_eq!(empty.quantile_bound_ns(0.0), None);
+        assert_eq!(empty.quantile_bound_ns(0.5), None);
+        assert_eq!(empty.quantile_bound_ns(1.0), None);
+
+        // Single observation in a single bucket: every quantile — including
+        // the q=0.0 "minimum" (rank clamps to 1) — reports that bucket.
+        let h = Histogram::new();
+        h.record_ns(500); // bucket 1 (<=1000)
+        let s = h.snapshot();
+        assert_eq!(s.quantile_bound_ns(0.0), Some(1_000));
+        assert_eq!(s.quantile_bound_ns(0.5), Some(1_000));
+        assert_eq!(s.quantile_bound_ns(1.0), Some(1_000));
+
+        // Out-of-range q clamps rather than panicking or escaping the data.
+        assert_eq!(s.quantile_bound_ns(-3.0), Some(1_000));
+        assert_eq!(s.quantile_bound_ns(42.0), Some(1_000));
+
+        // q=0.0 vs q=1.0 with occupancy at both ends of the bound table.
+        let h = Histogram::new();
+        h.record_ns(1); // bucket 0
+        h.record_ns(2_000_000_000); // overflow bucket
+        let s = h.snapshot();
+        assert_eq!(s.quantile_bound_ns(0.0), Some(250));
+        assert_eq!(s.quantile_bound_ns(0.5), Some(250));
+        assert_eq!(s.quantile_bound_ns(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_merge_with_disjoint_bucket_occupancy() {
+        let a = Histogram::new();
+        a.record_ns(100); // bucket 0 only
+        a.record_ns(200); // bucket 0 only
+        let b = Histogram::new();
+        b.record_ns(100_000); // bucket 5 (<=250_000) only
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(m.count, 3);
+        assert_eq!(m.sum_ns, 100 + 200 + 100_000);
+        assert_eq!(m.buckets[0], 2, "left-side occupancy preserved");
+        assert_eq!(m.buckets[5], 1, "right-side occupancy preserved");
+        assert_eq!(m.buckets.iter().sum::<u64>(), 3, "no counts invented elsewhere");
+        // Quantiles over the merged histogram see both sides.
+        assert_eq!(m.quantile_bound_ns(0.5), Some(250));
+        assert_eq!(m.quantile_bound_ns(1.0), Some(250_000));
+    }
+
+    #[test]
     fn observe_duration() {
         let h = Histogram::new();
         h.observe(Duration::from_micros(2));

@@ -101,6 +101,11 @@ impl MetricsSnapshot {
     /// shards), and names present on one side only pass through. Summing is
     /// the right default for the sharded rollup; keep distinct names for
     /// readings where a sum is meaningless.
+    ///
+    /// The same name carrying different metric types on the two sides is a
+    /// bug in the producing registries and debug-asserts. In release builds
+    /// the **last writer wins**: the value from `other` replaces the one in
+    /// `self`, mirroring the duplicate-name rule of [`Self::from_entries`].
     pub fn merge(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
         let mut merged: Vec<(String, MetricValue)> = Vec::new();
         let (mut i, mut j) = (0, 0);
@@ -134,9 +139,16 @@ impl MetricsSnapshot {
             (MetricValue::Histogram(x), MetricValue::Histogram(y)) => {
                 MetricValue::Histogram(x.merge(y))
             }
-            // Type clash across sides: keep the left reading rather than
-            // invent a unit; registries under our control never hit this.
-            _ => a.clone(),
+            // Type clash across sides: a producer bug. Last writer wins
+            // (the `other` side), consistent with `from_entries`.
+            _ => {
+                debug_assert!(
+                    false,
+                    "MetricsSnapshot::merge: metric type clash ({a:?} vs {b:?}); \
+                     last writer wins"
+                );
+                b.clone()
+            }
         }
     }
 
@@ -186,12 +198,21 @@ impl MetricsSnapshot {
         out
     }
 
+    /// Classifies every metric for rendering. This is the single iteration
+    /// path shared by [`Self::to_text`] and [`Self::to_openmetrics`], so the
+    /// two surfaces can never disagree about which metrics exist or how a
+    /// dotted name maps onto an exposition family and label.
+    pub fn render_entries(&self) -> Vec<RenderEntry<'_>> {
+        self.entries.iter().map(|(name, value)| RenderEntry::classify(name, value)).collect()
+    }
+
     /// Renders the snapshot as aligned human-readable text, one metric per
     /// line. Histograms summarise as count / mean / p50 / p99 bucket bounds.
     pub fn to_text(&self) -> String {
         let width = self.entries.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
         let mut out = String::new();
-        for (name, value) in self.iter() {
+        for entry in self.render_entries() {
+            let (name, value) = (entry.name, entry.value);
             let _ = write!(out, "{name:<width$}  ");
             match value {
                 MetricValue::Counter(v) => {
@@ -218,6 +239,194 @@ impl MetricsSnapshot {
         }
         out
     }
+
+    /// Renders the snapshot in the OpenMetrics text exposition format
+    /// (`application/openmetrics-text`), terminated by `# EOF`.
+    ///
+    /// Conventions:
+    /// - every family is prefixed `bed_` and dots become underscores;
+    /// - `shard.<n>.<rest>` collapses into one `bed_shard_<rest>` family
+    ///   with a `shard="<n>"` label, `structure.<layer>.<rest>` into
+    ///   `bed_structure_<rest>` with a `layer="..."` label;
+    /// - counters gain the `_total` sample suffix, histograms render
+    ///   cumulative `_bucket{le="..."}` series plus `_sum` / `_count`;
+    /// - label values are escaped per the OpenMetrics ABNF (backslash,
+    ///   quote, newline).
+    pub fn to_openmetrics(&self) -> String {
+        let mut entries = self.render_entries();
+        // Group label-bearing series (shard.0.x, shard.1.x, ...) into one
+        // family block; the tie-break keeps the original name order stable.
+        entries.sort_by(|a, b| a.family.cmp(&b.family).then(a.name.cmp(b.name)));
+        let mut out = String::new();
+        let mut i = 0;
+        while i < entries.len() {
+            let family = entries[i].family.clone();
+            let end = entries[i..]
+                .iter()
+                .position(|e| e.family != family)
+                .map(|p| i + p)
+                .unwrap_or(entries.len());
+            let kind = match entries[i].value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# HELP {family} {}", escape_help(&entries[i].help));
+            let _ = writeln!(out, "# TYPE {family} {kind}");
+            for entry in &entries[i..end] {
+                entry.write_openmetrics_samples(&mut out);
+            }
+            i = end;
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+}
+
+/// One metric classified for rendering: the original dotted name plus its
+/// OpenMetrics family name and extracted label. Produced by
+/// [`MetricsSnapshot::render_entries`] — the iteration helper shared by the
+/// text and OpenMetrics renderers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderEntry<'a> {
+    /// Original dotted metric name.
+    pub name: &'a str,
+    /// OpenMetrics family name (`bed_` prefix, sanitised, label stripped).
+    pub family: String,
+    /// Dotted name with any label segment replaced by `*` (used as HELP).
+    pub help: String,
+    /// Label extracted from the name, e.g. `("shard", "3")`.
+    pub label: Option<(&'static str, String)>,
+    /// The captured value.
+    pub value: &'a MetricValue,
+}
+
+impl<'a> RenderEntry<'a> {
+    fn classify(name: &'a str, value: &'a MetricValue) -> RenderEntry<'a> {
+        let mut parts = name.splitn(3, '.');
+        let (first, second, rest) = (parts.next(), parts.next(), parts.next());
+        let (base, help, label) = match (first, second, rest) {
+            (Some("shard"), Some(ix), Some(rest))
+                if !ix.is_empty() && ix.bytes().all(|b| b.is_ascii_digit()) =>
+            {
+                (
+                    format!("shard.{rest}"),
+                    format!("shard.*.{rest}"),
+                    Some(("shard", ix.to_string())),
+                )
+            }
+            (Some("structure"), Some(layer), Some(rest)) => (
+                format!("structure.{rest}"),
+                format!("structure.*.{rest}"),
+                Some(("layer", layer.to_string())),
+            ),
+            _ => (name.to_string(), name.to_string(), None),
+        };
+        RenderEntry { name, family: family_name(&base), help, label, value }
+    }
+
+    /// Renders this entry's label set, with `extra` (e.g. `le="250"`)
+    /// appended. Empty string when there are no labels at all.
+    fn label_set(&self, extra: Option<&str>) -> String {
+        let mut inner = String::new();
+        if let Some((key, value)) = &self.label {
+            let _ = write!(inner, "{key}=\"{}\"", escape_label_value(value));
+        }
+        if let Some(extra) = extra {
+            if !inner.is_empty() {
+                inner.push(',');
+            }
+            inner.push_str(extra);
+        }
+        if inner.is_empty() {
+            inner
+        } else {
+            format!("{{{inner}}}")
+        }
+    }
+
+    fn write_openmetrics_samples(&self, out: &mut String) {
+        let family = &self.family;
+        match self.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{family}_total{} {v}", self.label_set(None));
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{family}{} {}", self.label_set(None), openmetrics_f64(*v));
+            }
+            MetricValue::Histogram(h) => {
+                let mut cumulative = 0u64;
+                for (i, c) in h.buckets.iter().enumerate() {
+                    cumulative += c;
+                    let le = match LATENCY_BOUNDS_NS.get(i) {
+                        Some(bound) => format!("le=\"{bound}\""),
+                        None => "le=\"+Inf\"".to_string(),
+                    };
+                    let _ =
+                        writeln!(out, "{family}_bucket{} {cumulative}", self.label_set(Some(&le)));
+                }
+                let _ = writeln!(out, "{family}_sum{} {}", self.label_set(None), h.sum_ns);
+                let _ = writeln!(out, "{family}_count{} {}", self.label_set(None), h.count);
+            }
+        }
+    }
+}
+
+/// Maps a dotted base name onto a valid OpenMetrics family name:
+/// `bed_` prefix, dots to underscores, anything outside `[a-zA-Z0-9_:]`
+/// replaced by `_`.
+fn family_name(base: &str) -> String {
+    let mut out = String::with_capacity(base.len() + 4);
+    out.push_str("bed_");
+    for ch in base.chars() {
+        match ch {
+            '.' => out.push('_'),
+            c if c.is_ascii_alphanumeric() || c == '_' || c == ':' => out.push(c),
+            _ => out.push('_'),
+        }
+    }
+    out
+}
+
+/// Escapes an OpenMetrics label value: backslash, double quote, newline.
+fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes OpenMetrics HELP text: backslash and newline only.
+fn escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` for OpenMetrics sample lines, which — unlike JSON —
+/// spell non-finite readings as `NaN` / `+Inf` / `-Inf`.
+fn openmetrics_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v}")
+    }
 }
 
 fn fmt_bound(b: Option<u64>) -> String {
@@ -232,6 +441,13 @@ fn fmt_bound(b: Option<u64>) -> String {
 /// in practice, but the escaper is complete for control chars and quotes.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
+    push_json_string(&mut out, s);
+    out
+}
+
+/// Appends `s` to `out` as a quoted, escaped JSON string literal. Shared
+/// with the trace module's slow-query encoder.
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
         match ch {
@@ -247,7 +463,6 @@ fn json_string(s: &str) -> String {
         }
     }
     out.push('"');
-    out
 }
 
 /// Formats an `f64` as a JSON value: shortest round-trip decimal for finite
@@ -344,6 +559,110 @@ mod tests {
     fn non_finite_gauge_renders_null() {
         let s = MetricsSnapshot::from_entries([("g".to_owned(), MetricValue::Gauge(f64::NAN))]);
         assert!(s.to_json().contains("\"value\":null"));
+    }
+
+    /// Pins the satellite contract: a type clash in `merge` debug-asserts.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "metric type clash")]
+    fn merge_type_clash_debug_asserts() {
+        let a = MetricsSnapshot::from_entries([("x".to_owned(), MetricValue::Counter(1))]);
+        let b = MetricsSnapshot::from_entries([(
+            "x".to_owned(),
+            MetricValue::Histogram(Histogram::new().snapshot()),
+        )]);
+        let _ = a.merge(&b);
+    }
+
+    /// Pins the satellite contract: in release builds the clash resolves
+    /// last-writer-wins — the value from `other` replaces `self`'s.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn merge_type_clash_last_writer_wins() {
+        let a = MetricsSnapshot::from_entries([("x".to_owned(), MetricValue::Counter(1))]);
+        let b = MetricsSnapshot::from_entries([("x".to_owned(), MetricValue::Gauge(7.0))]);
+        let m = a.merge(&b);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.gauge("x"), Some(7.0));
+        // And symmetric: merging the other way keeps the counter.
+        assert_eq!(b.merge(&a).counter("x"), Some(1));
+    }
+
+    #[test]
+    fn openmetrics_counter_and_framing() {
+        let s =
+            MetricsSnapshot::from_entries([("ingest.count".to_owned(), MetricValue::Counter(5))]);
+        assert_eq!(
+            s.to_openmetrics(),
+            "# HELP bed_ingest_count ingest.count\n\
+             # TYPE bed_ingest_count counter\n\
+             bed_ingest_count_total 5\n\
+             # EOF\n"
+        );
+    }
+
+    #[test]
+    fn openmetrics_groups_shard_series_under_one_family() {
+        let s = MetricsSnapshot::from_entries([
+            ("shard.0.arrivals".to_owned(), MetricValue::Gauge(10.0)),
+            ("shard.1.arrivals".to_owned(), MetricValue::Gauge(20.0)),
+            ("shard.count".to_owned(), MetricValue::Gauge(2.0)),
+        ]);
+        let om = s.to_openmetrics();
+        assert_eq!(om.matches("# TYPE bed_shard_arrivals gauge").count(), 1);
+        assert!(om.contains("bed_shard_arrivals{shard=\"0\"} 10\n"));
+        assert!(om.contains("bed_shard_arrivals{shard=\"1\"} 20\n"));
+        assert!(om.contains("# HELP bed_shard_arrivals shard.*.arrivals\n"));
+        assert!(om.contains("bed_shard_count 2\n"), "non-numeric second segment is not a label");
+        assert!(om.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn openmetrics_layer_label_and_escaping() {
+        let s = MetricsSnapshot::from_entries([(
+            "structure.we\"ird\\.bytes".to_owned(),
+            MetricValue::Gauge(1.0),
+        )]);
+        let om = s.to_openmetrics();
+        assert!(om.contains("bed_structure_bytes{layer=\"we\\\"ird\\\\\"} 1\n"));
+    }
+
+    #[test]
+    fn openmetrics_histogram_buckets_are_cumulative() {
+        let h = Histogram::new();
+        h.record_ns(100); // first bucket (<=250)
+        h.record_ns(5_000); // fourth bucket (<=16000)
+        let s = MetricsSnapshot::from_entries([(
+            "query.point.latency_ns".to_owned(),
+            MetricValue::Histogram(h.snapshot()),
+        )]);
+        let om = s.to_openmetrics();
+        assert!(om.contains("# TYPE bed_query_point_latency_ns histogram\n"));
+        assert!(om.contains("bed_query_point_latency_ns_bucket{le=\"250\"} 1\n"));
+        assert!(om.contains("bed_query_point_latency_ns_bucket{le=\"16000\"} 2\n"));
+        assert!(om.contains("bed_query_point_latency_ns_bucket{le=\"+Inf\"} 2\n"));
+        assert!(om.contains("bed_query_point_latency_ns_sum 5100\n"));
+        assert!(om.contains("bed_query_point_latency_ns_count 2\n"));
+    }
+
+    #[test]
+    fn openmetrics_non_finite_gauges() {
+        let s = MetricsSnapshot::from_entries([
+            ("a".to_owned(), MetricValue::Gauge(f64::NAN)),
+            ("b".to_owned(), MetricValue::Gauge(f64::INFINITY)),
+        ]);
+        let om = s.to_openmetrics();
+        assert!(om.contains("bed_a NaN\n"));
+        assert!(om.contains("bed_b +Inf\n"));
+    }
+
+    #[test]
+    fn render_entries_covers_every_metric_once() {
+        let s = snap();
+        let entries = s.render_entries();
+        assert_eq!(entries.len(), s.len());
+        let names: Vec<&str> = entries.iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["a.gauge", "b.count", "c.lat"]);
     }
 
     #[test]

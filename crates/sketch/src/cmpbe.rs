@@ -365,7 +365,7 @@ impl<P: CurveSketch> CmPbe<P> {
         let t1 = t.checked_sub(tau.ticks());
         let t2 = t.checked_sub(tau.ticks().saturating_mul(2));
         let ncells = self.cells.len();
-        let QueryScratch { cells, order, probes, .. } = scratch;
+        let QueryScratch { cells, order, probes, stages, .. } = scratch;
         // Resolve each candidate's cell per row exactly once (one hash each).
         cells.clear();
         cells.resize(count * d, 0);
@@ -376,6 +376,7 @@ impl<P: CurveSketch> CmPbe<P> {
         }
         probes.clear();
         probes.resize(ncells * 3, 0.0);
+        let probe_t0 = stages.enabled.then(std::time::Instant::now);
         if count >= self.width() {
             // Dense scan: nearly every cell is some candidate's — probe the
             // whole table row-major, one sequential cache-friendly pass.
@@ -393,6 +394,10 @@ impl<P: CurveSketch> CmPbe<P> {
                 }
             }
         }
+        if let Some(t0) = probe_t0 {
+            stages.cell_probe_ns += t0.elapsed().as_nanos() as u64;
+        }
+        let combine_t0 = stages.enabled.then(std::time::Instant::now);
         let mut v0 = [0.0f64; MEDIAN_STACK];
         let mut v1 = [0.0f64; MEDIAN_STACK];
         let mut v2 = [0.0f64; MEDIAN_STACK];
@@ -407,6 +412,9 @@ impl<P: CurveSketch> CmPbe<P> {
             let f1 = if t1.is_some() { median_stack(&mut v1[..d]) } else { 0.0 };
             let f2 = if t2.is_some() { median_stack(&mut v2[..d]) } else { 0.0 };
             emit(EventId(lo + i as u32), f0 - 2.0 * f1 + f2);
+        }
+        if let Some(t0) = combine_t0 {
+            stages.median_combine_ns += t0.elapsed().as_nanos() as u64;
         }
     }
 
@@ -433,7 +441,7 @@ impl<P: CurveSketch> CmPbe<P> {
     ) {
         out.clear();
         let d = self.depth();
-        let QueryScratch { times, knees, probes, order, .. } = scratch;
+        let QueryScratch { times, knees, probes, order, stages, .. } = scratch;
         // Sort the knees alone, then produce the `+0/+τ/+2τ` echo candidates
         // by a three-way merge of the shifted knee streams — O(n) instead of
         // sorting a 3n-element echo list.
@@ -520,6 +528,7 @@ impl<P: CurveSketch> CmPbe<P> {
         let npos = knees.len();
         probes.clear();
         probes.resize(d * npos, 0.0);
+        let probe_t0 = stages.enabled.then(std::time::Instant::now);
         for row in 0..d {
             let cell = &self.cells[self.cell_index(row, event)];
             let mut h = CumHint::new();
@@ -528,6 +537,10 @@ impl<P: CurveSketch> CmPbe<P> {
                 probes[base + i] = cell.estimate_cum_hinted(Timestamp(pos), &mut h);
             }
         }
+        if let Some(t0) = probe_t0 {
+            stages.cell_probe_ns += t0.elapsed().as_nanos() as u64;
+        }
+        let combine_t0 = stages.enabled.then(std::time::Instant::now);
         let mut v0 = [0.0f64; MEDIAN_STACK];
         let mut v1 = [0.0f64; MEDIAN_STACK];
         let mut v2 = [0.0f64; MEDIAN_STACK];
@@ -546,6 +559,9 @@ impl<P: CurveSketch> CmPbe<P> {
             if b >= theta {
                 out.push((Timestamp(tick), b));
             }
+        }
+        if let Some(t0) = combine_t0 {
+            stages.median_combine_ns += t0.elapsed().as_nanos() as u64;
         }
     }
 
@@ -741,12 +757,50 @@ pub struct QueryScratch {
     times: Vec<u64>,
     /// Sorted, deduplicated knees feeding the candidate merge.
     knees: Vec<u64>,
+    /// Per-stage kernel timings, armed by a tracing root (see
+    /// [`StageTimings`]). Defaults to disarmed: the kernels then skip every
+    /// clock read.
+    pub stages: StageTimings,
 }
 
 impl QueryScratch {
     /// An empty scratch; buffers grow on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+/// Per-stage wall-clock accumulators for one traced query.
+///
+/// This is how the sampler decision reaches the query kernels without
+/// `bed-sketch` depending on any tracing machinery: the component that owns
+/// the root span arms the scratch via [`StageTimings::reset`]`(true)`, the
+/// kernels accumulate nanoseconds into these plain fields (two
+/// `Instant::now()` pairs per kernel call, no allocation), and the root
+/// harvests them into child spans. When disarmed — the default — the only
+/// cost is a branch on [`StageTimings::enabled`].
+///
+/// Grids deeper than [`MEDIAN_STACK`] fall back to per-event estimation and
+/// record nothing; stage spans then simply do not appear under the root.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Whether the kernels should time their stages.
+    pub enabled: bool,
+    /// Nanoseconds spent probing cells (fused Eq. 2 offset resolution).
+    pub cell_probe_ns: u64,
+    /// Nanoseconds spent in cross-row median combination and emission.
+    pub median_combine_ns: u64,
+    /// Nanoseconds spent in the dyadic pruned search (recorded by the
+    /// hierarchy caller, carried here so one struct reaches the root).
+    pub hierarchy_prune_ns: u64,
+}
+
+impl StageTimings {
+    /// Clears the accumulators and arms (`enabled = true`) or disarms the
+    /// stage clocks. Called by whoever starts the root span, once per query.
+    #[inline]
+    pub fn reset(&mut self, enabled: bool) {
+        *self = StageTimings { enabled, ..StageTimings::default() };
     }
 }
 

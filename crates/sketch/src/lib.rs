@@ -31,7 +31,7 @@ pub mod countmin;
 pub mod hash;
 pub mod params;
 
-pub use cmpbe::{CmPbe, CmStructure, Combiner, QueryScratch, MEDIAN_STACK};
+pub use cmpbe::{CmPbe, CmStructure, Combiner, QueryScratch, StageTimings, MEDIAN_STACK};
 pub use countmin::CountMin;
 pub use hash::HashFamily;
 pub use params::SketchParams;

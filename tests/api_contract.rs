@@ -297,6 +297,85 @@ fn metrics_snapshot_json_is_golden() {
     assert_eq!(snap.to_json(), snap.to_json(), "rendering is deterministic");
 }
 
+/// The OpenMetrics rendering is byte-stable too — the exact text `bed
+/// serve` puts on the `/metrics` wire and `bed stats --format openmetrics`
+/// prints: `# HELP`/`# TYPE` framing, the `_total` counter suffix,
+/// cumulative `_bucket`/`_sum`/`_count` histogram series, label extraction
+/// with OpenMetrics escaping, and the `# EOF` terminator.
+#[test]
+fn metrics_snapshot_openmetrics_is_golden() {
+    let h = Histogram::new();
+    h.record_ns(100); // first bucket
+    h.record_ns(2_000_000_000); // overflow bucket
+    let snap = MetricsSnapshot::from_entries([
+        ("ingest.count".to_owned(), MetricValue::Counter(3)),
+        ("ingest.latency_ns".to_owned(), MetricValue::Histogram(h.snapshot())),
+        ("shard.0.ingest.count".to_owned(), MetricValue::Counter(1)),
+        ("shard.10.ingest.count".to_owned(), MetricValue::Counter(2)),
+        ("structure.we\"ird\\.bytes".to_owned(), MetricValue::Gauge(1.0)),
+    ]);
+    let golden = concat!(
+        "# HELP bed_ingest_count ingest.count\n",
+        "# TYPE bed_ingest_count counter\n",
+        "bed_ingest_count_total 3\n",
+        "# HELP bed_ingest_latency_ns ingest.latency_ns\n",
+        "# TYPE bed_ingest_latency_ns histogram\n",
+        "bed_ingest_latency_ns_bucket{le=\"250\"} 1\n",
+        "bed_ingest_latency_ns_bucket{le=\"1000\"} 1\n",
+        "bed_ingest_latency_ns_bucket{le=\"4000\"} 1\n",
+        "bed_ingest_latency_ns_bucket{le=\"16000\"} 1\n",
+        "bed_ingest_latency_ns_bucket{le=\"64000\"} 1\n",
+        "bed_ingest_latency_ns_bucket{le=\"250000\"} 1\n",
+        "bed_ingest_latency_ns_bucket{le=\"1000000\"} 1\n",
+        "bed_ingest_latency_ns_bucket{le=\"4000000\"} 1\n",
+        "bed_ingest_latency_ns_bucket{le=\"16000000\"} 1\n",
+        "bed_ingest_latency_ns_bucket{le=\"64000000\"} 1\n",
+        "bed_ingest_latency_ns_bucket{le=\"250000000\"} 1\n",
+        "bed_ingest_latency_ns_bucket{le=\"1000000000\"} 1\n",
+        "bed_ingest_latency_ns_bucket{le=\"+Inf\"} 2\n",
+        "bed_ingest_latency_ns_sum 2000000100\n",
+        "bed_ingest_latency_ns_count 2\n",
+        "# HELP bed_shard_ingest_count shard.*.ingest.count\n",
+        "# TYPE bed_shard_ingest_count counter\n",
+        "bed_shard_ingest_count_total{shard=\"0\"} 1\n",
+        "bed_shard_ingest_count_total{shard=\"10\"} 2\n",
+        "# HELP bed_structure_bytes structure.*.bytes\n",
+        "# TYPE bed_structure_bytes gauge\n",
+        "bed_structure_bytes{layer=\"we\\\"ird\\\\\"} 1\n",
+        "# EOF\n",
+    );
+    assert_eq!(snap.to_openmetrics(), golden);
+    assert_eq!(snap.to_openmetrics(), snap.to_openmetrics(), "rendering is deterministic");
+}
+
+/// A live detector's snapshot renders as well-formed OpenMetrics: framed
+/// family blocks, sample lines that belong to the preceding family, and
+/// nothing after `# EOF`.
+#[test]
+fn live_detector_openmetrics_is_well_formed() {
+    let (_, sharded) = contract_pair();
+    let tau = BurstSpan::new(20).unwrap();
+    sharded.query(&QueryRequest::Point { event: EventId(6), t: Timestamp(329), tau }).unwrap();
+    let text = sharded.metrics().to_openmetrics();
+    assert!(text.ends_with("# EOF\n"), "{text}");
+    let mut current_family: Option<String> = None;
+    for line in text.lines() {
+        if line == "# EOF" {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ").or_else(|| line.strip_prefix("# TYPE ")) {
+            current_family = rest.split_whitespace().next().map(str::to_owned);
+            continue;
+        }
+        let family = current_family.as_deref().expect("sample line before any family block");
+        assert!(line.starts_with(family), "sample '{line}' does not belong to family '{family}'");
+        assert!(line.rsplit(' ').next().is_some_and(|v| !v.is_empty()), "{line}");
+    }
+    // per-shard gauges show up as labelled series of one family
+    assert!(text.contains("bed_shard_arrivals{shard=\"0\"}"), "{text}");
+    assert!(text.contains("bed_shard_arrivals{shard=\"2\"}"), "{text}");
+}
+
 /// Counters only ever move forward: successive snapshots of a live detector
 /// are monotone in every counter, and work done between them shows up.
 #[test]
