@@ -144,6 +144,9 @@ pub enum Command {
         watch_tau: u64,
         /// Milliseconds between watch queries (0 disables the watcher).
         watch_every_ms: u64,
+        /// Publish a query epoch every this many arrivals (`/query`
+        /// answers from the latest published epoch).
+        publish_every: u64,
     },
     /// `bed ingest` — durable build: WAL every arrival, checkpoint
     /// periodically, survive a kill at any instant.
@@ -485,6 +488,10 @@ where
                 return Err(CliError::Usage("serve: --watch-tau must be positive".into()));
             }
             let watch_every_ms = o.optional_num("watch-every-ms", 500u64)?;
+            let publish_every = o.optional_num("publish-every", 8_192u64)?;
+            if publish_every == 0 {
+                return Err(CliError::Usage("serve: --publish-every must be positive".into()));
+            }
             o.finish()?;
             Ok(Command::Serve {
                 input,
@@ -495,6 +502,7 @@ where
                 watch_theta,
                 watch_tau,
                 watch_every_ms,
+                publish_every,
             })
         }
         "ingest" => {
@@ -781,7 +789,14 @@ mod tests {
     fn serve_defaults_and_shared_detector_flags() {
         let c = parse_ok(&["serve", "--input", "s.tsv", "--universe", "8"]);
         let Command::Serve {
-            input, addr, flags, sample, slow_threshold_ns, watch_every_ms, ..
+            input,
+            addr,
+            flags,
+            sample,
+            slow_threshold_ns,
+            watch_every_ms,
+            publish_every,
+            ..
         } = c
         else {
             panic!("expected serve");
@@ -793,6 +808,7 @@ mod tests {
         assert_eq!(sample, 1);
         assert_eq!(slow_threshold_ns, 10_000_000);
         assert_eq!(watch_every_ms, 500);
+        assert_eq!(publish_every, 8_192);
 
         let c = parse_ok(&[
             "serve",
@@ -815,14 +831,25 @@ mod tests {
             "60",
             "--watch-every-ms",
             "50",
+            "--publish-every",
+            "1024",
         ]);
-        let Command::Serve { flags, sample, slow_threshold_ns, watch_theta, watch_tau, .. } = c
+        let Command::Serve {
+            flags,
+            sample,
+            slow_threshold_ns,
+            watch_theta,
+            watch_tau,
+            publish_every,
+            ..
+        } = c
         else {
             panic!("expected serve");
         };
         assert!(flags.flat && flags.shards == 4);
         assert_eq!((sample, slow_threshold_ns), (8, 0));
         assert_eq!((watch_theta, watch_tau), (2.5, 60));
+        assert_eq!(publish_every, 1024);
 
         // serve shares build/ingest's detector-flag validation
         let e = parse(["serve", "--input", "s", "--shards", "2"]).unwrap_err().to_string();
@@ -830,6 +857,8 @@ mod tests {
         let e = parse(["serve", "--input", "s", "--variant", "pbe9"]).unwrap_err().to_string();
         assert!(e.contains("pbe1"), "{e}");
         let e = parse(["serve", "--input", "s", "--watch-tau", "0"]).unwrap_err().to_string();
+        assert!(e.contains("positive"), "{e}");
+        let e = parse(["serve", "--input", "s", "--publish-every", "0"]).unwrap_err().to_string();
         assert!(e.contains("positive"), "{e}");
     }
 }

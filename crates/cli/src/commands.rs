@@ -100,6 +100,7 @@ pub fn execute(command: Command) -> Result<String, CliError> {
             watch_theta,
             watch_tau,
             watch_every_ms,
+            publish_every,
         } => crate::serve::serve(
             &input,
             &flags,
@@ -110,6 +111,7 @@ pub fn execute(command: Command) -> Result<String, CliError> {
                 watch_theta,
                 watch_tau,
                 watch_every_ms,
+                publish_every,
             },
         ),
         Command::Ingest {

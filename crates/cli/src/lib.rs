@@ -22,6 +22,7 @@
 
 pub mod args;
 pub mod commands;
+mod json;
 pub mod serve;
 
 use std::fmt;
@@ -117,7 +118,9 @@ COMMANDS:
     times      bursty-time query: when was an event bursty?
     events     bursty-event query: which events were bursty at a time?
     stats      metrics snapshot of a persisted sketch (--format json|text|openmetrics)
-    serve      ingest a stream while serving GET /metrics, /healthz, /slow over HTTP
+    serve      ingest a stream while serving queries over HTTP: GET/POST /query
+               (JSON, answered from the latest published epoch), plus
+               GET /metrics, /healthz, /slow
 
 Run `bed <command> --help` semantics: every command lists its options on a
 usage error."

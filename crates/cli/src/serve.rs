@@ -1,22 +1,32 @@
-//! `bed serve` — a hand-rolled HTTP/1.1 scrape endpoint over a live
-//! ingest.
+//! `bed serve` — a hand-rolled HTTP/1.1 query server over a live ingest.
 //!
 //! The container builds offline, so there is no HTTP framework: a
 //! non-blocking [`TcpListener`] accept loop parses just enough of HTTP/1.1
-//! to answer three `GET` routes, always closing the connection afterwards:
+//! to answer a handful of routes, always closing the connection afterwards:
 //!
-//! - `/metrics` — the detector's metrics merged with the tracer's own,
-//!   rendered as OpenMetrics text exposition;
-//! - `/healthz` — liveness (`ok`);
-//! - `/slow` — the tracer's slow-query log as a JSON array.
+//! - `GET`/`POST /query` — one of the five canonical [`QueryRequest`]
+//!   kinds, as query-string parameters or a JSON body. Answers come from
+//!   the **latest published epoch** ([`bed_core::DetectorEpochs`]), so
+//!   queries never wait on the ingest lock; every answer is stamped with
+//!   the epoch it came from (`generation`, `arrivals`, `last_ts`).
+//! - `GET /metrics` — the detector's metrics merged with the tracer's and
+//!   the epoch publisher's, rendered as OpenMetrics text exposition;
+//! - `GET /healthz` — liveness (`ok`);
+//! - `GET /slow` — the tracer's slow-query log as a JSON array.
 //!
 //! While the responder runs, a background thread drains the input TSV
-//! stream into the detector and fires a periodic traced "watch"
-//! bursty-event query, so the slow log and query metrics carry live
-//! content without an external client. Shutdown is cooperative: the
-//! `SIGTERM`/`SIGINT` handler installed by `main` (or a test harness)
-//! flips an [`AtomicBool`] and the accept loop notices within one poll
-//! interval, then joins the ingest thread and returns a summary line.
+//! stream into the detector, publishing an epoch every `--publish-every`
+//! arrivals (plus a final publish once the stream is drained) and firing a
+//! periodic traced "watch" bursty-event query so the slow log and query
+//! metrics carry live content without an external client.
+//!
+//! Each accepted connection is handled on its own scoped thread. That
+//! keeps a slow client from stalling other requests, and it is also the
+//! shutdown correctness story: `SIGTERM`/`SIGINT` flips an [`AtomicBool`],
+//! the accept loop stops accepting within one poll interval, and the
+//! enclosing [`std::thread::scope`] joins every in-flight connection
+//! thread — a response that was being written when the signal arrived is
+//! always finished before the listener closes and the process exits.
 
 use std::io::{ErrorKind, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -25,16 +35,27 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use bed_core::{
-    AnyDetector, QueryRequest, QueryScratch, QueryStrategy, Traceable as _, Tracer, TracerConfig,
+    AnyDetector, BurstQueries as _, BurstSpan, CheckpointPolicy, DetectorEpochs, EpochPublisher,
+    EventId, QueryRequest, QueryResponse, QueryScratch, QueryStrategy, TimeRange, Timestamp,
+    Traceable as _, Tracer, TracerConfig, Watermark,
 };
-use bed_stream::{BurstSpan, EventId, Timestamp};
 
 use crate::args::DetectorFlags;
 use crate::commands::{detector_from_flags, read_elements};
+use crate::json::{self, Json};
 use crate::CliError;
 
 /// Process-wide shutdown flag flipped by the signal handler in `main`.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Request headers larger than this are refused outright.
+const MAX_HEADER_BYTES: usize = 8 * 1024;
+/// Request bodies larger than this are refused with `413` before being
+/// read — a query body is a few hundred bytes.
+const MAX_BODY_BYTES: usize = 64 * 1024;
+
+const CT_TEXT: &str = "text/plain; charset=utf-8";
+const CT_JSON: &str = "application/json; charset=utf-8";
 
 /// Requests a cooperative shutdown of a running `bed serve` loop.
 ///
@@ -60,9 +81,20 @@ pub(crate) struct ServeOptions {
     pub watch_tau: u64,
     /// Milliseconds between watch queries (0 disables the watcher).
     pub watch_every_ms: u64,
+    /// Publish a query epoch every this many arrivals.
+    pub publish_every: u64,
 }
 
-/// Runs the scrape endpoint until `SIGTERM`/`SIGINT`, returning a summary.
+/// Everything a connection handler needs, shared across the scoped
+/// threads: the live detector (writer side), the epoch publication
+/// surface (reader side), and the tracer.
+struct ServeCtx {
+    det: Mutex<AnyDetector>,
+    epochs: DetectorEpochs,
+    tracer: Arc<Tracer>,
+}
+
+/// Runs the query server until `SIGTERM`/`SIGINT`, returning a summary.
 pub(crate) fn serve(
     input: &str,
     flags: &DetectorFlags,
@@ -70,7 +102,9 @@ pub(crate) fn serve(
 ) -> Result<String, CliError> {
     SHUTDOWN.store(false, Ordering::SeqCst);
     serve_until(input, flags, opts, &SHUTDOWN, |addr| {
-        println!("bed serve listening on http://{addr}/ (GET /metrics /healthz /slow)");
+        println!(
+            "bed serve listening on http://{addr}/ (GET|POST /query, GET /metrics /healthz /slow)"
+        );
     })
 }
 
@@ -93,7 +127,9 @@ fn serve_until(
         ..TracerConfig::default()
     }));
     det.set_tracer(Arc::clone(&tracer));
-    let det = Mutex::new(det);
+    let mut epochs = DetectorEpochs::new(&det);
+    epochs.set_tracer(Arc::clone(&tracer));
+    let ctx = ServeCtx { det: Mutex::new(det), epochs, tracer };
 
     let listener = TcpListener::bind(&opts.addr)?;
     listener.set_nonblocking(true)?;
@@ -104,37 +140,41 @@ fn serve_until(
     let ingested = AtomicU64::new(0);
 
     let result = std::thread::scope(|scope| {
-        scope.spawn(|| ingest_loop(&els, &det, stop, opts, &ingested));
-        let r = accept_loop(&listener, &det, &tracer, stop, &requests);
+        scope.spawn(|| ingest_loop(&els, &ctx, stop, opts, &ingested));
+        let r = accept_loop(&listener, scope, &ctx, stop, &requests);
         // Any exit from the accept loop (including an error) must release
-        // the ingest thread before the scope joins it.
+        // the ingest thread before the scope joins it. Connection threads
+        // already spawned keep running: the scope join below is what
+        // guarantees an in-flight response finishes after a signal.
         stop.store(true, Ordering::SeqCst);
         r
     });
     result?;
 
     Ok(format!(
-        "served {} requests on {bound}; ingested {}/{total} elements\n",
+        "served {} requests on {bound}; ingested {}/{total} elements; published {} epochs\n",
         requests.load(Ordering::Relaxed),
         ingested.load(Ordering::Relaxed),
+        ctx.epochs.generation(),
     ))
 }
 
-/// Polls for connections until `stop`; each connection handles exactly one
-/// request and is closed. A failure on one connection never takes the
-/// server down.
-fn accept_loop(
+/// Polls for connections until `stop`, answering each on its own scoped
+/// thread. A failure on one connection never takes the server down.
+fn accept_loop<'scope>(
     listener: &TcpListener,
-    det: &Mutex<AnyDetector>,
-    tracer: &Tracer,
+    scope: &'scope std::thread::Scope<'scope, '_>,
+    ctx: &'scope ServeCtx,
     stop: &AtomicBool,
-    requests: &AtomicU64,
+    requests: &'scope AtomicU64,
 ) -> Result<(), CliError> {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                requests.fetch_add(1, Ordering::Relaxed);
-                let _ = handle_connection(stream, det, tracer);
+                scope.spawn(move || {
+                    requests.fetch_add(1, Ordering::Relaxed);
+                    let _ = handle_connection(stream, ctx);
+                });
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 // Polling (rather than a blocking accept) keeps the loop
@@ -149,50 +189,62 @@ fn accept_loop(
     Ok(())
 }
 
-/// Drains the stream into the detector in small locked chunks, firing the
-/// watch query between chunks and after the drain until shutdown.
+/// Drains the stream into the detector in small locked chunks, publishing
+/// epochs at the configured cadence and firing the watch query between
+/// chunks and after the drain until shutdown.
 fn ingest_loop(
     els: &[(EventId, Timestamp)],
-    det: &Mutex<AnyDetector>,
+    ctx: &ServeCtx,
     stop: &AtomicBool,
     opts: &ServeOptions,
     ingested: &AtomicU64,
 ) {
     const CHUNK: usize = 512;
     let watch_period = Duration::from_millis(opts.watch_every_ms.max(1));
+    let mut publisher =
+        EpochPublisher::new(CheckpointPolicy { every_arrivals: opts.publish_every });
     let mut scratch = QueryScratch::new();
     let mut last_watch = Instant::now();
     let mut last_ts = Timestamp(0);
     for chunk in els.chunks(CHUNK) {
         if stop.load(Ordering::SeqCst) {
-            return;
+            break;
         }
         {
-            let mut d = det.lock().expect("detector lock");
+            let mut d = ctx.det.lock().expect("detector lock");
             for &(event, ts) in chunk {
                 if d.ingest(event, ts).is_ok() {
                     last_ts = ts;
                 }
             }
+            // Publishing needs the detector stable, so it happens under the
+            // same lock acquisition — readers stay wait-free regardless.
+            publisher.maybe_publish(&d, &ctx.epochs);
         }
         ingested.fetch_add(chunk.len() as u64, Ordering::Relaxed);
         if opts.watch_every_ms > 0 && last_watch.elapsed() >= watch_period {
-            watch_query(det, opts, last_ts, &mut scratch);
+            watch_query(ctx, opts, last_ts, &mut scratch);
             last_watch = Instant::now();
         }
     }
-    det.lock().expect("detector lock").finalize();
+    {
+        let mut d = ctx.det.lock().expect("detector lock");
+        d.finalize();
+        // Unconditional final publish: once the drain completes, `/query`
+        // must answer from the full stream, not the last cadence boundary.
+        ctx.epochs.publish(&d);
+    }
     if opts.watch_every_ms == 0 {
         return;
     }
     // The stream is drained; keep the watch firing so scrapes see fresh
     // latency samples (and `/slow` has content) until shutdown.
-    watch_query(det, opts, last_ts, &mut scratch);
+    watch_query(ctx, opts, last_ts, &mut scratch);
     last_watch = Instant::now();
     while !stop.load(Ordering::SeqCst) {
         std::thread::sleep(watch_period.min(Duration::from_millis(50)));
         if last_watch.elapsed() >= watch_period {
-            watch_query(det, opts, last_ts, &mut scratch);
+            watch_query(ctx, opts, last_ts, &mut scratch);
             last_watch = Instant::now();
         }
     }
@@ -201,12 +253,7 @@ fn ingest_loop(
 /// One traced bursty-event query at the newest ingested instant.
 /// Best-effort: single-event sketches reject it, which is fine — the
 /// point is to exercise the traced query path, not the answer.
-fn watch_query(
-    det: &Mutex<AnyDetector>,
-    opts: &ServeOptions,
-    t: Timestamp,
-    scratch: &mut QueryScratch,
-) {
+fn watch_query(ctx: &ServeCtx, opts: &ServeOptions, t: Timestamp, scratch: &mut QueryScratch) {
     let Ok(tau) = BurstSpan::new(opts.watch_tau) else { return };
     let request = QueryRequest::BurstyEvents {
         t,
@@ -214,69 +261,354 @@ fn watch_query(
         tau,
         strategy: QueryStrategy::Pruned,
     };
-    let d = det.lock().expect("detector lock");
+    let d = ctx.det.lock().expect("detector lock");
     let _ = d.queries().query_reusing(&request, scratch);
 }
 
 /// Answers one request on `stream` and closes it.
-fn handle_connection(
-    mut stream: TcpStream,
-    det: &Mutex<AnyDetector>,
-    tracer: &Tracer,
-) -> std::io::Result<()> {
+fn handle_connection(mut stream: TcpStream, ctx: &ServeCtx) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    let Some((method, path)) = read_request_line(&mut stream)? else {
-        return Ok(());
-    };
-    let (status, content_type, body) = if method != "GET" {
-        ("405 Method Not Allowed", "text/plain; charset=utf-8", "method not allowed\n".to_string())
-    } else {
-        match path.as_str() {
-            "/metrics" => {
-                let snap = det.lock().expect("detector lock").queries().metrics();
-                let merged = snap.merge(&tracer.metrics_snapshot());
-                (
-                    "200 OK",
-                    "application/openmetrics-text; version=1.0.0; charset=utf-8",
-                    merged.to_openmetrics(),
-                )
-            }
-            "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
-            "/slow" => ("200 OK", "application/json; charset=utf-8", tracer.slow_json()),
-            _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
+    let request = match read_request(&mut stream)? {
+        ReadOutcome::Request(r) => r,
+        ReadOutcome::Empty => return Ok(()),
+        ReadOutcome::TooLarge => {
+            return write_response(
+                &mut stream,
+                "413 Payload Too Large",
+                CT_JSON,
+                &error_body(&format!("request larger than {MAX_BODY_BYTES} bytes")),
+            );
         }
     };
+    let (status, content_type, body) = respond(&request, ctx);
     write_response(&mut stream, status, content_type, &body)
 }
 
-/// Reads up to the end of the request headers and returns `(method, path)`
-/// from the request line, or `None` for an empty/garbled request.
-fn read_request_line(stream: &mut TcpStream) -> std::io::Result<Option<(String, String)>> {
-    let mut buf = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 512];
-    loop {
-        let n = match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => n,
-            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            // A stalled client's request is served from whatever arrived.
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => break,
-            Err(e) => return Err(e),
+/// Routes one parsed request. Unknown paths get `404`; known paths with
+/// the wrong method get `405`; `/query` failures get typed `400`s.
+fn respond(req: &Request, ctx: &ServeCtx) -> (&'static str, &'static str, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET" | "POST", "/query") => query_route(req, ctx),
+        ("GET", "/metrics") => {
+            let snap = ctx.det.lock().expect("detector lock").queries().metrics();
+            let merged = snap.merge(&ctx.tracer.metrics_snapshot()).merge(&ctx.epochs.metrics());
+            (
+                "200 OK",
+                "application/openmetrics-text; version=1.0.0; charset=utf-8",
+                merged.to_openmetrics(),
+            )
+        }
+        ("GET", "/healthz") => ("200 OK", CT_TEXT, "ok\n".to_string()),
+        ("GET", "/slow") => ("200 OK", CT_JSON, ctx.tracer.slow_json()),
+        (_, "/query" | "/metrics" | "/healthz" | "/slow") => {
+            ("405 Method Not Allowed", CT_TEXT, "method not allowed\n".to_string())
+        }
+        _ => ("404 Not Found", CT_TEXT, "not found\n".to_string()),
+    }
+}
+
+/// `/query`: decode the request (query string or JSON body), answer it
+/// from the latest published epoch, and stamp the answer with that epoch.
+fn query_route(req: &Request, ctx: &ServeCtx) -> (&'static str, &'static str, String) {
+    let fields = if req.method == "POST" {
+        match json::parse(&req.body) {
+            Ok(v @ Json::Obj(_)) => v,
+            Ok(_) => return bad_request("request body must be a JSON object"),
+            Err(e) => return bad_request(&format!("malformed JSON: {e}")),
+        }
+    } else {
+        params_to_fields(&req.query)
+    };
+    let request = match request_from_fields(&fields) {
+        Ok(r) => r,
+        Err(e) => return bad_request(&e),
+    };
+    // A view per connection: each handler thread gets its own cursors and
+    // scratch, so concurrent queries never contend with each other (or
+    // with ingest — the epoch read path is lock-free).
+    let view = ctx.epochs.view();
+    match view.query(&request) {
+        Ok(response) => (
+            "200 OK",
+            CT_JSON,
+            render_answer(&request, &response, view.answer_generation(), view.answer_watermark()),
+        ),
+        Err(e) => bad_request(&e.to_string()),
+    }
+}
+
+fn bad_request(message: &str) -> (&'static str, &'static str, String) {
+    ("400 Bad Request", CT_JSON, error_body(message))
+}
+
+fn error_body(message: &str) -> String {
+    format!("{{\"error\":\"{}\"}}\n", json::escape(message))
+}
+
+/// Converts `k=v&k=v` query-string parameters into the same [`Json`]
+/// object shape a POST body parses to, so both entry points share
+/// [`request_from_fields`]. Values are typed by trial: integer, then
+/// float, then string.
+fn params_to_fields(query: &str) -> Json {
+    let mut fields = Vec::new();
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        let value = if let Ok(i) = v.parse::<i64>() {
+            Json::Int(i)
+        } else if let Ok(f) = v.parse::<f64>() {
+            Json::Float(f)
+        } else {
+            Json::Str(v.to_string())
         };
-        buf.extend_from_slice(&chunk[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
-            break;
+        fields.push((k.to_string(), value));
+    }
+    Json::Obj(fields)
+}
+
+fn field_u64(fields: &Json, key: &str) -> Result<u64, String> {
+    match fields.get(key) {
+        Some(Json::Int(i)) if *i >= 0 => Ok(*i as u64),
+        Some(Json::Str(s)) if s.parse::<u64>().is_ok() => Ok(s.parse().unwrap()),
+        Some(_) => Err(format!("field '{key}' must be a non-negative integer")),
+        None => Err(format!("missing field '{key}'")),
+    }
+}
+
+fn field_f64(fields: &Json, key: &str) -> Result<f64, String> {
+    match fields.get(key) {
+        Some(Json::Int(i)) => Ok(*i as f64),
+        Some(Json::Float(f)) => Ok(*f),
+        Some(Json::Str(s)) if s.parse::<f64>().is_ok() => Ok(s.parse().unwrap()),
+        Some(_) => Err(format!("field '{key}' must be a number")),
+        None => Err(format!("missing field '{key}'")),
+    }
+}
+
+fn field_event(fields: &Json) -> Result<EventId, String> {
+    let id = field_u64(fields, "event")?;
+    u32::try_from(id).map(EventId).map_err(|_| "field 'event' exceeds u32".to_string())
+}
+
+fn field_tau(fields: &Json) -> Result<BurstSpan, String> {
+    BurstSpan::new(field_u64(fields, "tau")?).map_err(|e| e.to_string())
+}
+
+/// Builds a [`QueryRequest`] from decoded fields. Every failure is a
+/// message naming the offending field — the `/query` 400 body.
+fn request_from_fields(fields: &Json) -> Result<QueryRequest, String> {
+    let kind = match fields.get("kind") {
+        Some(Json::Str(s)) => s.as_str(),
+        Some(_) => return Err("field 'kind' must be a string".into()),
+        None => return Err("missing field 'kind'".into()),
+    };
+    match kind {
+        "point" => Ok(QueryRequest::Point {
+            event: field_event(fields)?,
+            t: Timestamp(field_u64(fields, "t")?),
+            tau: field_tau(fields)?,
+        }),
+        "bursty_times" => Ok(QueryRequest::BurstyTimes {
+            event: field_event(fields)?,
+            theta: field_f64(fields, "theta")?,
+            tau: field_tau(fields)?,
+            horizon: Timestamp(field_u64(fields, "horizon")?),
+        }),
+        "bursty_events" => {
+            let strategy = match fields.get("strategy") {
+                None => QueryStrategy::Pruned,
+                Some(Json::Str(s)) if s == "pruned" => QueryStrategy::Pruned,
+                Some(Json::Str(s)) if s == "exact_scan" => QueryStrategy::ExactScan,
+                Some(_) => {
+                    return Err(
+                        "field 'strategy' must be \"pruned\" or \"exact_scan\"".to_string()
+                    )
+                }
+            };
+            Ok(QueryRequest::BurstyEvents {
+                t: Timestamp(field_u64(fields, "t")?),
+                theta: field_f64(fields, "theta")?,
+                tau: field_tau(fields)?,
+                strategy,
+            })
+        }
+        "series" => Ok(QueryRequest::Series {
+            event: field_event(fields)?,
+            tau: field_tau(fields)?,
+            // Range inversion is the query layer's typed error, so the
+            // struct literal (not `TimeRange::new`) is deliberate.
+            range: TimeRange {
+                start: Timestamp(match fields.get("start") {
+                    None => 0,
+                    Some(_) => field_u64(fields, "start")?,
+                }),
+                end: Timestamp(field_u64(fields, "end")?),
+            },
+            step: field_u64(fields, "step")?,
+        }),
+        "top_k" => Ok(QueryRequest::TopK {
+            event: field_event(fields)?,
+            k: field_u64(fields, "k")? as usize,
+            tau: field_tau(fields)?,
+            horizon: Timestamp(field_u64(fields, "horizon")?),
+        }),
+        other => Err(format!(
+            "unknown query kind '{other}' (expected point, bursty_times, bursty_events, series, or top_k)"
+        )),
+    }
+}
+
+/// Renders a `/query` answer. Every response carries the request kind and
+/// the epoch stamp; the payload shape follows the [`QueryResponse`]
+/// variant.
+fn render_answer(
+    request: &QueryRequest,
+    response: &QueryResponse,
+    generation: u64,
+    watermark: Watermark,
+) -> String {
+    use std::fmt::Write as _;
+    let kind = match request {
+        QueryRequest::Point { .. } => "point",
+        QueryRequest::BurstyTimes { .. } => "bursty_times",
+        QueryRequest::BurstyEvents { .. } => "bursty_events",
+        QueryRequest::Series { .. } => "series",
+        QueryRequest::TopK { .. } => "top_k",
+    };
+    let last_ts = watermark.last_ts.map_or("null".to_string(), |t| t.0.to_string());
+    let mut out = String::with_capacity(256);
+    let _ = write!(
+        out,
+        "{{\"kind\":\"{kind}\",\"epoch\":{{\"generation\":{generation},\"arrivals\":{},\"last_ts\":{last_ts}}}",
+        watermark.arrivals
+    );
+    match response {
+        QueryResponse::Point { burstiness, burst_frequency, cumulative } => {
+            let _ = write!(
+                out,
+                ",\"burstiness\":{},\"burst_frequency\":{},\"cumulative\":{}",
+                json::num(*burstiness),
+                json::num(*burst_frequency),
+                json::num(*cumulative)
+            );
+        }
+        QueryResponse::BurstyEvents { hits, stats } => {
+            out.push_str(",\"hits\":[");
+            for (i, hit) in hits.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"event\":{},\"burstiness\":{}}}",
+                    hit.event.0,
+                    json::num(hit.burstiness)
+                );
+            }
+            let _ = write!(
+                out,
+                "],\"stats\":{{\"point_queries\":{},\"pruned_subtrees\":{},\"leaves_probed\":{}}}",
+                stats.point_queries, stats.pruned_subtrees, stats.leaves_probed
+            );
+        }
+        // BurstyTimes, Series, and TopK are all `(t, value)` samples.
+        _ => {
+            out.push_str(",\"samples\":[");
+            for (i, (t, v)) in response.samples().unwrap_or(&[]).iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{},{}]", t.0, json::num(*v));
+            }
+            out.push(']');
         }
     }
-    let text = String::from_utf8_lossy(&buf);
-    let mut parts = text.lines().next().unwrap_or("").split_whitespace();
-    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    if method.is_empty() || path.is_empty() {
-        return Ok(None);
+    out.push_str("}\n");
+    out
+}
+
+/// One parsed request: method, path, query string, and body (decoded
+/// lossily — query bodies are ASCII JSON).
+struct Request {
+    method: String,
+    path: String,
+    query: String,
+    body: String,
+}
+
+enum ReadOutcome {
+    Request(Request),
+    /// Headers or declared body exceed the caps → `413`.
+    TooLarge,
+    /// Nothing (parseable) arrived; close silently.
+    Empty,
+}
+
+/// Reads one request: headers up to `\r\n\r\n` (capped), then as much of
+/// the declared `Content-Length` body as the client sends (capped, before
+/// any of it is buffered). A stalled client's request is served from
+/// whatever arrived — exactly like the previous scrape-only server.
+fn read_request(stream: &mut TcpStream) -> std::io::Result<ReadOutcome> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Ok(ReadOutcome::TooLarge);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break buf.len(),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                break buf.len()
+            }
+            Err(e) => return Err(e),
+        }
+    };
+
+    let head = String::from_utf8_lossy(&buf[..header_end.min(buf.len())]).into_owned();
+    let mut lines = head.lines();
+    let mut parts = lines.next().unwrap_or("").split_whitespace();
+    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method.is_empty() || target.is_empty() {
+        return Ok(ReadOutcome::Empty);
     }
-    Ok(Some((method.to_string(), path.to_string())))
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        // Refused on the declared length alone: the body is never read.
+        return Ok(ReadOutcome::TooLarge);
+    }
+
+    let mut body = buf[header_end.min(buf.len())..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => break,
+            Err(e) => return Err(e),
+        }
+    }
+    body.truncate(content_length);
+    Ok(ReadOutcome::Request(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query: query.to_string(),
+        body: String::from_utf8_lossy(&body).into_owned(),
+    }))
 }
 
 fn write_response(
@@ -325,19 +657,22 @@ mod tests {
         (resp[..split].to_string(), resp[split + 4..].to_string())
     }
 
-    #[test]
-    fn serve_answers_metrics_healthz_and_slow_while_ingesting() {
-        let input = fixture("serve.tsv");
-        let stop = AtomicBool::new(false);
-        let opts = ServeOptions {
-            addr: "127.0.0.1:0".into(),
-            sample: 1,
-            slow_threshold_ns: 0,
-            watch_theta: 1.0,
-            watch_tau: 40,
-            watch_every_ms: 10,
-        };
-        let flags = DetectorFlags {
+    fn post(addr: SocketAddr, path: &str, body: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(
+            s,
+            "POST {path} HTTP/1.1\r\nHost: bed\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        let split = resp.find("\r\n\r\n").expect("header/body split");
+        (resp[..split].to_string(), resp[split + 4..].to_string())
+    }
+
+    fn flags(shards: usize) -> DetectorFlags {
+        DetectorFlags {
             variant: "pbe2".into(),
             eta: 128,
             gamma: 2.0,
@@ -346,14 +681,46 @@ mod tests {
             delta: 0.05,
             flat: false,
             seed: 7,
-            shards: 1,
-        };
+            shards,
+        }
+    }
+
+    fn opts(publish_every: u64, watch_every_ms: u64) -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            sample: 1,
+            slow_threshold_ns: 0,
+            watch_theta: 1.0,
+            watch_tau: 40,
+            watch_every_ms,
+            publish_every,
+        }
+    }
+
+    /// Runs `serve_until` on a scoped thread and hands the bound address
+    /// to `check`; flips the stop flag afterwards and returns the summary.
+    fn with_server(
+        input: &str,
+        flags: &DetectorFlags,
+        opts: &ServeOptions,
+        check: impl FnOnce(SocketAddr),
+    ) -> String {
+        let stop = AtomicBool::new(false);
         let (tx, rx) = mpsc::channel();
         std::thread::scope(|scope| {
             let handle = scope
-                .spawn(|| serve_until(&input, &flags, &opts, &stop, |addr| tx.send(addr).unwrap()));
+                .spawn(|| serve_until(input, flags, opts, &stop, |addr| tx.send(addr).unwrap()));
             let addr = rx.recv().unwrap();
+            check(addr);
+            stop.store(true, Ordering::SeqCst);
+            handle.join().unwrap().unwrap()
+        })
+    }
 
+    #[test]
+    fn serve_answers_metrics_healthz_and_slow_while_ingesting() {
+        let input = fixture("serve.tsv");
+        let summary = with_server(&input, &flags(1), &opts(128, 10), |addr| {
             let (head, body) = get(addr, "/healthz");
             assert!(head.starts_with("HTTP/1.1 200"), "{head}");
             assert_eq!(body, "ok\n");
@@ -362,6 +729,7 @@ mod tests {
             assert!(head.contains("application/openmetrics-text"), "{head}");
             assert!(body.contains("bed_ingest_count_total"), "{body}");
             assert!(body.contains("bed_trace_sampled_total"), "{body}");
+            assert!(body.contains("bed_epoch_published_total"), "{body}");
             assert!(body.ends_with("# EOF\n"), "{body}");
 
             // Threshold 0 captures every traced query, so the watch query
@@ -378,46 +746,125 @@ mod tests {
 
             let (head, _) = get(addr, "/nope");
             assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        });
+        assert!(summary.contains("served"), "{summary}");
+        assert!(summary.contains("ingested"), "{summary}");
+        assert!(summary.contains("published"), "{summary}");
+    }
 
-            stop.store(true, Ordering::SeqCst);
-            let summary = handle.join().unwrap().unwrap();
-            assert!(summary.contains("served"), "{summary}");
-            assert!(summary.contains("ingested"), "{summary}");
+    #[test]
+    fn query_answers_all_five_kinds_from_published_epochs() {
+        let input = fixture("serve-query.tsv");
+        // Two shards: /query must fan out coherently, not just read one cell.
+        with_server(&input, &flags(2), &opts(256, 0), |addr| {
+            // Wait for the post-drain publish: its epoch covers the full
+            // stream (300 base + 50×6 burst arrivals).
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                let (head, body) = get(addr, "/query?kind=point&event=2&t=299&tau=40");
+                assert!(head.starts_with("HTTP/1.1 200"), "{head} {body}");
+                assert!(body.contains("\"kind\":\"point\""), "{body}");
+                assert!(body.contains("\"epoch\":{\"generation\":"), "{body}");
+                if body.contains("\"arrivals\":600") {
+                    assert!(body.contains("\"last_ts\":299"), "{body}");
+                    break;
+                }
+                assert!(Instant::now() < deadline, "drain publish never arrived: {body}");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+
+            let (head, body) =
+                get(addr, "/query?kind=bursty_times&event=2&theta=20&tau=40&horizon=299");
+            assert!(head.starts_with("HTTP/1.1 200"), "{head} {body}");
+            assert!(body.contains("\"samples\":[["), "{body}");
+
+            let (head, body) = get(addr, "/query?kind=series&event=2&end=299&step=50&tau=40");
+            assert!(head.starts_with("HTTP/1.1 200"), "{head} {body}");
+            assert!(body.contains("\"samples\":[[0,"), "{body}");
+
+            let (head, body) = get(addr, "/query?kind=top_k&event=2&k=3&tau=40&horizon=299");
+            assert!(head.starts_with("HTTP/1.1 200"), "{head} {body}");
+            assert!(body.contains("\"samples\":["), "{body}");
+
+            let (head, body) =
+                post(addr, "/query", r#"{"kind":"bursty_events","t":299,"theta":20,"tau":40}"#);
+            assert!(head.starts_with("HTTP/1.1 200"), "{head} {body}");
+            assert!(body.contains("\"hits\":[{\"event\":2,"), "{body}");
+            assert!(body.contains("\"stats\":{\"point_queries\":"), "{body}");
+
+            let (_, exact) = post(
+                addr,
+                "/query",
+                r#"{"kind":"bursty_events","t":299,"theta":20,"tau":40,"strategy":"exact_scan"}"#,
+            );
+            assert!(exact.contains("\"hits\":[{\"event\":2,"), "{exact}");
+        });
+    }
+
+    #[test]
+    fn query_rejects_bad_requests_with_typed_errors() {
+        let input = fixture("serve-errors.tsv");
+        with_server(&input, &flags(1), &opts(8_192, 0), |addr| {
+            // Malformed JSON body.
+            let (head, body) = post(addr, "/query", "{\"kind\":");
+            assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+            assert!(body.contains("malformed JSON"), "{body}");
+
+            // A JSON body that is not an object.
+            let (head, body) = post(addr, "/query", "[1,2,3]");
+            assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+            assert!(body.contains("JSON object"), "{body}");
+
+            // Unknown query kind.
+            let (head, body) = get(addr, "/query?kind=warp&event=1&t=1&tau=1");
+            assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+            assert!(body.contains("unknown query kind 'warp'"), "{body}");
+
+            // Missing fields.
+            let (head, body) = get(addr, "/query?kind=point&event=1");
+            assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+            assert!(body.contains("missing field"), "{body}");
+
+            // τ = 0 is rejected before the detector sees it.
+            let (head, body) = get(addr, "/query?kind=point&event=1&t=10&tau=0");
+            assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+            assert!(body.contains("error"), "{body}");
+
+            // Out-of-universe event becomes the detector's typed error.
+            let (head, body) = get(addr, "/query?kind=point&event=99&t=10&tau=40");
+            assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+            assert!(body.contains("error"), "{body}");
+
+            // Negative event id is a field error, not a panic.
+            let (head, body) = get(addr, "/query?kind=point&event=-3&t=10&tau=40");
+            assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+            assert!(body.contains("'event'"), "{body}");
+
+            // Oversized declared body → 413 without reading it.
+            let mut s = TcpStream::connect(addr).unwrap();
+            write!(s, "POST /query HTTP/1.1\r\nHost: bed\r\nContent-Length: 100000\r\n\r\n")
+                .unwrap();
+            let mut resp = String::new();
+            s.read_to_string(&mut resp).unwrap();
+            assert!(resp.starts_with("HTTP/1.1 413"), "{resp}");
+
+            // Known path, wrong method.
+            let (head, _) = post(addr, "/metrics", "");
+            assert!(head.starts_with("HTTP/1.1 405"), "{head}");
+
+            // The server is still healthy after all of the above.
+            let (head, _) = get(addr, "/healthz");
+            assert!(head.starts_with("HTTP/1.1 200"), "{head}");
         });
     }
 
     #[test]
     fn serve_rejects_non_get_and_survives_garbage() {
         let input = fixture("serve-bad.tsv");
-        let stop = AtomicBool::new(false);
-        let opts = ServeOptions {
-            addr: "127.0.0.1:0".into(),
-            sample: 0,
-            slow_threshold_ns: 0,
-            watch_theta: 1.0,
-            watch_tau: 40,
-            watch_every_ms: 0,
-        };
-        let flags = DetectorFlags {
-            variant: "pbe2".into(),
-            eta: 128,
-            gamma: 2.0,
-            universe: Some(8),
-            epsilon: 0.01,
-            delta: 0.05,
-            flat: false,
-            seed: 7,
-            shards: 1,
-        };
-        let (tx, rx) = mpsc::channel();
-        std::thread::scope(|scope| {
-            let handle = scope
-                .spawn(|| serve_until(&input, &flags, &opts, &stop, |addr| tx.send(addr).unwrap()));
-            let addr = rx.recv().unwrap();
-
-            // POST is refused but answered
+        with_server(&input, &flags(1), &opts(8_192, 0), |addr| {
+            // DELETE on a known path is refused but answered.
             let mut s = TcpStream::connect(addr).unwrap();
-            write!(s, "POST /metrics HTTP/1.1\r\nHost: bed\r\n\r\n").unwrap();
+            write!(s, "DELETE /metrics HTTP/1.1\r\nHost: bed\r\n\r\n").unwrap();
             let mut resp = String::new();
             s.read_to_string(&mut resp).unwrap();
             assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
@@ -428,9 +875,41 @@ mod tests {
             // the server still answers afterwards
             let (head, _) = get(addr, "/healthz");
             assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        });
+    }
 
+    #[test]
+    fn in_flight_response_finishes_after_shutdown_request() {
+        let input = fixture("serve-shutdown.tsv");
+        let stop = AtomicBool::new(false);
+        let o = opts(8_192, 0);
+        let f = flags(1);
+        let (tx, rx) = mpsc::channel();
+        std::thread::scope(|scope| {
+            let handle =
+                scope.spawn(|| serve_until(&input, &f, &o, &stop, |addr| tx.send(addr).unwrap()));
+            let addr = rx.recv().unwrap();
+
+            // Open a request but stall before the blank line, then request
+            // shutdown while the handler is mid-read.
+            let mut s = TcpStream::connect(addr).unwrap();
+            write!(s, "GET /healthz HTTP/1.1\r\nHost: bed\r\n").unwrap();
+            s.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(120));
             stop.store(true, Ordering::SeqCst);
-            handle.join().unwrap().unwrap();
+            std::thread::sleep(Duration::from_millis(60));
+            write!(s, "\r\n").unwrap();
+            s.flush().unwrap();
+
+            // The response still completes: the scope joins the connection
+            // thread before serve_until returns.
+            let mut resp = String::new();
+            s.read_to_string(&mut resp).unwrap();
+            assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+            assert!(resp.ends_with("ok\n"), "{resp}");
+
+            let summary = handle.join().unwrap().unwrap();
+            assert!(summary.contains("served"), "{summary}");
         });
     }
 }

@@ -1,0 +1,770 @@
+//! Epoch-snapshot publishing: wait-free concurrent reads against a live
+//! ingest.
+//!
+//! The detectors are single-writer structures — every query method takes
+//! `&self` but answers from state a concurrent `ingest` would be mutating,
+//! so a serving front-end previously had to route *both* sides through one
+//! `Mutex`, stalling queries behind ingest and vice versa. This module
+//! decouples them with a seqlock/RCU-style generation scheme:
+//!
+//! * A writer periodically **publishes** an immutable, finalized clone of
+//!   its detector into a [`SnapshotCell`] (one per shard), at a cadence
+//!   borrowed from the checkpoint machinery ([`EpochPublisher`] wraps a
+//!   [`CheckpointPolicy`]). Publishing clones the detector *outside* any
+//!   reader-visible critical section, bumps the cell's generation counter
+//!   with `Release` ordering, and never waits for readers.
+//! * A reader holds an [`EpochReader`] caching the last loaded epoch. Its
+//!   hot path is one `Acquire` load of the generation counter: if nothing
+//!   new was published, the cached [`Epoch`] answers — **zero locks, zero
+//!   allocation**. Only when the generation moved does the reader copy the
+//!   new epoch handle (an `Arc` clone — still allocation-free) out of a
+//!   slot ring.
+//! * [`DetectorEpochs`] owns the cells for a whole [`AnyDetector`] layout
+//!   and [`EpochView`] implements [`BurstQueries`] on top, so the serving
+//!   layer can answer all five canonical query kinds from the latest
+//!   published epoch while ingest continues.
+//!
+//! ## Why readers never block ingest (and effectively never wait)
+//!
+//! The cell keeps a ring of [`EPOCH_SLOTS`] mutex-guarded slots; the
+//! writer stores generation `g` into slot `g % EPOCH_SLOTS` *before* the
+//! `Release` store of `g`. A reader that observed generation `g` via the
+//! `Acquire` load therefore finds slot `g % EPOCH_SLOTS` fully written
+//! (release/acquire ordering), and the writer publishing `g + 1` locks a
+//! *different* slot — the same slot is only relocked once the writer has
+//! lapped the reader by `EPOCH_SLOTS` whole generations. If that happens,
+//! the slot's embedded generation no longer matches, and the reader
+//! retries against the newest generation (counted in
+//! `epoch.reader_retries`) — the classic seqlock validate-and-retry, built
+//! from `Mutex` slots instead of raw pointer flips because `bed-core`
+//! forbids `unsafe`. The writer never blocks either way: it locks a slot
+//! no reader can be parked on unless that reader is already
+//! `EPOCH_SLOTS` generations stale.
+//!
+//! Bit-for-bit answer stability: ingest is deterministic and `Clone` is a
+//! deep copy, so a published epoch at watermark `A` is byte-identical to a
+//! freshly built detector fed the first `A` stream elements and finalized
+//! — the property the concurrency harness (`tests/concurrent_reads.rs`)
+//! pins for every sampled answer.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use bed_obs::{MetricsSnapshot, SpanName, Tracer};
+use bed_sketch::QueryScratch;
+
+use crate::checkpoint::{AnyDetector, CheckpointPolicy, Watermark};
+use crate::config::DetectorConfig;
+use crate::detector::BurstDetector;
+use crate::error::BedError;
+use crate::metrics::EpochMetrics;
+use crate::query::{BurstQueries, QueryRequest, QueryResponse};
+use crate::shard::{merge_hits, route};
+
+/// Slots in a [`SnapshotCell`]'s ring. A reader only retries once the
+/// writer laps it by this many generations inside one (tiny) read-side
+/// critical section.
+pub const EPOCH_SLOTS: usize = 4;
+
+/// One published snapshot: an immutable, finalized detector state plus
+/// the stream position it captures.
+#[derive(Debug)]
+pub struct Epoch<D> {
+    /// Publish sequence number (1-based; cells start at generation 0 =
+    /// nothing published).
+    pub generation: u64,
+    /// How far the stream had been consumed when this state was cloned.
+    pub watermark: Watermark,
+    /// The finalized snapshot, shared by every reader of this generation.
+    pub data: Arc<D>,
+}
+
+/// Cloning an epoch clones the `Arc` handle (no `D: Clone` needed, no
+/// allocation) — the read path depends on this.
+impl<D> Clone for Epoch<D> {
+    fn clone(&self) -> Self {
+        Epoch {
+            generation: self.generation,
+            watermark: self.watermark,
+            data: Arc::clone(&self.data),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Slot<D> {
+    /// Generation whose epoch this slot currently holds (0 = empty).
+    generation: u64,
+    epoch: Option<Epoch<D>>,
+}
+
+/// A single-writer, many-reader publication point for [`Epoch`]s.
+///
+/// See the [module docs](crate::epoch) for the protocol and its ordering
+/// argument. The cell is generic so the scheduler-driven protocol tests
+/// can publish trivial payloads; detectors use
+/// [`DetectorEpochs`], which manages one cell per shard.
+#[derive(Debug)]
+pub struct SnapshotCell<D> {
+    /// Latest published generation; the `Release` store here is what makes
+    /// a fully written slot visible to `Acquire` readers.
+    generation: AtomicU64,
+    slots: [Mutex<Slot<D>>; EPOCH_SLOTS],
+    /// Reader retries caused by the writer lapping a slot (seqlock
+    /// validate failure). Relaxed: a diagnostic counter, not an ordering
+    /// participant.
+    retries: AtomicU64,
+}
+
+impl<D> SnapshotCell<D> {
+    /// An empty cell (generation 0, no epoch).
+    pub fn new() -> Self {
+        SnapshotCell {
+            generation: AtomicU64::new(0),
+            slots: std::array::from_fn(|_| Mutex::new(Slot { generation: 0, epoch: None })),
+            retries: AtomicU64::new(0),
+        }
+    }
+
+    /// The latest published generation (0 until the first publish).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Publishes the next generation. Single writer assumed (the cell is
+    /// owned by one [`DetectorEpochs`], whose publisher is `&mut`-gated);
+    /// readers are never blocked and never see a half-written epoch.
+    pub fn publish(&self, watermark: Watermark, data: Arc<D>) -> u64 {
+        let next = self.generation.load(Ordering::Relaxed) + 1;
+        {
+            let mut slot = self.slots[next as usize % EPOCH_SLOTS].lock().expect("slot lock");
+            slot.generation = next;
+            slot.epoch = Some(Epoch { generation: next, watermark, data });
+        }
+        self.generation.store(next, Ordering::Release);
+        next
+    }
+
+    /// Cumulative reader retries on this cell (writer lapped a slot).
+    pub fn reader_retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+}
+
+impl<D> Default for SnapshotCell<D> {
+    fn default() -> Self {
+        SnapshotCell::new()
+    }
+}
+
+/// A protocol step of [`EpochReader::refresh_with`], exposed so a
+/// deterministic scheduler (the `schedule` compat crate) can interleave
+/// publishes at every read-side yield point.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadStep {
+    /// About to `Acquire`-load the published generation counter.
+    LoadGeneration,
+    /// About to lock the slot holding generation `.0`.
+    LockSlot(u64),
+    /// Locked the slot expecting `expected` but found `found` (the writer
+    /// lapped); the reader will retry.
+    Validate {
+        /// Generation the reader was chasing.
+        expected: u64,
+        /// Generation actually resident in the slot.
+        found: u64,
+    },
+}
+
+/// Read-side cursor over one [`SnapshotCell`]: caches the last loaded
+/// epoch so repeated reads of an unchanged cell are one atomic load.
+#[derive(Debug)]
+pub struct EpochReader<D> {
+    generation: u64,
+    epoch: Option<Epoch<D>>,
+}
+
+impl<D> EpochReader<D> {
+    /// A cursor that has seen nothing yet.
+    pub fn new() -> Self {
+        EpochReader { generation: 0, epoch: None }
+    }
+
+    /// Loads the latest epoch from `cell` if it moved; returns whether the
+    /// cached epoch changed. Fast path (unchanged generation) is a single
+    /// `Acquire` load — no lock, no allocation. The slow path is also
+    /// allocation-free: it copies an `Arc` handle out of a locked slot.
+    #[inline]
+    pub fn refresh(&mut self, cell: &SnapshotCell<D>) -> bool {
+        self.refresh_with(cell, &mut |_| {})
+    }
+
+    /// [`Self::refresh`] with a hook invoked before every protocol step —
+    /// the seam the schedule-permuter tests drive to force (and count)
+    /// the seqlock retry path deterministically. `refresh` is this with a
+    /// no-op hook, so the tested protocol *is* the production protocol.
+    #[doc(hidden)]
+    pub fn refresh_with(
+        &mut self,
+        cell: &SnapshotCell<D>,
+        hook: &mut impl FnMut(ReadStep),
+    ) -> bool {
+        hook(ReadStep::LoadGeneration);
+        let mut g = cell.generation.load(Ordering::Acquire);
+        if g == self.generation {
+            return false;
+        }
+        loop {
+            hook(ReadStep::LockSlot(g));
+            let found = {
+                let slot = cell.slots[g as usize % EPOCH_SLOTS].lock().expect("slot lock");
+                if slot.generation == g {
+                    // Cloning an `Epoch` clones an `Arc` + copies two
+                    // words — the read path never allocates.
+                    self.epoch.clone_from(&slot.epoch);
+                    self.generation = g;
+                    return true;
+                }
+                slot.generation
+            };
+            hook(ReadStep::Validate { expected: g, found });
+            cell.retries.fetch_add(1, Ordering::Relaxed);
+            hook(ReadStep::LoadGeneration);
+            g = cell.generation.load(Ordering::Acquire);
+        }
+    }
+
+    /// The cached epoch (`None` until the first refresh of a published
+    /// cell).
+    pub fn current(&self) -> Option<&Epoch<D>> {
+        self.epoch.as_ref()
+    }
+}
+
+impl<D> Default for EpochReader<D> {
+    fn default() -> Self {
+        EpochReader::new()
+    }
+}
+
+/// The epoch publication surface of one [`AnyDetector`]: one
+/// [`SnapshotCell`] per shard (a single cell for the plain layout), all
+/// published together under one global watermark so fan-out readers can
+/// assemble a coherent generation vector.
+#[derive(Debug)]
+pub struct DetectorEpochs {
+    config: DetectorConfig,
+    /// 0 for the plain layout, `n ≥ 1` for a sharded one (mirrors
+    /// [`AnyDetector::layout_shards`]).
+    layout_shards: u32,
+    cells: Vec<SnapshotCell<BurstDetector>>,
+    metrics: EpochMetrics,
+    tracer: Arc<Tracer>,
+}
+
+impl DetectorEpochs {
+    /// Cells matching `det`'s layout, with `det`'s current state published
+    /// as generation 1 — views always find an epoch to answer from.
+    pub fn new(det: &AnyDetector) -> Self {
+        let n = match det {
+            AnyDetector::Plain(_) => 1,
+            AnyDetector::Sharded(d) => d.num_shards(),
+        };
+        let epochs = DetectorEpochs {
+            config: *det.config(),
+            layout_shards: det.layout_shards(),
+            cells: (0..n).map(|_| SnapshotCell::new()).collect(),
+            metrics: EpochMetrics::new(),
+            tracer: Arc::new(Tracer::disabled()),
+        };
+        epochs.publish(det);
+        epochs
+    }
+
+    /// Installs a tracer; publish spans bypass the sampler
+    /// (`start_always`) because publishing is rare and heavyweight.
+    pub fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = tracer;
+    }
+
+    /// Publishes finalized clones of `det`'s current state — one per
+    /// shard, all under one global watermark — and returns that watermark.
+    ///
+    /// The caller must hold `det` stable for the duration (it is the
+    /// single writer); readers are never blocked. The live detector is
+    /// *not* finalized: only the clones are, so ingest continues
+    /// untouched.
+    pub fn publish(&self, det: &AnyDetector) -> Watermark {
+        let trace = self.tracer.start_always(SpanName::EPOCH_PUBLISH);
+        let started = std::time::Instant::now();
+        let watermark = det.watermark();
+        match det {
+            AnyDetector::Plain(d) => {
+                let mut clone = (**d).clone();
+                clone.finalize();
+                self.cells[0].publish(watermark, Arc::new(clone));
+            }
+            AnyDetector::Sharded(d) => {
+                for (i, cell) in self.cells.iter().enumerate() {
+                    let mut clone = d.shard(i).clone();
+                    clone.finalize();
+                    cell.publish(watermark, Arc::new(clone));
+                }
+            }
+        }
+        self.metrics.published(started.elapsed());
+        if let Some(trace) = trace {
+            let generation = self.cells[0].generation();
+            trace.finish(move || {
+                format!("epoch publish generation={generation} arrivals={}", watermark.arrivals)
+            });
+        }
+        watermark
+    }
+
+    /// The latest published generation (cells move in lockstep; mid-
+    /// publish, this is the first cell's — the freshest — generation).
+    pub fn generation(&self) -> u64 {
+        self.cells[0].generation()
+    }
+
+    /// Shard count of the published layout: 0 = plain (one cell).
+    pub fn layout_shards(&self) -> u32 {
+        self.layout_shards
+    }
+
+    /// The configuration the published detectors were built with.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// A fresh query view over the latest published epochs. Views are
+    /// cheap (`EPOCH_SLOTS`-independent, one cursor per cell) and intended
+    /// to be per-thread: each owns its [`QueryScratch`], preserving the
+    /// zero-allocation kernel guarantees per reader.
+    pub fn view(&self) -> EpochView<'_> {
+        EpochView {
+            epochs: self,
+            readers: RefCell::new((0..self.cells.len()).map(|_| EpochReader::new()).collect()),
+            scratch: RefCell::new(QueryScratch::new()),
+            answered: Cell::new((0, Watermark::default())),
+        }
+    }
+
+    /// Snapshot of `epoch.*` metrics: the `epoch.published` /
+    /// `epoch.reader_retries` counters, publish latency, and an
+    /// `epoch.generation` gauge.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.sync_reader_retries(self.cells.iter().map(SnapshotCell::reader_retries).sum());
+        self.metrics.set_gauge("epoch.generation", self.generation() as f64);
+        self.metrics.snapshot()
+    }
+}
+
+/// Cadence gate for [`DetectorEpochs::publish`], reusing the
+/// [`CheckpointPolicy`] arrival-count machinery: publish once at least
+/// `every_arrivals` new arrivals accumulated since the last publish.
+#[derive(Debug)]
+pub struct EpochPublisher {
+    policy: CheckpointPolicy,
+    last_arrivals: Option<u64>,
+    published: u64,
+}
+
+impl EpochPublisher {
+    /// A publisher gated by `policy`.
+    pub fn new(policy: CheckpointPolicy) -> Self {
+        EpochPublisher { policy, last_arrivals: None, published: 0 }
+    }
+
+    /// Publishes iff the policy says an epoch is due; returns whether one
+    /// was published. Cheap when not due (one watermark read) — the hook
+    /// ingest loops call per batch, mirroring
+    /// [`Checkpointer::maybe_checkpoint`](crate::Checkpointer::maybe_checkpoint).
+    pub fn maybe_publish(&mut self, det: &AnyDetector, epochs: &DetectorEpochs) -> bool {
+        let arrivals = det.arrivals();
+        let due = match self.last_arrivals {
+            None => arrivals > 0,
+            Some(last) => arrivals.saturating_sub(last) >= self.policy.every_arrivals.max(1),
+        };
+        if !due {
+            return false;
+        }
+        epochs.publish(det);
+        self.last_arrivals = Some(arrivals);
+        self.published += 1;
+        true
+    }
+
+    /// Epochs published through this gate (the genesis publish of
+    /// [`DetectorEpochs::new`] is not counted).
+    pub fn published(&self) -> u64 {
+        self.published
+    }
+}
+
+/// A per-reader [`BurstQueries`] implementation answering from the latest
+/// published epochs of a [`DetectorEpochs`].
+///
+/// Per-event query kinds refresh only the owning shard's cursor (same
+/// routing as the writer); bursty-event kinds refresh every cursor and
+/// retry until the generation vector is coherent (all cells on the same
+/// publish), then fan out and merge exactly like
+/// [`crate::ShardedDetector`]. Every answer records the epoch it came from
+/// — [`Self::answer_watermark`] is what the concurrency harness checks
+/// against its oracle rebuilds.
+#[derive(Debug)]
+pub struct EpochView<'a> {
+    epochs: &'a DetectorEpochs,
+    readers: RefCell<Vec<EpochReader<BurstDetector>>>,
+    /// Per-view working memory — one warm scratch per reader thread keeps
+    /// the fused kernels allocation-free (interior mutability keeps the
+    /// query surface `&self`, like [`crate::BurstMonitor`]).
+    scratch: RefCell<QueryScratch>,
+    /// `(generation, watermark)` of the epoch that answered last.
+    answered: Cell<(u64, Watermark)>,
+}
+
+impl EpochView<'_> {
+    /// Generation of the epoch that answered the last query (0 before the
+    /// first answer).
+    pub fn answer_generation(&self) -> u64 {
+        self.answered.get().0
+    }
+
+    /// Watermark of the epoch that answered the last query.
+    pub fn answer_watermark(&self) -> Watermark {
+        self.answered.get().1
+    }
+
+    /// Refreshes every cursor to the latest coherent generation and
+    /// returns its watermark (also recorded as the answer epoch). This is
+    /// the "am I stale?" probe: after it returns, the view answers from a
+    /// publish no older than the newest one completed before the call.
+    pub fn refresh_latest(&self) -> Watermark {
+        let readers = &mut *self.readers.borrow_mut();
+        let epoch = Self::refresh_coherent(readers, self.epochs);
+        self.answered.set((epoch.0, epoch.1));
+        epoch.1
+    }
+
+    /// Refreshes all cursors until they agree on one generation, returning
+    /// `(generation, watermark)`. Publishes complete in microseconds, so
+    /// the retry loop is bounded in practice; each iteration re-reads only
+    /// the cells that moved.
+    fn refresh_coherent(
+        readers: &mut [EpochReader<BurstDetector>],
+        epochs: &DetectorEpochs,
+    ) -> (u64, Watermark) {
+        loop {
+            for (reader, cell) in readers.iter_mut().zip(&epochs.cells) {
+                reader.refresh(cell);
+            }
+            let first = readers[0].current().expect("genesis epoch always published");
+            let (generation, watermark) = (first.generation, first.watermark);
+            if readers.iter().all(|r| r.current().is_some_and(|e| e.generation == generation)) {
+                return (generation, watermark);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    fn dispatch(
+        &self,
+        request: &QueryRequest,
+        scratch: &mut QueryScratch,
+    ) -> Result<QueryResponse, BedError> {
+        let readers = &mut *self.readers.borrow_mut();
+        match *request {
+            QueryRequest::Point { event, .. }
+            | QueryRequest::BurstyTimes { event, .. }
+            | QueryRequest::Series { event, .. }
+            | QueryRequest::TopK { event, .. } => {
+                // The owning shard's universe check covers the full K, so
+                // routing first is safe even for out-of-range ids.
+                let i = if readers.len() == 1 { 0 } else { route(event, readers.len()) };
+                readers[i].refresh(&self.epochs.cells[i]);
+                let epoch = readers[i].current().expect("genesis epoch always published");
+                let response = epoch.data.query_reusing(request, scratch)?;
+                self.answered.set((epoch.generation, epoch.watermark));
+                Ok(response)
+            }
+            QueryRequest::BurstyEvents { t, theta, tau, strategy } => {
+                let (generation, watermark) = Self::refresh_coherent(readers, self.epochs);
+                let mut merged = Vec::new();
+                let mut stats = crate::QueryStats::default();
+                let n = readers.len();
+                for (i, reader) in readers.iter().enumerate() {
+                    let epoch = reader.current().expect("coherent vector");
+                    let (hits, s) =
+                        epoch.data.bursty_events_with_reusing(t, theta, tau, strategy, scratch)?;
+                    stats.point_queries += s.point_queries;
+                    stats.pruned_subtrees += s.pruned_subtrees;
+                    stats.leaves_probed += s.leaves_probed;
+                    // Keep each shard's hits on the events it owns, like
+                    // the live fan-out (a shard's sketch can only
+                    // over-count foreign ids). A single plain cell owns
+                    // everything.
+                    merged.extend(hits.into_iter().filter(|h| n == 1 || route(h.event, n) == i));
+                }
+                merge_hits(&mut merged);
+                self.answered.set((generation, watermark));
+                Ok(QueryResponse::BurstyEvents { hits: merged, stats })
+            }
+        }
+    }
+}
+
+impl BurstQueries for EpochView<'_> {
+    /// Answers from the latest published epoch, reusing the view-owned
+    /// scratch (per-thread views keep the hot path allocation-free).
+    fn query(&self, request: &QueryRequest) -> Result<QueryResponse, BedError> {
+        self.dispatch(request, &mut self.scratch.borrow_mut())
+    }
+
+    fn query_reusing(
+        &self,
+        request: &QueryRequest,
+        scratch: &mut QueryScratch,
+    ) -> Result<QueryResponse, BedError> {
+        self.dispatch(request, scratch)
+    }
+
+    /// Arrivals covered by the latest published epoch (not the live
+    /// writer's count).
+    fn arrivals(&self) -> u64 {
+        self.refresh_latest().arrivals
+    }
+
+    fn size_bytes(&self) -> usize {
+        let readers = &mut *self.readers.borrow_mut();
+        Self::refresh_coherent(readers, self.epochs);
+        readers.iter().map(|r| r.current().map_or(0, |e| e.data.size_bytes())).sum()
+    }
+
+    fn config(&self) -> &DetectorConfig {
+        &self.epochs.config
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.epochs.metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PbeVariant;
+    use bed_stream::{BurstSpan, EventId, Timestamp};
+    use schedule::{exhaustive, Schedule, ScheduleGen};
+
+    fn plain() -> AnyDetector {
+        AnyDetector::Plain(Box::new(
+            BurstDetector::builder()
+                .universe(8)
+                .variant(PbeVariant::pbe2(1.0))
+                .accuracy(0.01, 0.05)
+                .seed(7)
+                .build()
+                .unwrap(),
+        ))
+    }
+
+    fn sharded(n: usize) -> AnyDetector {
+        AnyDetector::Sharded(
+            crate::ShardedDetector::builder(n)
+                .universe(8)
+                .variant(PbeVariant::pbe2(1.0))
+                .accuracy(0.01, 0.05)
+                .seed(7)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn ingest_fixture(det: &mut AnyDetector, upto: u64) {
+        for t in 0..upto {
+            det.ingest(EventId((t % 8) as u32), Timestamp(t)).unwrap();
+            if t >= upto.saturating_sub(10) {
+                for _ in 0..6 {
+                    det.ingest(EventId(2), Timestamp(t)).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn genesis_epoch_is_published_and_answers() {
+        for det in [plain(), sharded(3)] {
+            let epochs = DetectorEpochs::new(&det);
+            assert_eq!(epochs.generation(), 1);
+            let view = epochs.view();
+            let tau = BurstSpan::new(10).unwrap();
+            let resp = view
+                .query(&QueryRequest::Point { event: EventId(1), t: Timestamp(5), tau })
+                .unwrap();
+            assert_eq!(resp.burstiness(), Some(0.0), "empty detector");
+            assert_eq!(view.answer_generation(), 1);
+            assert_eq!(view.answer_watermark(), Watermark::default());
+        }
+    }
+
+    #[test]
+    fn published_epoch_equals_oracle_rebuild() {
+        for (mut det, mut oracle) in [(plain(), plain()), (sharded(3), sharded(3))] {
+            ingest_fixture(&mut det, 100);
+            let epochs = DetectorEpochs::new(&det);
+            // The live detector keeps ingesting past the publish; the
+            // epoch must keep answering from the published state.
+            for t in 100..400u64 {
+                det.ingest(EventId((t % 8) as u32), Timestamp(t)).unwrap();
+            }
+
+            ingest_fixture(&mut oracle, 100);
+            oracle.finalize();
+
+            let view = epochs.view();
+            let tau = BurstSpan::new(10).unwrap();
+            for e in 0..8u32 {
+                for t in [0u64, 50, 95, 99] {
+                    let req = QueryRequest::Point { event: EventId(e), t: Timestamp(t), tau };
+                    assert_eq!(
+                        view.query(&req).unwrap(),
+                        oracle.queries().query(&req).unwrap(),
+                        "e={e} t={t}"
+                    );
+                }
+            }
+            let req = QueryRequest::BurstyEvents {
+                t: Timestamp(99),
+                theta: 20.0,
+                tau,
+                strategy: crate::QueryStrategy::Pruned,
+            };
+            assert_eq!(view.query(&req).unwrap(), oracle.queries().query(&req).unwrap());
+            assert_eq!(view.answer_watermark(), oracle.watermark());
+        }
+    }
+
+    #[test]
+    fn readers_track_publishes_and_cadence_gate_works() {
+        let mut det = plain();
+        let epochs = DetectorEpochs::new(&det);
+        let mut publisher = EpochPublisher::new(CheckpointPolicy { every_arrivals: 50 });
+        let view = epochs.view();
+        assert_eq!(view.refresh_latest().arrivals, 0);
+
+        for t in 0..120u64 {
+            det.ingest(EventId((t % 8) as u32), Timestamp(t)).unwrap();
+            publisher.maybe_publish(&det, &epochs);
+        }
+        assert_eq!(publisher.published(), 3, "arrivals 1 (first due), 51, 101");
+        assert_eq!(view.refresh_latest().arrivals, 101);
+        // Nothing new published → refresh is a no-op at the same epoch.
+        assert_eq!(view.refresh_latest().arrivals, 101);
+        epochs.publish(&det);
+        assert_eq!(view.refresh_latest().arrivals, 120);
+    }
+
+    #[test]
+    fn epoch_metrics_surface_published_and_retries() {
+        let det = plain();
+        let epochs = DetectorEpochs::new(&det);
+        epochs.publish(&det);
+        let snap = epochs.metrics();
+        assert_eq!(snap.get("epoch.published"), Some(&bed_obs::MetricValue::Counter(2)));
+        assert_eq!(snap.get("epoch.reader_retries"), Some(&bed_obs::MetricValue::Counter(0)));
+        assert!(
+            matches!(snap.get("epoch.generation"), Some(bed_obs::MetricValue::Gauge(g)) if *g == 2.0)
+        );
+        assert!(matches!(
+            snap.get("epoch.publish.latency_ns"),
+            Some(bed_obs::MetricValue::Histogram(_))
+        ));
+    }
+
+    // ---- schedule-permuter coverage of the seqlock protocol ----------
+
+    /// Drives one instrumented refresh under `schedule`, injecting
+    /// `schedule.next()` publishes at every protocol yield point. Returns
+    /// whether the retry path fired. `published` tracks the single
+    /// writer's count so payloads can encode their own generation.
+    fn run_schedule(
+        cell: &SnapshotCell<u64>,
+        reader: &mut EpochReader<u64>,
+        published: &mut u64,
+        schedule: &mut Schedule,
+    ) -> bool {
+        let retries_before = cell.reader_retries();
+        let publish_n = |n: usize, published: &mut u64| {
+            for _ in 0..n {
+                *published += 1;
+                let wm = Watermark { arrivals: *published, last_ts: None };
+                assert_eq!(cell.publish(wm, Arc::new(*published)), *published);
+            }
+        };
+        publish_n(schedule.next(), published);
+        reader.refresh_with(cell, &mut |_step| {
+            publish_n(schedule.next(), published);
+        });
+        // Protocol invariants, checked after *every* interleaving:
+        // the loaded epoch is internally consistent (never torn) ...
+        if let Some(epoch) = reader.current() {
+            assert_eq!(*epoch.data, epoch.generation, "torn epoch payload");
+            assert_eq!(epoch.watermark.arrivals, epoch.generation, "torn watermark");
+            assert!(epoch.generation <= *published, "read an unpublished generation");
+        } else {
+            assert_eq!(*published, 0, "published epochs must be visible");
+        }
+        cell.reader_retries() > retries_before
+    }
+
+    #[test]
+    fn exhaustive_small_schedules_cover_the_retry_path() {
+        // Yield points per refresh: LoadGeneration, then per loop
+        // iteration LockSlot (+ Validate, LoadGeneration on retry). Up to
+        // 5 injected publishes per step forces multi-lap retries
+        // (EPOCH_SLOTS = 4, so ≥4 publishes between load and lock lap the
+        // slot). 6^4 = 1296 schedules, exhaustively enumerated.
+        let mut retried = 0u32;
+        let mut total = 0u32;
+        for mut schedule in exhaustive(5, 4) {
+            let cell = SnapshotCell::new();
+            let mut reader = EpochReader::new();
+            let mut published = 0u64;
+            // Refresh twice per schedule so cached-generation fast paths
+            // get interleaved publishes too.
+            let a = run_schedule(&cell, &mut reader, &mut published, &mut schedule);
+            let b = run_schedule(&cell, &mut reader, &mut published, &mut schedule);
+            retried += u32::from(a | b);
+            total += 1;
+        }
+        assert_eq!(total, 6u32.pow(4));
+        assert!(retried > 0, "no schedule exercised the seqlock retry path");
+    }
+
+    #[test]
+    fn seeded_random_schedules_agree_with_the_invariants() {
+        let mut retried = false;
+        for seed in 0..64u64 {
+            let mut gen = ScheduleGen::new(seed);
+            let cell = SnapshotCell::new();
+            let mut reader = EpochReader::new();
+            let mut published = 0u64;
+            for _ in 0..8 {
+                let mut schedule = gen.schedule(8, 6);
+                retried |= run_schedule(&cell, &mut reader, &mut published, &mut schedule);
+            }
+        }
+        assert!(retried, "64 seeds × 8 refreshes never lapped a slot");
+    }
+
+    #[test]
+    fn schedule_generator_is_deterministic() {
+        let a: Vec<usize> = ScheduleGen::new(9).schedule(8, 6).remaining().to_vec();
+        let b: Vec<usize> = ScheduleGen::new(9).schedule(8, 6).remaining().to_vec();
+        assert_eq!(a, b);
+    }
+}

@@ -68,6 +68,9 @@
 //! * `pipeline.flush.{count,elements,latency_ns}` plus
 //!   `pipeline.{messages,unmapped,pending}` gauges on a
 //!   [`MessagePipeline`]
+//! * `epoch.published` / `epoch.reader_retries` counters,
+//!   `epoch.publish.latency_ns`, and the `epoch.generation` gauge on a
+//!   [`DetectorEpochs`]
 //! * `checkpoint.{count,errors,bytes,latency_ns}` and
 //!   `recovery.{count,fallbacks,replayed,torn_tails,latency_ns}` on a
 //!   [`Checkpointer`]; `wal.{appends,bytes}` and `wal.sync.latency_ns` on a
@@ -80,6 +83,14 @@
 //! one-generation rotation, plus a write-ahead log of arrivals so recovery
 //! is "load the newest intact snapshot, replay the tail" — see
 //! [`recover`] and the module docs for the exact invariants.
+//!
+//! ## Concurrent reads
+//!
+//! The [`epoch`] module decouples queries from a live ingest: a writer
+//! publishes immutable epoch snapshots at a configurable cadence and any
+//! number of readers answer from the latest one wait-free — zero locks
+//! and zero allocation on the query hot path. See [`DetectorEpochs`] and
+//! the protocol notes in the module docs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -88,6 +99,7 @@ pub mod cell;
 pub mod checkpoint;
 pub mod config;
 pub mod detector;
+pub mod epoch;
 pub mod error;
 mod metrics;
 pub mod monitor;
@@ -104,6 +116,7 @@ pub use checkpoint::{
 };
 pub use config::{DetectorConfig, PbeVariant};
 pub use detector::{BurstDetector, BurstDetectorBuilder};
+pub use epoch::{DetectorEpochs, Epoch, EpochPublisher, EpochReader, EpochView, SnapshotCell};
 pub use error::BedError;
 pub use monitor::BurstMonitor;
 pub use observe::Traceable;

@@ -356,6 +356,49 @@ impl CheckpointMetrics {
     }
 }
 
+/// Metrics of a [`crate::epoch::DetectorEpochs`]: publish cadence and
+/// reader-retry pressure on the snapshot cells.
+#[derive(Debug)]
+pub(crate) struct EpochMetrics {
+    registry: MetricsRegistry,
+    published: Arc<Counter>,
+    reader_retries: Arc<Counter>,
+    publish_latency: Arc<Histogram>,
+}
+
+impl EpochMetrics {
+    pub(crate) fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        EpochMetrics {
+            published: registry.counter("epoch.published"),
+            reader_retries: registry.counter("epoch.reader_retries"),
+            publish_latency: registry.histogram("epoch.publish.latency_ns"),
+            registry,
+        }
+    }
+
+    /// Records one completed publish across every cell.
+    pub(crate) fn published(&self, elapsed: std::time::Duration) {
+        self.published.inc();
+        self.publish_latency.observe(elapsed);
+    }
+
+    /// Syncs the cumulative reader-retry total (the cells own the live
+    /// count so the retry path stays a single relaxed `fetch_add`).
+    pub(crate) fn sync_reader_retries(&self, total: u64) {
+        self.reader_retries.set(total);
+    }
+
+    /// Refreshes an epoch gauge (cold path; registers on first use).
+    pub(crate) fn set_gauge(&self, name: &str, value: f64) {
+        self.registry.gauge(name).set(value);
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+}
+
 /// Metrics of a [`crate::wal::WalWriter`]: append volume and sync latency.
 #[derive(Debug)]
 pub(crate) struct WalMetrics {

@@ -50,10 +50,31 @@ fn mix(x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// The shard owning `event` among `n` shards.
+/// The shard owning `event` among `n` shards. Shared with the epoch read
+/// path ([`crate::epoch`]), which must route per-event queries to the same
+/// cell the writer publishes that shard into.
 #[inline]
-fn route(event: EventId, n: usize) -> usize {
+pub(crate) fn route(event: EventId, n: usize) -> usize {
     (mix(event.value() as u64) % n as u64) as usize
+}
+
+/// Canonical cross-shard hit merge: dedup by event (keeping the larger
+/// estimate), then order by descending burstiness with event id as the
+/// tiebreak. Shared by the live fan-out below and the epoch fan-out in
+/// [`crate::epoch`] so both layouts produce identical answer ordering.
+pub(crate) fn merge_hits(merged: &mut Vec<BurstyEventHit>) {
+    merged.sort_by(|a, b| {
+        a.event
+            .cmp(&b.event)
+            .then(b.burstiness.partial_cmp(&a.burstiness).expect("finite estimates"))
+    });
+    merged.dedup_by_key(|h| h.event);
+    merged.sort_by(|a, b| {
+        b.burstiness
+            .partial_cmp(&a.burstiness)
+            .expect("finite estimates")
+            .then(a.event.cmp(&b.event))
+    });
 }
 
 /// N hash-partitioned [`BurstDetector`]s that ingest in parallel and
@@ -419,20 +440,7 @@ impl ShardedDetector {
             stats.leaves_probed += s.leaves_probed;
             merged.extend(hits.into_iter().filter(|h| self.owner(h.event) == i));
         }
-        // Dedup by event (keep the larger estimate), then order by
-        // descending burstiness with event id as the tiebreak.
-        merged.sort_by(|a, b| {
-            a.event
-                .cmp(&b.event)
-                .then(b.burstiness.partial_cmp(&a.burstiness).expect("finite estimates"))
-        });
-        merged.dedup_by_key(|h| h.event);
-        merged.sort_by(|a, b| {
-            b.burstiness
-                .partial_cmp(&a.burstiness)
-                .expect("finite estimates")
-                .then(a.event.cmp(&b.event))
-        });
+        merge_hits(&mut merged);
         Ok((merged, stats))
     }
 

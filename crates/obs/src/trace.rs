@@ -19,7 +19,7 @@ use crate::MetricValue;
 
 /// Closed table of span names. Keeping names as indices into a static
 /// table means the ring buffer never stores or clones strings.
-static SPAN_NAMES: [&str; 14] = [
+static SPAN_NAMES: [&str; 15] = [
     "query.point",
     "query.bursty_times",
     "query.bursty_events",
@@ -33,6 +33,7 @@ static SPAN_NAMES: [&str; 14] = [
     "wal.append",
     "checkpoint.save",
     "checkpoint.recover",
+    "epoch.publish",
     "span.unknown",
 ];
 
@@ -70,6 +71,8 @@ impl SpanName {
     pub const CHECKPOINT_SAVE: SpanName = SpanName(11);
     /// Root span for snapshot + WAL recovery.
     pub const CHECKPOINT_RECOVER: SpanName = SpanName(12);
+    /// Root span for publishing one epoch snapshot to concurrent readers.
+    pub const EPOCH_PUBLISH: SpanName = SpanName(13);
 
     /// The string form of this span name.
     pub fn as_str(self) -> &'static str {

@@ -7,8 +7,9 @@ use bed::obs::Histogram;
 use bed::pbe::{CurveCursor, CurveSketch, ExactCurve, Pbe1, Pbe1Config, Pbe2, Pbe2Config};
 use bed::sketch::CmPbe;
 use bed::{
-    BedError, BurstDetector, BurstQueries, BurstSpan, EventId, MetricValue, MetricsSnapshot,
-    PbeVariant, QueryRequest, QueryScratch, QueryStrategy, ShardedDetector, TimeRange, Timestamp,
+    AnyDetector, BedError, BurstDetector, BurstQueries, BurstSpan, DetectorEpochs, EventId,
+    MetricValue, MetricsSnapshot, PbeVariant, QueryRequest, QueryScratch, QueryStrategy,
+    ShardedDetector, TimeRange, Timestamp,
 };
 use proptest::prelude::*;
 
@@ -706,4 +707,128 @@ fn warm_fused_kernels_do_not_allocate() {
 
     let delta = counting_alloc::CountingAlloc::current() - base;
     assert_eq!(delta, 0, "warm fused kernels allocated {delta} times");
+}
+
+// ---------------------------------------------------------------------------
+// Epoch publication contract: the `epoch.*` metric families are stable wire
+// text, and the concurrent read path inherits the zero-allocation guarantee.
+// ---------------------------------------------------------------------------
+
+/// The `epoch.*` family names on the `/metrics` wire are golden — exact
+/// bytes for a deterministic snapshot, so dashboards can rely on
+/// `bed_epoch_published_total`, `bed_epoch_reader_retries_total`,
+/// `bed_epoch_publish_latency_ns_*`, and the `bed_epoch_generation` gauge.
+#[test]
+fn epoch_metrics_openmetrics_is_golden() {
+    let h = Histogram::new();
+    h.record_ns(100);
+    let snap = MetricsSnapshot::from_entries([
+        ("epoch.published".to_owned(), MetricValue::Counter(2)),
+        ("epoch.reader_retries".to_owned(), MetricValue::Counter(0)),
+        ("epoch.generation".to_owned(), MetricValue::Gauge(2.0)),
+        ("epoch.publish.latency_ns".to_owned(), MetricValue::Histogram(h.snapshot())),
+    ]);
+    let golden = concat!(
+        "# HELP bed_epoch_generation epoch.generation\n",
+        "# TYPE bed_epoch_generation gauge\n",
+        "bed_epoch_generation 2\n",
+        "# HELP bed_epoch_publish_latency_ns epoch.publish.latency_ns\n",
+        "# TYPE bed_epoch_publish_latency_ns histogram\n",
+        "bed_epoch_publish_latency_ns_bucket{le=\"250\"} 1\n",
+        "bed_epoch_publish_latency_ns_bucket{le=\"1000\"} 1\n",
+        "bed_epoch_publish_latency_ns_bucket{le=\"4000\"} 1\n",
+        "bed_epoch_publish_latency_ns_bucket{le=\"16000\"} 1\n",
+        "bed_epoch_publish_latency_ns_bucket{le=\"64000\"} 1\n",
+        "bed_epoch_publish_latency_ns_bucket{le=\"250000\"} 1\n",
+        "bed_epoch_publish_latency_ns_bucket{le=\"1000000\"} 1\n",
+        "bed_epoch_publish_latency_ns_bucket{le=\"4000000\"} 1\n",
+        "bed_epoch_publish_latency_ns_bucket{le=\"16000000\"} 1\n",
+        "bed_epoch_publish_latency_ns_bucket{le=\"64000000\"} 1\n",
+        "bed_epoch_publish_latency_ns_bucket{le=\"250000000\"} 1\n",
+        "bed_epoch_publish_latency_ns_bucket{le=\"1000000000\"} 1\n",
+        "bed_epoch_publish_latency_ns_bucket{le=\"+Inf\"} 1\n",
+        "bed_epoch_publish_latency_ns_sum 100\n",
+        "bed_epoch_publish_latency_ns_count 1\n",
+        "# HELP bed_epoch_published epoch.published\n",
+        "# TYPE bed_epoch_published counter\n",
+        "bed_epoch_published_total 2\n",
+        "# HELP bed_epoch_reader_retries epoch.reader_retries\n",
+        "# TYPE bed_epoch_reader_retries counter\n",
+        "bed_epoch_reader_retries_total 0\n",
+        "# EOF\n",
+    );
+    assert_eq!(snap.to_openmetrics(), golden);
+
+    // A live `DetectorEpochs` emits exactly those families (latency values
+    // are wall-clock, so the histogram series are asserted by name only).
+    let det =
+        AnyDetector::Plain(Box::new(BurstDetector::builder().universe(8).seed(7).build().unwrap()));
+    let epochs = DetectorEpochs::new(&det); // genesis publish = generation 1
+    epochs.publish(&det);
+    let om = epochs.metrics().to_openmetrics();
+    assert!(om.contains("bed_epoch_published_total 2\n"), "{om}");
+    assert!(om.contains("bed_epoch_reader_retries_total 0\n"), "{om}");
+    assert!(om.contains("bed_epoch_generation 2\n"), "{om}");
+    assert!(om.contains("# TYPE bed_epoch_publish_latency_ns histogram\n"), "{om}");
+    assert!(om.contains("bed_epoch_publish_latency_ns_count 2\n"), "{om}");
+    assert!(om.ends_with("# EOF\n"), "{om}");
+}
+
+/// The epoch read path stays zero-allocation once warm: the fast path
+/// (generation unchanged — one atomic load) and the slow path (a new epoch
+/// was published — the reader copies an `Arc` handle out of a slot) both
+/// answer point queries without touching the heap.
+#[test]
+fn warm_epoch_read_path_does_not_allocate() {
+    let mut det = AnyDetector::Plain(Box::new(
+        BurstDetector::builder()
+            .universe(8)
+            .variant(PbeVariant::pbe2(1.0))
+            .seed(7)
+            .build()
+            .unwrap(),
+    ));
+    for t in 0..2_000u64 {
+        det.ingest(EventId((t % 8) as u32), Timestamp(t)).unwrap();
+        if t >= 1_900 {
+            for _ in 0..4 {
+                det.ingest(EventId(2), Timestamp(t)).unwrap();
+            }
+        }
+    }
+    let epochs = DetectorEpochs::new(&det);
+    let tau = BurstSpan::new(50).unwrap();
+
+    // Warm-up: pull the genesis epoch through the view and grow its
+    // scratch to the high-water mark of every kind we will measure.
+    let view = epochs.view();
+    view.refresh_latest();
+    for e in 0..8u32 {
+        view.query(&QueryRequest::Point { event: EventId(e), t: Timestamp(1_999), tau }).unwrap();
+    }
+
+    // Ingest more and publish generation 2 *before* measuring: publishing
+    // clones the detector (writer-side cost, heap allowed); consuming the
+    // publish on the read side must be free.
+    for t in 2_000..2_500u64 {
+        det.ingest(EventId((t % 8) as u32), Timestamp(t)).unwrap();
+    }
+    epochs.publish(&det);
+
+    let base = counting_alloc::CountingAlloc::current();
+
+    // Slow path: the refresh sees generation 2 and swaps in the new epoch.
+    assert_eq!(view.refresh_latest().arrivals, 2_900);
+    assert_eq!(view.answer_generation(), 2);
+    // Fast path: repeated refreshes and point queries against a quiet cell.
+    for round in 0..200u64 {
+        view.refresh_latest();
+        for e in 0..8u32 {
+            let req = QueryRequest::Point { event: EventId(e), t: Timestamp(2_000 + round), tau };
+            std::hint::black_box(view.query(&req).unwrap());
+        }
+    }
+
+    let delta = counting_alloc::CountingAlloc::current() - base;
+    assert_eq!(delta, 0, "warm epoch read path allocated {delta} times");
 }
