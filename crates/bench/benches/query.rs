@@ -137,6 +137,59 @@ fn bench_query(c: &mut Criterion) {
         })
     });
     g.finish();
+
+    // Struct-of-arrays bank vs array-of-structs cells: the same fused
+    // kernels on the same finalized grid, with and without the probe
+    // mirror — the before/after pair behind results/query_soa.md.
+    let soa = grid.clone();
+    assert!(soa.has_bank(), "finalize must have built the bank");
+    let mut aos = grid.clone();
+    aos.clear_bank();
+
+    let mut g = c.benchmark_group("soa");
+    g.bench_function("probe3/aos", |b| b.iter(|| aos.probe3(EventId(17), t_query, tau)));
+    g.bench_function("probe3/soa", |b| b.iter(|| soa.probe3(EventId(17), t_query, tau)));
+    g.bench_function("bursty_event_scan/aos", |b| {
+        let mut scratch = QueryScratch::new();
+        b.iter(|| {
+            let mut hits = 0u32;
+            aos.burstiness_scan_into(0, UNIVERSE, t_query, tau, &mut scratch, |_, b| {
+                if b >= theta {
+                    hits += 1;
+                }
+            });
+            hits
+        })
+    });
+    g.bench_function("bursty_event_scan/soa", |b| {
+        let mut scratch = QueryScratch::new();
+        b.iter(|| {
+            let mut hits = 0u32;
+            soa.burstiness_scan_into(0, UNIVERSE, t_query, tau, &mut scratch, |_, b| {
+                if b >= theta {
+                    hits += 1;
+                }
+            });
+            hits
+        })
+    });
+    g.bench_function("bursty_time/aos", |b| {
+        let mut scratch = QueryScratch::new();
+        let mut out: Vec<(Timestamp, f64)> = Vec::new();
+        b.iter(|| {
+            aos.bursty_times_into(EventId(17), theta, tau, horizon, &mut scratch, &mut out);
+            out.len()
+        })
+    });
+    g.bench_function("bursty_time/soa", |b| {
+        let mut scratch = QueryScratch::new();
+        let mut out: Vec<(Timestamp, f64)> = Vec::new();
+        b.iter(|| {
+            soa.bursty_times_into(EventId(17), theta, tau, horizon, &mut scratch, &mut out);
+            out.len()
+        })
+    });
+    g.finish();
 }
 
 criterion_group! {

@@ -57,6 +57,13 @@ impl CurveSketch for PbeCell {
         }
     }
 
+    fn for_each_piece(&self, f: &mut dyn FnMut(bed_pbe::CurvePiece)) {
+        match self {
+            PbeCell::One(p) => p.for_each_piece(f),
+            PbeCell::Two(p) => p.for_each_piece(f),
+        }
+    }
+
     fn finalize(&mut self) {
         match self {
             PbeCell::One(p) => p.finalize(),

@@ -525,6 +525,22 @@ impl BurstDetector {
         }
     }
 
+    /// Resident bytes of the struct-of-arrays probe banks, `0` when none
+    /// are built. [`finalize`](Self::finalize) builds them; any ingest
+    /// drops them, so a non-zero value means queries ride the vectorized
+    /// [`bed_sketch::CellBank`] kernels instead of the per-cell path.
+    /// Deliberately *not* part of [`size_bytes`](Self::size_bytes), which
+    /// keeps the paper's summary-only accounting.
+    pub fn soa_bank_bytes(&self) -> usize {
+        match &self.backend {
+            Backend::Single(_) => 0,
+            Backend::Flat(grid) => grid.bank_size_bytes(),
+            Backend::Hierarchical(forest) => {
+                (0..forest.levels()).map(|l| forest.grid(l).bank_size_bytes()).sum()
+            }
+        }
+    }
+
     /// Captures a [`MetricsSnapshot`] of runtime counters and latency
     /// histograms, refreshing the structural gauges (summary sizes, sketch
     /// fill, forest occupancy) from the backend first. See the crate docs

@@ -335,6 +335,22 @@ impl DetectorEpochs {
         self.layout_shards
     }
 
+    /// Total resident bytes of the published epochs' struct-of-arrays
+    /// probe banks. Publishing finalizes each clone, which builds its
+    /// bank, so this is non-zero for every grid layout — readers answer
+    /// through the vectorized kernels, and operators can see the mirror's
+    /// memory cost here.
+    pub fn bank_bytes(&self) -> usize {
+        self.cells
+            .iter()
+            .map(|cell| {
+                let mut r = EpochReader::new();
+                r.refresh(cell);
+                r.current().map_or(0, |e| e.data.soa_bank_bytes())
+            })
+            .sum()
+    }
+
     /// The configuration the published detectors were built with.
     pub fn config(&self) -> &DetectorConfig {
         &self.config

@@ -466,6 +466,12 @@ impl ShardedDetector {
         self.shards.iter().map(BurstDetector::size_bytes).sum()
     }
 
+    /// Resident bytes of the struct-of-arrays probe banks across all
+    /// shards (see [`BurstDetector::soa_bank_bytes`]).
+    pub fn soa_bank_bytes(&self) -> usize {
+        self.shards.iter().map(BurstDetector::soa_bank_bytes).sum()
+    }
+
     /// Captures a [`MetricsSnapshot`] rolling every shard up: counters and
     /// histograms are summed across shards, facade-level batch/fan-out
     /// timings are kept as-is, and per-shard `shard.<i>.{arrivals,bytes}`

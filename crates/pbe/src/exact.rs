@@ -99,6 +99,14 @@ impl CurveSketch for ExactCurve {
         }
     }
 
+    fn for_each_piece(&self, f: &mut dyn FnMut(crate::soa::CurvePiece)) {
+        // One staircase piece per corner — `b = cum as f64` is exactly what
+        // `cum_at_rank` returns, so the bank evaluation is bit-identical.
+        for c in self.curve.corners() {
+            f(crate::soa::CurvePiece::staircase(c.t.ticks(), c.cum as f64));
+        }
+    }
+
     fn arrivals(&self) -> u64 {
         self.arrivals
     }

@@ -32,12 +32,14 @@ pub mod exact;
 pub mod kernel;
 pub mod pbe1;
 pub mod pbe2;
+pub mod soa;
 pub mod traits;
 
 pub use exact::ExactCurve;
 pub use kernel::{rank_resume, CumHint, CurveCursor};
 pub use pbe1::{Pbe1, Pbe1Config};
 pub use pbe2::{Pbe2, Pbe2Config};
+pub use soa::{bank_of_cells, CurvePiece, PieceBank, PieceBankBuilder, ProbeRows, MAX_LANES};
 pub use traits::{
     bursty_time_candidates, bursty_time_candidates_into, bursty_time_ranges, CurveSketch,
     Interpolation, SummaryStats,

@@ -312,6 +312,16 @@ impl CurveSketch for Pbe1 {
         }
     }
 
+    fn for_each_piece(&self, f: &mut dyn FnMut(crate::soa::CurvePiece)) {
+        // The rank view is the concatenation summary ⊕ buffer (globally
+        // sorted — buffer timestamps are strictly after summary ones), and
+        // `cum_at_rank` reads `cum as f64`; one staircase piece per corner
+        // reproduces it bit for bit.
+        for c in self.summary.iter().chain(self.buffer.iter()) {
+            f(crate::soa::CurvePiece::staircase(c.t.ticks(), c.cum as f64));
+        }
+    }
+
     fn arrivals(&self) -> u64 {
         self.arrivals
     }

@@ -379,6 +379,37 @@ impl CurveSketch for Pbe2 {
         }
     }
 
+    fn for_each_piece(&self, f: &mut dyn FnMut(crate::soa::CurvePiece)) {
+        // Finished segments map verbatim (same `(a, b, start, end)` and the
+        // bank evaluates them with `eval_clamped`'s exact arithmetic). The
+        // open polygon's virtual segment starts strictly after every
+        // finished one, so appending it last keeps starts ascending and the
+        // bank's rank selection reproduces `cum_with_rank`'s open-first
+        // check. The pending-corner special case is visible through
+        // `estimate_cum` only when there is no open segment and no finished
+        // segment — mirror that guard exactly.
+        for s in &self.segments {
+            f(crate::soa::CurvePiece {
+                start: s.start.ticks(),
+                end: s.end.ticks(),
+                a: s.a,
+                b: s.b,
+            });
+        }
+        if let Some(seg) = self.open_segment() {
+            f(crate::soa::CurvePiece {
+                start: seg.start.ticks(),
+                end: seg.end.ticks(),
+                a: seg.a,
+                b: seg.b,
+            });
+        } else if self.segments.is_empty() {
+            if let Some(t0) = self.pending_t {
+                f(crate::soa::CurvePiece::staircase(t0.ticks(), self.cum as f64));
+            }
+        }
+    }
+
     fn piece_boundaries(&self) -> Vec<Timestamp> {
         // Slope changes at every segment start, right after every segment
         // end (hand-over to the flat hold), and — because estimates clamp at

@@ -1,0 +1,637 @@
+//! Struct-of-arrays piece bank: the vectorizable query-side layout.
+//!
+//! The array-of-structs layout the sketches ingest into (`Vec<CornerPoint>`,
+//! `Vec<Segment>`) is ideal for appends but hostile to the d-row probe loop
+//! of CM-PBE: every row chases a separate heap pointer and every rank search
+//! strides over 16–24-byte structs, pulling slope/intercept bytes through the
+//! cache just to compare timestamps. This module is the read-optimised
+//! mirror: at `finalize` time every cell's pieces are re-laid out into four
+//! parallel arrays (`starts`, `ends`, `slopes`, `intercepts`) shared by all
+//! lanes, each lane padded to a cache-line boundary, so
+//!
+//! * a rank search touches **keys only** — eight `u64`s per cache line
+//!   instead of 2–4 embedded struct keys;
+//! * the per-lane evaluation `(a·dt + b).max(0)` becomes a fixed-width loop
+//!   over plain `f64` arrays that the autovectorizer turns into packed
+//!   `mulpd`/`addpd`/`maxpd` (checked by `scripts/check_vectorization.sh`);
+//! * the next row's key line can be warmed while the current row resolves.
+//!
+//! Every piece is the same canonical form, so one kernel serves staircase
+//! (PBE-1, exact) and PLA (PBE-2) cells alike; see [`CurvePiece`]. The bank
+//! is a pure acceleration structure: all kernels return values bit-for-bit
+//! identical to the AoS paths they mirror (pinned by proptests in
+//! `crates/sketch/tests/prop.rs` and `tests/api_contract.rs`).
+
+use bed_stream::{BurstSpan, Timestamp};
+
+use crate::kernel::{rank_resume, CumHint};
+use crate::traits::CurveSketch;
+
+/// One piece of a frequency-curve estimate in canonical linear form: for
+/// `t ≥ start` the estimate is `(a·dt + b).max(0)` with
+/// `dt = min(t, end) − start` — the exact arithmetic of
+/// `Segment::eval_clamped` in PBE-2. Staircase corners are the degenerate
+/// `a = 0, start = end` case, where the expression collapses bit-for-bit to
+/// `b` (`0·0 = +0`, `+0 + b = b`, and `b.max(0) = b` for the non-negative
+/// counts a staircase stores).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePiece {
+    /// First timestamp covered; pieces of one lane have strictly ascending
+    /// starts and the piece owns `[start, next piece's start)`.
+    pub start: u64,
+    /// Last constraint timestamp covered; beyond it the end value holds.
+    pub end: u64,
+    /// Slope per tick.
+    pub a: f64,
+    /// Value at `start`.
+    pub b: f64,
+}
+
+impl CurvePiece {
+    /// A staircase corner: the estimate holds `cum` from `t` onward.
+    #[inline]
+    pub fn staircase(t: u64, cum: f64) -> Self {
+        CurvePiece { start: t, end: t, a: 0.0, b: cum }
+    }
+}
+
+/// Widest grid the stack-resident batched kernels cover: one lane per
+/// Count-Min row, matching `bed_sketch::MEDIAN_STACK` (d = 8 ⇒ δ ≈ 3e−4,
+/// past any configuration the paper evaluates). Kept tight deliberately:
+/// the batched kernels zero-initialise `O(MAX_LANES)` stack arrays per
+/// probe, so headroom nobody uses is pure per-query cost.
+pub const MAX_LANES: usize = 8;
+
+/// Elements per 64-byte cache line for the 8-byte lane element types; lane
+/// offsets and padded lengths are multiples of this so every lane begins on
+/// a line boundary.
+const LINE_ELEMS: usize = 8;
+
+/// A 64-byte-aligned, immutable array of 8-byte elements, built without
+/// `unsafe`: the backing `Vec` over-allocates by one cache line and the
+/// accessor skips to the first aligned element. The skew is computed once at
+/// construction and the buffer is never pushed to afterwards, so the
+/// alignment holds for the structure's lifetime.
+#[derive(Debug)]
+struct Aligned64<T> {
+    buf: Vec<T>,
+    skew: usize,
+    len: usize,
+}
+
+impl<T: Copy + Default> Aligned64<T> {
+    /// Allocates `len` elements, aligns, and lets `fill` write them.
+    fn build(len: usize, fill: impl FnOnce(&mut [T])) -> Self {
+        debug_assert_eq!(std::mem::size_of::<T>(), 8);
+        let mut buf = vec![T::default(); len + LINE_ELEMS];
+        let skew = buf.as_ptr().align_offset(64);
+        assert!(skew < LINE_ELEMS, "64-byte alignment unreachable from an 8-byte-aligned Vec");
+        fill(&mut buf[skew..skew + len]);
+        Aligned64 { buf, skew, len }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[T] {
+        &self.buf[self.skew..self.skew + self.len]
+    }
+}
+
+/// Cloning re-aligns: the fresh allocation lands at its own address, so the
+/// skew must be recomputed rather than copied.
+impl<T: Copy + Default> Clone for Aligned64<T> {
+    fn clone(&self) -> Self {
+        Aligned64::build(self.len, |dst| dst.copy_from_slice(self.as_slice()))
+    }
+}
+
+/// Where one lane's pieces live inside the shared arrays.
+#[derive(Debug, Clone, Copy)]
+struct LaneSpan {
+    /// Element offset of the lane's first piece (a multiple of
+    /// [`LINE_ELEMS`], so the lane starts on a cache-line boundary).
+    off: u32,
+    /// Piece count including the sentinel (padding excluded).
+    len: u32,
+}
+
+/// The struct-of-arrays piece bank: every lane's pieces laid out
+/// contiguously in four parallel arrays, 64-byte aligned and padded.
+///
+/// Each lane is prefixed with a sentinel piece `{start: 0, end: 0, a: 0,
+/// b: 0}` so a rank search always returns ≥ 1 and "before any piece reads
+/// 0" needs no branch: the sentinel simply evaluates to `+0.0`, the same
+/// bits the AoS paths return for pre-first-piece probes.
+#[derive(Debug, Clone)]
+pub struct PieceBank {
+    starts: Aligned64<u64>,
+    ends: Aligned64<u64>,
+    slopes: Aligned64<f64>,
+    intercepts: Aligned64<f64>,
+    spans: Vec<LaneSpan>,
+}
+
+/// Incremental [`PieceBank`] constructor: declare a lane, stream its pieces
+/// in ascending start order, repeat, then [`finish`](Self::finish).
+#[derive(Debug, Default)]
+pub struct PieceBankBuilder {
+    pieces: Vec<CurvePiece>,
+    /// Index into `pieces` where each lane begins (its sentinel).
+    lane_starts: Vec<u32>,
+}
+
+impl PieceBankBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens the next lane (lanes are numbered in call order).
+    pub fn begin_lane(&mut self) {
+        self.lane_starts.push(self.pieces.len() as u32);
+        self.pieces.push(CurvePiece { start: 0, end: 0, a: 0.0, b: 0.0 });
+    }
+
+    /// Appends one piece to the open lane. Starts must strictly ascend
+    /// within a lane and every field must be finite.
+    pub fn push(&mut self, p: CurvePiece) {
+        debug_assert!(!self.lane_starts.is_empty(), "push before begin_lane");
+        debug_assert!(p.start <= p.end, "inverted piece {p:?}");
+        debug_assert!(p.a.is_finite() && p.b.is_finite(), "non-finite piece {p:?}");
+        debug_assert!(
+            self.pieces.len() == *self.lane_starts.last().unwrap() as usize + 1
+                || self.pieces.last().is_none_or(|l| l.start < p.start),
+            "piece starts must strictly ascend within a lane"
+        );
+        self.pieces.push(p);
+    }
+
+    /// Opens a lane and fills it from a sketch's
+    /// [`CurveSketch::for_each_piece`] visitor.
+    pub fn add_lane_from<S: CurveSketch + ?Sized>(&mut self, sketch: &S) {
+        self.begin_lane();
+        sketch.for_each_piece(&mut |p| self.push(p));
+    }
+
+    /// Lays the collected lanes out into the aligned parallel arrays.
+    pub fn finish(self) -> PieceBank {
+        let nlanes = self.lane_starts.len();
+        assert!(nlanes <= u32::MAX as usize, "lane count exceeds u32 indexing");
+        let mut spans = Vec::with_capacity(nlanes);
+        let mut total = 0usize;
+        for (i, &s) in self.lane_starts.iter().enumerate() {
+            let end = self.lane_starts.get(i + 1).map_or(self.pieces.len(), |&e| e as usize);
+            let len = end - s as usize;
+            spans.push(LaneSpan { off: total as u32, len: len as u32 });
+            total += len.next_multiple_of(LINE_ELEMS);
+        }
+        assert!(total <= u32::MAX as usize, "piece count exceeds u32 indexing");
+        let lay = |dst: &mut [u64], field: &dyn Fn(&CurvePiece) -> u64, pad: u64| {
+            dst.fill(pad);
+            for (span, &s) in spans.iter().zip(&self.lane_starts) {
+                let src = &self.pieces[s as usize..s as usize + span.len as usize];
+                for (d, p) in dst[span.off as usize..].iter_mut().zip(src) {
+                    *d = field(p);
+                }
+            }
+        };
+        // Key padding is u64::MAX so padded slots compare as "after every
+        // probe instant" even if a search were ever run unbounded.
+        let starts = Aligned64::build(total, |dst| lay(dst, &|p| p.start, u64::MAX));
+        let ends = Aligned64::build(total, |dst| lay(dst, &|p| p.end, 0));
+        let layf = |dst: &mut [f64], field: &dyn Fn(&CurvePiece) -> f64| {
+            for (span, &s) in spans.iter().zip(&self.lane_starts) {
+                let src = &self.pieces[s as usize..s as usize + span.len as usize];
+                for (d, p) in dst[span.off as usize..].iter_mut().zip(src) {
+                    *d = field(p);
+                }
+            }
+        };
+        let slopes = Aligned64::build(total, |dst| layf(dst, &|p| p.a));
+        let intercepts = Aligned64::build(total, |dst| layf(dst, &|p| p.b));
+        PieceBank { starts, ends, slopes, intercepts, spans }
+    }
+}
+
+/// Output lanes of one [`PieceBank::probe3_rows`] call: the three Eq. 2
+/// probe values per row, ready for the median combine. Rows past the
+/// queried depth and pre-epoch offsets hold `+0.0`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeRows {
+    /// `F̃(t)` per lane.
+    pub v0: [f64; MAX_LANES],
+    /// `F̃(t−τ)` per lane (0 when `t < τ`).
+    pub v1: [f64; MAX_LANES],
+    /// `F̃(t−2τ)` per lane (0 when `t < 2τ`).
+    pub v2: [f64; MAX_LANES],
+}
+
+impl Default for ProbeRows {
+    fn default() -> Self {
+        ProbeRows { v0: [0.0; MAX_LANES], v1: [0.0; MAX_LANES], v2: [0.0; MAX_LANES] }
+    }
+}
+
+/// The bank's four parallel arrays as plain slices — hoisted once per
+/// kernel call so the inner loops index without re-deriving the aligned
+/// sub-slices.
+#[derive(Clone, Copy)]
+struct Arrays<'a> {
+    starts: &'a [u64],
+    ends: &'a [u64],
+    slopes: &'a [f64],
+    intercepts: &'a [f64],
+}
+
+impl Arrays<'_> {
+    /// Evaluates the piece at flat index `idx` at instant `t` — the
+    /// canonical `(a·dt + b).max(0)` with `dt = min(t, end) − start`,
+    /// bit-identical to `Segment::eval_clamped` for `t ≥ start` (guaranteed
+    /// by rank selection; `saturating_sub` only guards corrupted input).
+    #[inline]
+    fn eval(&self, idx: usize, t: u64) -> f64 {
+        let dt = (t.min(self.ends[idx]).saturating_sub(self.starts[idx])) as f64;
+        (self.slopes[idx] * dt + self.intercepts[idx]).max(0.0)
+    }
+}
+
+impl PieceBank {
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Byte footprint of the four arrays plus the span table (padding and
+    /// alignment slack included — this is the real resident cost).
+    pub fn size_bytes(&self) -> usize {
+        4 * self.starts.buf.len() * 8 + self.spans.len() * std::mem::size_of::<LaneSpan>()
+    }
+
+    #[inline]
+    fn span(&self, lane: u32) -> (usize, usize) {
+        let s = self.spans[lane as usize];
+        (s.off as usize, s.len as usize)
+    }
+
+    /// The four parallel arrays, hoisted once per kernel call: going through
+    /// [`Aligned64::as_slice`] per element would re-check the skew bounds on
+    /// every read, which the probe loops cannot afford.
+    #[inline]
+    fn arrays(&self) -> Arrays<'_> {
+        Arrays {
+            starts: self.starts.as_slice(),
+            ends: self.ends.as_slice(),
+            slopes: self.slopes.as_slice(),
+            intercepts: self.intercepts.as_slice(),
+        }
+    }
+
+    /// `F̃(t)` of one lane, full-width rank search.
+    #[inline]
+    pub fn cum_lane(&self, lane: u32, t: Timestamp) -> f64 {
+        let a = self.arrays();
+        let (off, n) = self.span(lane);
+        let keys = &a.starts[off..off + n];
+        let tt = t.ticks();
+        let r = rank_resume(n, n, |i| keys[i] <= tt);
+        a.eval(off + r - 1, tt)
+    }
+
+    /// `F̃(t)` of one lane with rank resumption, the bank-side mirror of
+    /// [`CurveSketch::estimate_cum_hinted`]. The hint's rank space includes
+    /// the lane sentinel (so it is one higher than the AoS rank for the same
+    /// instant), which is fine: a hint is a resume point, not a value.
+    #[inline]
+    pub fn cum_lane_hinted(&self, lane: u32, t: Timestamp, hint: &mut CumHint) -> f64 {
+        let a = self.arrays();
+        let (off, n) = self.span(lane);
+        let keys = &a.starts[off..off + n];
+        let tt = t.ticks();
+        let r = rank_resume(n, hint.rank, |i| keys[i] <= tt);
+        hint.rank = r;
+        a.eval(off + r - 1, tt)
+    }
+
+    /// Monotone multi-position sweep of one lane: `out[i] = F̃(positions[i])`
+    /// for ascending `positions`, in one forward walk of the lane's keys —
+    /// the bank-side analogue of chaining [`CurveSketch::estimate_cum_hinted`]
+    /// calls, but `O(pieces + positions)` with the lane's key line resident
+    /// throughout. Values are bit-identical to per-position searches (the
+    /// rank — the count of keys `≤ pos` — is unique, however it is found).
+    pub fn cum_lane_sweep(&self, lane: u32, positions: &[u64], out: &mut [f64]) {
+        assert_eq!(positions.len(), out.len(), "one output slot per position");
+        debug_assert!(positions.is_sorted(), "sweep positions must ascend");
+        let a = self.arrays();
+        let (off, n) = self.span(lane);
+        let keys = &a.starts[off..off + n];
+        // The sentinel key 0 is ≤ every position, so the rank starts at 1.
+        let mut r = 1usize;
+        for (o, &pos) in out.iter_mut().zip(positions) {
+            while r < n && keys[r] <= pos {
+                r += 1;
+            }
+            *o = a.eval(off + r - 1, pos);
+        }
+    }
+
+    /// Fused `[F̃(t), F̃(t−τ), F̃(t−2τ)]` of one lane — the bank-side mirror
+    /// of [`CurveSketch::probe3`]: one full search for `t`, bounded backward
+    /// resumption for the earlier offsets, pre-epoch offsets reading 0.
+    #[inline]
+    pub fn probe3_lane(&self, lane: u32, t: Timestamp, tau: BurstSpan) -> [f64; 3] {
+        let a = self.arrays();
+        let (off, n) = self.span(lane);
+        Self::probe3_span(&a, off, n, t, tau)
+    }
+
+    /// The shared single-lane probe body, on pre-hoisted arrays.
+    #[inline]
+    fn probe3_span(a: &Arrays<'_>, off: usize, n: usize, t: Timestamp, tau: BurstSpan) -> [f64; 3] {
+        let keys = &a.starts[off..off + n];
+        let tt = t.ticks();
+        let r0 = rank_resume(n, n, |i| keys[i] <= tt);
+        let f0 = a.eval(off + r0 - 1, tt);
+        let (f1, r1) = match t.checked_sub(tau.ticks()) {
+            Some(earlier) => {
+                let e = earlier.ticks();
+                let r = rank_resume(n, r0, |i| keys[i] <= e);
+                (a.eval(off + r - 1, e), r)
+            }
+            None => (0.0, r0),
+        };
+        let f2 = match t.checked_sub(tau.ticks().saturating_mul(2)) {
+            Some(earlier) => {
+                let e = earlier.ticks();
+                let r = rank_resume(n, r1, |i| keys[i] <= e);
+                a.eval(off + r - 1, e)
+            }
+            None => 0.0,
+        };
+        [f0, f1, f2]
+    }
+
+    /// Dense fused probe: `[F̃(t), F̃(t−τ), F̃(t−2τ)]` for **every** lane in
+    /// index order, lane `i`'s triplet written to `out[3i..3i + 3]`. Lanes
+    /// are laid out consecutively, so this is one strictly sequential pass
+    /// over the whole bank — the hardware prefetcher streams the key lines
+    /// while each lane's three chained ranks resolve. This is the kernel
+    /// behind the dense bursty-event scan, where every cell of the grid
+    /// answers exactly once.
+    pub fn probe3_all_into(&self, t: Timestamp, tau: BurstSpan, out: &mut [f64]) {
+        assert_eq!(out.len(), 3 * self.spans.len(), "three output slots per lane");
+        let a = self.arrays();
+        for (lane, s) in self.spans.iter().enumerate() {
+            let f = Self::probe3_span(&a, s.off as usize, s.len as usize, t, tau);
+            out[3 * lane..3 * lane + 3].copy_from_slice(&f);
+        }
+    }
+
+    /// The batched probe kernel: resolves **all rows** of one `(t, τ)`
+    /// probe in a single pass. Phase 1 walks the lanes, chains the three
+    /// rank searches per lane (full-width for `t`, bounded-backward for
+    /// `t−τ`, `t−2τ`), and *gathers* the selected pieces' `(a, b, dt)` into
+    /// fixed-width parameter rows — touching the next lane's key line first
+    /// so its fetch overlaps the current lane's search. Phase 2 evaluates
+    /// all `3 × MAX_LANES` gathered pieces in three fixed-trip loops of
+    /// pure `mul/add/max` on `f64` arrays, which the autovectorizer lowers
+    /// to packed SIMD (`scripts/check_vectorization.sh` fails CI if not).
+    ///
+    /// Unused rows (`lanes.len() < MAX_LANES`) and pre-epoch offsets keep
+    /// zeroed parameters and evaluate to `+0.0` — the same bits the AoS
+    /// path writes — so callers combine `out.v*[..d]` directly.
+    pub fn probe3_rows(&self, lanes: &[u32], t: Timestamp, tau: BurstSpan, out: &mut ProbeRows) {
+        assert!(lanes.len() <= MAX_LANES, "probe3_rows supports at most {MAX_LANES} rows");
+        let tt = t.ticks();
+        let t1 = t.checked_sub(tau.ticks()).map(|e| e.ticks());
+        let t2 = t.checked_sub(tau.ticks().saturating_mul(2)).map(|e| e.ticks());
+        let a = self.arrays();
+        // Gathered piece parameters, one row per Eq. 2 offset leg.
+        let mut pa = [[0.0f64; MAX_LANES]; 3];
+        let mut pb = [[0.0f64; MAX_LANES]; 3];
+        let mut dt = [[0.0f64; MAX_LANES]; 3];
+        for (row, &lane) in lanes.iter().enumerate() {
+            if let Some(&next) = lanes.get(row + 1) {
+                // Software prefetch, `unsafe`-free: a discarded load of the
+                // next lane's middle key starts that line's fetch while the
+                // current lane's searches and gathers execute. `black_box`
+                // keeps the load from being optimised away.
+                let (noff, nlen) = self.span(next);
+                std::hint::black_box(a.starts[noff + nlen / 2]);
+            }
+            let (off, n) = self.span(lane);
+            let keys = &a.starts[off..off + n];
+            let mut gather = |leg: usize, idx: usize, at: u64| {
+                pa[leg][row] = a.slopes[idx];
+                pb[leg][row] = a.intercepts[idx];
+                dt[leg][row] = (at.min(a.ends[idx]).saturating_sub(a.starts[idx])) as f64;
+            };
+            let r0 = rank_resume(n, n, |i| keys[i] <= tt);
+            gather(0, off + r0 - 1, tt);
+            let r1 = match t1 {
+                Some(e) => {
+                    let r = rank_resume(n, r0, |i| keys[i] <= e);
+                    gather(1, off + r - 1, e);
+                    r
+                }
+                None => r0,
+            };
+            if let Some(e) = t2 {
+                let r = rank_resume(n, r1, |i| keys[i] <= e);
+                gather(2, off + r - 1, e);
+            }
+        }
+        // Lane-parallel evaluation: fixed trip counts over plain f64 arrays
+        // — the loops the vectorization guard pins to packed instructions.
+        for i in 0..MAX_LANES {
+            out.v0[i] = (pa[0][i] * dt[0][i] + pb[0][i]).max(0.0);
+        }
+        for i in 0..MAX_LANES {
+            out.v1[i] = (pa[1][i] * dt[1][i] + pb[1][i]).max(0.0);
+        }
+        for i in 0..MAX_LANES {
+            out.v2[i] = (pa[2][i] * dt[2][i] + pb[2][i]).max(0.0);
+        }
+    }
+}
+
+/// Builds a bank with one lane per sketch in `cells`, in order: lane `i`
+/// mirrors `cells[i]`. The natural fit for a CM-PBE grid, where the flat
+/// cell index *is* the lane index.
+pub fn bank_of_cells<S: CurveSketch>(cells: &[S]) -> PieceBank {
+    let mut b = PieceBankBuilder::new();
+    for c in cells {
+        b.add_lane_from(c);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExactCurve, Pbe1, Pbe1Config, Pbe2, Pbe2Config};
+
+    fn feed<S: CurveSketch>(s: &mut S, ts: &[u64]) {
+        for &t in ts {
+            s.update(Timestamp(t));
+        }
+    }
+
+    fn assert_lane_matches<S: CurveSketch>(sketch: &S, probes: &[u64], tau: BurstSpan) {
+        let mut b = PieceBankBuilder::new();
+        b.add_lane_from(sketch);
+        let bank = b.finish();
+        let mut hint = CumHint::new();
+        for &t in probes {
+            let t = Timestamp(t);
+            let aos = sketch.estimate_cum(t);
+            assert_eq!(bank.cum_lane(0, t).to_bits(), aos.to_bits(), "cum at {t:?}");
+            assert_eq!(bank.cum_lane_hinted(0, t, &mut hint).to_bits(), aos.to_bits());
+            let want = sketch.probe3(t, tau);
+            let got = bank.probe3_lane(0, t, tau);
+            for k in 0..3 {
+                assert_eq!(got[k].to_bits(), want[k].to_bits(), "probe3 leg {k} at {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_and_pbe1_lanes_match_aos_bitwise() {
+        let ts: Vec<u64> = vec![3, 3, 3, 10, 11, 11, 40, 41, 42, 90, 90, 200, 500, 501];
+        let probes: Vec<u64> = (0..600).step_by(7).chain([0, 1, 2, 3, 599, 1000]).collect();
+        let tau = BurstSpan::new(37).unwrap();
+        let mut ex = ExactCurve::new();
+        feed(&mut ex, &ts);
+        assert_lane_matches(&ex, &probes, tau);
+        let mut p1 = Pbe1::new(Pbe1Config { n_buf: 6, eta: 3 }).unwrap();
+        feed(&mut p1, &ts);
+        assert_lane_matches(&p1, &probes, tau); // mid-stream: summary ⊕ buffer
+        p1.finalize();
+        assert_lane_matches(&p1, &probes, tau);
+    }
+
+    #[test]
+    fn pbe2_lanes_match_aos_bitwise_mid_stream_and_final() {
+        let ts: Vec<u64> = (0..200u64).flat_map(|i| [i * 3, i * 3]).chain(600..650).collect();
+        let probes: Vec<u64> = (0..700).step_by(11).chain([0, 1, 649, 5000]).collect();
+        let tau = BurstSpan::new(29).unwrap();
+        let mut p2 = Pbe2::new(Pbe2Config { gamma: 2.0, max_vertices: 16 }).unwrap();
+        feed(&mut p2, &ts);
+        assert_lane_matches(&p2, &probes, tau); // open polygon + pending corner
+        p2.finalize();
+        assert_lane_matches(&p2, &probes, tau);
+    }
+
+    #[test]
+    fn pending_only_and_empty_lanes_match() {
+        let tau = BurstSpan::new(5).unwrap();
+        // Pending-only PBE-2: one burst of updates at a single tick, no
+        // segments or polygon yet when the first arrival is at t = 0.
+        let mut p2 = Pbe2::with_gamma(1.0).unwrap();
+        feed(&mut p2, &[0, 0, 0]);
+        assert_lane_matches(&p2, &[0, 1, 2, 10], tau);
+        // Empty cells of every flavour read 0 everywhere.
+        assert_lane_matches(&Pbe2::with_gamma(1.0).unwrap(), &[0, 3, 100], tau);
+        assert_lane_matches(&Pbe1::new(Pbe1Config { n_buf: 4, eta: 2 }).unwrap(), &[0, 7], tau);
+        assert_lane_matches(&ExactCurve::new(), &[0, 7], tau);
+    }
+
+    #[test]
+    fn probe3_rows_matches_per_lane_probes() {
+        let tau = BurstSpan::new(13).unwrap();
+        let mut b = PieceBankBuilder::new();
+        let mut cells: Vec<Pbe2> = Vec::new();
+        for lane in 0..5u64 {
+            let mut p = Pbe2::with_gamma(1.0 + lane as f64).unwrap();
+            feed(&mut p, &(0..100).map(|i| i * (lane + 1)).collect::<Vec<_>>());
+            if lane % 2 == 0 {
+                p.finalize();
+            }
+            b.add_lane_from(&p);
+            cells.push(p);
+        }
+        let bank = b.finish();
+        let lanes: Vec<u32> = (0..5).collect();
+        let mut rows = ProbeRows::default();
+        for t in [0u64, 5, 12, 13, 26, 27, 99, 450, 900] {
+            bank.probe3_rows(&lanes, Timestamp(t), tau, &mut rows);
+            for (row, cell) in cells.iter().enumerate() {
+                let want = cell.probe3(Timestamp(t), tau);
+                assert_eq!(rows.v0[row].to_bits(), want[0].to_bits(), "t={t} row={row}");
+                assert_eq!(rows.v1[row].to_bits(), want[1].to_bits(), "t={t} row={row}");
+                assert_eq!(rows.v2[row].to_bits(), want[2].to_bits(), "t={t} row={row}");
+            }
+            for row in 5..MAX_LANES {
+                assert_eq!(rows.v0[row], 0.0);
+                assert_eq!(rows.v1[row], 0.0);
+                assert_eq!(rows.v2[row], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_and_sweep_kernels_match_per_lane_paths() {
+        let tau = BurstSpan::new(13).unwrap();
+        let mut b = PieceBankBuilder::new();
+        let mut cells: Vec<Pbe2> = Vec::new();
+        for lane in 0..6u64 {
+            let mut p = Pbe2::with_gamma(1.0 + lane as f64).unwrap();
+            if lane != 3 {
+                feed(&mut p, &(0..80).map(|i| i * (lane + 1)).collect::<Vec<_>>());
+            }
+            if lane % 2 == 0 {
+                p.finalize();
+            }
+            b.add_lane_from(&p);
+            cells.push(p);
+        }
+        let bank = b.finish();
+        // probe3_all_into == probe3_lane for every lane, at assorted instants.
+        let mut all = vec![0.0f64; 3 * bank.lanes()];
+        for t in [0u64, 5, 13, 26, 79, 200, 900] {
+            bank.probe3_all_into(Timestamp(t), tau, &mut all);
+            for lane in 0..bank.lanes() as u32 {
+                let want = bank.probe3_lane(lane, Timestamp(t), tau);
+                for k in 0..3 {
+                    assert_eq!(
+                        all[3 * lane as usize + k].to_bits(),
+                        want[k].to_bits(),
+                        "t={t} lane={lane} leg={k}"
+                    );
+                }
+            }
+        }
+        // cum_lane_sweep == chained hinted lookups over ascending positions.
+        let positions: Vec<u64> = (0..500).step_by(3).chain([500, 900, 901]).collect();
+        let mut swept = vec![0.0f64; positions.len()];
+        for lane in 0..bank.lanes() as u32 {
+            bank.cum_lane_sweep(lane, &positions, &mut swept);
+            let mut hint = CumHint::new();
+            for (i, &pos) in positions.iter().enumerate() {
+                let want = bank.cum_lane_hinted(lane, Timestamp(pos), &mut hint);
+                assert_eq!(swept[i].to_bits(), want.to_bits(), "lane={lane} pos={pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_are_cache_line_aligned() {
+        let mut b = PieceBankBuilder::new();
+        for n in [0usize, 1, 7, 8, 9, 31] {
+            b.begin_lane();
+            for i in 0..n {
+                b.push(CurvePiece::staircase(1 + i as u64, (i + 1) as f64));
+            }
+        }
+        let bank = b.finish();
+        assert_eq!(bank.lanes(), 6);
+        let base = bank.starts.as_slice().as_ptr() as usize;
+        assert_eq!(base % 64, 0, "starts array must be 64-byte aligned");
+        assert_eq!(bank.slopes.as_slice().as_ptr() as usize % 64, 0);
+        for s in &bank.spans {
+            assert_eq!(s.off as usize % LINE_ELEMS, 0, "lane offset off a line boundary");
+        }
+        let cloned = bank.clone();
+        assert_eq!(cloned.starts.as_slice().as_ptr() as usize % 64, 0, "clone must re-align");
+        assert_eq!(cloned.starts.as_slice(), bank.starts.as_slice());
+        assert!(bank.size_bytes() > 0);
+    }
+}

@@ -1,6 +1,7 @@
 //! The common interface of all frequency-curve summaries.
 
 use crate::kernel::CumHint;
+use crate::soa::CurvePiece;
 use bed_stream::{BurstSpan, TimeRange, Timestamp};
 
 /// How a summary's estimate behaves between its piece boundaries — drives
@@ -117,6 +118,26 @@ pub trait CurveSketch {
         for t in self.segment_starts() {
             f(t);
         }
+    }
+
+    /// Visits the summary's estimate as canonical [`CurvePiece`]s in
+    /// strictly ascending `start` order — the export that feeds the
+    /// struct-of-arrays [`crate::soa::PieceBank`]. Evaluating the last piece
+    /// starting at or before `t` (0 before the first) must reproduce
+    /// [`estimate_cum`](CurveSketch::estimate_cum) **bit for bit**.
+    ///
+    /// The default covers [`Interpolation::Step`] summaries by emitting one
+    /// staircase piece per knee holding the estimate at that knee;
+    /// [`Interpolation::Linear`] implementations must override it with their
+    /// exact segments.
+    fn for_each_piece(&self, f: &mut dyn FnMut(CurvePiece)) {
+        debug_assert!(
+            self.interpolation() == Interpolation::Step,
+            "Linear summaries must override for_each_piece"
+        );
+        self.for_each_segment_start(&mut |knee| {
+            f(CurvePiece::staircase(knee.ticks(), self.estimate_cum(knee)));
+        });
     }
 
     /// All timestamps at which the estimate's slope may change — piece

@@ -1,0 +1,77 @@
+//! The grid-level struct-of-arrays cell bank.
+//!
+//! A finalized CM-PBE grid re-exports every cell's pieces into one
+//! [`bed_pbe::PieceBank`] whose lane index *is* the flat cell index
+//! (`row · w + bucket`), so the query kernels resolve probes over four
+//! contiguous, cache-line-aligned arrays instead of chasing `d` heap
+//! pointers per probe. The bank is a read-only acceleration mirror: it is
+//! rebuilt by [`crate::CmPbe::finalize`], dropped on any ingest, excluded
+//! from the `CMPB` codec, and every answer through it is bit-for-bit equal
+//! to the array-of-structs path it shadows.
+
+use bed_pbe::kernel::CumHint;
+use bed_pbe::soa::{bank_of_cells, PieceBank, ProbeRows};
+use bed_pbe::CurveSketch;
+use bed_stream::{BurstSpan, Timestamp};
+
+/// SoA mirror of one grid's cells (lane `i` ⇔ `cells[i]`).
+#[derive(Debug, Clone)]
+pub struct CellBank {
+    bank: PieceBank,
+}
+
+impl CellBank {
+    /// Lays out `cells` into the bank, one lane per cell in index order.
+    pub fn build<P: CurveSketch>(cells: &[P]) -> Self {
+        CellBank { bank: bank_of_cells(cells) }
+    }
+
+    /// Resident byte footprint of the mirror (arrays + span table).
+    pub fn size_bytes(&self) -> usize {
+        self.bank.size_bytes()
+    }
+
+    /// Fused `[F̃(t), F̃(t−τ), F̃(t−2τ)]` of one cell, mirroring that cell's
+    /// [`CurveSketch::probe3`].
+    #[inline]
+    pub fn probe3_cell(&self, cell: usize, t: Timestamp, tau: BurstSpan) -> [f64; 3] {
+        self.bank.probe3_lane(cell as u32, t, tau)
+    }
+
+    /// `F̃(t)` of one cell, mirroring [`CurveSketch::estimate_cum`].
+    #[inline]
+    pub fn cum_cell(&self, cell: usize, t: Timestamp) -> f64 {
+        self.bank.cum_lane(cell as u32, t)
+    }
+
+    /// `F̃(t)` of one cell with rank resumption, mirroring
+    /// [`CurveSketch::estimate_cum_hinted`].
+    #[inline]
+    pub fn cum_cell_hinted(&self, cell: usize, t: Timestamp, hint: &mut CumHint) -> f64 {
+        self.bank.cum_lane_hinted(cell as u32, t, hint)
+    }
+
+    /// Monotone multi-position sweep of one cell (ascending `positions`),
+    /// mirroring a chain of [`CurveSketch::estimate_cum_hinted`] calls in
+    /// one forward key walk — see [`PieceBank::cum_lane_sweep`].
+    #[inline]
+    pub fn cum_cell_sweep(&self, cell: usize, positions: &[u64], out: &mut [f64]) {
+        self.bank.cum_lane_sweep(cell as u32, positions, out);
+    }
+
+    /// Dense fused probe of **every** cell at one `(t, τ)`: cell `i`'s
+    /// `[F̃(t), F̃(t−τ), F̃(t−2τ)]` lands in `out[3i..3i + 3]`, in one
+    /// sequential pass over the bank — see [`PieceBank::probe3_all_into`].
+    #[inline]
+    pub fn probe3_all_into(&self, t: Timestamp, tau: BurstSpan, out: &mut [f64]) {
+        self.bank.probe3_all_into(t, tau, out);
+    }
+
+    /// Batched probe of one event's `d` cells through
+    /// [`PieceBank::probe3_rows`] — all rows of one `(t, τ)` in a single
+    /// pass with next-row prefetch and a vectorized evaluation.
+    #[inline]
+    pub fn probe3_rows(&self, cells: &[u32], t: Timestamp, tau: BurstSpan, out: &mut ProbeRows) {
+        self.bank.probe3_rows(cells, t, tau, out);
+    }
+}

@@ -2,9 +2,11 @@
 //! (Section IV, Fig. 5).
 
 use bed_pbe::kernel::CumHint;
+use bed_pbe::soa::ProbeRows;
 use bed_pbe::CurveSketch;
 use bed_stream::{BurstSpan, EventId, StreamError, Timestamp};
 
+use crate::bank::CellBank;
 use crate::hash::HashFamily;
 use crate::params::SketchParams;
 
@@ -59,6 +61,11 @@ pub struct CmPbe<P> {
     /// when the id universe fits in one row — no collisions, no need for
     /// multiple rows.
     identity: bool,
+    /// Struct-of-arrays query mirror of `cells`, built by
+    /// [`CmPbe::finalize`] and dropped by any ingest. Purely an
+    /// acceleration structure: never persisted (the `CMPB` codec skips it)
+    /// and bit-for-bit transparent to every query.
+    bank: Option<CellBank>,
 }
 
 impl<P: CurveSketch> CmPbe<P> {
@@ -88,7 +95,7 @@ impl<P: CurveSketch> CmPbe<P> {
         assert!(width >= 1, "CmPbe needs at least one column (width = 0)");
         let hashes = HashFamily::new(depth, width, seed);
         let cells = (0..depth * width).map(|_| make_cell()).collect();
-        CmPbe { hashes, cells, arrivals: 0, identity: false }
+        CmPbe { hashes, cells, arrivals: 0, identity: false, bank: None }
     }
 
     /// Builds a **direct-indexed** grid: one row of `universe` cells where id
@@ -100,7 +107,7 @@ impl<P: CurveSketch> CmPbe<P> {
         assert!(universe >= 1, "direct-indexed CmPbe needs a non-empty universe");
         let hashes = HashFamily::new(1, universe, 0);
         let cells = (0..universe).map(|_| make_cell()).collect();
-        CmPbe { hashes, cells, arrivals: 0, identity: true }
+        CmPbe { hashes, cells, arrivals: 0, identity: true, bank: None }
     }
 
     /// Rows d.
@@ -135,6 +142,10 @@ impl<P: CurveSketch> CmPbe<P> {
     /// Records `(event, ts)`: one cell per row ingests the timestamp,
     /// ignoring the id (Fig. 5). Timestamps must be non-decreasing.
     pub fn update(&mut self, event: EventId, ts: Timestamp) {
+        // Any mutation invalidates the SoA mirror; the next finalize
+        // rebuilds it. A plain store — `None` stays `None` on the hot
+        // ingest path, so this costs nothing after the first arrival.
+        self.bank = None;
         for row in 0..self.depth() {
             let idx = self.cell_index(row, event);
             self.cells[idx].update(ts);
@@ -167,6 +178,7 @@ impl<P: CurveSketch> CmPbe<P> {
             self.update_batch(batch);
             return;
         }
+        self.bank = None;
         let hashes = &self.hashes;
         std::thread::scope(|scope| {
             for (row, row_cells) in self.cells.chunks_mut(w).enumerate() {
@@ -181,11 +193,39 @@ impl<P: CurveSketch> CmPbe<P> {
         self.arrivals += batch.len() as u64;
     }
 
-    /// Flushes internal buffering in every cell.
+    /// Flushes internal buffering in every cell, then (re)builds the
+    /// struct-of-arrays query mirror so every subsequent query rides the
+    /// batched SoA kernels. Ingest after finalize drops the mirror again.
     pub fn finalize(&mut self) {
         for cell in &mut self.cells {
             cell.finalize();
         }
+        self.build_bank();
+    }
+
+    /// (Re)builds the SoA cell bank from the cells' current state without
+    /// finalizing them — exposed so equivalence tests and benches can
+    /// compare the banked and bank-free paths on identical cell state.
+    pub fn build_bank(&mut self) {
+        self.bank = Some(CellBank::build(&self.cells));
+    }
+
+    /// Drops the SoA mirror, forcing queries back onto the per-cell
+    /// array-of-structs path (the bank-free baseline).
+    pub fn clear_bank(&mut self) {
+        self.bank = None;
+    }
+
+    /// Whether the SoA query mirror is currently built.
+    pub fn has_bank(&self) -> bool {
+        self.bank.is_some()
+    }
+
+    /// Resident bytes of the SoA mirror (0 when absent). Reported separately
+    /// from [`CmPbe::size_bytes`], which keeps the paper's summary-only
+    /// accounting.
+    pub fn bank_size_bytes(&self) -> usize {
+        self.bank.as_ref().map_or(0, CellBank::size_bytes)
     }
 
     /// Per-row estimates of `F_e(t)` — each approximates the *mixed* curve
@@ -203,7 +243,11 @@ impl<P: CurveSketch> CmPbe<P> {
         if d <= MEDIAN_STACK {
             let mut vals = [0.0f64; MEDIAN_STACK];
             for (row, v) in vals[..d].iter_mut().enumerate() {
-                *v = self.cells[self.cell_index(row, event)].estimate_cum(t);
+                let ci = self.cell_index(row, event);
+                *v = match &self.bank {
+                    Some(bank) => bank.cum_cell(ci, t),
+                    None => self.cells[ci].estimate_cum(t),
+                };
             }
             median_stack(&mut vals[..d])
         } else {
@@ -216,7 +260,7 @@ impl<P: CurveSketch> CmPbe<P> {
     /// [`CurveSketch::probe3`] fast path runs once per row), then combined
     /// by three stack medians. Pre-epoch offsets read 0, matching
     /// [`CmPbe::estimate_cum_offset`]. Bit-for-bit equal to three
-    /// [`CmPbe::estimate_cum`] calls; allocation-free for `d ≤ 16`.
+    /// [`CmPbe::estimate_cum`] calls; allocation-free for `d ≤ MEDIAN_STACK`.
     pub fn probe3(&self, event: EventId, t: Timestamp, tau: BurstSpan) -> [f64; 3] {
         let d = self.depth();
         let t1 = t.checked_sub(tau.ticks());
@@ -228,6 +272,24 @@ impl<P: CurveSketch> CmPbe<P> {
                 t2.map_or(0.0, |e| self.estimate_cum(event, e)),
             ];
         }
+        if let Some(bank) = &self.bank {
+            // Batched SoA path: all d rows of the (t, τ) probe resolved in
+            // one `probe3_rows` pass, combined lane-wise.
+            let mut lanes = [0u32; MEDIAN_STACK];
+            for (row, lane) in lanes[..d].iter_mut().enumerate() {
+                *lane = self.cell_index(row, event) as u32;
+            }
+            let mut rows = ProbeRows::default();
+            bank.probe3_rows(&lanes[..d], t, tau, &mut rows);
+            return median_stack_rows(
+                d,
+                &mut rows.v0,
+                &mut rows.v1,
+                &mut rows.v2,
+                t1.is_some(),
+                t2.is_some(),
+            );
+        }
         let mut v0 = [0.0f64; MEDIAN_STACK];
         let mut v1 = [0.0f64; MEDIAN_STACK];
         let mut v2 = [0.0f64; MEDIAN_STACK];
@@ -237,11 +299,7 @@ impl<P: CurveSketch> CmPbe<P> {
             v1[row] = p[1];
             v2[row] = p[2];
         }
-        [
-            median_stack(&mut v0[..d]),
-            if t1.is_some() { median_stack(&mut v1[..d]) } else { 0.0 },
-            if t2.is_some() { median_stack(&mut v2[..d]) } else { 0.0 },
-        ]
+        median_stack_rows(d, &mut v0, &mut v1, &mut v2, t1.is_some(), t2.is_some())
     }
 
     /// Estimate with an explicit row combiner — ablation hook for comparing
@@ -377,11 +435,27 @@ impl<P: CurveSketch> CmPbe<P> {
         probes.clear();
         probes.resize(ncells * 3, 0.0);
         let probe_t0 = stages.enabled.then(std::time::Instant::now);
+        // With the SoA bank present, each per-cell probe walks the shared
+        // key/coefficient arrays (one lane per cell) instead of that cell's
+        // own piece structs; values are bit-identical either way.
+        let probe_cell = |ci: usize| -> [f64; 3] {
+            match &self.bank {
+                Some(bank) => bank.probe3_cell(ci, t, tau),
+                None => self.cells[ci].probe3(t, tau),
+            }
+        };
         if count >= self.width() {
             // Dense scan: nearly every cell is some candidate's — probe the
             // whole table row-major, one sequential cache-friendly pass.
-            for (ci, cell) in self.cells.iter().enumerate() {
-                probes[ci * 3..ci * 3 + 3].copy_from_slice(&cell.probe3(t, tau));
+            // With the bank present that pass is a single call walking the
+            // contiguous SoA arrays front to back.
+            match &self.bank {
+                Some(bank) => bank.probe3_all_into(t, tau, &mut probes[..]),
+                None => {
+                    for ci in 0..ncells {
+                        probes[ci * 3..ci * 3 + 3].copy_from_slice(&probe_cell(ci));
+                    }
+                }
             }
         } else {
             // Sparse scan: lazily probe only the cells candidates map to.
@@ -390,7 +464,7 @@ impl<P: CurveSketch> CmPbe<P> {
             for &ci in cells.iter() {
                 if order[ci] == 0 {
                     order[ci] = 1;
-                    probes[ci * 3..ci * 3 + 3].copy_from_slice(&self.cells[ci].probe3(t, tau));
+                    probes[ci * 3..ci * 3 + 3].copy_from_slice(&probe_cell(ci));
                 }
             }
         }
@@ -408,9 +482,8 @@ impl<P: CurveSketch> CmPbe<P> {
                 v1[row] = probes[base + 1];
                 v2[row] = probes[base + 2];
             }
-            let f0 = median_stack(&mut v0[..d]);
-            let f1 = if t1.is_some() { median_stack(&mut v1[..d]) } else { 0.0 };
-            let f2 = if t2.is_some() { median_stack(&mut v2[..d]) } else { 0.0 };
+            let [f0, f1, f2] =
+                median_stack_rows(d, &mut v0, &mut v1, &mut v2, t1.is_some(), t2.is_some());
             emit(EventId(lo + i as u32), f0 - 2.0 * f1 + f2);
         }
         if let Some(t0) = combine_t0 {
@@ -530,11 +603,19 @@ impl<P: CurveSketch> CmPbe<P> {
         probes.resize(d * npos, 0.0);
         let probe_t0 = stages.enabled.then(std::time::Instant::now);
         for row in 0..d {
-            let cell = &self.cells[self.cell_index(row, event)];
-            let mut h = CumHint::new();
+            let ci = self.cell_index(row, event);
             let base = row * npos;
-            for (i, &pos) in knees.iter().enumerate() {
-                probes[base + i] = cell.estimate_cum_hinted(Timestamp(pos), &mut h);
+            match &self.bank {
+                // SoA sweep: one forward walk of the cell's contiguous key
+                // lane answers every ascending position.
+                Some(bank) => bank.cum_cell_sweep(ci, knees, &mut probes[base..base + npos]),
+                None => {
+                    let cell = &self.cells[ci];
+                    let mut h = CumHint::new();
+                    for (i, &pos) in knees.iter().enumerate() {
+                        probes[base + i] = cell.estimate_cum_hinted(Timestamp(pos), &mut h);
+                    }
+                }
             }
         }
         if let Some(t0) = probe_t0 {
@@ -552,9 +633,8 @@ impl<P: CurveSketch> CmPbe<P> {
                 v1[row] = if p1 != u32::MAX { probes[base + p1 as usize] } else { 0.0 };
                 v2[row] = if p2 != u32::MAX { probes[base + p2 as usize] } else { 0.0 };
             }
-            let f0 = median_stack(&mut v0[..d]);
-            let f1 = if p1 != u32::MAX { median_stack(&mut v1[..d]) } else { 0.0 };
-            let f2 = if p2 != u32::MAX { median_stack(&mut v2[..d]) } else { 0.0 };
+            let [f0, f1, f2] =
+                median_stack_rows(d, &mut v0, &mut v1, &mut v2, p1 != u32::MAX, p2 != u32::MAX);
             let b = f0 - 2.0 * f1 + f2;
             if b >= theta {
                 out.push((Timestamp(tick), b));
@@ -673,15 +753,39 @@ impl<P: bed_stream::Codec> bed_stream::Codec for CmPbe<P> {
             cells.push(P::decode(r)?);
         }
         let arrivals = r.u64("cmpbe arrivals")?;
-        Ok(CmPbe { hashes, cells, arrivals, identity })
+        Ok(CmPbe { hashes, cells, arrivals, identity, bank: None })
     }
 }
 
 /// Deepest grid the stack-allocated query kernels cover. `d = ⌈ln(1/δ)⌉`,
-/// so 16 rows corresponds to a failure probability δ ≈ 1e−7 — far beyond
-/// any configuration the paper evaluates. Deeper grids fall back to the
-/// heap-allocating per-event path.
-pub const MEDIAN_STACK: usize = 16;
+/// so 8 rows corresponds to a failure probability δ ≈ 3e−4 — beyond any
+/// configuration the paper evaluates. Deeper grids fall back to the
+/// heap-allocating per-event path. Tied to [`bed_pbe::MAX_LANES`] so the
+/// batched SoA kernel's output lanes map one-to-one onto the median stacks.
+pub const MEDIAN_STACK: usize = bed_pbe::MAX_LANES;
+
+/// The shared Eq. 2 combine: three cross-row stack medians over the lane
+/// buffers of one probe instant, with the `t−τ` / `t−2τ` legs gated to 0
+/// when pre-epoch (`live1` / `live2` false). Every batched kernel — the
+/// fused per-event probe, the bursty-event scan, and the bursty-time sweep
+/// — funnels its lanes through this one helper, so the median semantics
+/// (stable insertion sort, average of two middles) live in exactly one
+/// place.
+#[inline]
+fn median_stack_rows(
+    d: usize,
+    v0: &mut [f64; MEDIAN_STACK],
+    v1: &mut [f64; MEDIAN_STACK],
+    v2: &mut [f64; MEDIAN_STACK],
+    live1: bool,
+    live2: bool,
+) -> [f64; 3] {
+    [
+        median_stack(&mut v0[..d]),
+        if live1 { median_stack(&mut v1[..d]) } else { 0.0 },
+        if live2 { median_stack(&mut v2[..d]) } else { 0.0 },
+    ]
+}
 
 /// Median of an unsorted sample; averages the two middles for even sizes.
 fn median(mut vals: Vec<f64>) -> f64 {

@@ -26,11 +26,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bank;
 pub mod cmpbe;
 pub mod countmin;
 pub mod hash;
 pub mod params;
 
+pub use bank::CellBank;
 pub use cmpbe::{CmPbe, CmStructure, Combiner, QueryScratch, StageTimings, MEDIAN_STACK};
 pub use countmin::CountMin;
 pub use hash::HashFamily;

@@ -230,3 +230,105 @@ proptest! {
         }
     }
 }
+
+/// Shared body for the SoA-bank transparency property: ingest `els`, build
+/// the bank (with or without finalizing — the mid-stream states exercise
+/// PBE-1 buffers and PBE-2 open polygons / pending corners), then compare
+/// every query kernel bit-for-bit against a bank-free clone of the same
+/// grid. The probe instant sweeps below `τ` and `2τ`, so the pre-epoch
+/// zero legs are covered, and event ids past the populated universe hit
+/// empty cells.
+fn check_bank_transparent<P: bed_pbe::CurveSketch + Clone>(
+    mut grid: CmPbe<P>,
+    els: &[(u32, u64)],
+    q: u64,
+    tau: bed_stream::BurstSpan,
+    finalize: bool,
+) -> Result<(), TestCaseError> {
+    use bed_sketch::QueryScratch;
+    for &(e, t) in els {
+        grid.update(EventId(e), Timestamp(t));
+    }
+    if finalize {
+        grid.finalize();
+    } else {
+        grid.build_bank();
+    }
+    prop_assert!(grid.has_bank());
+    let mut plain = grid.clone();
+    plain.clear_bank();
+    prop_assert!(!plain.has_bank());
+    let q = Timestamp(q);
+    let horizon = Timestamp(1_400);
+    for e in (0..48u32).step_by(5) {
+        let a = grid.probe3(EventId(e), q, tau);
+        let b = plain.probe3(EventId(e), q, tau);
+        for k in 0..3 {
+            prop_assert_eq!(a[k].to_bits(), b[k].to_bits(), "probe3 leg {} event {}", k, e);
+        }
+        prop_assert_eq!(
+            grid.estimate_cum(EventId(e), q).to_bits(),
+            plain.estimate_cum(EventId(e), q).to_bits()
+        );
+    }
+    let mut sa = QueryScratch::new();
+    let mut sb = QueryScratch::new();
+    // Dense scan (range ≥ width for every layout used below) and a sparse
+    // sub-range scan, both against the bank-free kernels.
+    for (lo, hi) in [(0u32, 48u32), (3, 7)] {
+        let mut got: Vec<(EventId, u64)> = Vec::new();
+        let mut want: Vec<(EventId, u64)> = Vec::new();
+        grid.burstiness_scan_into(lo, hi, q, tau, &mut sa, |e, b| got.push((e, b.to_bits())));
+        plain.burstiness_scan_into(lo, hi, q, tau, &mut sb, |e, b| want.push((e, b.to_bits())));
+        prop_assert_eq!(got, want);
+    }
+    let mut oa = Vec::new();
+    let mut ob = Vec::new();
+    for e in [0u32, 7, 31, 40] {
+        grid.bursty_times_into(EventId(e), 0.5, tau, horizon, &mut sa, &mut oa);
+        plain.bursty_times_into(EventId(e), 0.5, tau, horizon, &mut sb, &mut ob);
+        prop_assert_eq!(oa.len(), ob.len());
+        for (x, y) in oa.iter().zip(&ob) {
+            prop_assert_eq!(x.0, y.0);
+            prop_assert_eq!(x.1.to_bits(), y.1.to_bits());
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// The SoA bank is a bit-for-bit transparent mirror of the AoS path on
+    /// every query kernel, for exact, PBE-1, and PBE-2 cell layouts alike
+    /// (hashed and direct-indexed), mid-stream and finalized, pre-epoch
+    /// probes and empty cells included.
+    #[test]
+    fn soa_bank_is_bitwise_transparent(
+        els in arb_stream(),
+        seed in 0u64..50,
+        q in 0u64..1_200,
+        tau_ticks in 1u64..800,
+        finalize in proptest::arbitrary::any::<bool>(),
+    ) {
+        use bed_pbe::{Pbe1, Pbe1Config};
+        let tau = bed_stream::BurstSpan::new(tau_ticks).unwrap();
+        // Narrow exact grid: heavy collisions, staircase pieces.
+        check_bank_transparent(
+            CmPbe::with_dimensions(3, 8, seed, ExactCurve::new), &els, q, tau, finalize,
+        )?;
+        // Wide PBE-1 grid: empty cells in every row, buffered corners.
+        check_bank_transparent(
+            CmPbe::with_dimensions(4, 64, seed, || Pbe1::new(Pbe1Config { n_buf: 8, eta: 4 }).unwrap()),
+            &els, q, tau, finalize,
+        )?;
+        // PBE-2 grid: PLA segments, open polygon, pending corner.
+        check_bank_transparent(
+            CmPbe::with_dimensions(3, 16, seed, || Pbe2::new(Pbe2Config { gamma: 2.0, max_vertices: 16 }).unwrap()),
+            &els, q, tau, finalize,
+        )?;
+        // Direct-indexed PBE-2 row, as the dyadic hierarchy uses.
+        check_bank_transparent(
+            CmPbe::direct_indexed(48, || Pbe2::with_gamma(2.0).unwrap()),
+            &els, q, tau, finalize,
+        )?;
+    }
+}

@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# Guard: the SoA probe kernel must stay auto-vectorized.
+#
+# `PieceBank::probe3_rows` gathers selected piece parameters into
+# fixed-width rows and evaluates them in fixed-trip mul/add/max loops
+# precisely so the compiler lowers the evaluation to packed SIMD. That
+# property is easy to lose silently — a bounds check or an early exit in
+# the evaluation loop turns it back into scalar code with no test
+# failure. This script re-emits the crate's release assembly, cuts out
+# the probe3_rows body, and fails if no packed floating-point ops are
+# found in it.
+#
+# Usage: scripts/check_vectorization.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Stale .s files from earlier builds would let the grep pass vacuously,
+# and a fully cached build skips codegen and emits nothing — touch the
+# crate root so cargo actually re-runs rustc.
+rm -f target/release/deps/bed_pbe-*.s
+touch crates/pbe/src/lib.rs
+cargo rustc -p bed-pbe --release -- --emit asm
+
+asm=$(ls target/release/deps/bed_pbe-*.s)
+[ "$(echo "$asm" | wc -l)" -eq 1 ] || { echo "expected exactly one bed_pbe .s file, got: $asm"; exit 1; }
+
+body=/tmp/probe3_rows.s
+awk '/probe3_rows/ { f = 1 } f { print } f && /^\.Lfunc_end/ { exit }' "$asm" > "$body"
+[ -s "$body" ] || { echo "FAIL: probe3_rows not found in $asm"; exit 1; }
+
+# x86-64: SSE2/AVX packed doubles. aarch64: NEON vector fp (v-register
+# operands). Either counts — the guard is "packed math exists", not a
+# specific ISA.
+packed=$(grep -cE '(^|[[:space:]])v?(mulpd|addpd|maxpd|fmadd[0-9]*pd)|fmul[[:space:]]+v|fadd[[:space:]]+v|fmax[[:space:]]+v' "$body" || true)
+lines=$(wc -l < "$body")
+echo "probe3_rows: $lines asm lines, $packed packed SIMD ops"
+if [ "$packed" -lt 4 ]; then
+    echo "FAIL: probe3_rows no longer vectorizes (found $packed packed ops, need >= 4)"
+    echo "--- kernel body tail ---"
+    tail -40 "$body"
+    exit 1
+fi
+echo "OK: probe3_rows is vectorized"

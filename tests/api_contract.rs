@@ -275,6 +275,84 @@ fn dyn_query_round_trips_are_shard_invariant() {
     }
 }
 
+/// The struct-of-arrays probe bank is invisible at the query surface: a
+/// finalized detector (bank built, queries ride the vectorized kernels)
+/// and its codec round-trip (the `BEDD` format excludes the bank, so the
+/// copy answers through the array-of-structs cells) return equal
+/// [`QueryResponse`]s for every request kind — including pre-epoch
+/// instants (`t < 2τ`) and ids that were never ingested (empty-cell
+/// rows) — across flat PBE-1, flat PBE-2, and the dyadic hierarchy.
+#[test]
+fn soa_bank_is_query_invariant_across_detectors() {
+    use bed::stream::Codec;
+    let variants: [(PbeVariant, bool); 3] = [
+        (PbeVariant::Pbe1 { n_buf: 24, eta: 8 }, false),
+        (PbeVariant::pbe2(1.0), false),
+        (PbeVariant::pbe2(1.0), true),
+    ];
+    let tau = BurstSpan::new(20).unwrap();
+    for (variant, hierarchical) in variants {
+        let mut banked = BurstDetector::builder()
+            .universe(16)
+            .variant(variant)
+            .hierarchical(hierarchical)
+            .seed(99)
+            .build()
+            .unwrap();
+        // Only ids 0..8 arrive: 8..16 stay empty in every row.
+        for t in 0..400u64 {
+            banked.ingest(EventId((t % 8) as u32), Timestamp(t)).unwrap();
+            if (300..330).contains(&t) {
+                for _ in 0..6 {
+                    banked.ingest(EventId(5), Timestamp(t)).unwrap();
+                }
+            }
+        }
+        banked.finalize();
+        assert!(banked.soa_bank_bytes() > 0, "finalize must build the bank ({variant:?})");
+        let plain = BurstDetector::from_bytes(&banked.to_bytes()).unwrap();
+        assert_eq!(plain.soa_bank_bytes(), 0, "the codec must not persist the bank");
+
+        let mut requests = vec![
+            QueryRequest::BurstyTimes {
+                event: EventId(5),
+                theta: 8.0,
+                tau,
+                horizon: Timestamp(450),
+            },
+            QueryRequest::Series {
+                event: EventId(5),
+                tau,
+                range: TimeRange { start: Timestamp(0), end: Timestamp(399) },
+                step: 10,
+            },
+            QueryRequest::TopK { event: EventId(5), k: 4, tau, horizon: Timestamp(450) },
+            QueryRequest::BurstyEvents {
+                t: Timestamp(329),
+                theta: 8.0,
+                tau,
+                strategy: QueryStrategy::ExactScan,
+            },
+            QueryRequest::BurstyEvents {
+                t: Timestamp(329),
+                theta: 8.0,
+                tau,
+                strategy: QueryStrategy::Pruned,
+            },
+        ];
+        // Point probes: mid-burst, pre-epoch (t < τ and τ ≤ t < 2τ), and a
+        // never-seen id hitting empty cells.
+        for (e, t) in [(5u32, 329u64), (5, 10), (5, 30), (12, 329), (12, 5)] {
+            requests.push(QueryRequest::Point { event: EventId(e), t: Timestamp(t), tau });
+        }
+        for req in &requests {
+            let a = banked.query(req).unwrap();
+            let b = plain.query(req).unwrap();
+            assert_eq!(a, b, "bank changed the answer for {req:?} ({variant:?}, h={hierarchical})");
+        }
+    }
+}
+
 /// The JSON rendering of a snapshot is byte-stable — goldens downstream
 /// consumers (dashboards, the bench report) can rely on.
 #[test]
@@ -667,6 +745,11 @@ fn warm_fused_kernels_do_not_allocate() {
         }
     }
     cm.finalize();
+    assert!(cm.has_bank(), "finalize must build the SoA bank");
+    // A bank-free twin: the array-of-structs fallback must stay
+    // allocation-free too, so both layouts are measured below.
+    let mut aos = cm.clone();
+    aos.clear_bank();
     let tau = BurstSpan::new(200).unwrap();
     let t = Timestamp(3_199);
     let horizon = Timestamp(4_500);
@@ -692,6 +775,7 @@ fn warm_fused_kernels_do_not_allocate() {
     for q in 3_000..3_199u64 {
         std::hint::black_box(cm.probe3(EventId(11), Timestamp(q), tau));
         std::hint::black_box(cm.estimate_burstiness(EventId(3), Timestamp(q), tau));
+        std::hint::black_box(aos.probe3(EventId(11), Timestamp(q), tau));
     }
     for q in [3_000u64, 3_050, 3_100, 3_199] {
         cm.burstiness_scan_into(0, K, Timestamp(q), tau, &mut scratch, |_, b| {
@@ -814,6 +898,10 @@ fn warm_epoch_read_path_does_not_allocate() {
         det.ingest(EventId((t % 8) as u32), Timestamp(t)).unwrap();
     }
     epochs.publish(&det);
+    // Publishing finalizes the snapshot, which builds the SoA probe bank:
+    // every measured point query below rides the batched `probe3_rows`
+    // kernel through the epoch reader.
+    assert!(epochs.bank_bytes() > 0, "published epochs must carry the SoA bank");
 
     let base = counting_alloc::CountingAlloc::current();
 
