@@ -1,0 +1,137 @@
+//! Bounded-memory soak: drive millions of arrivals through a detector
+//! under `--retention` and watch the resident set plateau while an
+//! unbounded detector's summary keeps growing.
+//!
+//! Prints one TSV row per round: arrivals so far, summary bytes of the
+//! retained detector, summary bytes of the unretained reference (compare
+//! mode only), VmRSS from `/proc/self/status`, and compaction count —
+//! the data behind `results/retention.md`'s memory-vs-horizon table.
+//!
+//! Environment:
+//! - `BED_SOAK_N`        total arrivals (default 5,000,000)
+//! - `BED_RETENTION`     policy spec `window:budget[:every]`
+//!   (default `4096:64:65536`)
+//! - `BED_SOAK_ROUNDS`   measurement rounds (default 10)
+//! - `BED_SOAK_COMPARE`  `1` = also grow an unretained reference detector
+//!   (doubles memory; off by default so the RSS column isolates the
+//!   retained detector)
+//! - `BED_SOAK_ASSERT`   `1` = exit non-zero unless the retained summary
+//!   plateaus (peak over the last half < 25% above the peak over the
+//!   first half) and, in compare mode, the unretained summary ends ≥ 8×
+//!   the retained peak
+
+use bed_core::{BurstDetector, PbeVariant, RetentionPolicy};
+use bed_stream::Timestamp;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).map(|v| v == "1").unwrap_or(false)
+}
+
+/// VmRSS in kilobytes, from `/proc/self/status` (0 where unavailable,
+/// e.g. non-Linux dev machines — the TSV schema stays stable).
+fn rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmRSS:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|kb| kb.parse().ok())
+        .unwrap_or(0)
+}
+
+fn build(retention: Option<RetentionPolicy>) -> BurstDetector {
+    BurstDetector::builder()
+        .single_event()
+        .variant(PbeVariant::pbe2(0.5))
+        .seed(0xBED)
+        .retention(retention)
+        .build()
+        .expect("valid soak configuration")
+}
+
+fn main() {
+    let n = env_u64("BED_SOAK_N", 5_000_000);
+    let spec = std::env::var("BED_RETENTION").unwrap_or_else(|_| "4096:64:65536".into());
+    let policy = RetentionPolicy::parse(&spec).expect("BED_RETENTION spec");
+    let rounds = env_u64("BED_SOAK_ROUNDS", 10).max(2);
+    let compare = env_flag("BED_SOAK_COMPARE");
+
+    let mut retained = build(Some(policy));
+    let mut unretained = compare.then(|| build(None));
+
+    // Workload: every tick arrives once, every second tick twice more —
+    // distinct per-tick counts, so PLA pruning alone cannot flatten the
+    // curve and memory pressure is real.
+    let per_round = n / rounds;
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut retained_sizes = Vec::new();
+    let mut arrivals = 0u64;
+    let mut tick = 0u64;
+    while arrivals < n {
+        let target = (arrivals + per_round).min(n);
+        while arrivals < target {
+            let t = Timestamp(tick);
+            let burst = if tick.is_multiple_of(2) { 3 } else { 1 };
+            for _ in 0..burst {
+                retained.ingest_single(t).expect("in-order ingest");
+                if let Some(u) = unretained.as_mut() {
+                    u.ingest_single(t).expect("in-order ingest");
+                }
+            }
+            arrivals += burst;
+            tick += 1;
+        }
+        retained_sizes.push(retained.size_bytes());
+        rows.push(vec![
+            arrivals.to_string(),
+            tick.to_string(),
+            retained.size_bytes().to_string(),
+            unretained.as_ref().map_or_else(|| "-".into(), |u| u.size_bytes().to_string()),
+            rss_kb().to_string(),
+            retained.compactions().to_string(),
+        ]);
+    }
+
+    bed_bench::print_table(
+        format!("retention soak: {arrivals} arrivals under --retention {policy}").as_str(),
+        [
+            "arrivals",
+            "horizon_ticks",
+            "retained_bytes",
+            "unretained_bytes",
+            "rss_kb",
+            "compactions",
+        ],
+        rows,
+    );
+
+    if env_flag("BED_SOAK_ASSERT") {
+        assert!(retained.compactions() > 0, "soak never compacted — raise BED_SOAK_N");
+        // The retained summary sawtooths with the compaction cadence, so
+        // single samples are phase-dependent; bounded memory means the
+        // sawtooth's *peak* stops climbing. Compare half-peaks.
+        let half = retained_sizes.len() / 2;
+        let early_peak = *retained_sizes[..half].iter().max().expect("at least two rounds");
+        let late_peak = *retained_sizes[half..].iter().max().expect("at least two rounds");
+        assert!(
+            late_peak <= early_peak + early_peak / 4,
+            "retained summary still growing: peak {early_peak} -> {late_peak} bytes over the last half"
+        );
+        if let Some(u) = &unretained {
+            assert!(
+                u.size_bytes() >= 8 * late_peak,
+                "expected >=8x separation, unretained {} vs retained peak {late_peak}",
+                u.size_bytes()
+            );
+        }
+        eprintln!(
+            "soak assertions passed: retained peak bounded at {late_peak} bytes after {arrivals} arrivals"
+        );
+    }
+}

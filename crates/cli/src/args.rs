@@ -25,24 +25,8 @@ pub enum Command {
         input: String,
         /// Output sketch path.
         out: String,
-        /// `pbe1` or `pbe2`.
-        variant: String,
-        /// η for pbe1.
-        eta: usize,
-        /// γ for pbe2.
-        gamma: f64,
-        /// Universe size K (omit for single-event mode).
-        universe: Option<u32>,
-        /// Count-Min ε.
-        epsilon: f64,
-        /// Count-Min δ.
-        delta: f64,
-        /// Disable the dyadic hierarchy.
-        flat: bool,
-        /// Hash seed.
-        seed: u64,
-        /// Shard count for parallel ingestion (1 = unsharded).
-        shards: usize,
+        /// Detector construction options.
+        flags: DetectorFlags,
     },
     /// `bed info` — describe a persisted sketch.
     Info {
@@ -159,24 +143,8 @@ pub enum Command {
         wal: String,
         /// Checkpoint every this many arrivals.
         every: u64,
-        /// `pbe1` or `pbe2`.
-        variant: String,
-        /// η for pbe1.
-        eta: usize,
-        /// γ for pbe2.
-        gamma: f64,
-        /// Universe size K (omit for single-event mode).
-        universe: Option<u32>,
-        /// Count-Min ε.
-        epsilon: f64,
-        /// Count-Min δ.
-        delta: f64,
-        /// Disable the dyadic hierarchy.
-        flat: bool,
-        /// Hash seed.
-        seed: u64,
-        /// Shard count for parallel ingestion (1 = unsharded).
-        shards: usize,
+        /// Detector construction options.
+        flags: DetectorFlags,
     },
     /// `bed checkpoint` — wrap an existing sketch in a BEDS v2 snapshot.
     Checkpoint {
@@ -234,6 +202,9 @@ pub struct DetectorFlags {
     pub seed: u64,
     /// Shard count for parallel ingestion (1 = unsharded).
     pub shards: usize,
+    /// Tiered retention policy (`window:budget[:every]`); `None` keeps
+    /// the full-resolution history forever.
+    pub retention: Option<bed_core::RetentionPolicy>,
 }
 
 /// Splits `--key value` pairs after the subcommand.
@@ -335,7 +306,25 @@ fn detector_flags(o: &mut Opts) -> Result<DetectorFlags, CliError> {
             o.command
         )));
     }
-    Ok(DetectorFlags { variant, eta, gamma, universe, epsilon, delta, flat, seed, shards })
+    let retention = match o.optional("retention") {
+        Some(raw) => Some(
+            bed_core::RetentionPolicy::parse(&raw)
+                .map_err(|e| CliError::Usage(format!("{}: --retention '{raw}': {e}", o.command)))?,
+        ),
+        None => None,
+    };
+    Ok(DetectorFlags {
+        variant,
+        eta,
+        gamma,
+        universe,
+        epsilon,
+        delta,
+        flat,
+        seed,
+        shards,
+        retention,
+    })
 }
 
 /// Parses a full argument vector (without the program name).
@@ -370,22 +359,9 @@ where
             let mut o = Opts { map, command: "build" };
             let input = o.required("input")?;
             let out = o.required("out")?;
-            let DetectorFlags { variant, eta, gamma, universe, epsilon, delta, flat, seed, shards } =
-                detector_flags(&mut o)?;
+            let flags = detector_flags(&mut o)?;
             o.finish()?;
-            Ok(Command::Build {
-                input,
-                out,
-                variant,
-                eta,
-                gamma,
-                universe,
-                epsilon,
-                delta,
-                flat,
-                seed,
-                shards,
-            })
+            Ok(Command::Build { input, out, flags })
         }
         "info" => {
             let mut o = Opts { map, command: "info" };
@@ -514,24 +490,9 @@ where
             if every == 0 {
                 return Err(CliError::Usage("ingest: --every must be positive".into()));
             }
-            let DetectorFlags { variant, eta, gamma, universe, epsilon, delta, flat, seed, shards } =
-                detector_flags(&mut o)?;
+            let flags = detector_flags(&mut o)?;
             o.finish()?;
-            Ok(Command::Ingest {
-                input,
-                out,
-                wal,
-                every,
-                variant,
-                eta,
-                gamma,
-                universe,
-                epsilon,
-                delta,
-                flat,
-                seed,
-                shards,
-            })
+            Ok(Command::Ingest { input, out, wal, every, flags })
         }
         "checkpoint" => {
             let mut o = Opts { map, command: "checkpoint" };
@@ -618,16 +579,66 @@ mod tests {
             Command::Build {
                 input: "a.tsv".into(),
                 out: "a.bed".into(),
-                variant: "pbe1".into(),
-                eta: 64,
-                gamma: 8.0,
-                universe: Some(864),
-                epsilon: 0.01,
-                delta: 0.05,
-                flat: true,
-                seed: 9,
-                shards: 4,
+                flags: DetectorFlags {
+                    variant: "pbe1".into(),
+                    eta: 64,
+                    gamma: 8.0,
+                    universe: Some(864),
+                    epsilon: 0.01,
+                    delta: 0.05,
+                    flat: true,
+                    seed: 9,
+                    shards: 4,
+                    retention: None,
+                },
             }
+        );
+    }
+
+    #[test]
+    fn retention_flag_parses_and_rejects_garbage() {
+        let base = ["build", "--input", "a", "--out", "b"];
+        let with = |extra: &[&str]| parse(base.iter().chain(extra).copied().collect::<Vec<_>>());
+        // absent -> unbounded history
+        let Command::Build { flags, .. } = with(&[]).unwrap() else { panic!("expected build") };
+        assert_eq!(flags.retention, None);
+        // window:budget form (default cadence)
+        let Command::Build { flags, .. } = with(&["--retention", "86400:256"]).unwrap() else {
+            panic!("expected build")
+        };
+        let p = flags.retention.expect("policy");
+        assert_eq!((p.window, p.budget), (86_400, 256));
+        assert_eq!(p.compact_every, bed_core::RetentionPolicy::DEFAULT_COMPACT_EVERY);
+        // window:budget:every form
+        let Command::Build { flags, .. } = with(&["--retention", "3600:64:1024"]).unwrap() else {
+            panic!("expected build")
+        };
+        assert_eq!(flags.retention, bed_core::RetentionPolicy::new(3600, 64, 1024).ok());
+        // malformed specs surface as usage errors naming the flag
+        for bad in ["", "86400", "0:4", "10:0", "10:4:0", "x:y"] {
+            let e = with(&["--retention", bad]).unwrap_err().to_string();
+            assert!(e.contains("--retention"), "{bad}: {e}");
+        }
+        // the same flag reaches ingest and serve through the shared parser
+        let c = parse_ok(&[
+            "ingest",
+            "--input",
+            "a",
+            "--out",
+            "b",
+            "--wal",
+            "w",
+            "--retention",
+            "100:8",
+        ]);
+        assert!(
+            matches!(&c, Command::Ingest { flags: DetectorFlags { retention: Some(_), .. }, .. }),
+            "{c:?}"
+        );
+        let c = parse_ok(&["serve", "--input", "s.tsv", "--retention", "100:8"]);
+        assert!(
+            matches!(&c, Command::Serve { flags: DetectorFlags { retention: Some(_), .. }, .. }),
+            "{c:?}"
         );
     }
 
@@ -643,8 +654,14 @@ mod tests {
     fn shard_flag_is_validated() {
         let base = ["build", "--input", "a", "--out", "b", "--universe", "8"];
         let with = |extra: &[&str]| parse(base.iter().chain(extra).copied().collect::<Vec<_>>());
-        assert!(matches!(with(&[]).unwrap(), Command::Build { shards: 1, .. }));
-        assert!(matches!(with(&["--shards", "8"]).unwrap(), Command::Build { shards: 8, .. }));
+        assert!(matches!(
+            with(&[]).unwrap(),
+            Command::Build { flags: DetectorFlags { shards: 1, .. }, .. }
+        ));
+        assert!(matches!(
+            with(&["--shards", "8"]).unwrap(),
+            Command::Build { flags: DetectorFlags { shards: 8, .. }, .. }
+        ));
         let e = with(&["--shards", "0"]).unwrap_err().to_string();
         assert!(e.contains("at least 1"), "{e}");
         let e = parse(["build", "--input", "a", "--out", "b", "--shards", "2"])
@@ -694,7 +711,14 @@ mod tests {
     fn durability_commands() {
         let c = parse_ok(&["ingest", "--input", "a.tsv", "--out", "s.beds", "--wal", "a.wal"]);
         assert!(
-            matches!(&c, Command::Ingest { every: 65_536, shards: 1, universe: None, .. }),
+            matches!(
+                &c,
+                Command::Ingest {
+                    every: 65_536,
+                    flags: DetectorFlags { shards: 1, universe: None, .. },
+                    ..
+                }
+            ),
             "{c:?}"
         );
         let c = parse_ok(&[
@@ -712,7 +736,13 @@ mod tests {
             "--shards",
             "4",
         ]);
-        assert!(matches!(&c, Command::Ingest { every: 100, shards: 4, .. }), "{c:?}");
+        assert!(
+            matches!(
+                &c,
+                Command::Ingest { every: 100, flags: DetectorFlags { shards: 4, .. }, .. }
+            ),
+            "{c:?}"
+        );
         let e = parse(["ingest", "--input", "a", "--out", "b"]).unwrap_err().to_string();
         assert!(e.contains("--wal"), "{e}");
         let e = parse(["ingest", "--input", "a", "--out", "b", "--wal", "w", "--every", "0"])

@@ -63,21 +63,7 @@ fn append_metrics(out: &mut String, det: &AnySketch, wanted: bool) {
 pub fn execute(command: Command) -> Result<String, CliError> {
     match command {
         Command::Generate { dataset, n, seed, out } => generate(&dataset, n, seed, &out),
-        Command::Build {
-            input,
-            out,
-            variant,
-            eta,
-            gamma,
-            universe,
-            epsilon,
-            delta,
-            flat,
-            seed,
-            shards,
-        } => {
-            build(&input, &out, &variant, eta, gamma, universe, epsilon, delta, flat, seed, shards)
-        }
+        Command::Build { input, out, flags } => build(&input, &out, &flags),
         Command::Info { sketch } => info(&sketch),
         Command::Point { sketch, event, t, tau, metrics } => point(&sketch, event, t, tau, metrics),
         Command::Times { sketch, event, theta, tau, horizon, metrics } => {
@@ -114,24 +100,9 @@ pub fn execute(command: Command) -> Result<String, CliError> {
                 publish_every,
             },
         ),
-        Command::Ingest {
-            input,
-            out,
-            wal,
-            every,
-            variant,
-            eta,
-            gamma,
-            universe,
-            epsilon,
-            delta,
-            flat,
-            seed,
-            shards,
-        } => ingest(
-            &input, &out, &wal, every, &variant, eta, gamma, universe, epsilon, delta, flat, seed,
-            shards,
-        ),
+        Command::Ingest { input, out, wal, every, flags } => {
+            ingest(&input, &out, &wal, every, &flags)
+        }
         Command::Checkpoint { sketch, out } => checkpoint(&sketch, &out),
         Command::Restore { snapshot, wal, out, onto } => {
             restore(&snapshot, wal.as_deref(), &out, onto.as_deref())
@@ -198,7 +169,8 @@ pub(crate) fn detector_from_flags(f: &DetectorFlags) -> Result<AnyDetector, CliE
         .variant(variant)
         .accuracy(f.epsilon, f.delta)
         .hierarchical(!f.flat)
-        .seed(f.seed);
+        .seed(f.seed)
+        .retention(f.retention);
     builder = match f.universe {
         Some(k) => builder.universe(k),
         None => builder.single_event(),
@@ -210,34 +182,10 @@ pub(crate) fn detector_from_flags(f: &DetectorFlags) -> Result<AnyDetector, CliE
     })
 }
 
-#[allow(clippy::too_many_arguments)]
-fn build(
-    input: &str,
-    out: &str,
-    variant: &str,
-    eta: usize,
-    gamma: f64,
-    universe: Option<u32>,
-    epsilon: f64,
-    delta: f64,
-    flat: bool,
-    seed: u64,
-    shards: usize,
-) -> Result<String, CliError> {
-    let flags = DetectorFlags {
-        variant: variant.to_string(),
-        eta,
-        gamma,
-        universe,
-        epsilon,
-        delta,
-        flat,
-        seed,
-        shards,
-    };
+fn build(input: &str, out: &str, flags: &DetectorFlags) -> Result<String, CliError> {
     let els = read_elements(input)?;
     let count = els.len();
-    let mut det = detector_from_flags(&flags)?;
+    let mut det = detector_from_flags(flags)?;
     match &mut det {
         AnyDetector::Sharded(d) => d.ingest_batch(&els)?,
         AnyDetector::Plain(d) => {
@@ -265,36 +213,16 @@ fn build(
 /// detector, and a `BEDS v2` snapshot is taken every `--every` arrivals —
 /// so a `SIGKILL` at any instant loses nothing that was acknowledged.
 /// `bed restore` turns the snapshot + WAL back into a queryable sketch.
-#[allow(clippy::too_many_arguments)]
 fn ingest(
     input: &str,
     out: &str,
     wal: &str,
     every: u64,
-    variant: &str,
-    eta: usize,
-    gamma: f64,
-    universe: Option<u32>,
-    epsilon: f64,
-    delta: f64,
-    flat: bool,
-    seed: u64,
-    shards: usize,
+    flags: &DetectorFlags,
 ) -> Result<String, CliError> {
-    let flags = DetectorFlags {
-        variant: variant.to_string(),
-        eta,
-        gamma,
-        universe,
-        epsilon,
-        delta,
-        flat,
-        seed,
-        shards,
-    };
     let els = read_elements(input)?;
     let count = els.len();
-    let det = detector_from_flags(&flags)?;
+    let det = detector_from_flags(flags)?;
     let mut sink = bed_core::WalSink::create(wal, det)?;
     let mut ckpt =
         bed_core::Checkpointer::new(out, bed_core::CheckpointPolicy { every_arrivals: every });
@@ -409,7 +337,7 @@ fn point(path: &str, event: u32, t: u64, tau: u64, metrics: bool) -> Result<Stri
     let tau = BurstSpan::new(tau).map_err(bed_core::BedError::from)?;
     let request = QueryRequest::Point { event: EventId(event), t: Timestamp(t), tau };
     let mut scratch = QueryScratch::new();
-    let QueryResponse::Point { burstiness: b, burst_frequency: bf, cumulative: f } =
+    let QueryResponse::Point { burstiness: b, burst_frequency: bf, cumulative: f, tier } =
         run_query(&det, &request, &mut scratch)?
     else {
         return Err(mismatched());
@@ -418,6 +346,9 @@ fn point(path: &str, event: u32, t: u64, tau: u64, metrics: bool) -> Result<Stri
         "event {event} at t={t} (tau={}):\n burstiness  {b:.1}\n rate/span   {bf:.1}\n cumulative  {f:.1}\n",
         tau.ticks()
     );
+    if let Some(tier) = tier {
+        writeln!(out, " served by   retention tier {tier}").expect("string write");
+    }
     append_metrics(&mut out, &det, metrics);
     Ok(out)
 }
@@ -834,6 +765,85 @@ mod tests {
         // matching config is accepted
         let same = tmp("onto-same.bed");
         run(["build", "--input", &tsv, "--out", &same, "--universe", "8", "--seed", "1"]).unwrap();
+        run(["restore", "--snapshot", &snap, "--wal", &wal, "--out", &out, "--onto", &same])
+            .unwrap();
+    }
+
+    #[test]
+    fn restore_onto_retention_mismatch_refuses_with_diff() {
+        let tsv = tmp("ret-onto.tsv");
+        std::fs::write(&tsv, "0\t1\n1\t2\n2\t3\n").unwrap();
+        let snap = tmp("ret-onto.ckpt");
+        let wal = tmp("ret-onto.wal");
+        run([
+            "ingest",
+            "--input",
+            &tsv,
+            "--out",
+            &snap,
+            "--wal",
+            &wal,
+            "--universe",
+            "8",
+            "--retention",
+            "100:8:2",
+        ])
+        .unwrap();
+        // target built WITHOUT a policy: the recovered tiered state must not
+        // silently masquerade as a full-resolution sketch
+        let unbounded = tmp("ret-onto-unbounded.bed");
+        run(["build", "--input", &tsv, "--out", &unbounded, "--universe", "8"]).unwrap();
+        let out = tmp("ret-onto-restored.bed");
+        let err = run([
+            "restore",
+            "--snapshot",
+            &snap,
+            "--wal",
+            &wal,
+            "--out",
+            &out,
+            "--onto",
+            &unbounded,
+        ])
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("configuration mismatch"), "{msg}");
+        assert!(msg.contains("retention"), "{msg}");
+        assert!(msg.contains("none"), "{msg}");
+        // a different policy is also a refusal, with both specs in the diff
+        let coarser = tmp("ret-onto-coarser.bed");
+        run([
+            "build",
+            "--input",
+            &tsv,
+            "--out",
+            &coarser,
+            "--universe",
+            "8",
+            "--retention",
+            "200:8:2",
+        ])
+        .unwrap();
+        let msg =
+            run(["restore", "--snapshot", &snap, "--wal", &wal, "--out", &out, "--onto", &coarser])
+                .unwrap_err()
+                .to_string();
+        assert!(msg.contains("retention"), "{msg}");
+        assert!(msg.contains("100:8:2") && msg.contains("200:8:2"), "{msg}");
+        // the matching policy restores cleanly
+        let same = tmp("ret-onto-same.bed");
+        run([
+            "build",
+            "--input",
+            &tsv,
+            "--out",
+            &same,
+            "--universe",
+            "8",
+            "--retention",
+            "100:8:2",
+        ])
+        .unwrap();
         run(["restore", "--snapshot", &snap, "--wal", &wal, "--out", &out, "--onto", &same])
             .unwrap();
     }

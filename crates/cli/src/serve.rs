@@ -484,7 +484,7 @@ fn render_answer(
         watermark.arrivals
     );
     match response {
-        QueryResponse::Point { burstiness, burst_frequency, cumulative } => {
+        QueryResponse::Point { burstiness, burst_frequency, cumulative, tier } => {
             let _ = write!(
                 out,
                 ",\"burstiness\":{},\"burst_frequency\":{},\"cumulative\":{}",
@@ -492,6 +492,9 @@ fn render_answer(
                 json::num(*burst_frequency),
                 json::num(*cumulative)
             );
+            if let Some(tier) = tier {
+                let _ = write!(out, ",\"tier\":{tier}");
+            }
         }
         QueryResponse::BurstyEvents { hits, stats } => {
             out.push_str(",\"hits\":[");
@@ -682,6 +685,7 @@ mod tests {
             flat: false,
             seed: 7,
             shards,
+            retention: None,
         }
     }
 

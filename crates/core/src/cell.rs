@@ -1,21 +1,125 @@
-//! Runtime-selectable PBE cell: PBE-1 or PBE-2 behind one type.
+//! Runtime-selectable PBE cell: PBE-1, PBE-2, or a tier-compacted
+//! composite of either, behind one type.
 //!
 //! The sketch and hierarchy layers are generic over
 //! [`bed_pbe::CurveSketch`]; the facade needs to pick the variant at runtime
 //! from configuration, so it routes through this small enum rather than
 //! monomorphising the whole stack twice behind a trait object.
+//!
+//! The [`PbeCell::Tiered`] variant is what a cell becomes after its first
+//! retention compaction (ROADMAP item 3 / Hokusai aging): a
+//! [`FrozenCurve`] staircase prefix holding the decimated old history plus
+//! a fresh live PBE accumulating everything since the last fold. The
+//! combined estimate is simply `frozen.eval(t) + live(t)` — live curves
+//! restart from zero at each fold, so the two parts never double-count.
 
 use bed_pbe::kernel::CumHint;
 use bed_pbe::{CurveSketch, Pbe1, Pbe2};
+use bed_sketch::{FrozenCurve, RetentionPolicy};
 use bed_stream::{BurstSpan, Timestamp};
 
-/// A PBE of either variant.
+/// A PBE of either variant, optionally carrying a frozen tiered prefix.
 #[derive(Debug, Clone)]
 pub enum PbeCell {
     /// Buffered optimal staircase (Section III-A).
     One(Pbe1),
     /// Online piecewise-linear approximation (Section III-B).
     Two(Pbe2),
+    /// Tier-compacted composite: frozen decimated prefix + live PBE.
+    Tiered(Box<TieredCell>),
+}
+
+/// The state of a cell that has been compacted at least once.
+#[derive(Debug, Clone)]
+pub struct TieredCell {
+    /// Decimated staircase of everything folded so far.
+    frozen: FrozenCurve,
+    /// Live PBE for arrivals since the last fold. Invariant: never
+    /// `Tiered` itself (enforced by construction and the codec).
+    live: PbeCell,
+}
+
+impl TieredCell {
+    /// Frozen prefix (observability + tier accounting).
+    pub fn frozen(&self) -> &FrozenCurve {
+        &self.frozen
+    }
+
+    /// Live PBE accumulating since the last fold.
+    pub fn live(&self) -> &PbeCell {
+        &self.live
+    }
+
+    /// Folds the live curve into the frozen prefix and re-decimates
+    /// everything against the watermark `now`.
+    ///
+    /// The live curve is sampled at its own piece boundaries plus `now`;
+    /// staircasing those samples under-estimates a PBE-2 PLA segment but
+    /// never overestimates it, preserving the one-sided error direction
+    /// the median combiner needs. The live PBE is then rebuilt empty from
+    /// its own config, so subsequent arrivals start a fresh curve.
+    fn compact(&mut self, policy: &RetentionPolicy, now: Timestamp) {
+        let live_arrivals = self.live.arrivals();
+        if live_arrivals == 0 {
+            // Nothing new to fold; still re-decimate so old knees keep
+            // migrating into coarser tiers as the watermark advances.
+            self.frozen.fold(std::iter::empty(), 0, now.ticks(), policy);
+            return;
+        }
+        let mut ts: Vec<u64> = self.live.piece_boundaries().iter().map(|t| t.ticks()).collect();
+        ts.push(now.ticks());
+        ts.sort_unstable();
+        ts.dedup();
+        let live = &self.live;
+        let samples = ts.iter().map(|&t| (t, live.estimate_cum(Timestamp(t))));
+        self.frozen.fold(samples, live_arrivals, now.ticks(), policy);
+        self.live.reset();
+    }
+}
+
+impl PbeCell {
+    /// A fresh, empty cell with the same configuration (variant, η/γ,
+    /// buffer/vertex limits) as `self`.
+    fn fresh(&self) -> PbeCell {
+        match self {
+            PbeCell::One(p) => PbeCell::One(Pbe1::new(p.config()).expect("config was valid")),
+            PbeCell::Two(p) => PbeCell::Two(Pbe2::new(p.config()).expect("config was valid")),
+            PbeCell::Tiered(tc) => tc.live.fresh(),
+        }
+    }
+
+    /// Replaces `self` with an empty cell of the same configuration.
+    fn reset(&mut self) {
+        *self = self.fresh();
+    }
+
+    /// Retention compaction: fold live state into the frozen tiered
+    /// prefix (wrapping the cell into [`PbeCell::Tiered`] on first use)
+    /// and re-decimate against the watermark `now`.
+    ///
+    /// Deterministic given the arrival history, so WAL replay through the
+    /// same ingest path reproduces the compacted state bit-for-bit.
+    pub fn compact(&mut self, policy: &RetentionPolicy, now: Timestamp) {
+        if !matches!(self, PbeCell::Tiered(_)) {
+            if self.arrivals() == 0 {
+                // Untouched cell: wrapping it would only add overhead.
+                return;
+            }
+            let placeholder = self.fresh();
+            let live = std::mem::replace(self, placeholder);
+            *self = PbeCell::Tiered(Box::new(TieredCell { frozen: FrozenCurve::new(), live }));
+        }
+        let PbeCell::Tiered(tc) = self else { unreachable!("wrapped above") };
+        tc.compact(policy, now);
+    }
+
+    /// The frozen tiered prefix, if this cell has been compacted.
+    pub fn frozen(&self) -> Option<&FrozenCurve> {
+        match self {
+            PbeCell::Tiered(tc) => Some(&tc.frozen),
+            _ => None,
+        }
+    }
 }
 
 impl CurveSketch for PbeCell {
@@ -23,6 +127,7 @@ impl CurveSketch for PbeCell {
         match self {
             PbeCell::One(p) => p.update(ts),
             PbeCell::Two(p) => p.update(ts),
+            PbeCell::Tiered(tc) => tc.live.update(ts),
         }
     }
 
@@ -30,6 +135,7 @@ impl CurveSketch for PbeCell {
         match self {
             PbeCell::One(p) => p.estimate_cum(t),
             PbeCell::Two(p) => p.estimate_cum(t),
+            PbeCell::Tiered(tc) => tc.frozen.eval(t.ticks()) + tc.live.estimate_cum(t),
         }
     }
 
@@ -40,6 +146,10 @@ impl CurveSketch for PbeCell {
         match self {
             PbeCell::One(p) => p.estimate_cum_hinted(t, hint),
             PbeCell::Two(p) => p.estimate_cum_hinted(t, hint),
+            // The live part honours the hint; the frozen part is a plain
+            // binary search. hinted == unhinted bit-for-bit on the live
+            // side, so the sum matches estimate_cum exactly.
+            PbeCell::Tiered(tc) => tc.frozen.eval(t.ticks()) + tc.live.estimate_cum_hinted(t, hint),
         }
     }
 
@@ -47,6 +157,13 @@ impl CurveSketch for PbeCell {
         match self {
             PbeCell::One(p) => p.probe3(t, tau),
             PbeCell::Two(p) => p.probe3(t, tau),
+            // Composed exactly like the trait default, so the bit-for-bit
+            // probe3 == 3×estimate_cum contract holds trivially.
+            PbeCell::Tiered(_) => [
+                self.estimate_cum(t),
+                self.estimate_cum_offset(t, tau.ticks()),
+                self.estimate_cum_offset(t, tau.ticks().saturating_mul(2)),
+            ],
         }
     }
 
@@ -54,6 +171,10 @@ impl CurveSketch for PbeCell {
         match self {
             PbeCell::One(p) => p.for_each_segment_start(f),
             PbeCell::Two(p) => p.for_each_segment_start(f),
+            PbeCell::Tiered(tc) => {
+                tc.frozen.for_each_knee(|t, _| f(Timestamp(t)));
+                tc.live.for_each_segment_start(f);
+            }
         }
     }
 
@@ -61,6 +182,16 @@ impl CurveSketch for PbeCell {
         match self {
             PbeCell::One(p) => p.for_each_piece(f),
             PbeCell::Two(p) => p.for_each_piece(f),
+            // A staircase sampling of the composite at its boundaries.
+            // Exact for Step live curves; for Linear live curves it holds
+            // the boundary value between knees. Tiered cells report
+            // `bankable() == false`, so the PieceBank (the one consumer
+            // that requires bit-exactness) never sees this export.
+            PbeCell::Tiered(_) => {
+                for t in self.piece_boundaries() {
+                    f(bed_pbe::CurvePiece::staircase(t.ticks(), self.estimate_cum(t)));
+                }
+            }
         }
     }
 
@@ -68,6 +199,7 @@ impl CurveSketch for PbeCell {
         match self {
             PbeCell::One(p) => p.finalize(),
             PbeCell::Two(p) => p.finalize(),
+            PbeCell::Tiered(tc) => tc.live.finalize(),
         }
     }
 
@@ -75,6 +207,7 @@ impl CurveSketch for PbeCell {
         match self {
             PbeCell::One(p) => p.size_bytes(),
             PbeCell::Two(p) => p.size_bytes(),
+            PbeCell::Tiered(tc) => tc.frozen.size_bytes() + tc.live.size_bytes(),
         }
     }
 
@@ -82,6 +215,14 @@ impl CurveSketch for PbeCell {
         match self {
             PbeCell::One(p) => p.segment_starts(),
             PbeCell::Two(p) => p.segment_starts(),
+            PbeCell::Tiered(tc) => {
+                let mut out: Vec<Timestamp> = Vec::with_capacity(tc.frozen.len());
+                tc.frozen.for_each_knee(|t, _| out.push(Timestamp(t)));
+                out.extend(tc.live.segment_starts());
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
         }
     }
 
@@ -89,6 +230,14 @@ impl CurveSketch for PbeCell {
         match self {
             PbeCell::One(p) => p.piece_boundaries(),
             PbeCell::Two(p) => p.piece_boundaries(),
+            PbeCell::Tiered(tc) => {
+                let mut out: Vec<Timestamp> = Vec::with_capacity(tc.frozen.len());
+                tc.frozen.for_each_knee(|t, _| out.push(Timestamp(t)));
+                out.extend(tc.live.piece_boundaries());
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
         }
     }
 
@@ -96,13 +245,24 @@ impl CurveSketch for PbeCell {
         match self {
             PbeCell::One(p) => p.interpolation(),
             PbeCell::Two(p) => p.interpolation(),
+            // The frozen prefix is Step, so the composite is Linear only
+            // when the live curve is.
+            PbeCell::Tiered(tc) => tc.live.interpolation(),
         }
+    }
+
+    fn bankable(&self) -> bool {
+        // A compacted cell's estimate is frozen + live; the flat piece
+        // export can't reproduce that sum bit-for-bit, so the grid must
+        // stay on the AoS path.
+        !matches!(self, PbeCell::Tiered(_))
     }
 
     fn arrivals(&self) -> u64 {
         match self {
             PbeCell::One(p) => p.arrivals(),
             PbeCell::Two(p) => p.arrivals(),
+            PbeCell::Tiered(tc) => tc.frozen.arrivals() + tc.live.arrivals(),
         }
     }
 
@@ -110,12 +270,22 @@ impl CurveSketch for PbeCell {
         match self {
             PbeCell::One(p) => p.summary_stats(),
             PbeCell::Two(p) => p.summary_stats(),
+            PbeCell::Tiered(tc) => {
+                let live = tc.live.summary_stats();
+                bed_pbe::SummaryStats {
+                    pieces: live.pieces + tc.frozen.len(),
+                    buffered: live.buffered,
+                    bytes: live.bytes + tc.frozen.size_bytes(),
+                }
+            }
         }
     }
 }
 
 /// Persistence: a one-byte variant tag followed by the inner sketch's own
-/// self-identifying encoding.
+/// self-identifying encoding. Tag 3 (tiered) adds the frozen prefix before
+/// the (non-tiered) live cell, so detectors built without retention keep
+/// their exact historical byte layout.
 impl bed_stream::Codec for PbeCell {
     fn encode(&self, w: &mut bed_stream::codec::Writer) {
         match self {
@@ -127,6 +297,11 @@ impl bed_stream::Codec for PbeCell {
                 w.u8(2);
                 p.encode(w);
             }
+            PbeCell::Tiered(tc) => {
+                w.u8(3);
+                tc.frozen.encode(w);
+                tc.live.encode(w);
+            }
         }
     }
 
@@ -134,6 +309,14 @@ impl bed_stream::Codec for PbeCell {
         match r.u8("pbe cell variant")? {
             1 => Ok(PbeCell::One(Pbe1::decode(r)?)),
             2 => Ok(PbeCell::Two(Pbe2::decode(r)?)),
+            3 => {
+                let frozen = FrozenCurve::decode(r)?;
+                let live = PbeCell::decode(r)?;
+                if matches!(live, PbeCell::Tiered(_)) {
+                    return Err(bed_stream::CodecError::Invalid { context: "nested tiered cell" });
+                }
+                Ok(PbeCell::Tiered(Box::new(TieredCell { frozen, live })))
+            }
             _ => Err(bed_stream::CodecError::Invalid { context: "pbe cell variant" }),
         }
     }
@@ -143,6 +326,7 @@ impl bed_stream::Codec for PbeCell {
 mod tests {
     use super::*;
     use bed_pbe::{Pbe1Config, Pbe2Config};
+    use bed_stream::Codec;
 
     #[test]
     fn both_variants_delegate() {
@@ -161,5 +345,94 @@ mod tests {
         assert!(one.size_bytes() > 0 && two.size_bytes() > 0);
         assert!(!one.segment_starts().is_empty());
         assert!(!two.segment_starts().is_empty());
+    }
+
+    #[test]
+    fn compaction_preserves_recent_and_never_overestimates() {
+        let policy = RetentionPolicy::new(32, 4, 1).unwrap();
+        // A PBE-1 whose buffer never fills keeps every corner exactly,
+        // isolating pure decimation error.
+        let mut cell = PbeCell::One(Pbe1::new(Pbe1Config { n_buf: 1024, eta: 512 }).unwrap());
+        let mut oracle = PbeCell::One(Pbe1::new(Pbe1Config { n_buf: 1024, eta: 512 }).unwrap());
+        for t in 0..256u64 {
+            cell.update(Timestamp(t));
+            oracle.update(Timestamp(t));
+        }
+        cell.compact(&policy, Timestamp(255));
+        assert!(matches!(cell, PbeCell::Tiered(_)));
+        assert!(!cell.bankable());
+        assert_eq!(cell.arrivals(), oracle.arrivals());
+        for t in 0..=255u64 {
+            let est = cell.estimate_cum(Timestamp(t));
+            let truth = oracle.estimate_cum(Timestamp(t));
+            assert!(est <= truth + 1e-9, "overestimate at {t}: {est} > {truth}");
+            let tier = policy.tier_of(t, 255);
+            if tier == 0 {
+                assert_eq!(est, truth, "tier-0 must stay verbatim at {t}");
+            } else {
+                // one grain bucket of mass (1 arrival/tick here)
+                let slack = policy.grain(tier) as f64;
+                assert!(truth - est <= slack, "tier {tier} gap {} at {t}", truth - est);
+            }
+        }
+        // arrivals after the fold land in the fresh live curve
+        cell.update(Timestamp(300));
+        oracle.update(Timestamp(300));
+        assert_eq!(cell.estimate_cum(Timestamp(300)), oracle.estimate_cum(Timestamp(300)));
+    }
+
+    #[test]
+    fn compaction_probe3_matches_composed_and_hinted() {
+        let policy = RetentionPolicy::new(16, 2, 1).unwrap();
+        let mut cell =
+            PbeCell::Two(Pbe2::new(Pbe2Config { gamma: 2.0, max_vertices: 64 }).unwrap());
+        for t in 0..200u64 {
+            cell.update(Timestamp(t / 2));
+        }
+        cell.compact(&policy, Timestamp(99));
+        for t in 0..150u64 {
+            cell.update(Timestamp(100 + t));
+        }
+        cell.finalize();
+        let tau = BurstSpan::new(13).unwrap();
+        for t in (0..250u64).step_by(7) {
+            let probes = cell.probe3(Timestamp(t), tau);
+            let composed = [
+                cell.estimate_cum(Timestamp(t)),
+                cell.estimate_cum_offset(Timestamp(t), 13),
+                cell.estimate_cum_offset(Timestamp(t), 26),
+            ];
+            assert_eq!(probes, composed);
+            let mut hint = CumHint::default();
+            assert_eq!(
+                cell.estimate_cum_hinted(Timestamp(t), &mut hint),
+                cell.estimate_cum(Timestamp(t))
+            );
+        }
+    }
+
+    #[test]
+    fn tiered_codec_roundtrip() {
+        let policy = RetentionPolicy::new(8, 2, 1).unwrap();
+        let mut cell = PbeCell::One(Pbe1::new(Pbe1Config { n_buf: 64, eta: 16 }).unwrap());
+        for t in 0..100u64 {
+            cell.update(Timestamp(t));
+        }
+        cell.compact(&policy, Timestamp(99));
+        for t in 100..120u64 {
+            cell.update(Timestamp(t));
+        }
+        let mut w = bed_stream::codec::Writer::new();
+        cell.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = bed_stream::codec::Reader::new(&bytes);
+        let back = PbeCell::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        let mut w2 = bed_stream::codec::Writer::new();
+        back.encode(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes, "re-encode must be byte-identical");
+        for t in (0..130u64).step_by(3) {
+            assert_eq!(back.estimate_cum(Timestamp(t)), cell.estimate_cum(Timestamp(t)));
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! Detector configuration.
 
 use bed_pbe::{Pbe1, Pbe1Config, Pbe2, Pbe2Config};
-use bed_sketch::SketchParams;
+use bed_sketch::{RetentionPolicy, SketchParams};
 use bed_stream::StreamError;
 
 use crate::cell::PbeCell;
@@ -84,6 +84,12 @@ pub struct DetectorConfig {
     /// runtime-only: the flag is not persisted by the codec, so a decoded
     /// detector always starts with metrics on.
     pub metrics: bool,
+    /// Tiered retention policy (`None` = unbounded full-resolution
+    /// history). When set, the detector folds live PBE state into frozen
+    /// Hokusai-style tiers every `compact_every` arrivals, bounding memory
+    /// to `O(budget · log₂ horizon)` knees per cell. Shapes the summary,
+    /// so it is persisted, diffed, and checked on restore.
+    pub retention: Option<RetentionPolicy>,
 }
 
 impl Default for DetectorConfig {
@@ -95,8 +101,24 @@ impl Default for DetectorConfig {
             hierarchical: true,
             seed: 0xBED,
             metrics: true,
+            retention: None,
         }
     }
+}
+
+/// Maps the sketch-layer policy invariants onto [`StreamError`] for the
+/// builder/`from_config` validation path.
+pub(crate) fn validate_retention(p: &RetentionPolicy) -> Result<(), StreamError> {
+    for (parameter, got) in [
+        ("retention window", p.window),
+        ("retention budget", u64::from(p.budget)),
+        ("retention compact cadence", p.compact_every),
+    ] {
+        if got == 0 {
+            return Err(StreamError::BudgetTooSmall { parameter, got: 0, min: 1 });
+        }
+    }
+    Ok(())
 }
 
 impl DetectorConfig {
@@ -108,6 +130,7 @@ impl DetectorConfig {
             && self.universe == other.universe
             && self.hierarchical == other.hierarchical
             && self.seed == other.seed
+            && self.retention == other.retention
     }
 
     /// Human-readable diff of the persistence-relevant fields, one
@@ -134,6 +157,17 @@ impl DetectorConfig {
         if self.seed != other.seed {
             clauses.push(format!("seed: {} vs {}", self.seed, other.seed));
         }
+        if self.retention != other.retention {
+            let fmt = |r: &Option<RetentionPolicy>| match r {
+                Some(p) => p.to_string(),
+                None => "none".to_string(),
+            };
+            clauses.push(format!(
+                "retention: {} vs {}",
+                fmt(&self.retention),
+                fmt(&other.retention)
+            ));
+        }
         if clauses.is_empty() {
             None
         } else {
@@ -144,9 +178,10 @@ impl DetectorConfig {
 
 /// Persistence of the summary-shaping configuration. The field order is
 /// exactly the `BEDD` v1 header layout (variant, ε, δ, universe,
-/// hierarchy, seed), so [`crate::BurstDetector`]'s codec and the WAL
-/// header share one definition and stay byte-compatible. The runtime-only
-/// `metrics` flag is not persisted; decoded configs default it on.
+/// hierarchy, seed, retention), so [`crate::BurstDetector`]'s codec and
+/// the WAL header share one definition and stay byte-compatible. The
+/// runtime-only `metrics` flag is not persisted; decoded configs default
+/// it on.
 impl bed_stream::Codec for DetectorConfig {
     fn encode(&self, w: &mut bed_stream::codec::Writer) {
         self.variant.encode(w);
@@ -161,6 +196,13 @@ impl bed_stream::Codec for DetectorConfig {
         }
         w.u8(u8::from(self.hierarchical));
         w.u64(self.seed);
+        match &self.retention {
+            Some(p) => {
+                w.u8(1);
+                p.encode(w);
+            }
+            None => w.u8(0),
+        }
     }
 
     fn decode(r: &mut bed_stream::codec::Reader<'_>) -> Result<Self, bed_stream::CodecError> {
@@ -180,7 +222,20 @@ impl bed_stream::Codec for DetectorConfig {
             _ => return Err(CodecError::Invalid { context: "config hierarchy flag" }),
         };
         let seed = r.u64("config seed")?;
-        Ok(DetectorConfig { variant, sketch, universe, hierarchical, seed, metrics: true })
+        let retention = match r.u8("config retention flag")? {
+            0 => None,
+            1 => Some(RetentionPolicy::decode(r)?),
+            _ => return Err(CodecError::Invalid { context: "config retention flag" }),
+        };
+        Ok(DetectorConfig {
+            variant,
+            sketch,
+            universe,
+            hierarchical,
+            seed,
+            metrics: true,
+            retention,
+        })
     }
 }
 

@@ -38,6 +38,9 @@ pub struct BurstDetector {
     backend: Backend,
     last_ts: Option<Timestamp>,
     metrics: DetectorMetrics,
+    /// Retention compaction runs completed (runtime gauge; not persisted —
+    /// the compacted *state* is, via the cell codec).
+    compactions: u64,
 }
 
 /// Builder for [`BurstDetector`].
@@ -56,6 +59,9 @@ impl BurstDetector {
     pub fn from_config(config: DetectorConfig) -> Result<Self, BedError> {
         config.variant.validate()?;
         config.sketch.validate()?;
+        if let Some(policy) = &config.retention {
+            crate::config::validate_retention(policy)?;
+        }
         let backend = match (config.universe, config.hierarchical) {
             (None, _) => Backend::Single(config.variant.make_cell()),
             (Some(k), true) => {
@@ -68,7 +74,7 @@ impl BurstDetector {
             })?),
         };
         let metrics = DetectorMetrics::new(config.metrics);
-        Ok(BurstDetector { config, backend, last_ts: None, metrics })
+        Ok(BurstDetector { config, backend, last_ts: None, metrics, compactions: 0 })
     }
 
     /// The configuration in force.
@@ -114,10 +120,42 @@ impl BurstDetector {
                     }
                 }
                 grid.update(event, ts);
+                self.maybe_compact();
                 Ok(())
             }
-            Backend::Hierarchical(forest) => Ok(forest.update(event, ts)?),
+            Backend::Hierarchical(forest) => {
+                forest.update(event, ts)?;
+                self.maybe_compact();
+                Ok(())
+            }
         }
+    }
+
+    /// Retention trigger: folds live cell state into the frozen tiers once
+    /// per `compact_every` arrivals. Runs *inside* the ingest path on the
+    /// arrivals counter — a pure function of the arrival history — so WAL
+    /// replay through [`Self::ingest`] reproduces the compacted summary
+    /// bit-for-bit (checkpoints capture the same determinism for free).
+    fn maybe_compact(&mut self) {
+        let Some(policy) = self.config.retention else { return };
+        let arrivals = self.arrivals();
+        if arrivals == 0 || !arrivals.is_multiple_of(policy.compact_every) {
+            return;
+        }
+        let now = self.last_ts.expect("compaction follows an ingest");
+        match &mut self.backend {
+            Backend::Single(cell) => cell.compact(&policy, now),
+            Backend::Flat(grid) => grid.for_each_cell_mut(|c| c.compact(&policy, now)),
+            Backend::Hierarchical(forest) => forest.for_each_grid_mut(|_, grid| {
+                grid.for_each_cell_mut(|c| c.compact(&policy, now));
+            }),
+        }
+        self.compactions += 1;
+    }
+
+    /// Retention compaction runs completed since construction.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 
     /// Records one arrival on a single-event detector.
@@ -133,6 +171,7 @@ impl BurstDetector {
         match &mut self.backend {
             Backend::Single(pbe) => {
                 pbe.update(ts);
+                self.maybe_compact();
                 Ok(())
             }
             _ => Err(BedError::WrongMode {
@@ -567,8 +606,67 @@ impl BurstDetector {
                 self.set_cm_gauges(&s.leaf);
             }
         }
+        self.refresh_retention_gauges();
         self.metrics.refresh_prune_ratio();
         self.metrics.snapshot()
+    }
+
+    /// Visits the frozen prefix of every compacted cell across the backend
+    /// (all hierarchy levels included).
+    fn for_each_frozen(&self, mut f: impl FnMut(&bed_sketch::FrozenCurve)) {
+        fn visit(cell: &PbeCell, f: &mut dyn FnMut(&bed_sketch::FrozenCurve)) {
+            if let Some(frozen) = cell.frozen() {
+                f(frozen);
+            }
+        }
+        match &self.backend {
+            Backend::Single(cell) => visit(cell, &mut f),
+            Backend::Flat(grid) => grid.for_each_cell(|c| visit(c, &mut f)),
+            Backend::Hierarchical(forest) => {
+                for level in 0..forest.levels() {
+                    forest.grid(level).for_each_cell(|c| visit(c, &mut f));
+                }
+            }
+        }
+    }
+
+    /// Refreshes the `retention.*` gauges: compaction count, tiers in
+    /// play, and per-tier byte/knee/span accounting (tier 0 carries the
+    /// live full-resolution summaries; tiers ≥ 1 the frozen knees that
+    /// currently age into them).
+    fn refresh_retention_gauges(&self) {
+        let Some(policy) = self.config.retention else { return };
+        let now = self.last_ts.map_or(0, Timestamp::ticks);
+        let mut tier_bytes: Vec<u64> = vec![0];
+        let mut tier_knees: Vec<u64> = vec![0];
+        let mut frozen_bytes = 0u64;
+        self.for_each_frozen(|frozen| {
+            frozen_bytes += frozen.size_bytes() as u64;
+            frozen.for_each_knee(|t, _| {
+                let k = policy.tier_of(t, now) as usize;
+                if tier_bytes.len() <= k {
+                    tier_bytes.resize(k + 1, 0);
+                    tier_knees.resize(k + 1, 0);
+                }
+                tier_bytes[k] += std::mem::size_of::<(u64, f64)>() as u64;
+                tier_knees[k] += 1;
+            });
+        });
+        // Everything not frozen is the live tier-0 working set.
+        tier_bytes[0] += (self.size_bytes() as u64).saturating_sub(frozen_bytes);
+        self.metrics.set_gauge("retention.compactions", self.compactions as f64);
+        self.metrics.set_gauge("retention.tiers", tier_bytes.len() as f64);
+        self.metrics.set_gauge("retention.window_ticks", policy.window as f64);
+        for (k, (bytes, knees)) in tier_bytes.iter().zip(&tier_knees).enumerate() {
+            let span = if k == 0 {
+                policy.window
+            } else {
+                policy.window.saturating_mul(1u64.checked_shl(k as u32 - 1).unwrap_or(u64::MAX))
+            };
+            self.metrics.set_gauge(&format!("retention.tier{k}.bytes"), *bytes as f64);
+            self.metrics.set_gauge(&format!("retention.tier{k}.knees"), *knees as f64);
+            self.metrics.set_gauge(&format!("retention.tier{k}.span_ticks"), span as f64);
+        }
     }
 
     /// Refreshes the leaf-grid gauges (`structure.cmpbe.*`).
@@ -610,10 +708,19 @@ impl BurstDetector {
         match *request {
             QueryRequest::Point { event, t, tau } => {
                 self.check_event(event)?;
+                // Under retention the probe is served by the finest tier
+                // covering `t` relative to the ingest watermark; stamp it
+                // so callers can judge the answer's resolution.
+                let tier = self.config.retention.map(|p| {
+                    let tier = p.tier_of(t.ticks(), self.last_ts.map_or(0, Timestamp::ticks));
+                    self.metrics.count_tier_query(tier);
+                    tier
+                });
                 Ok(QueryResponse::Point {
                     burstiness: self.point_query(event, t, tau),
                     burst_frequency: self.burst_frequency(event, t, tau),
                     cumulative: self.cumulative_frequency(event, t),
+                    tier,
                 })
             }
             QueryRequest::BurstyTimes { event, theta, tau, horizon } => {
@@ -745,6 +852,16 @@ impl BurstDetectorBuilder {
         self
     }
 
+    /// Sets the tiered retention policy (`None` = unbounded history, the
+    /// default). With a policy, live PBE state folds into frozen
+    /// Hokusai-style tiers every `compact_every` arrivals, bounding
+    /// memory; probes older than the window are answered at the coarser
+    /// tier resolution and stamped with the serving tier.
+    pub fn retention(mut self, policy: Option<bed_sketch::RetentionPolicy>) -> Self {
+        self.config.retention = policy;
+        self
+    }
+
     /// Splits the configured universe across `n` hash-partitioned shards,
     /// switching to a [`crate::ShardedDetector`] builder for parallel
     /// ingestion (requires `.universe(k)`).
@@ -807,6 +924,7 @@ impl bed_stream::Codec for BurstDetector {
             }
             None => w.u8(0),
         }
+        w.u64(self.compactions);
         match &self.backend {
             Backend::Single(cell) => {
                 w.u8(0);
@@ -836,6 +954,7 @@ impl bed_stream::Codec for BurstDetector {
             1 => Some(Timestamp::decode(r)?),
             _ => return Err(CodecError::Invalid { context: "detector last_ts flag" }),
         };
+        let compactions = r.u64("detector compactions")?;
         let backend = match r.u8("backend tag")? {
             0 => Backend::Single(PbeCell::decode(r)?),
             1 => Backend::Flat(bed_sketch::CmPbe::decode(r)?),
@@ -853,7 +972,7 @@ impl bed_stream::Codec for BurstDetector {
             return Err(CodecError::Invalid { context: "backend/config mismatch" });
         }
         let metrics = DetectorMetrics::new(true);
-        let det = BurstDetector { config, backend, last_ts, metrics };
+        let det = BurstDetector { config, backend, last_ts, metrics, compactions };
         det.metrics.seed_ingests(det.arrivals());
         Ok(det)
     }

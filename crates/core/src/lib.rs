@@ -131,5 +131,5 @@ pub use bed_obs::{
     MetricValue, MetricsRegistry, MetricsSnapshot, SlowQuery, SpanName, TraceEvent, TraceId,
     Tracer, TracerConfig,
 };
-pub use bed_sketch::{QueryScratch, SketchParams};
+pub use bed_sketch::{QueryScratch, RetentionPolicy, SketchParams};
 pub use bed_stream::{BurstSpan, Burstiness, EventId, TimeRange, Timestamp};

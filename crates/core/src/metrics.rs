@@ -164,6 +164,16 @@ impl DetectorMetrics {
         }
     }
 
+    /// Counts one point query served by retention tier `tier`. Registers
+    /// on first use — point queries are orders of magnitude rarer than
+    /// ingests, so the registry lookup is affordable, and detectors
+    /// without a retention policy never reach this path.
+    pub(crate) fn count_tier_query(&self, tier: u32) {
+        if self.enabled {
+            self.registry.counter(&format!("retention.tier{tier}.queries")).inc();
+        }
+    }
+
     /// Derived pruning effectiveness: subtrees skipped per subtree visited.
     pub(crate) fn refresh_prune_ratio(&self) {
         if !self.enabled {

@@ -194,6 +194,11 @@ pub enum QueryResponse {
         burst_frequency: f64,
         /// Estimated cumulative frequency `F̃_e(t)`.
         cumulative: f64,
+        /// Retention tier that served the probe: `Some(0)` for the
+        /// full-resolution window, `Some(k)` for a probe whose age falls
+        /// in the `k`-th halved tier, `None` when the detector has no
+        /// retention policy (unbounded full-resolution history).
+        tier: Option<u32>,
     },
     /// Answer to [`QueryRequest::BurstyTimes`]: instants with estimates.
     BurstyTimes(Vec<(Timestamp, f64)>),
@@ -380,7 +385,12 @@ mod tests {
 
     #[test]
     fn response_accessors() {
-        let r = QueryResponse::Point { burstiness: 1.0, burst_frequency: 2.0, cumulative: 3.0 };
+        let r = QueryResponse::Point {
+            burstiness: 1.0,
+            burst_frequency: 2.0,
+            cumulative: 3.0,
+            tier: None,
+        };
         assert_eq!(r.burstiness(), Some(1.0));
         assert!(r.hits().is_none());
         assert!(r.samples().is_none());

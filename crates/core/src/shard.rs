@@ -619,6 +619,15 @@ impl ShardedDetectorBuilder {
         self
     }
 
+    /// Sets the tiered retention policy for every shard (`None` =
+    /// unbounded history). Each shard compacts on its own arrival count,
+    /// which depends only on the hash partition — so the sharded state
+    /// stays deterministic and WAL replay reproduces it bit-for-bit.
+    pub fn retention(mut self, policy: Option<bed_sketch::RetentionPolicy>) -> Self {
+        self.config.retention = policy;
+        self
+    }
+
     /// Sets the shard count.
     pub fn shards(mut self, n: usize) -> Self {
         self.shards = n;

@@ -61,6 +61,7 @@ fn configs() -> Vec<(&'static str, DetectorConfig, u32)> {
         hierarchical: true,
         seed: 42,
         metrics: true,
+        retention: None,
     };
     vec![
         (
@@ -77,6 +78,25 @@ fn configs() -> Vec<(&'static str, DetectorConfig, u32)> {
         ("hier-cmpbe2", base, 0),
         ("hier-cmpbe1", DetectorConfig { variant: PbeVariant::pbe1(8), ..base }, 0),
         ("sharded", base, 3),
+        // Tiered retention: compaction runs inside ingest on an arrivals
+        // cadence, so recovery (snapshot + WAL replay through ingest) must
+        // reproduce the frozen tiers bit-for-bit.
+        (
+            "hier-retention",
+            DetectorConfig {
+                retention: Some(bed_core::RetentionPolicy::new(64, 8, 512).unwrap()),
+                ..base
+            },
+            0,
+        ),
+        (
+            "sharded-retention",
+            DetectorConfig {
+                retention: Some(bed_core::RetentionPolicy::new(64, 8, 256).unwrap()),
+                ..base
+            },
+            3,
+        ),
     ]
 }
 

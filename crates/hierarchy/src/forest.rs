@@ -117,6 +117,15 @@ impl<P: CurveSketch> DyadicCmPbe<P> {
         &self.grids[level as usize]
     }
 
+    /// Visits every level's grid mutably, leaf (level 0) first — retention
+    /// compaction folds the cells of every level on one cadence so the
+    /// whole forest ages coherently.
+    pub fn for_each_grid_mut(&mut self, mut f: impl FnMut(u32, &mut CmPbe<P>)) {
+        for (level, grid) in self.grids.iter_mut().enumerate() {
+            f(level as u32, grid);
+        }
+    }
+
     /// Records one arrival of `event` at `ts` in every level.
     pub fn update(&mut self, event: EventId, ts: Timestamp) -> Result<(), StreamError> {
         if event.value() >= self.universe {

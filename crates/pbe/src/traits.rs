@@ -153,6 +153,17 @@ pub trait CurveSketch {
         Interpolation::Step
     }
 
+    /// Whether this summary honours the exact
+    /// [`for_each_piece`](CurveSketch::for_each_piece) export contract the
+    /// struct-of-arrays [`crate::soa::PieceBank`] depends on. Composite
+    /// summaries that cannot express their estimate as a flat piece array
+    /// (e.g. a tier-compacted cell adding a frozen staircase prefix to a
+    /// live PLA curve) return `false`; grids skip the bank for them and
+    /// answer from the AoS path instead.
+    fn bankable(&self) -> bool {
+        true
+    }
+
     /// Number of arrivals ingested so far.
     fn arrivals(&self) -> u64;
 

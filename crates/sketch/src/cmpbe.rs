@@ -207,7 +207,31 @@ impl<P: CurveSketch> CmPbe<P> {
     /// finalizing them — exposed so equivalence tests and benches can
     /// compare the banked and bank-free paths on identical cell state.
     pub fn build_bank(&mut self) {
+        // A single unbankable cell (a tier-compacted composite, say) poisons
+        // the whole grid: the bank's piece export would not be bit-identical
+        // to the AoS estimate, so the grid stays on the AoS path.
+        if self.cells.iter().any(|c| !c.bankable()) {
+            self.bank = None;
+            return;
+        }
         self.bank = Some(CellBank::build(&self.cells));
+    }
+
+    /// Visits every cell immutably (row-major) — observability walks.
+    pub fn for_each_cell(&self, mut f: impl FnMut(&P)) {
+        for cell in &self.cells {
+            f(cell);
+        }
+    }
+
+    /// Visits every cell mutably (row-major), dropping the SoA mirror
+    /// first since any mutation invalidates it. Retention compaction runs
+    /// through here.
+    pub fn for_each_cell_mut(&mut self, mut f: impl FnMut(&mut P)) {
+        self.bank = None;
+        for cell in &mut self.cells {
+            f(cell);
+        }
     }
 
     /// Drops the SoA mirror, forcing queries back onto the per-cell

@@ -31,9 +31,11 @@ pub mod cmpbe;
 pub mod countmin;
 pub mod hash;
 pub mod params;
+pub mod retention;
 
 pub use bank::CellBank;
 pub use cmpbe::{CmPbe, CmStructure, Combiner, QueryScratch, StageTimings, MEDIAN_STACK};
 pub use countmin::CountMin;
 pub use hash::HashFamily;
 pub use params::SketchParams;
+pub use retention::{FrozenCurve, RetentionPolicy};

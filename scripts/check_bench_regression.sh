@@ -1,0 +1,100 @@
+#!/usr/bin/env sh
+# Gate: the query-path benchmarks must not regress against checked-in
+# baselines.
+#
+# Runs the `query` criterion bench (point_query, bursty_event_query,
+# the fused `query/` group, and the SoA `soa/` group — the kernels the
+# fused-query and struct-of-arrays PRs optimized), takes the best of
+# BED_BENCH_RUNS runs per benchmark to damp scheduler noise, and fails
+# if any benchmark is more than BED_BENCH_TOLERANCE percent slower than
+# its entry in results/baselines/query_bench.tsv.
+#
+# Best-of-N min is the right statistic here: these are CPU-bound
+# microbenches, so the minimum approaches the true cost while the mean
+# absorbs preemption spikes. A genuine regression shifts the minimum.
+# On a contended 1-core box, best-of-3 still swings ~±25% (each "run"
+# is one 1 s averaged pass, so a preemption burst poisons the whole
+# sample); best-of-5 was measured stable to ±3%. Hence the default.
+#
+# Usage:
+#   scripts/check_bench_regression.sh            # compare against baselines
+#   BED_BENCH_UPDATE=1 scripts/check_bench_regression.sh  # regenerate them
+#
+# Environment:
+#   BED_BENCH_RUNS       bench repetitions, best-of (default 5)
+#   BED_BENCH_TOLERANCE  allowed slowdown in percent (default 15)
+#   BED_BENCH_UPDATE     1 = rewrite the baseline file and exit
+set -eu
+
+cd "$(dirname "$0")/.."
+
+runs=${BED_BENCH_RUNS:-5}
+tol=${BED_BENCH_TOLERANCE:-15}
+baseline=results/baselines/query_bench.tsv
+raw=$(mktemp)
+current=$(mktemp)
+trap 'rm -f "$raw" "$current"' EXIT
+
+cargo bench -p bed-bench --bench query --no-run
+
+i=1
+while [ "$i" -le "$runs" ]; do
+    echo "=== bench run $i/$runs ==="
+    cargo bench -p bed-bench --bench query >> "$raw"
+    i=$((i + 1))
+done
+
+# Parse `name  time: X.XX unit  (N iters)` lines into `name<TAB>ns`,
+# keeping the minimum across runs for each benchmark.
+awk '
+    / time: / {
+        name = $1
+        for (j = 2; j <= NF; j++) {
+            if ($j == "time:") { val = $(j + 1) + 0; unit = $(j + 2); break }
+        }
+        sub(/[[:space:]]*\(.*/, "", unit)
+        if (unit == "ns")      ns = val
+        else if (unit == "µs" || unit == "us") ns = val * 1e3
+        else if (unit == "ms") ns = val * 1e6
+        else if (unit == "s")  ns = val * 1e9
+        else { print "unknown time unit: " unit > "/dev/stderr"; exit 1 }
+        if (!(name in best) || ns < best[name]) best[name] = ns
+    }
+    END {
+        if (length(best) == 0) { print "no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+        for (name in best) printf "%s\t%.2f\n", name, best[name]
+    }
+' "$raw" | sort > "$current"
+
+if [ "${BED_BENCH_UPDATE:-0}" = 1 ]; then
+    mkdir -p results/baselines
+    {
+        echo "# Best-of-$runs per-iteration times (ns) for \`cargo bench -p bed-bench --bench query\`."
+        echo "# Regenerate with: BED_BENCH_UPDATE=1 scripts/check_bench_regression.sh"
+        cat "$current"
+    } > "$baseline"
+    echo "wrote $(grep -cv '^#' "$baseline") baselines to $baseline"
+    exit 0
+fi
+
+[ -f "$baseline" ] || { echo "missing $baseline — run with BED_BENCH_UPDATE=1 first"; exit 1; }
+
+awk -F '\t' -v tol="$tol" '
+    FNR == NR { if ($0 !~ /^#/) base[$1] = $2 + 0; next }
+    {
+        seen[$1] = 1
+        if (!($1 in base)) { printf "NEW      %-40s %10.2f ns (no baseline — regenerate)\n", $1, $2; new = 1; next }
+        delta = ($2 - base[$1]) / base[$1] * 100
+        status = delta > tol ? "REGRESS" : (delta < -tol ? "IMPROVE" : "ok")
+        printf "%-8s %-40s %10.2f ns vs %10.2f ns  (%+.1f%%)\n", status, $1, $2, base[$1], delta
+        if (delta > tol) fail = 1
+        if (delta < -tol) improve = 1
+    }
+    END {
+        for (name in base) if (!(name in seen)) { printf "MISSING  %-40s (in baseline, not in run)\n", name; fail = 1 }
+        if (fail) { print "FAIL: benchmark regressed beyond " tol "% (or vanished)"; exit 1 }
+        if (new) { print "FAIL: new benchmarks lack baselines — BED_BENCH_UPDATE=1 scripts/check_bench_regression.sh"; exit 1 }
+        if (improve) print "note: >" tol "% improvement — consider refreshing baselines to tighten the gate"
+        print "OK: all benchmarks within " tol "% of baseline"
+    }
+' "$baseline" "$current"
