@@ -1,8 +1,14 @@
 //! Query latency: point queries across structures, and bursty-event
 //! queries pruned vs scanned.
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, Criterion};
 
+use bed_core::{
+    AnyDetector, BurstDetector, BurstQueries as _, DetectorEpochs, PbeVariant, QueryRequest,
+    Traceable as _, Tracer, TracerConfig,
+};
 use bed_hierarchy::DyadicCmPbe;
 use bed_pbe::{CurveSketch, Pbe1, Pbe1Config, Pbe2, Pbe2Config};
 use bed_sketch::{Combiner, QueryScratch, SketchParams};
@@ -192,9 +198,81 @@ fn bench_query(c: &mut Criterion) {
     g.finish();
 }
 
+/// The `/query` serving path end to end: an epoch view answering exactly
+/// as `bed serve` drives it — a trace id minted and stamped into the
+/// scratch per request, explain off.
+///
+/// `BED_BENCH_TRACED=1` installs an enabled-but-unsampled tracer (the
+/// state a production server idles in). CI's bench-regression job runs
+/// the gate in that mode against baselines recorded untraced, so the
+/// "tracing costs one relaxed ticket fetch-add and zero allocation"
+/// claim is enforced by the same tolerance as every other query bench.
+fn bench_serve_path(c: &mut Criterion) {
+    let els = workload();
+    let traced = std::env::var("BED_BENCH_TRACED").is_ok_and(|v| v == "1");
+    let tracer = Arc::new(if traced {
+        Tracer::new(TracerConfig {
+            sample_every: u64::MAX,
+            slow_threshold_ns: u64::MAX,
+            buffer_capacity: 64,
+            slow_capacity: 1,
+            dump_slow_on_drop: false,
+        })
+    } else {
+        Tracer::disabled()
+    });
+
+    let mut det = AnyDetector::Plain(Box::new(
+        BurstDetector::builder()
+            .universe(UNIVERSE)
+            .variant(PbeVariant::pbe2(8.0))
+            .accuracy(0.01, 0.05)
+            .seed(7)
+            .build()
+            .unwrap(),
+    ));
+    det.set_tracer(Arc::clone(&tracer));
+    for &(e, t) in &els {
+        det.ingest(e, t).unwrap();
+    }
+    let mut epochs = DetectorEpochs::new(&det);
+    epochs.set_tracer(Arc::clone(&tracer));
+    let view = epochs.view();
+    view.refresh_latest();
+
+    let tau = BurstSpan::new(500).unwrap();
+    let point = QueryRequest::Point { event: EventId(17), t: Timestamp(9_800), tau };
+    let events = QueryRequest::BurstyEvents {
+        t: Timestamp(9_800),
+        theta: 2_000.0,
+        tau,
+        strategy: bed_core::QueryStrategy::Pruned,
+    };
+    let mut scratch = QueryScratch::new();
+    // Warm the scratch and burn sampler ticket 0: the first ticket
+    // matches any period, so it must not land inside a measured loop.
+    view.query_reusing(&point, &mut scratch).unwrap();
+    view.query_reusing(&events, &mut scratch).unwrap();
+
+    let mut g = c.benchmark_group("serve_path");
+    g.bench_function("point_epoch_view", |b| {
+        b.iter(|| {
+            scratch.trace_id = tracer.next_trace_id().0;
+            view.query_reusing(&point, &mut scratch).unwrap()
+        })
+    });
+    g.bench_function("bursty_events_epoch_view", |b| {
+        b.iter(|| {
+            scratch.trace_id = tracer.next_trace_id().0;
+            view.query_reusing(&events, &mut scratch).unwrap()
+        })
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_query
+    targets = bench_query, bench_serve_path
 }
 criterion_main!(benches);

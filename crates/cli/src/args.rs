@@ -45,6 +45,8 @@ pub enum Command {
         tau: u64,
         /// Append a metrics snapshot to the output.
         metrics: bool,
+        /// Append a per-stage EXPLAIN breakdown to the output.
+        explain: bool,
     },
     /// `bed times` — bursty-time query.
     Times {
@@ -60,6 +62,8 @@ pub enum Command {
         horizon: u64,
         /// Append a metrics snapshot to the output.
         metrics: bool,
+        /// Append a per-stage EXPLAIN breakdown to the output.
+        explain: bool,
     },
     /// `bed events` — bursty-event query.
     Events {
@@ -75,6 +79,8 @@ pub enum Command {
         scan: bool,
         /// Append a metrics snapshot to the output.
         metrics: bool,
+        /// Append a per-stage EXPLAIN breakdown to the output.
+        explain: bool,
     },
     /// `bed ranges` — interval bursty-time query (single-event sketches).
     Ranges {
@@ -101,6 +107,8 @@ pub enum Command {
         step: u64,
         /// Append a metrics snapshot to the output.
         metrics: bool,
+        /// Append a per-stage EXPLAIN breakdown to the output.
+        explain: bool,
     },
     /// `bed stats` — metrics snapshot of a persisted sketch.
     Stats {
@@ -131,6 +139,27 @@ pub enum Command {
         /// Publish a query epoch every this many arrivals (`/query`
         /// answers from the latest published epoch).
         publish_every: u64,
+        /// Milliseconds between self-profiler samples (0 disables).
+        profile_every_ms: u64,
+        /// Milliseconds the ingest thread waits before draining (leaves a
+        /// pre-genesis window in which `/readyz` reports 503).
+        ingest_delay_ms: u64,
+        /// Directory `/readyz` probes for writability (omit to skip).
+        state_dir: Option<String>,
+    },
+    /// `bed trace` — fetch recent spans (or one assembled trace) from a
+    /// running `bed serve`.
+    Trace {
+        /// Server address (`host:port`).
+        addr: String,
+        /// Trace id to assemble (`/trace/<id>`); omit for `/trace/recent`.
+        id: Option<String>,
+    },
+    /// `bed profile` — fetch the self-profiler's folded-stack dump from a
+    /// running `bed serve`.
+    Profile {
+        /// Server address (`host:port`).
+        addr: String,
     },
     /// `bed ingest` — durable build: WAL every arrival, checkpoint
     /// periodically, survive a kill at any instant.
@@ -216,7 +245,7 @@ fn options<I: Iterator<Item = String>>(rest: I) -> Result<BTreeMap<String, Strin
             return Err(CliError::Usage(format!("expected --option, found '{key}'")));
         };
         // boolean flags take no value
-        if matches!(name, "flat" | "metrics" | "scan" | "text") {
+        if matches!(name, "flat" | "metrics" | "scan" | "text" | "explain") {
             map.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -376,8 +405,9 @@ where
             let t = o.required_num("t")?;
             let tau = o.optional_num("tau", 86_400u64)?;
             let metrics = o.optional("metrics").is_some();
+            let explain = o.optional("explain").is_some();
             o.finish()?;
-            Ok(Command::Point { sketch, event, t, tau, metrics })
+            Ok(Command::Point { sketch, event, t, tau, metrics, explain })
         }
         "times" => {
             let mut o = Opts { map, command: "times" };
@@ -387,8 +417,9 @@ where
             let tau = o.optional_num("tau", 86_400u64)?;
             let horizon = o.required_num("horizon")?;
             let metrics = o.optional("metrics").is_some();
+            let explain = o.optional("explain").is_some();
             o.finish()?;
-            Ok(Command::Times { sketch, event, theta, tau, horizon, metrics })
+            Ok(Command::Times { sketch, event, theta, tau, horizon, metrics, explain })
         }
         "events" => {
             let mut o = Opts { map, command: "events" };
@@ -398,8 +429,9 @@ where
             let tau = o.optional_num("tau", 86_400u64)?;
             let scan = o.optional("scan").is_some();
             let metrics = o.optional("metrics").is_some();
+            let explain = o.optional("explain").is_some();
             o.finish()?;
-            Ok(Command::Events { sketch, t, theta, tau, scan, metrics })
+            Ok(Command::Events { sketch, t, theta, tau, scan, metrics, explain })
         }
         "ranges" => {
             let mut o = Opts { map, command: "ranges" };
@@ -421,8 +453,9 @@ where
                 return Err(CliError::Usage("series: --step must be positive".into()));
             }
             let metrics = o.optional("metrics").is_some();
+            let explain = o.optional("explain").is_some();
             o.finish()?;
-            Ok(Command::Series { sketch, event, tau, horizon, step, metrics })
+            Ok(Command::Series { sketch, event, tau, horizon, step, metrics, explain })
         }
         "stats" => {
             let mut o = Opts { map, command: "stats" };
@@ -468,6 +501,9 @@ where
             if publish_every == 0 {
                 return Err(CliError::Usage("serve: --publish-every must be positive".into()));
             }
+            let profile_every_ms = o.optional_num("profile-every-ms", 200u64)?;
+            let ingest_delay_ms = o.optional_num("ingest-delay-ms", 0u64)?;
+            let state_dir = o.optional("state-dir");
             o.finish()?;
             Ok(Command::Serve {
                 input,
@@ -479,7 +515,23 @@ where
                 watch_tau,
                 watch_every_ms,
                 publish_every,
+                profile_every_ms,
+                ingest_delay_ms,
+                state_dir,
             })
+        }
+        "trace" => {
+            let mut o = Opts { map, command: "trace" };
+            let addr = o.required("addr")?;
+            let id = o.optional("id");
+            o.finish()?;
+            Ok(Command::Trace { addr, id })
+        }
+        "profile" => {
+            let mut o = Opts { map, command: "profile" };
+            let addr = o.required("addr")?;
+            o.finish()?;
+            Ok(Command::Profile { addr })
         }
         "ingest" => {
             let mut o = Opts { map, command: "ingest" };
@@ -511,7 +563,7 @@ where
             Ok(Command::Restore { snapshot, wal, out, onto })
         }
         other => Err(CliError::Usage(format!(
-            "unknown command '{other}'; try: generate, build, ingest, info, point, times, events, ranges, series, stats, serve, checkpoint, restore"
+            "unknown command '{other}'; try: generate, build, ingest, info, point, times, events, ranges, series, stats, serve, trace, profile, checkpoint, restore"
         ))),
     }
 }
@@ -698,7 +750,8 @@ mod tests {
                 event: 3,
                 t: 100,
                 tau: 86_400,
-                metrics: false
+                metrics: false,
+                explain: false
             }
         );
         let c = parse_ok(&["times", "--sketch", "s", "--theta", "5.5", "--horizon", "99"]);
@@ -786,9 +839,16 @@ mod tests {
     #[test]
     fn metrics_and_stats_flags() {
         let c = parse_ok(&["point", "--sketch", "s", "--t", "1", "--metrics"]);
-        assert!(matches!(c, Command::Point { metrics: true, .. }));
+        assert!(matches!(c, Command::Point { metrics: true, explain: false, .. }));
+        let c = parse_ok(&["point", "--sketch", "s", "--t", "1", "--explain"]);
+        assert!(matches!(c, Command::Point { metrics: false, explain: true, .. }));
         let c = parse_ok(&["events", "--sketch", "s", "--t", "1", "--theta", "2", "--scan"]);
         assert!(matches!(c, Command::Events { scan: true, .. }));
+        let c = parse_ok(&["events", "--sketch", "s", "--t", "1", "--theta", "2", "--explain"]);
+        assert!(matches!(c, Command::Events { explain: true, .. }));
+        let c =
+            parse_ok(&["series", "--sketch", "s", "--horizon", "9", "--step", "3", "--explain"]);
+        assert!(matches!(c, Command::Series { explain: true, .. }));
         let c = parse_ok(&["stats", "--sketch", "s"]);
         assert_eq!(c, Command::Stats { sketch: "s".into(), format: StatsFormat::Json });
         let c = parse_ok(&["stats", "--sketch", "s", "--text"]);
@@ -826,6 +886,9 @@ mod tests {
             slow_threshold_ns,
             watch_every_ms,
             publish_every,
+            profile_every_ms,
+            ingest_delay_ms,
+            state_dir,
             ..
         } = c
         else {
@@ -839,6 +902,9 @@ mod tests {
         assert_eq!(slow_threshold_ns, 10_000_000);
         assert_eq!(watch_every_ms, 500);
         assert_eq!(publish_every, 8_192);
+        assert_eq!(profile_every_ms, 200);
+        assert_eq!(ingest_delay_ms, 0);
+        assert_eq!(state_dir, None);
 
         let c = parse_ok(&[
             "serve",
@@ -890,5 +956,40 @@ mod tests {
         assert!(e.contains("positive"), "{e}");
         let e = parse(["serve", "--input", "s", "--publish-every", "0"]).unwrap_err().to_string();
         assert!(e.contains("positive"), "{e}");
+    }
+
+    #[test]
+    fn serve_observability_knobs_parse() {
+        let c = parse_ok(&[
+            "serve",
+            "--input",
+            "s.tsv",
+            "--profile-every-ms",
+            "50",
+            "--ingest-delay-ms",
+            "250",
+            "--state-dir",
+            "/tmp/bed",
+        ]);
+        let Command::Serve { profile_every_ms, ingest_delay_ms, state_dir, .. } = c else {
+            panic!("expected serve");
+        };
+        assert_eq!(profile_every_ms, 50);
+        assert_eq!(ingest_delay_ms, 250);
+        assert_eq!(state_dir.as_deref(), Some("/tmp/bed"));
+    }
+
+    #[test]
+    fn trace_and_profile_commands_parse() {
+        let c = parse_ok(&["trace", "--addr", "127.0.0.1:9184"]);
+        assert_eq!(c, Command::Trace { addr: "127.0.0.1:9184".into(), id: None });
+        let c = parse_ok(&["trace", "--addr", "127.0.0.1:9184", "--id", "0000000000abc123"]);
+        assert!(matches!(c, Command::Trace { id: Some(ref i), .. } if i == "0000000000abc123"));
+        let c = parse_ok(&["profile", "--addr", "127.0.0.1:9184"]);
+        assert_eq!(c, Command::Profile { addr: "127.0.0.1:9184".into() });
+        let e = parse(["trace"]).unwrap_err().to_string();
+        assert!(e.contains("--addr"), "{e}");
+        let e = parse(["profile"]).unwrap_err().to_string();
+        assert!(e.contains("--addr"), "{e}");
     }
 }

@@ -59,22 +59,67 @@ fn append_metrics(out: &mut String, det: &AnySketch, wanted: bool) {
     }
 }
 
+/// Appends the `--explain` breakdown: per-stage kernel nanoseconds
+/// harvested from the armed scratch, the probe path taken, and the total.
+/// Mirrors the `/query?explain=1` block in aligned text form.
+fn append_explain(out: &mut String, det: &AnySketch, scratch: &QueryScratch, root_ns: u64) {
+    let st = &scratch.stages;
+    let path = if st.bank_probes > 0 {
+        "soa bank"
+    } else if st.scalar_probes > 0 {
+        "scalar"
+    } else if det.soa_bank_bytes() > 0 {
+        "soa bank"
+    } else {
+        "scalar"
+    };
+    out.push_str("\nexplain:\n");
+    writeln!(out, " root               {root_ns} ns").expect("string write");
+    writeln!(out, " cell probe         {} ns", st.cell_probe_ns).expect("string write");
+    writeln!(out, " median combine     {} ns", st.median_combine_ns).expect("string write");
+    writeln!(out, " hierarchy prune    {} ns", st.hierarchy_prune_ns).expect("string write");
+    writeln!(
+        out,
+        " probe path         {path} ({} bank / {} scalar probes)",
+        st.bank_probes, st.scalar_probes
+    )
+    .expect("string write");
+}
+
+/// Runs `request` with EXPLAIN arming when asked: the scratch's explain
+/// flag makes the query layer arm stage timing and leave the populated
+/// accumulators for [`append_explain`] to harvest. Returns the response
+/// and the wall-clock nanoseconds of the whole query call.
+fn run_query_explained(
+    det: &AnySketch,
+    request: &QueryRequest,
+    scratch: &mut QueryScratch,
+    explain: bool,
+) -> Result<(QueryResponse, u64), bed_core::BedError> {
+    scratch.explain = explain;
+    let started = std::time::Instant::now();
+    let response = run_query(det, request, scratch)?;
+    Ok((response, started.elapsed().as_nanos() as u64))
+}
+
 /// Executes a parsed command, returning its stdout text.
 pub fn execute(command: Command) -> Result<String, CliError> {
     match command {
         Command::Generate { dataset, n, seed, out } => generate(&dataset, n, seed, &out),
         Command::Build { input, out, flags } => build(&input, &out, &flags),
         Command::Info { sketch } => info(&sketch),
-        Command::Point { sketch, event, t, tau, metrics } => point(&sketch, event, t, tau, metrics),
-        Command::Times { sketch, event, theta, tau, horizon, metrics } => {
-            times(&sketch, event, theta, tau, horizon, metrics)
+        Command::Point { sketch, event, t, tau, metrics, explain } => {
+            point(&sketch, event, t, tau, metrics, explain)
         }
-        Command::Events { sketch, t, theta, tau, scan, metrics } => {
-            events(&sketch, t, theta, tau, scan, metrics)
+        Command::Times { sketch, event, theta, tau, horizon, metrics, explain } => {
+            times(&sketch, event, theta, tau, horizon, metrics, explain)
+        }
+        Command::Events { sketch, t, theta, tau, scan, metrics, explain } => {
+            events(&sketch, t, theta, tau, scan, metrics, explain)
         }
         Command::Ranges { sketch, theta, tau, horizon } => ranges(&sketch, theta, tau, horizon),
-        Command::Series { sketch, event, tau, horizon, step, metrics } => {
-            series(&sketch, event, tau, horizon, step, metrics)
+        Command::Series { sketch, event, tau, horizon, step, metrics, explain } => {
+            series(&sketch, event, tau, horizon, step, metrics, explain)
         }
         Command::Stats { sketch, format } => stats(&sketch, format),
         Command::Serve {
@@ -87,6 +132,9 @@ pub fn execute(command: Command) -> Result<String, CliError> {
             watch_tau,
             watch_every_ms,
             publish_every,
+            profile_every_ms,
+            ingest_delay_ms,
+            state_dir,
         } => crate::serve::serve(
             &input,
             &flags,
@@ -98,8 +146,13 @@ pub fn execute(command: Command) -> Result<String, CliError> {
                 watch_tau,
                 watch_every_ms,
                 publish_every,
+                profile_every_ms,
+                ingest_delay_ms,
+                state_dir,
             },
         ),
+        Command::Trace { addr, id } => trace(&addr, id.as_deref()),
+        Command::Profile { addr } => profile(&addr),
         Command::Ingest { input, out, wal, every, flags } => {
             ingest(&input, &out, &wal, every, &flags)
         }
@@ -332,13 +385,20 @@ fn info(path: &str) -> Result<String, CliError> {
     ))
 }
 
-fn point(path: &str, event: u32, t: u64, tau: u64, metrics: bool) -> Result<String, CliError> {
+fn point(
+    path: &str,
+    event: u32,
+    t: u64,
+    tau: u64,
+    metrics: bool,
+    explain: bool,
+) -> Result<String, CliError> {
     let det = load(path)?;
     let tau = BurstSpan::new(tau).map_err(bed_core::BedError::from)?;
     let request = QueryRequest::Point { event: EventId(event), t: Timestamp(t), tau };
     let mut scratch = QueryScratch::new();
-    let QueryResponse::Point { burstiness: b, burst_frequency: bf, cumulative: f, tier } =
-        run_query(&det, &request, &mut scratch)?
+    let (response, root_ns) = run_query_explained(&det, &request, &mut scratch, explain)?;
+    let QueryResponse::Point { burstiness: b, burst_frequency: bf, cumulative: f, tier } = response
     else {
         return Err(mismatched());
     };
@@ -348,6 +408,9 @@ fn point(path: &str, event: u32, t: u64, tau: u64, metrics: bool) -> Result<Stri
     );
     if let Some(tier) = tier {
         writeln!(out, " served by   retention tier {tier}").expect("string write");
+    }
+    if explain {
+        append_explain(&mut out, &det, &scratch, root_ns);
     }
     append_metrics(&mut out, &det, metrics);
     Ok(out)
@@ -360,6 +423,7 @@ fn times(
     tau: u64,
     horizon: u64,
     metrics: bool,
+    explain: bool,
 ) -> Result<String, CliError> {
     let det = load(path)?;
     let tau = BurstSpan::new(tau).map_err(bed_core::BedError::from)?;
@@ -370,7 +434,8 @@ fn times(
         horizon: Timestamp(horizon),
     };
     let mut scratch = QueryScratch::new();
-    let QueryResponse::BurstyTimes(hits) = run_query(&det, &request, &mut scratch)? else {
+    let (response, root_ns) = run_query_explained(&det, &request, &mut scratch, explain)?;
+    let QueryResponse::BurstyTimes(hits) = response else {
         return Err(mismatched());
     };
     let mut out = format!(
@@ -380,6 +445,9 @@ fn times(
     );
     for (t, b) in hits {
         writeln!(out, "  t={}\tb={b:.1}", t.ticks()).expect("string write");
+    }
+    if explain {
+        append_explain(&mut out, &det, &scratch, root_ns);
     }
     append_metrics(&mut out, &det, metrics);
     Ok(out)
@@ -392,14 +460,15 @@ fn events(
     tau: u64,
     scan: bool,
     metrics: bool,
+    explain: bool,
 ) -> Result<String, CliError> {
     let det = load(path)?;
     let tau = BurstSpan::new(tau).map_err(bed_core::BedError::from)?;
     let strategy = if scan { QueryStrategy::ExactScan } else { QueryStrategy::Pruned };
     let request = QueryRequest::BurstyEvents { t: Timestamp(t), theta, tau, strategy };
     let mut scratch = QueryScratch::new();
-    let QueryResponse::BurstyEvents { hits, stats } = run_query(&det, &request, &mut scratch)?
-    else {
+    let (response, root_ns) = run_query_explained(&det, &request, &mut scratch, explain)?;
+    let QueryResponse::BurstyEvents { hits, stats } = response else {
         return Err(mismatched());
     };
     let mut out = format!(
@@ -410,6 +479,9 @@ fn events(
     );
     for h in hits {
         writeln!(out, "  event {}\tb={:.1}", h.event.value(), h.burstiness).expect("string write");
+    }
+    if explain {
+        append_explain(&mut out, &det, &scratch, root_ns);
     }
     append_metrics(&mut out, &det, metrics);
     Ok(out)
@@ -434,21 +506,69 @@ fn series(
     horizon: u64,
     step: u64,
     metrics: bool,
+    explain: bool,
 ) -> Result<String, CliError> {
     let det = load(path)?;
     let tau = BurstSpan::new(tau).map_err(bed_core::BedError::from)?;
     let range = bed_core::TimeRange { start: Timestamp(0), end: Timestamp(horizon) };
     let request = QueryRequest::Series { event: EventId(event), tau, range, step };
     let mut scratch = QueryScratch::new();
-    let QueryResponse::Series(series) = run_query(&det, &request, &mut scratch)? else {
+    let (response, root_ns) = run_query_explained(&det, &request, &mut scratch, explain)?;
+    let QueryResponse::Series(series) = response else {
         return Err(mismatched());
     };
     let mut out = format!("event {event}, tau={}, step={step}:\n", tau.ticks());
     for (t, b) in series {
         writeln!(out, "{}\t{b:.1}", t.ticks()).expect("string write");
     }
+    if explain {
+        append_explain(&mut out, &det, &scratch, root_ns);
+    }
     append_metrics(&mut out, &det, metrics);
     Ok(out)
+}
+
+/// One blocking HTTP/1.1 GET against a running `bed serve`, returning
+/// `(status line, body)`. Std-only on purpose — the container builds
+/// offline, and the server always answers `Connection: close`.
+fn http_get(addr: &str, path: &str) -> Result<(String, String), CliError> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(std::time::Duration::from_secs(5)))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: bed\r\nConnection: close\r\n\r\n")?;
+    stream.flush()?;
+    let mut resp = String::new();
+    stream.read_to_string(&mut resp)?;
+    let Some(split) = resp.find("\r\n\r\n") else {
+        return Err(CliError::BadInput(format!("malformed HTTP response from {addr}")));
+    };
+    let status = resp.lines().next().unwrap_or("").to_string();
+    Ok((status, resp[split + 4..].to_string()))
+}
+
+/// `bed trace`: `/trace/recent` (span ring as JSON lines) or
+/// `/trace/<id>` (one assembled tree) from a running server.
+fn trace(addr: &str, id: Option<&str>) -> Result<String, CliError> {
+    let path = match id {
+        Some(id) => format!("/trace/{id}"),
+        None => "/trace/recent".to_string(),
+    };
+    let (status, body) = http_get(addr, &path)?;
+    if !status.contains(" 200 ") {
+        return Err(CliError::BadInput(format!("{addr} {path}: {status}: {}", body.trim())));
+    }
+    Ok(body)
+}
+
+/// `bed profile`: the self-profiler's folded-stack dump from a running
+/// server (`bed;<stage> <busy_ns>` per line — flamegraph-ready).
+fn profile(addr: &str) -> Result<String, CliError> {
+    let (status, body) = http_get(addr, "/profile")?;
+    if !status.contains(" 200 ") {
+        return Err(CliError::BadInput(format!("{addr} /profile: {status}: {}", body.trim())));
+    }
+    Ok(body)
 }
 
 fn stats(path: &str, format: StatsFormat) -> Result<String, CliError> {

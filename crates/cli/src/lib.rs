@@ -119,8 +119,16 @@ COMMANDS:
     events     bursty-event query: which events were bursty at a time?
     stats      metrics snapshot of a persisted sketch (--format json|text|openmetrics)
     serve      ingest a stream while serving queries over HTTP: GET/POST /query
-               (JSON, answered from the latest published epoch), plus
-               GET /metrics, /healthz, /slow
+               (JSON, answered from the latest published epoch; every answer
+               carries a trace_id, add explain=1 for a per-stage breakdown),
+               plus GET /metrics, /livez, /readyz, /healthz, /slow,
+               /trace/recent, /trace/<id>, /profile
+    trace      fetch recent spans (or one assembled trace tree by id) from a
+               running `bed serve`
+    profile    fetch the self-profiler's folded-stack dump from a running
+               `bed serve`
+
+Query commands accept --explain to append a per-stage timing breakdown.
 
 Run `bed <command> --help` semantics: every command lists its options on a
 usage error."

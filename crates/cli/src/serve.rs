@@ -9,10 +9,26 @@
 //!   the **latest published epoch** ([`bed_core::DetectorEpochs`]), so
 //!   queries never wait on the ingest lock; every answer is stamped with
 //!   the epoch it came from (`generation`, `arrivals`, `last_ts`).
-//! - `GET /metrics` — the detector's metrics merged with the tracer's and
-//!   the epoch publisher's, rendered as OpenMetrics text exposition;
-//! - `GET /healthz` — liveness (`ok`);
+//! - `GET /metrics` — the detector's metrics merged with the tracer's,
+//!   the epoch publisher's (staleness gauges refreshed at scrape time),
+//!   and the self-profiler's, rendered as OpenMetrics text exposition
+//!   with trace-id exemplars on the latency histograms;
+//! - `GET /livez` — liveness (`ok` whenever the process answers);
+//! - `GET /readyz` — readiness: `503` with a JSON reason list until the
+//!   genesis epoch is published (and the state dir, when configured, is
+//!   writable), `200` with the answering generation afterwards;
+//! - `GET /healthz` — `ok` once ready, `503` with the readiness reasons
+//!   otherwise (kept for existing scrapers; `/livez` is pure liveness);
+//! - `GET /trace/recent` — the tracer's span ring as JSON lines;
+//! - `GET /trace/<id>` — one trace assembled into a nested span tree;
+//! - `GET /profile` — the self-profiler's folded-stack dump
+//!   (`bed;<stage> <busy_ns>` per line, flamegraph-ready);
 //! - `GET /slow` — the tracer's slow-query log as a JSON array.
+//!
+//! Every `/query` answer carries a root `trace_id` (client-supplied via a
+//! `trace_id` field when present, minted otherwise) that propagates into
+//! sampled spans and latency-histogram exemplars; `?explain=1` adds a
+//! per-stage timing breakdown of how the answer was served.
 //!
 //! While the responder runs, a background thread drains the input TSV
 //! stream into the detector, publishing an epoch every `--publish-every`
@@ -36,8 +52,8 @@ use std::time::{Duration, Instant};
 
 use bed_core::{
     AnyDetector, BurstQueries as _, BurstSpan, CheckpointPolicy, DetectorEpochs, EpochPublisher,
-    EventId, QueryRequest, QueryResponse, QueryScratch, QueryStrategy, TimeRange, Timestamp,
-    Traceable as _, Tracer, TracerConfig, Watermark,
+    EventId, Profiler, QueryRequest, QueryResponse, QueryScratch, QueryStrategy, TimeRange,
+    Timestamp, TraceId, Traceable as _, Tracer, TracerConfig, Watermark,
 };
 
 use crate::args::DetectorFlags;
@@ -83,6 +99,16 @@ pub(crate) struct ServeOptions {
     pub watch_every_ms: u64,
     /// Publish a query epoch every this many arrivals.
     pub publish_every: u64,
+    /// Milliseconds between self-profiler samples (0 disables the
+    /// profiler thread; `/profile` then reports zero ticks).
+    pub profile_every_ms: u64,
+    /// Milliseconds the ingest thread waits before draining the stream.
+    /// Leaves a deliberate pre-genesis window in which `/readyz` answers
+    /// `503` — used by smoke tests to observe the not-ready state.
+    pub ingest_delay_ms: u64,
+    /// Directory `/readyz` probes for writability (WAL/checkpoint home).
+    /// `None` skips the probe: readiness is then epoch-publication only.
+    pub state_dir: Option<String>,
 }
 
 /// Everything a connection handler needs, shared across the scoped
@@ -92,6 +118,46 @@ struct ServeCtx {
     det: Mutex<AnyDetector>,
     epochs: DetectorEpochs,
     tracer: Arc<Tracer>,
+    profiler: Profiler,
+    /// Directory `/readyz` probes for writability (`None` skips it).
+    state_dir: Option<String>,
+}
+
+impl ServeCtx {
+    /// Readiness reasons, empty when the server may answer `/query`: the
+    /// genesis epoch must be published, and the state dir (when
+    /// configured) must accept writes.
+    fn unready_reasons(&self) -> Vec<String> {
+        let mut reasons = Vec::new();
+        if self.epochs.generation() == 0 {
+            reasons.push("no epoch published yet (ingest has not reached genesis)".to_string());
+        }
+        if let Some(dir) = &self.state_dir {
+            let probe = std::path::Path::new(dir).join(".bed-readyz-probe");
+            match std::fs::write(&probe, b"probe") {
+                Ok(()) => {
+                    let _ = std::fs::remove_file(&probe);
+                }
+                Err(e) => reasons.push(format!("state dir '{dir}' not writable: {e}")),
+            }
+        }
+        reasons
+    }
+
+    /// `/readyz` payload: `(ready, body)`.
+    fn readiness(&self) -> (bool, String) {
+        let reasons = self.unready_reasons();
+        if reasons.is_empty() {
+            (true, format!("{{\"ready\":true,\"generation\":{}}}\n", self.epochs.generation()))
+        } else {
+            let list = reasons
+                .iter()
+                .map(|r| format!("\"{}\"", json::escape(r)))
+                .collect::<Vec<_>>()
+                .join(",");
+            (false, format!("{{\"ready\":false,\"reasons\":[{list}]}}\n"))
+        }
+    }
 }
 
 /// Runs the query server until `SIGTERM`/`SIGINT`, returning a summary.
@@ -103,7 +169,7 @@ pub(crate) fn serve(
     SHUTDOWN.store(false, Ordering::SeqCst);
     serve_until(input, flags, opts, &SHUTDOWN, |addr| {
         println!(
-            "bed serve listening on http://{addr}/ (GET|POST /query, GET /metrics /healthz /slow)"
+            "bed serve listening on http://{addr}/ (GET|POST /query, GET /metrics /livez /readyz /healthz /trace/recent /trace/<id> /profile /slow)"
         );
     })
 }
@@ -127,9 +193,17 @@ fn serve_until(
         ..TracerConfig::default()
     }));
     det.set_tracer(Arc::clone(&tracer));
-    let mut epochs = DetectorEpochs::new(&det);
+    // Unpublished start: `/readyz` reports the truth (503) until the
+    // ingest thread publishes the genesis epoch.
+    let mut epochs = DetectorEpochs::new_unpublished(&det);
     epochs.set_tracer(Arc::clone(&tracer));
-    let ctx = ServeCtx { det: Mutex::new(det), epochs, tracer };
+    let ctx = ServeCtx {
+        det: Mutex::new(det),
+        epochs,
+        tracer,
+        profiler: Profiler::with_default_stages(),
+        state_dir: opts.state_dir.clone(),
+    };
 
     let listener = TcpListener::bind(&opts.addr)?;
     listener.set_nonblocking(true)?;
@@ -141,6 +215,9 @@ fn serve_until(
 
     let result = std::thread::scope(|scope| {
         scope.spawn(|| ingest_loop(&els, &ctx, stop, opts, &ingested));
+        if opts.profile_every_ms > 0 {
+            scope.spawn(|| profile_loop(&ctx, stop, opts.profile_every_ms));
+        }
         let r = accept_loop(&listener, scope, &ctx, stop, &requests);
         // Any exit from the accept loop (including an error) must release
         // the ingest thread before the scope joins it. Connection threads
@@ -200,6 +277,12 @@ fn ingest_loop(
     ingested: &AtomicU64,
 ) {
     const CHUNK: usize = 512;
+    // Optional pre-genesis hold: nothing is ingested (and so nothing is
+    // published) until the delay elapses, keeping /readyz observably 503.
+    let delay_until = Instant::now() + Duration::from_millis(opts.ingest_delay_ms);
+    while opts.ingest_delay_ms > 0 && Instant::now() < delay_until && !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
     let watch_period = Duration::from_millis(opts.watch_every_ms.max(1));
     let mut publisher =
         EpochPublisher::new(CheckpointPolicy { every_arrivals: opts.publish_every });
@@ -261,8 +344,33 @@ fn watch_query(ctx: &ServeCtx, opts: &ServeOptions, t: Timestamp, scratch: &mut 
         tau,
         strategy: QueryStrategy::Pruned,
     };
+    // A fresh root id per watch round: sampled spans and the latency
+    // exemplars the watch feeds stay joinable from /metrics to /trace/<id>.
+    scratch.trace_id = ctx.tracer.next_trace_id().0;
     let d = ctx.det.lock().expect("detector lock");
     let _ = d.queries().query_reusing(&request, scratch);
+}
+
+/// Samples the cumulative per-stage counters into the self-profiler at a
+/// fixed cadence. The sampled snapshot is the same det + epoch merge the
+/// `/metrics` route serves, so profiler attribution can never disagree
+/// with the scraped histograms.
+fn profile_loop(ctx: &ServeCtx, stop: &AtomicBool, every_ms: u64) {
+    let period = Duration::from_millis(every_ms.max(1));
+    let mut last: Option<Instant> = None; // first sample fires immediately
+    while !stop.load(Ordering::SeqCst) {
+        if last.is_none_or(|l| l.elapsed() >= period) {
+            let snap = {
+                let d = ctx.det.lock().expect("detector lock");
+                d.queries().metrics().merge(&ctx.epochs.metrics())
+            };
+            ctx.profiler.sample(&snap);
+            last = Some(Instant::now());
+        }
+        // Short slices keep the thread responsive to the shutdown flag
+        // regardless of the configured cadence.
+        std::thread::sleep(period.min(Duration::from_millis(50)));
+    }
 }
 
 /// Answers one request on `stream` and closes it.
@@ -292,20 +400,64 @@ fn respond(req: &Request, ctx: &ServeCtx) -> (&'static str, &'static str, String
     match (req.method.as_str(), req.path.as_str()) {
         ("GET" | "POST", "/query") => query_route(req, ctx),
         ("GET", "/metrics") => {
-            let snap = ctx.det.lock().expect("detector lock").queries().metrics();
-            let merged = snap.merge(&ctx.tracer.metrics_snapshot()).merge(&ctx.epochs.metrics());
+            // Refresh the staleness gauges from the live watermark before
+            // merging, so scrapes see the current epoch age / arrival lag.
+            let (snap, live) = {
+                let d = ctx.det.lock().expect("detector lock");
+                (d.queries().metrics(), d.watermark())
+            };
+            ctx.epochs.record_staleness(live);
+            let merged = snap
+                .merge(&ctx.tracer.metrics_snapshot())
+                .merge(&ctx.epochs.metrics())
+                .merge(&ctx.profiler.metrics_snapshot());
             (
                 "200 OK",
                 "application/openmetrics-text; version=1.0.0; charset=utf-8",
                 merged.to_openmetrics(),
             )
         }
-        ("GET", "/healthz") => ("200 OK", CT_TEXT, "ok\n".to_string()),
+        ("GET", "/livez") => ("200 OK", CT_TEXT, "ok\n".to_string()),
+        ("GET", "/readyz") => match ctx.readiness() {
+            (true, body) => ("200 OK", CT_JSON, body),
+            (false, body) => ("503 Service Unavailable", CT_JSON, body),
+        },
+        ("GET", "/healthz") => match ctx.readiness() {
+            (true, _) => ("200 OK", CT_TEXT, "ok\n".to_string()),
+            (false, body) => ("503 Service Unavailable", CT_JSON, body),
+        },
+        ("GET", "/trace/recent") => ("200 OK", CT_TEXT, ctx.tracer.events_json_lines()),
+        ("GET", path) if path.starts_with("/trace/") => trace_route(path, ctx),
+        ("GET", "/profile") => ("200 OK", CT_TEXT, ctx.profiler.to_folded()),
         ("GET", "/slow") => ("200 OK", CT_JSON, ctx.tracer.slow_json()),
-        (_, "/query" | "/metrics" | "/healthz" | "/slow") => {
+        (_, "/query" | "/metrics" | "/livez" | "/readyz" | "/healthz" | "/profile" | "/slow") => {
+            ("405 Method Not Allowed", CT_TEXT, "method not allowed\n".to_string())
+        }
+        (_, path) if path.starts_with("/trace/") => {
             ("405 Method Not Allowed", CT_TEXT, "method not allowed\n".to_string())
         }
         _ => ("404 Not Found", CT_TEXT, "not found\n".to_string()),
+    }
+}
+
+/// `/trace/<id>`: one trace assembled into a nested span tree. The id is
+/// the 16-hex-digit form every `/query` response and exemplar carries
+/// (decimal accepted too).
+fn trace_route(path: &str, ctx: &ServeCtx) -> (&'static str, &'static str, String) {
+    let raw = &path["/trace/".len()..];
+    let id = u64::from_str_radix(raw.trim_start_matches("0x"), 16)
+        .ok()
+        .or_else(|| raw.parse::<u64>().ok());
+    let Some(id) = id.filter(|&id| id != 0) else {
+        return bad_request(&format!("'{raw}' is not a trace id (expected hex)"));
+    };
+    match ctx.tracer.trace_tree_json(TraceId(id)) {
+        Some(tree) => ("200 OK", CT_JSON, format!("{tree}\n")),
+        None => (
+            "404 Not Found",
+            CT_JSON,
+            format!("{{\"error\":\"no spans recorded for trace {id:016x}\"}}\n"),
+        ),
     }
 }
 
@@ -325,18 +477,144 @@ fn query_route(req: &Request, ctx: &ServeCtx) -> (&'static str, &'static str, St
         Ok(r) => r,
         Err(e) => return bad_request(&e),
     };
+    // Epoch views must not be dereferenced before the genesis publish;
+    // readiness is the contract, and the 503 names it.
+    if ctx.epochs.generation() == 0 {
+        return (
+            "503 Service Unavailable",
+            CT_JSON,
+            error_body("not ready: no epoch published yet (see /readyz)"),
+        );
+    }
+    // The root trace id: adopted from the client when supplied (hex or
+    // decimal), minted otherwise. Minting is id arithmetic only — it does
+    // not record a span, so unsampled requests stay off the ring.
+    let trace_id = match field_trace_id(&fields) {
+        Ok(Some(id)) => id,
+        Ok(None) => ctx.tracer.next_trace_id().0,
+        Err(e) => return bad_request(&e),
+    };
+    let explain = field_flag(&fields, "explain");
     // A view per connection: each handler thread gets its own cursors and
     // scratch, so concurrent queries never contend with each other (or
     // with ingest — the epoch read path is lock-free).
     let view = ctx.epochs.view();
-    match view.query(&request) {
-        Ok(response) => (
-            "200 OK",
-            CT_JSON,
-            render_answer(&request, &response, view.answer_generation(), view.answer_watermark()),
-        ),
+    let mut scratch = QueryScratch::new();
+    scratch.trace_id = trace_id;
+    scratch.explain = explain;
+    if explain {
+        // Arm stage timing here: the bursty-event fan-out probes shard
+        // epochs directly (no per-shard tracing root to arm it), and the
+        // per-event paths re-arm on entry anyway.
+        scratch.stages.reset(true);
+    }
+    let started = Instant::now();
+    let result = view.query_reusing(&request, &mut scratch);
+    let root_ns = started.elapsed().as_nanos() as u64;
+    match result {
+        Ok(response) => {
+            let explain_block = explain.then(|| {
+                render_explain(
+                    &request,
+                    &response,
+                    &scratch,
+                    root_ns,
+                    ctx,
+                    view.answer_generation(),
+                )
+            });
+            (
+                "200 OK",
+                CT_JSON,
+                render_answer(
+                    &request,
+                    &response,
+                    view.answer_generation(),
+                    view.answer_watermark(),
+                    trace_id,
+                    explain_block.as_deref(),
+                ),
+            )
+        }
         Err(e) => bad_request(&e.to_string()),
     }
+}
+
+/// Reads an optional client-supplied `trace_id` field: a hex string (the
+/// form `/query` responses and exemplars carry) or a positive integer.
+fn field_trace_id(fields: &Json) -> Result<Option<u64>, String> {
+    match fields.get("trace_id") {
+        None => Ok(None),
+        Some(Json::Int(i)) if *i > 0 => Ok(Some(*i as u64)),
+        Some(Json::Str(s)) => u64::from_str_radix(s.trim_start_matches("0x"), 16)
+            .ok()
+            .filter(|&id| id != 0)
+            .map(Some)
+            .ok_or_else(|| format!("field 'trace_id' '{s}' is not a nonzero hex id")),
+        Some(_) => Err("field 'trace_id' must be a hex string or positive integer".to_string()),
+    }
+}
+
+/// A truthy boolean-ish field: `1`, `true`, or `"true"`/`"1"`.
+fn field_flag(fields: &Json, key: &str) -> bool {
+    match fields.get(key) {
+        Some(Json::Bool(b)) => *b,
+        Some(Json::Int(i)) => *i != 0,
+        Some(Json::Str(s)) => s == "1" || s.eq_ignore_ascii_case("true"),
+        _ => false,
+    }
+}
+
+/// The `?explain=1` block: per-stage kernel nanoseconds harvested from the
+/// armed [`QueryScratch`], the serving path actually taken, the retention
+/// tier (point answers), and the answering epoch — everything an operator
+/// needs to see *how* the answer was produced.
+fn render_explain(
+    request: &QueryRequest,
+    response: &QueryResponse,
+    scratch: &QueryScratch,
+    root_ns: u64,
+    ctx: &ServeCtx,
+    generation: u64,
+) -> String {
+    use std::fmt::Write as _;
+    let st = &scratch.stages;
+    // Which probe kernel answered: the stage counters say so directly for
+    // the sweep kinds; point probes bypass the counters, so fall back to
+    // whether the published epochs carry SoA banks at all.
+    let path = if st.bank_probes > 0 {
+        "bank"
+    } else if st.scalar_probes > 0 {
+        "scalar"
+    } else if ctx.epochs.bank_bytes() > 0 {
+        "bank"
+    } else {
+        "scalar"
+    };
+    let mut out = String::with_capacity(256);
+    let _ = write!(
+        out,
+        "{{\"root_ns\":{root_ns},\"stages\":{{\"cell_probe_ns\":{},\"median_combine_ns\":{},\"hierarchy_prune_ns\":{}}},\"path\":\"{path}\",\"probes\":{{\"bank\":{},\"scalar\":{}}}",
+        st.cell_probe_ns, st.median_combine_ns, st.hierarchy_prune_ns, st.bank_probes,
+        st.scalar_probes,
+    );
+    if let QueryRequest::BurstyEvents { strategy, .. } = request {
+        let name = match strategy {
+            QueryStrategy::Pruned => "pruned",
+            QueryStrategy::ExactScan => "exact_scan",
+        };
+        let _ = write!(out, ",\"strategy\":\"{name}\"");
+    }
+    if let QueryResponse::Point { tier, .. } = response {
+        match tier {
+            Some(t) => {
+                let _ = write!(out, ",\"tier\":{t}");
+            }
+            None => out.push_str(",\"tier\":null"),
+        }
+    }
+    let _ = write!(out, ",\"generation\":{generation}}}");
+    out
 }
 
 fn bad_request(message: &str) -> (&'static str, &'static str, String) {
@@ -459,14 +737,17 @@ fn request_from_fields(fields: &Json) -> Result<QueryRequest, String> {
     }
 }
 
-/// Renders a `/query` answer. Every response carries the request kind and
-/// the epoch stamp; the payload shape follows the [`QueryResponse`]
-/// variant.
+/// Renders a `/query` answer. Every response carries the request kind,
+/// the root trace id, and the epoch stamp; the payload shape follows the
+/// [`QueryResponse`] variant, and `explain` (when requested) is appended
+/// as a pre-rendered JSON object.
 fn render_answer(
     request: &QueryRequest,
     response: &QueryResponse,
     generation: u64,
     watermark: Watermark,
+    trace_id: u64,
+    explain: Option<&str>,
 ) -> String {
     use std::fmt::Write as _;
     let kind = match request {
@@ -480,7 +761,7 @@ fn render_answer(
     let mut out = String::with_capacity(256);
     let _ = write!(
         out,
-        "{{\"kind\":\"{kind}\",\"epoch\":{{\"generation\":{generation},\"arrivals\":{},\"last_ts\":{last_ts}}}",
+        "{{\"kind\":\"{kind}\",\"trace_id\":\"{trace_id:016x}\",\"epoch\":{{\"generation\":{generation},\"arrivals\":{},\"last_ts\":{last_ts}}}",
         watermark.arrivals
     );
     match response {
@@ -526,6 +807,9 @@ fn render_answer(
             }
             out.push(']');
         }
+    }
+    if let Some(explain) = explain {
+        let _ = write!(out, ",\"explain\":{explain}");
     }
     out.push_str("}\n");
     out
@@ -698,6 +982,25 @@ mod tests {
             watch_tau: 40,
             watch_every_ms,
             publish_every,
+            profile_every_ms: 20,
+            ingest_delay_ms: 0,
+            state_dir: None,
+        }
+    }
+
+    /// Polls `/readyz` until the genesis epoch is published (the server
+    /// starts unpublished, so readiness-dependent routes would otherwise
+    /// race the first ingest chunk).
+    fn wait_ready(addr: SocketAddr) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let (head, body) = get(addr, "/readyz");
+            if head.starts_with("HTTP/1.1 200") {
+                assert!(body.contains("\"ready\":true"), "{body}");
+                return;
+            }
+            assert!(Instant::now() < deadline, "server never became ready: {head} {body}");
+            std::thread::sleep(Duration::from_millis(10));
         }
     }
 
@@ -725,6 +1028,11 @@ mod tests {
     fn serve_answers_metrics_healthz_and_slow_while_ingesting() {
         let input = fixture("serve.tsv");
         let summary = with_server(&input, &flags(1), &opts(128, 10), |addr| {
+            // Liveness is unconditional; health joins it once ready.
+            let (head, body) = get(addr, "/livez");
+            assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+            assert_eq!(body, "ok\n");
+            wait_ready(addr);
             let (head, body) = get(addr, "/healthz");
             assert!(head.starts_with("HTTP/1.1 200"), "{head}");
             assert_eq!(body, "ok\n");
@@ -734,7 +1042,37 @@ mod tests {
             assert!(body.contains("bed_ingest_count_total"), "{body}");
             assert!(body.contains("bed_trace_sampled_total"), "{body}");
             assert!(body.contains("bed_epoch_published_total"), "{body}");
+            // Tracer self-health, staleness gauges, and the profiler ride
+            // the same scrape.
+            assert!(body.contains("bed_trace_dropped_total"), "{body}");
+            assert!(body.contains("bed_epoch_lag_arrivals"), "{body}");
+            assert!(body.contains("bed_profile_ticks_total"), "{body}");
             assert!(body.ends_with("# EOF\n"), "{body}");
+
+            // The profiler thread ticks at 20ms; folded stacks follow.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                let (head, folded) = get(addr, "/profile");
+                assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+                if folded.lines().any(|l| l.starts_with("bed;")) {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "no profiler output: {folded}");
+                std::thread::sleep(Duration::from_millis(25));
+            }
+
+            // The watch query is traced (sample=1), so the span ring has
+            // content for /trace/recent.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                let (head, lines) = get(addr, "/trace/recent");
+                assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+                if lines.contains("query.bursty_events") {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "no spans recorded: {lines}");
+                std::thread::sleep(Duration::from_millis(25));
+            }
 
             // Threshold 0 captures every traced query, so the watch query
             // must land in the slow log shortly.
@@ -761,6 +1099,7 @@ mod tests {
         let input = fixture("serve-query.tsv");
         // Two shards: /query must fan out coherently, not just read one cell.
         with_server(&input, &flags(2), &opts(256, 0), |addr| {
+            wait_ready(addr);
             // Wait for the post-drain publish: its epoch covers the full
             // stream (300 base + 50×6 burst arrivals).
             let deadline = Instant::now() + Duration::from_secs(10);
@@ -768,6 +1107,7 @@ mod tests {
                 let (head, body) = get(addr, "/query?kind=point&event=2&t=299&tau=40");
                 assert!(head.starts_with("HTTP/1.1 200"), "{head} {body}");
                 assert!(body.contains("\"kind\":\"point\""), "{body}");
+                assert!(body.contains("\"trace_id\":\""), "{body}");
                 assert!(body.contains("\"epoch\":{\"generation\":"), "{body}");
                 if body.contains("\"arrivals\":600") {
                     assert!(body.contains("\"last_ts\":299"), "{body}");
@@ -809,6 +1149,7 @@ mod tests {
     fn query_rejects_bad_requests_with_typed_errors() {
         let input = fixture("serve-errors.tsv");
         with_server(&input, &flags(1), &opts(8_192, 0), |addr| {
+            wait_ready(addr);
             // Malformed JSON body.
             let (head, body) = post(addr, "/query", "{\"kind\":");
             assert!(head.starts_with("HTTP/1.1 400"), "{head}");
@@ -843,6 +1184,18 @@ mod tests {
             let (head, body) = get(addr, "/query?kind=point&event=-3&t=10&tau=40");
             assert!(head.starts_with("HTTP/1.1 400"), "{head}");
             assert!(body.contains("'event'"), "{body}");
+
+            // Garbage client trace ids are refused, not adopted.
+            let (head, body) = get(addr, "/query?kind=point&event=1&t=10&tau=40&trace_id=zz");
+            assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+            assert!(body.contains("'trace_id'"), "{body}");
+
+            // A malformed /trace id is a 400, an unknown one a 404.
+            let (head, _) = get(addr, "/trace/not-hex");
+            assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+            let (head, body) = get(addr, "/trace/00000000deadbeef");
+            assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+            assert!(body.contains("no spans recorded"), "{body}");
 
             // Oversized declared body → 413 without reading it.
             let mut s = TcpStream::connect(addr).unwrap();
@@ -893,6 +1246,7 @@ mod tests {
             let handle =
                 scope.spawn(|| serve_until(&input, &f, &o, &stop, |addr| tx.send(addr).unwrap()));
             let addr = rx.recv().unwrap();
+            wait_ready(addr);
 
             // Open a request but stall before the blank line, then request
             // shutdown while the handler is mid-read.
@@ -914,6 +1268,149 @@ mod tests {
 
             let summary = handle.join().unwrap().unwrap();
             assert!(summary.contains("served"), "{summary}");
+        });
+    }
+
+    /// Extracts the first `"key":<digits>` value after `key` in `body`.
+    fn json_u64(body: &str, key: &str) -> u64 {
+        let needle = format!("\"{key}\":");
+        let at = body.find(&needle).unwrap_or_else(|| panic!("no {key} in {body}"));
+        body[at + needle.len()..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap_or_else(|_| panic!("bad {key} in {body}"))
+    }
+
+    #[test]
+    fn readiness_gates_query_until_genesis() {
+        let input = fixture("serve-ready.tsv");
+        let mut o = opts(128, 0);
+        // Hold ingest back so the pre-genesis state is observable.
+        o.ingest_delay_ms = 600;
+        with_server(&input, &flags(1), &o, |addr| {
+            // Liveness never depends on readiness.
+            let (head, body) = get(addr, "/livez");
+            assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+            assert_eq!(body, "ok\n");
+
+            // Before genesis: /readyz and /healthz are 503 with a reason,
+            // and /query refuses rather than dereferencing an empty epoch.
+            let (head, body) = get(addr, "/readyz");
+            assert!(head.starts_with("HTTP/1.1 503"), "{head} {body}");
+            assert!(body.contains("\"ready\":false"), "{body}");
+            assert!(body.contains("no epoch published"), "{body}");
+            let (head, body) = get(addr, "/healthz");
+            assert!(head.starts_with("HTTP/1.1 503"), "{head} {body}");
+            assert!(body.contains("no epoch published"), "{body}");
+            let (head, body) = get(addr, "/query?kind=point&event=1&t=10&tau=40");
+            assert!(head.starts_with("HTTP/1.1 503"), "{head} {body}");
+            assert!(body.contains("not ready"), "{body}");
+
+            // After genesis the same routes flip to 200.
+            wait_ready(addr);
+            let (head, _) = get(addr, "/healthz");
+            assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+            let (head, body) = get(addr, "/query?kind=point&event=1&t=10&tau=40");
+            assert!(head.starts_with("HTTP/1.1 200"), "{head} {body}");
+        });
+    }
+
+    #[test]
+    fn state_dir_probe_feeds_readiness() {
+        let input = fixture("serve-statedir.tsv");
+        let mut o = opts(128, 0);
+        o.state_dir = Some("/nonexistent/bed-serve-state".into());
+        with_server(&input, &flags(1), &o, |addr| {
+            // Even once the epoch publishes, an unwritable state dir keeps
+            // readiness false — and names the directory.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                let (head, body) = get(addr, "/readyz");
+                assert!(head.starts_with("HTTP/1.1 503"), "{head} {body}");
+                assert!(body.contains("\"ready\":false"), "{body}");
+                if !body.contains("no epoch published") {
+                    assert!(body.contains("not writable"), "{body}");
+                    break;
+                }
+                assert!(Instant::now() < deadline, "genesis never published: {body}");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        });
+    }
+
+    #[test]
+    fn client_trace_id_propagates_to_spans_and_tree() {
+        let input = fixture("serve-trace.tsv");
+        // sample=1: every query is traced into the ring.
+        with_server(&input, &flags(1), &opts(128, 0), |addr| {
+            wait_ready(addr);
+            let (head, body) = get(addr, "/query?kind=point&event=2&t=200&tau=40&trace_id=abc123");
+            assert!(head.starts_with("HTTP/1.1 200"), "{head} {body}");
+            assert!(body.contains("\"trace_id\":\"0000000000abc123\""), "{body}");
+
+            // The adopted id is joinable: /trace/<id> assembles the tree.
+            let (head, tree) = get(addr, "/trace/0000000000abc123");
+            assert!(head.starts_with("HTTP/1.1 200"), "{head} {tree}");
+            assert!(tree.contains("\"trace_id\":\"0000000000abc123\""), "{tree}");
+            assert!(tree.contains("query.point"), "{tree}");
+
+            // The ring view carries the same span.
+            let (_, lines) = get(addr, "/trace/recent");
+            assert!(lines.contains("0000000000abc123"), "{lines}");
+
+            // Minted ids differ per request and are echoed in the body.
+            let (_, a) = get(addr, "/query?kind=point&event=2&t=200&tau=40");
+            let (_, b) = get(addr, "/query?kind=point&event=2&t=200&tau=40");
+            let id_of = |body: &str| {
+                let at = body.find("\"trace_id\":\"").unwrap() + "\"trace_id\":\"".len();
+                body[at..at + 16].to_string()
+            };
+            assert_ne!(id_of(&a), id_of(&b), "{a} {b}");
+        });
+    }
+
+    #[test]
+    fn explain_reports_stages_path_and_epoch() {
+        let input = fixture("serve-explain.tsv");
+        with_server(&input, &flags(2), &opts(256, 0), |addr| {
+            wait_ready(addr);
+            // Wait for the drain publish so answers cover the burst.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                let (_, body) = get(addr, "/query?kind=point&event=2&t=299&tau=40");
+                if body.contains("\"arrivals\":600") {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "drain publish never arrived: {body}");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+
+            let (head, body) =
+                get(addr, "/query?kind=bursty_events&t=299&theta=20&tau=40&explain=1");
+            assert!(head.starts_with("HTTP/1.1 200"), "{head} {body}");
+            assert!(body.contains("\"explain\":{"), "{body}");
+            // Kernel stage time can never exceed the serve-measured root.
+            let root = json_u64(&body, "root_ns");
+            let stages = json_u64(&body, "cell_probe_ns")
+                + json_u64(&body, "median_combine_ns")
+                + json_u64(&body, "hierarchy_prune_ns");
+            assert!(stages <= root, "stage sum {stages} > root {root}: {body}");
+            // Published epochs are finalized, so probes take the SoA bank
+            // path, and the pruned strategy names itself.
+            assert!(body.contains("\"path\":\"bank\""), "{body}");
+            assert!(body.contains("\"strategy\":\"pruned\""), "{body}");
+            assert!(json_u64(&body, "generation") > 0, "{body}");
+
+            // Point explains carry the retention tier (null when untired).
+            let (_, body) = get(addr, "/query?kind=point&event=2&t=299&tau=40&explain=1");
+            assert!(body.contains("\"explain\":{"), "{body}");
+            assert!(body.contains("\"tier\":"), "{body}");
+
+            // explain=0 and absence both skip the block.
+            let (_, body) = get(addr, "/query?kind=point&event=2&t=299&tau=40&explain=0");
+            assert!(!body.contains("\"explain\""), "{body}");
         });
     }
 }

@@ -143,6 +143,7 @@ impl BurstDetector {
             return;
         }
         let now = self.last_ts.expect("compaction follows an ingest");
+        let t0 = std::time::Instant::now();
         match &mut self.backend {
             Backend::Single(cell) => cell.compact(&policy, now),
             Backend::Flat(grid) => grid.for_each_cell_mut(|c| c.compact(&policy, now)),
@@ -150,6 +151,7 @@ impl BurstDetector {
                 grid.for_each_cell_mut(|c| c.compact(&policy, now));
             }),
         }
+        self.metrics.compact_observe(t0.elapsed());
         self.compactions += 1;
     }
 
@@ -716,8 +718,25 @@ impl BurstDetector {
                     self.metrics.count_tier_query(tier);
                     tier
                 });
+                // With the stage clocks armed (traced or EXPLAIN), the
+                // burstiness estimate runs through the stage-aware probe
+                // kernel — same value, with per-phase timings recorded.
+                let burstiness =
+                    if scratch.stages.enabled {
+                        match &self.backend {
+                            Backend::Single(pbe) => pbe.estimate_burstiness(t, tau),
+                            Backend::Flat(grid) => {
+                                grid.estimate_burstiness_stages(event, t, tau, &mut scratch.stages)
+                            }
+                            Backend::Hierarchical(forest) => forest
+                                .grid(0)
+                                .estimate_burstiness_stages(event, t, tau, &mut scratch.stages),
+                        }
+                    } else {
+                        self.point_query(event, t, tau)
+                    };
                 Ok(QueryResponse::Point {
-                    burstiness: self.point_query(event, t, tau),
+                    burstiness,
                     burst_frequency: self.burst_frequency(event, t, tau),
                     cumulative: self.cumulative_frequency(event, t),
                     tier,
@@ -762,11 +781,12 @@ impl BurstQueries for BurstDetector {
     ) -> Result<QueryResponse, BedError> {
         let kind = request.kind();
         let started = self.metrics.query_begin(kind);
-        let trace = self.metrics.trace_query(kind);
-        // Arm the scratch stage clocks when this call owns the root span;
-        // leave them alone when an outer facade (sharded fan-out) armed
-        // them, so the facade can harvest our kernels' timings.
-        if trace.is_some() {
+        let trace = self.metrics.trace_query(kind, scratch.trace_id);
+        // Arm the scratch stage clocks when this call owns the root span or
+        // the caller asked for EXPLAIN; leave them alone when an outer
+        // facade (sharded fan-out) armed them, so the facade can harvest
+        // our kernels' timings.
+        if trace.is_some() || scratch.explain {
             scratch.stages.reset(true);
         } else if !scratch.stages.enabled {
             scratch.stages.reset(false);
@@ -774,9 +794,13 @@ impl BurstQueries for BurstDetector {
         let result = self.dispatch(request, scratch);
         if let Some(trace) = trace {
             crate::observe::finish_query_trace(trace, scratch, request);
-            scratch.stages.reset(false);
+            // In EXPLAIN mode the serving layer harvests the populated
+            // timings after we return; only disarm when it will not.
+            if !scratch.explain {
+                scratch.stages.reset(false);
+            }
         }
-        self.metrics.query_end(kind, started, result.is_ok());
+        self.metrics.query_end(kind, started, result.is_ok(), scratch.trace_id);
         result
     }
 

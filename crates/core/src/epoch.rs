@@ -268,19 +268,27 @@ impl DetectorEpochs {
     /// Cells matching `det`'s layout, with `det`'s current state published
     /// as generation 1 — views always find an epoch to answer from.
     pub fn new(det: &AnyDetector) -> Self {
+        let epochs = Self::new_unpublished(det);
+        epochs.publish(det);
+        epochs
+    }
+
+    /// Cells matching `det`'s layout with **nothing published yet**
+    /// (generation 0). Lets a server expose readiness truthfully: views
+    /// must not be queried until the first (genesis) publish — gate on
+    /// [`DetectorEpochs::generation`]` > 0`.
+    pub fn new_unpublished(det: &AnyDetector) -> Self {
         let n = match det {
             AnyDetector::Plain(_) => 1,
             AnyDetector::Sharded(d) => d.num_shards(),
         };
-        let epochs = DetectorEpochs {
+        DetectorEpochs {
             config: *det.config(),
             layout_shards: det.layout_shards(),
             cells: (0..n).map(|_| SnapshotCell::new()).collect(),
             metrics: EpochMetrics::new(),
             tracer: Arc::new(Tracer::disabled()),
-        };
-        epochs.publish(det);
-        epochs
+        }
     }
 
     /// Installs a tracer; publish spans bypass the sampler
@@ -328,6 +336,36 @@ impl DetectorEpochs {
     /// publish, this is the first cell's — the freshest — generation).
     pub fn generation(&self) -> u64 {
         self.cells[0].generation()
+    }
+
+    /// Watermark of the latest published epoch (`None` before genesis).
+    pub fn published_watermark(&self) -> Option<Watermark> {
+        if self.generation() == 0 {
+            return None;
+        }
+        let mut r = EpochReader::new();
+        r.refresh(&self.cells[0]);
+        r.current().map(|e| e.watermark)
+    }
+
+    /// Refreshes the ingest-side staleness gauges from the live detector's
+    /// watermark: `epoch.age_ticks` (ticks the live stream has advanced
+    /// past the published epoch) and `epoch.lag_arrivals` (arrivals not
+    /// yet visible to readers). Cold path — call at scrape time.
+    pub fn record_staleness(&self, live: Watermark) {
+        let Some(published) = self.published_watermark() else {
+            self.metrics.set_gauge("epoch.lag_arrivals", live.arrivals as f64);
+            return;
+        };
+        let age_ticks = match (live.last_ts, published.last_ts) {
+            (Some(l), Some(p)) => l.ticks().saturating_sub(p.ticks()),
+            _ => 0,
+        };
+        self.metrics.set_gauge("epoch.age_ticks", age_ticks as f64);
+        self.metrics.set_gauge(
+            "epoch.lag_arrivals",
+            live.arrivals.saturating_sub(published.arrivals) as f64,
+        );
     }
 
     /// Shard count of the published layout: 0 = plain (one cell).

@@ -128,8 +128,8 @@ pub use wal::{read_wal, WalContents, WalSink, WalWriter};
 // Re-export the vocabulary types users need alongside the detector.
 pub use bed_hierarchy::{BurstyEventHit, QueryStats};
 pub use bed_obs::{
-    MetricValue, MetricsRegistry, MetricsSnapshot, SlowQuery, SpanName, TraceEvent, TraceId,
-    Tracer, TracerConfig,
+    assemble_trace_tree, default_stage_specs, MetricValue, MetricsRegistry, MetricsSnapshot,
+    Profiler, SlowQuery, SpanName, StageSpec, TraceEvent, TraceId, Tracer, TracerConfig,
 };
 pub use bed_sketch::{QueryScratch, RetentionPolicy, SketchParams};
 pub use bed_stream::{BurstSpan, Burstiness, EventId, TimeRange, Timestamp};

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bed_hierarchy::QueryStats;
-use bed_obs::{ActiveTrace, Counter, Histogram, MetricsRegistry, MetricsSnapshot, Tracer};
+use bed_obs::{ActiveTrace, Counter, Histogram, MetricsRegistry, MetricsSnapshot, TraceId, Tracer};
 
 use crate::observe::span_for;
 use crate::query::QueryKind;
@@ -37,6 +37,7 @@ pub(crate) struct DetectorMetrics {
     point_queries: Arc<Counter>,
     pruned_subtrees: Arc<Counter>,
     leaves_probed: Arc<Counter>,
+    compact_latency: Arc<Histogram>,
     tracer: Arc<Tracer>,
 }
 
@@ -62,6 +63,7 @@ impl DetectorMetrics {
             point_queries: registry.counter("query.stats.point_queries"),
             pruned_subtrees: registry.counter("query.stats.pruned_subtrees"),
             leaves_probed: registry.counter("query.stats.leaves_probed"),
+            compact_latency: registry.histogram("retention.compact.latency_ns"),
             tracer: Arc::new(Tracer::disabled()),
             registry,
         }
@@ -76,11 +78,12 @@ impl DetectorMetrics {
         &self.tracer
     }
 
-    /// Starts a sampled root span for a query of `kind`. `None` on the
-    /// untraced path — a single relaxed load when tracing is off.
+    /// Starts a sampled root span for a query of `kind`, adopting
+    /// `trace_id` when nonzero (a caller-assigned request id). `None` on
+    /// the untraced path — a single relaxed load when tracing is off.
     #[inline]
-    pub(crate) fn trace_query(&self, kind: QueryKind) -> Option<ActiveTrace<'_>> {
-        self.tracer.start_sampled(span_for(kind))
+    pub(crate) fn trace_query(&self, kind: QueryKind, trace_id: u64) -> Option<ActiveTrace<'_>> {
+        self.tracer.start_sampled_with(span_for(kind), (trace_id != 0).then_some(TraceId(trace_id)))
     }
 
     /// Counts one ingest attempt; returns a start instant on the sampled
@@ -128,8 +131,16 @@ impl DetectorMetrics {
         Some(Instant::now())
     }
 
-    /// Closes a query opened by [`Self::query_begin`].
-    pub(crate) fn query_end(&self, kind: QueryKind, started: Option<Instant>, ok: bool) {
+    /// Closes a query opened by [`Self::query_begin`]. A nonzero
+    /// `trace_id` is pinned as the latency bucket's OpenMetrics exemplar,
+    /// pointing the bucket at an inspectable trace.
+    pub(crate) fn query_end(
+        &self,
+        kind: QueryKind,
+        started: Option<Instant>,
+        ok: bool,
+        trace_id: u64,
+    ) {
         if !self.enabled {
             return;
         }
@@ -137,7 +148,15 @@ impl DetectorMetrics {
             self.query_errors.inc();
         }
         if let Some(t0) = started {
-            self.query_latency[kind.index()].observe(t0.elapsed());
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.query_latency[kind.index()].record_ns_exemplar(ns, trace_id);
+        }
+    }
+
+    /// Times one retention compaction pass over the tiered cells.
+    pub(crate) fn compact_observe(&self, elapsed: std::time::Duration) {
+        if self.enabled {
+            self.compact_latency.observe(elapsed);
         }
     }
 
@@ -242,10 +261,11 @@ impl ShardMetrics {
         &self.tracer
     }
 
-    /// Starts a sampled facade root span for a query of `kind`.
+    /// Starts a sampled facade root span for a query of `kind`, adopting
+    /// `trace_id` when nonzero.
     #[inline]
-    pub(crate) fn trace_query(&self, kind: QueryKind) -> Option<ActiveTrace<'_>> {
-        self.tracer.start_sampled(span_for(kind))
+    pub(crate) fn trace_query(&self, kind: QueryKind, trace_id: u64) -> Option<ActiveTrace<'_>> {
+        self.tracer.start_sampled_with(span_for(kind), (trace_id != 0).then_some(TraceId(trace_id)))
     }
 
     /// Starts timing one `ingest_batch` call of `len` elements.

@@ -529,8 +529,8 @@ impl BurstQueries for ShardedDetector {
         // The facade owns the root span; shard-local tracers stay disabled
         // (see `set_tracer`), so arming the scratch here lets the shards'
         // kernels accumulate stage timings that we harvest below.
-        let mut trace = self.metrics.trace_query(kind);
-        if trace.is_some() {
+        let mut trace = self.metrics.trace_query(kind, scratch.trace_id);
+        if trace.is_some() || scratch.explain {
             scratch.stages.reset(true);
         } else if !scratch.stages.enabled {
             scratch.stages.reset(false);
@@ -545,7 +545,9 @@ impl BurstQueries for ShardedDetector {
                 tr.child(SpanName::SHARD_FAN_OUT, t0);
             }
             crate::observe::finish_query_trace(tr, scratch, request);
-            scratch.stages.reset(false);
+            if !scratch.explain {
+                scratch.stages.reset(false);
+            }
         }
         result
     }

@@ -41,16 +41,26 @@
 //! bounded [`TraceBuffer`] ring, a [`TraceEvent`] JSON-lines encoder, and a
 //! bounded slow-query log on the [`Tracer`]. The untraced path is a single
 //! relaxed atomic load and allocates nothing.
+//!
+//! v3 closes the loop end to end: caller-supplied trace ids propagate into
+//! recorded spans ([`Tracer::start_sampled_with`]), ring contents assemble
+//! into nested JSON trees ([`assemble_trace_tree`]), latency histograms
+//! carry OpenMetrics exemplars pointing at recent traces
+//! ([`Histogram::record_ns_exemplar`]), and a continuous [`Profiler`]
+//! attributes wall-clock time to pipeline stages from metric deltas,
+//! dumpable as flamegraph folded stacks.
 
 mod metrics;
+mod profile;
 mod registry;
 mod snapshot;
 mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, LATENCY_BOUNDS_NS};
+pub use profile::{default_stage_specs, Profiler, StageSpec};
 pub use registry::{Metric, MetricsRegistry};
 pub use snapshot::{MetricValue, MetricsSnapshot, RenderEntry};
 pub use trace::{
-    ActiveTrace, SlowQuery, SpanName, TraceBuffer, TraceEvent, TraceId, Tracer, TracerConfig,
-    MAX_CHILDREN,
+    assemble_trace_tree, ActiveTrace, SlowQuery, SpanName, TraceBuffer, TraceEvent, TraceId,
+    Tracer, TracerConfig, MAX_CHILDREN,
 };

@@ -126,6 +126,12 @@ pub struct Histogram {
     buckets: [AtomicU64; LATENCY_BOUNDS_NS.len() + 1],
     count: AtomicU64,
     sum_ns: AtomicU64,
+    // Per-bucket exemplar: the trace id (0 = none) and observed value of
+    // the most recent traced observation landing in that bucket.
+    // Last-writer-wins relaxed stores; a torn (id, value) pair across two
+    // traced requests is acceptable for a diagnostic pointer.
+    exemplar_ids: [AtomicU64; LATENCY_BOUNDS_NS.len() + 1],
+    exemplar_ns: [AtomicU64; LATENCY_BOUNDS_NS.len() + 1],
 }
 
 impl Histogram {
@@ -135,17 +141,38 @@ impl Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
+            exemplar_ids: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplar_ns: std::array::from_fn(|_| AtomicU64::new(0)),
         }
+    }
+
+    #[inline]
+    fn bucket_index(ns: u64) -> usize {
+        LATENCY_BOUNDS_NS.iter().position(|&b| ns <= b).unwrap_or(LATENCY_BOUNDS_NS.len())
     }
 
     /// Records one observation of `ns` nanoseconds.
     #[inline]
     pub fn record_ns(&self, ns: u64) {
-        let idx =
-            LATENCY_BOUNDS_NS.iter().position(|&b| ns <= b).unwrap_or(LATENCY_BOUNDS_NS.len());
+        let idx = Self::bucket_index(ns);
         self.buckets[idx].fetch_add(1, Relaxed);
         self.count.fetch_add(1, Relaxed);
         self.sum_ns.fetch_add(ns, Relaxed);
+    }
+
+    /// Records one observation and, when `trace_id` is nonzero, pins it as
+    /// the bucket's exemplar so the OpenMetrics renderer can point the
+    /// bucket at an inspectable trace. A zero id is exactly `record_ns`.
+    #[inline]
+    pub fn record_ns_exemplar(&self, ns: u64, trace_id: u64) {
+        let idx = Self::bucket_index(ns);
+        self.buckets[idx].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum_ns.fetch_add(ns, Relaxed);
+        if trace_id != 0 {
+            self.exemplar_ns[idx].store(ns, Relaxed);
+            self.exemplar_ids[idx].store(trace_id, Relaxed);
+        }
     }
 
     /// Records a [`Duration`] observation (saturating at `u64::MAX` ns).
@@ -170,6 +197,12 @@ impl Histogram {
             buckets: self.buckets.iter().map(|b| b.load(Relaxed)).collect(),
             count: self.count(),
             sum_ns: self.sum_ns(),
+            exemplars: self
+                .exemplar_ids
+                .iter()
+                .zip(self.exemplar_ns.iter())
+                .map(|(id, ns)| (id.load(Relaxed), ns.load(Relaxed)))
+                .collect(),
         }
     }
 }
@@ -189,6 +222,10 @@ impl Clone for Histogram {
         }
         h.count.store(snap.count, Relaxed);
         h.sum_ns.store(snap.sum_ns, Relaxed);
+        for (i, &(id, ns)) in snap.exemplars.iter().enumerate() {
+            h.exemplar_ids[i].store(id, Relaxed);
+            h.exemplar_ns[i].store(ns, Relaxed);
+        }
         h
     }
 }
@@ -204,6 +241,9 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Total observed nanoseconds.
     pub sum_ns: u64,
+    /// Per-bucket `(trace_id, observed_ns)` exemplar, aligned with
+    /// `buckets`; a zero trace id means the bucket has no exemplar.
+    pub exemplars: Vec<(u64, u64)>,
 }
 
 impl HistogramSnapshot {
@@ -234,10 +274,22 @@ impl HistogramSnapshot {
     /// bound layout, so merging is a plain vector add.
     pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
         debug_assert_eq!(self.buckets.len(), other.buckets.len());
+        // Exemplars are diagnostic pointers, not accumulators: keep ours
+        // when present, otherwise adopt the other side's.
+        let exemplars = if self.exemplars.len() == other.exemplars.len() {
+            self.exemplars
+                .iter()
+                .zip(other.exemplars.iter())
+                .map(|(&a, &b)| if a.0 != 0 { a } else { b })
+                .collect()
+        } else {
+            self.exemplars.clone()
+        };
         HistogramSnapshot {
             buckets: self.buckets.iter().zip(other.buckets.iter()).map(|(a, b)| a + b).collect(),
             count: self.count + other.count,
             sum_ns: self.sum_ns + other.sum_ns,
+            exemplars,
         }
     }
 }
@@ -356,5 +408,40 @@ mod tests {
         h.observe(Duration::from_micros(2));
         assert_eq!(h.count(), 1);
         assert_eq!(h.sum_ns(), 2_000);
+    }
+
+    #[test]
+    fn exemplars_pin_last_traced_observation_per_bucket() {
+        let h = Histogram::new();
+        h.record_ns_exemplar(100, 0); // untraced: no exemplar
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1);
+        assert!(s.exemplars.iter().all(|&(id, _)| id == 0));
+
+        h.record_ns_exemplar(200, 0xabc); // bucket 0
+        h.record_ns_exemplar(150, 0xdef); // bucket 0, overwrites
+        h.record_ns_exemplar(5_000, 0x123); // bucket 3
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 3);
+        assert_eq!(s.exemplars[0], (0xdef, 150));
+        assert_eq!(s.exemplars[3], (0x123, 5_000));
+        assert_eq!(s.exemplars[1], (0, 0));
+        // Plain record_ns leaves exemplars untouched.
+        h.record_ns(170);
+        assert_eq!(h.snapshot().exemplars[0], (0xdef, 150));
+    }
+
+    #[test]
+    fn merge_prefers_left_exemplar_then_right() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record_ns_exemplar(100, 0xaaa); // bucket 0
+        b.record_ns_exemplar(120, 0xbbb); // bucket 0
+        b.record_ns_exemplar(5_000, 0xccc); // bucket 3
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(m.exemplars[0], (0xaaa, 100), "left side wins when both present");
+        assert_eq!(m.exemplars[3], (0xccc, 5_000), "right side fills gaps");
+        // Clone carries exemplars along.
+        assert_eq!(a.clone().snapshot().exemplars[0], (0xaaa, 100));
     }
 }

@@ -363,7 +363,16 @@ impl<'a> RenderEntry<'a> {
                         None => "le=\"+Inf\"".to_string(),
                     };
                     let _ =
-                        writeln!(out, "{family}_bucket{} {cumulative}", self.label_set(Some(&le)));
+                        write!(out, "{family}_bucket{} {cumulative}", self.label_set(Some(&le)));
+                    // OpenMetrics exemplar: ` # {trace_id="..."} <value>`.
+                    // Buckets without a traced observation render exactly as
+                    // before, keeping pre-exemplar goldens byte-stable.
+                    if let Some(&(id, ns)) = h.exemplars.get(i) {
+                        if id != 0 {
+                            let _ = write!(out, " # {{trace_id=\"{id:016x}\"}} {ns}");
+                        }
+                    }
+                    out.push('\n');
                 }
                 let _ = writeln!(out, "{family}_sum{} {}", self.label_set(None), h.sum_ns);
                 let _ = writeln!(out, "{family}_count{} {}", self.label_set(None), h.count);
@@ -643,6 +652,28 @@ mod tests {
         assert!(om.contains("bed_query_point_latency_ns_bucket{le=\"+Inf\"} 2\n"));
         assert!(om.contains("bed_query_point_latency_ns_sum 5100\n"));
         assert!(om.contains("bed_query_point_latency_ns_count 2\n"));
+    }
+
+    #[test]
+    fn openmetrics_exemplars_render_on_traced_buckets_only() {
+        let h = Histogram::new();
+        h.record_ns(100); // first bucket, untraced
+        h.record_ns_exemplar(5_000, 0xabc); // fourth bucket, traced
+        let s = MetricsSnapshot::from_entries([(
+            "query.point.latency_ns".to_owned(),
+            MetricValue::Histogram(h.snapshot()),
+        )]);
+        let om = s.to_openmetrics();
+        // Untraced bucket renders exactly as before (no exemplar suffix).
+        assert!(om.contains("bed_query_point_latency_ns_bucket{le=\"250\"} 1\n"));
+        // Traced bucket carries the OpenMetrics exemplar suffix.
+        assert!(om.contains(
+            "bed_query_point_latency_ns_bucket{le=\"16000\"} 2 \
+             # {trace_id=\"0000000000000abc\"} 5000\n"
+        ));
+        // Cumulative buckets after it do NOT inherit the exemplar.
+        assert!(om.contains("bed_query_point_latency_ns_bucket{le=\"64000\"} 2\n"));
+        assert!(om.ends_with("# EOF\n"));
     }
 
     #[test]

@@ -388,12 +388,23 @@ impl Tracer {
         splitmix64(self.next_id.fetch_add(1, Ordering::Relaxed)) | 1
     }
 
-    fn start(&self, name: SpanName) -> ActiveTrace<'_> {
+    /// Mints a fresh [`TraceId`] without starting a span. Lets callers
+    /// stamp a response with a joinable id even when the request itself
+    /// was not sampled into the ring.
+    pub fn next_trace_id(&self) -> TraceId {
+        TraceId(self.fresh_id())
+    }
+
+    fn start(&self, name: SpanName, root: Option<TraceId>) -> ActiveTrace<'_> {
         self.sampled.fetch_add(1, Ordering::Relaxed);
+        let trace_id = match root {
+            Some(TraceId(id)) if id != 0 => id,
+            _ => self.fresh_id(),
+        };
         ActiveTrace {
             tracer: self,
             name,
-            trace_id: self.fresh_id(),
+            trace_id,
             span_id: self.fresh_id(),
             start: Instant::now(),
             children: [None; MAX_CHILDREN],
@@ -404,6 +415,17 @@ impl Tracer {
     /// Starts a root span subject to 1-in-N sampling. Returns `None` on
     /// the untraced path without allocating.
     pub fn start_sampled(&self, name: SpanName) -> Option<ActiveTrace<'_>> {
+        self.start_sampled_with(name, None)
+    }
+
+    /// Like [`Tracer::start_sampled`], but adopts `root` as the trace id
+    /// when supplied (and nonzero) instead of minting a fresh one. This is
+    /// how a caller-assigned request id propagates into recorded spans.
+    pub fn start_sampled_with(
+        &self,
+        name: SpanName,
+        root: Option<TraceId>,
+    ) -> Option<ActiveTrace<'_>> {
         if self.sample_every == 0 {
             return None;
         }
@@ -412,21 +434,37 @@ impl Tracer {
         {
             return None;
         }
-        Some(self.start(name))
+        Some(self.start(name, root))
     }
 
     /// Starts a root span whenever tracing is enabled, bypassing the
     /// sampler. For rare, heavyweight operations (checkpoint, recovery).
     pub fn start_always(&self, name: SpanName) -> Option<ActiveTrace<'_>> {
+        self.start_always_with(name, None)
+    }
+
+    /// Like [`Tracer::start_always`], but adopts `root` as the trace id
+    /// when supplied (and nonzero).
+    pub fn start_always_with(
+        &self,
+        name: SpanName,
+        root: Option<TraceId>,
+    ) -> Option<ActiveTrace<'_>> {
         if self.sample_every == 0 {
             return None;
         }
-        Some(self.start(name))
+        Some(self.start(name, root))
     }
 
     /// Snapshot of the span ring, oldest first.
     pub fn events(&self) -> Vec<TraceEvent> {
         self.buffer.events()
+    }
+
+    /// Assembles the spans recorded under `id` into a nested JSON tree.
+    /// Returns `None` when the ring holds no span for that trace.
+    pub fn trace_tree_json(&self, id: TraceId) -> Option<String> {
+        assemble_trace_tree(&self.events(), id)
     }
 
     /// The span ring rendered as JSON lines (one event per line).
@@ -458,20 +496,35 @@ impl Tracer {
     }
 
     /// Tracer health rendered as metrics, mergeable into a
-    /// [`MetricsSnapshot`] for the `/metrics` endpoint.
+    /// [`MetricsSnapshot`] for the `/metrics` endpoint: sampled/recorded/
+    /// dropped span counters, sampler tickets, ring laps, and slow-log
+    /// occupancy.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let recorded = self.buffer.recorded();
+        let capacity = self.buffer.capacity() as u64;
+        let occupancy = self.slow.lock().map(|q| q.len()).unwrap_or(0);
         MetricsSnapshot::from_entries(vec![
             (
                 "trace.sampled".to_string(),
                 MetricValue::Counter(self.sampled.load(Ordering::Relaxed)),
             ),
-            ("trace.spans".to_string(), MetricValue::Counter(self.buffer.recorded())),
+            ("trace.spans".to_string(), MetricValue::Counter(recorded)),
             ("trace.dropped".to_string(), MetricValue::Counter(self.buffer.dropped())),
+            (
+                "trace.sampler.tickets".to_string(),
+                MetricValue::Counter(self.ticket.load(Ordering::Relaxed)),
+            ),
             (
                 "trace.slow.count".to_string(),
                 MetricValue::Counter(self.slow_count.load(Ordering::Relaxed)),
             ),
             ("trace.sample_every".to_string(), MetricValue::Gauge(self.sample_every as f64)),
+            ("trace.buffer.capacity".to_string(), MetricValue::Gauge(capacity as f64)),
+            (
+                "trace.buffer.laps".to_string(),
+                MetricValue::Gauge((recorded / capacity.max(1)) as f64),
+            ),
+            ("trace.slow.occupancy".to_string(), MetricValue::Gauge(occupancy as f64)),
         ])
     }
 
@@ -495,6 +548,67 @@ impl Drop for Tracer {
             eprintln!("bed-obs slow-query {}", q.to_json());
         }
     }
+}
+
+fn write_span_node(out: &mut String, events: &[TraceEvent], node: &TraceEvent) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"span_id\":\"{:016x}\",\"start_ns\":{},\"dur_ns\":{},\"children\":[",
+        node.name, node.span_id, node.start_ns, node.dur_ns
+    );
+    let mut first = true;
+    for ev in events {
+        if ev.parent_id == node.span_id && ev.span_id != node.span_id {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write_span_node(out, events, ev);
+        }
+    }
+    out.push_str("]}");
+}
+
+/// Assembles every span in `events` whose trace id equals `id` into one
+/// nested JSON tree: `{"trace_id":"...","roots":[...],"orphans":[...]}`.
+///
+/// Roots are spans with `parent_id == 0`; a span whose parent was already
+/// overwritten in the ring surfaces under `"orphans"` as a flat event so
+/// nothing silently disappears. Events are expected in the order
+/// [`TraceBuffer::events`] yields them (sorted by start then span id), so
+/// output is deterministic for golden tests. Returns `None` when no span
+/// carries `id`.
+pub fn assemble_trace_tree(events: &[TraceEvent], id: TraceId) -> Option<String> {
+    let mine: Vec<TraceEvent> = events.iter().filter(|e| e.trace_id == id.0).cloned().collect();
+    if mine.is_empty() {
+        return None;
+    }
+    let present: Vec<u64> = mine.iter().map(|e| e.span_id).collect();
+    let mut out = String::with_capacity(256);
+    let _ = write!(out, "{{\"trace_id\":\"{:016x}\",\"roots\":[", id.0);
+    let mut first = true;
+    for ev in &mine {
+        if ev.parent_id == 0 {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write_span_node(&mut out, &mine, ev);
+        }
+    }
+    out.push_str("],\"orphans\":[");
+    let mut first = true;
+    for ev in &mine {
+        if ev.parent_id != 0 && !present.contains(&ev.parent_id) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&ev.to_json_line());
+        }
+    }
+    out.push_str("]}");
+    Some(out)
 }
 
 /// Maximum child spans recorded under one root. Extra children are
@@ -750,5 +864,134 @@ mod tests {
         let t = traced(2, 0);
         assert_eq!(t.metrics_snapshot().counter("trace.sampled"), Some(0));
         assert_eq!(t.metrics_snapshot().gauge("trace.sample_every"), Some(2.0));
+    }
+
+    #[test]
+    fn metrics_snapshot_reports_tracer_self_health() {
+        let t = Tracer::new(TracerConfig {
+            sample_every: 1,
+            slow_threshold_ns: 0,
+            buffer_capacity: 4,
+            slow_capacity: 2,
+            dump_slow_on_drop: false,
+        });
+        for _ in 0..9 {
+            t.start_sampled(SpanName::QUERY_POINT).unwrap().finish(String::new);
+        }
+        let snap = t.metrics_snapshot();
+        assert_eq!(snap.counter("trace.sampler.tickets"), Some(0)); // 1-in-1 skips the ticket
+        assert_eq!(snap.gauge("trace.buffer.capacity"), Some(4.0));
+        assert_eq!(snap.gauge("trace.buffer.laps"), Some(2.0)); // 9 spans / 4 slots
+        assert_eq!(snap.gauge("trace.slow.occupancy"), Some(2.0)); // bounded at slow_capacity
+        let skip = traced(4, u64::MAX);
+        for _ in 0..6 {
+            let _ = skip.start_sampled(SpanName::QUERY_POINT).map(|a| a.finish(String::new));
+        }
+        assert_eq!(skip.metrics_snapshot().counter("trace.sampler.tickets"), Some(6));
+    }
+
+    #[test]
+    fn supplied_trace_id_propagates_to_all_spans() {
+        let t = traced(1, u64::MAX);
+        let want = TraceId(0xfeed_beef);
+        let mut root = t.start_sampled_with(SpanName::QUERY_POINT, Some(want)).unwrap();
+        assert_eq!(root.trace_id(), want);
+        root.child_ns(SpanName::STAGE_CELL_PROBE, 10);
+        root.finish(String::new);
+        let events = t.events();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.trace_id == want.0));
+        // A zero id is "no id supplied": fall back to a fresh one.
+        let root = t.start_always_with(SpanName::QUERY_POINT, Some(TraceId(0))).unwrap();
+        assert_ne!(root.trace_id().0, 0);
+        root.finish(String::new);
+    }
+
+    #[test]
+    fn next_trace_id_is_nonzero_and_distinct() {
+        let t = Tracer::disabled();
+        let a = t.next_trace_id();
+        let b = t.next_trace_id();
+        assert_ne!(a.0, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn trace_tree_assembles_nested_children() {
+        let t = traced(1, u64::MAX);
+        let mut root = t.start_sampled_with(SpanName::QUERY_BURSTY_EVENTS, None).unwrap();
+        let id = root.trace_id();
+        root.child_ns(SpanName::STAGE_HIERARCHY_PRUNE, 42);
+        root.finish(String::new);
+        let tree = t.trace_tree_json(id).unwrap();
+        assert!(tree.starts_with(&format!("{{\"trace_id\":\"{}\",\"roots\":[", id.to_hex())));
+        assert!(tree.contains("\"name\":\"query.bursty_events\""));
+        assert!(tree.contains("\"name\":\"stage.hierarchy_prune\""));
+        assert!(tree.ends_with("],\"orphans\":[]}"));
+        assert!(t.trace_tree_json(TraceId(2)).is_none());
+    }
+
+    #[test]
+    fn trace_tree_golden_from_fixed_events() {
+        let events = vec![
+            TraceEvent {
+                name: "query.point",
+                trace_id: 0xa1,
+                span_id: 0x10,
+                parent_id: 0,
+                start_ns: 100,
+                dur_ns: 900,
+            },
+            TraceEvent {
+                name: "stage.cell_probe",
+                trace_id: 0xa1,
+                span_id: 0x11,
+                parent_id: 0x10,
+                start_ns: 100,
+                dur_ns: 300,
+            },
+            TraceEvent {
+                name: "stage.median_combine",
+                trace_id: 0xa1,
+                span_id: 0x12,
+                parent_id: 0x10,
+                start_ns: 400,
+                dur_ns: 200,
+            },
+            // Different trace: must not leak into the assembled tree.
+            TraceEvent {
+                name: "query.series",
+                trace_id: 0xb2,
+                span_id: 0x20,
+                parent_id: 0,
+                start_ns: 50,
+                dur_ns: 10,
+            },
+            // Parent evicted from the ring: surfaces as an orphan.
+            TraceEvent {
+                name: "shard.fan_out",
+                trace_id: 0xa1,
+                span_id: 0x13,
+                parent_id: 0x99,
+                start_ns: 150,
+                dur_ns: 5,
+            },
+        ];
+        let tree = assemble_trace_tree(&events, TraceId(0xa1)).unwrap();
+        assert_eq!(
+            tree,
+            "{\"trace_id\":\"00000000000000a1\",\"roots\":[\
+             {\"name\":\"query.point\",\"span_id\":\"0000000000000010\",\
+             \"start_ns\":100,\"dur_ns\":900,\"children\":[\
+             {\"name\":\"stage.cell_probe\",\"span_id\":\"0000000000000011\",\
+             \"start_ns\":100,\"dur_ns\":300,\"children\":[]},\
+             {\"name\":\"stage.median_combine\",\"span_id\":\"0000000000000012\",\
+             \"start_ns\":400,\"dur_ns\":200,\"children\":[]}]}],\
+             \"orphans\":[\
+             {\"name\":\"shard.fan_out\",\"trace_id\":\"00000000000000a1\",\
+             \"span_id\":\"0000000000000013\",\"parent_id\":\"0000000000000099\",\
+             \"start_ns\":150,\"dur_ns\":5}]}"
+        );
+        assert!(assemble_trace_tree(&events, TraceId(0xdead)).is_none());
     }
 }

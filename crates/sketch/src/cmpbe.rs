@@ -326,6 +326,89 @@ impl<P: CurveSketch> CmPbe<P> {
         median_stack_rows(d, &mut v0, &mut v1, &mut v2, t1.is_some(), t2.is_some())
     }
 
+    /// [`CmPbe::probe3`] with the scratch stage clocks armed: bit-for-bit
+    /// the same three estimates, with the cell-probe and median-combine
+    /// phases timed separately and bank/scalar probes counted into
+    /// `stages`. Falls straight through to [`CmPbe::probe3`] when the
+    /// clocks are disarmed, so the untraced path pays one branch.
+    pub fn probe3_stages(
+        &self,
+        event: EventId,
+        t: Timestamp,
+        tau: BurstSpan,
+        stages: &mut StageTimings,
+    ) -> [f64; 3] {
+        if !stages.enabled {
+            return self.probe3(event, t, tau);
+        }
+        let d = self.depth();
+        let t1 = t.checked_sub(tau.ticks());
+        let t2 = t.checked_sub(tau.ticks().saturating_mul(2));
+        let probe_t0 = std::time::Instant::now();
+        if d > MEDIAN_STACK {
+            // Deep grids fall back to the scattered per-offset estimates;
+            // the medians interleave with the probes, so the whole pass is
+            // attributed to the probe stage.
+            let r = [
+                self.estimate_cum(event, t),
+                t1.map_or(0.0, |e| self.estimate_cum(event, e)),
+                t2.map_or(0.0, |e| self.estimate_cum(event, e)),
+            ];
+            stages.scalar_probes += 3 * d as u64;
+            stages.cell_probe_ns += probe_t0.elapsed().as_nanos() as u64;
+            return r;
+        }
+        if let Some(bank) = &self.bank {
+            let mut lanes = [0u32; MEDIAN_STACK];
+            for (row, lane) in lanes[..d].iter_mut().enumerate() {
+                *lane = self.cell_index(row, event) as u32;
+            }
+            let mut rows = ProbeRows::default();
+            bank.probe3_rows(&lanes[..d], t, tau, &mut rows);
+            stages.bank_probes += 3 * d as u64;
+            stages.cell_probe_ns += probe_t0.elapsed().as_nanos() as u64;
+            let combine_t0 = std::time::Instant::now();
+            let r = median_stack_rows(
+                d,
+                &mut rows.v0,
+                &mut rows.v1,
+                &mut rows.v2,
+                t1.is_some(),
+                t2.is_some(),
+            );
+            stages.median_combine_ns += combine_t0.elapsed().as_nanos() as u64;
+            return r;
+        }
+        let mut v0 = [0.0f64; MEDIAN_STACK];
+        let mut v1 = [0.0f64; MEDIAN_STACK];
+        let mut v2 = [0.0f64; MEDIAN_STACK];
+        for row in 0..d {
+            let p = self.cells[self.cell_index(row, event)].probe3(t, tau);
+            v0[row] = p[0];
+            v1[row] = p[1];
+            v2[row] = p[2];
+        }
+        stages.scalar_probes += 3 * d as u64;
+        stages.cell_probe_ns += probe_t0.elapsed().as_nanos() as u64;
+        let combine_t0 = std::time::Instant::now();
+        let r = median_stack_rows(d, &mut v0, &mut v1, &mut v2, t1.is_some(), t2.is_some());
+        stages.median_combine_ns += combine_t0.elapsed().as_nanos() as u64;
+        r
+    }
+
+    /// [`CmPbe::estimate_burstiness`] through [`CmPbe::probe3_stages`]:
+    /// identical value, stage clocks populated when armed.
+    pub fn estimate_burstiness_stages(
+        &self,
+        event: EventId,
+        t: Timestamp,
+        tau: BurstSpan,
+        stages: &mut StageTimings,
+    ) -> f64 {
+        let [f0, f1, f2] = self.probe3_stages(event, t, tau, stages);
+        f0 - 2.0 * f1 + f2
+    }
+
     /// Estimate with an explicit row combiner — ablation hook for comparing
     /// the paper's median against the classic Count-Min minimum (which is
     /// wrong here: the PBE's one-sided *under*-estimation means the minimum
@@ -468,6 +551,7 @@ impl<P: CurveSketch> CmPbe<P> {
                 None => self.cells[ci].probe3(t, tau),
             }
         };
+        let mut probed = 0u64;
         if count >= self.width() {
             // Dense scan: nearly every cell is some candidate's — probe the
             // whole table row-major, one sequential cache-friendly pass.
@@ -481,6 +565,7 @@ impl<P: CurveSketch> CmPbe<P> {
                     }
                 }
             }
+            probed = ncells as u64;
         } else {
             // Sparse scan: lazily probe only the cells candidates map to.
             order.clear();
@@ -489,7 +574,15 @@ impl<P: CurveSketch> CmPbe<P> {
                 if order[ci] == 0 {
                     order[ci] = 1;
                     probes[ci * 3..ci * 3 + 3].copy_from_slice(&probe_cell(ci));
+                    probed += 1;
                 }
+            }
+        }
+        if stages.enabled {
+            if self.bank.is_some() {
+                stages.bank_probes += probed;
+            } else {
+                stages.scalar_probes += probed;
             }
         }
         if let Some(t0) = probe_t0 {
@@ -640,6 +733,14 @@ impl<P: CurveSketch> CmPbe<P> {
                         probes[base + i] = cell.estimate_cum_hinted(Timestamp(pos), &mut h);
                     }
                 }
+            }
+        }
+        if stages.enabled {
+            let probed = (d * npos) as u64;
+            if self.bank.is_some() {
+                stages.bank_probes += probed;
+            } else {
+                stages.scalar_probes += probed;
             }
         }
         if let Some(t0) = probe_t0 {
@@ -889,6 +990,14 @@ pub struct QueryScratch {
     /// [`StageTimings`]). Defaults to disarmed: the kernels then skip every
     /// clock read.
     pub stages: StageTimings,
+    /// Root trace id of the request this scratch is serving (0 = none).
+    /// Set by the serving layer so sampled spans and latency exemplars can
+    /// share the caller-visible id; ignored by the kernels.
+    pub trace_id: u64,
+    /// Explain mode: the serving layer arms stage timing and harvests the
+    /// populated [`StageTimings`] after the query instead of letting the
+    /// tracing root disarm it.
+    pub explain: bool,
 }
 
 impl QueryScratch {
@@ -921,6 +1030,12 @@ pub struct StageTimings {
     /// Nanoseconds spent in the dyadic pruned search (recorded by the
     /// hierarchy caller, carried here so one struct reaches the root).
     pub hierarchy_prune_ns: u64,
+    /// Cell probes answered by the SoA bank path (counted only while
+    /// `enabled`; lets EXPLAIN name the serving path actually taken).
+    pub bank_probes: u64,
+    /// Cell probes answered by the scalar per-cell path (counted only
+    /// while `enabled`).
+    pub scalar_probes: u64,
 }
 
 impl StageTimings {
@@ -1036,6 +1151,90 @@ mod tests {
             assert_eq!(got.0, want.0);
             assert_eq!(got.1.to_bits(), want.1.to_bits());
         }
+    }
+
+    #[test]
+    fn stage_probe_counters_name_the_serving_path() {
+        let stream = mixed_stream(40, 30);
+        let mut cm = CmPbe::with_dimensions(4, 32, 99, || {
+            Pbe2::new(Pbe2Config { gamma: 2.0, max_vertices: 16 }).unwrap()
+        });
+        for el in stream.iter() {
+            cm.update(el.event, el.ts);
+        }
+        let tau = BurstSpan::new(40).unwrap();
+        let mut scratch = QueryScratch::new();
+
+        // Disarmed: counters must stay untouched on the hot path.
+        cm.burstiness_scan_into(0, 40, Timestamp(250), tau, &mut scratch, |_, _| {});
+        assert_eq!(scratch.stages.bank_probes, 0);
+        assert_eq!(scratch.stages.scalar_probes, 0);
+
+        // Armed, bank absent: probes attribute to the scalar path.
+        scratch.stages.reset(true);
+        assert!(!cm.has_bank());
+        cm.burstiness_scan_into(0, 40, Timestamp(250), tau, &mut scratch, |_, _| {});
+        assert_eq!(scratch.stages.bank_probes, 0);
+        assert!(scratch.stages.scalar_probes > 0);
+
+        // Armed, bank built: same query attributes to the bank path.
+        cm.finalize();
+        assert!(cm.has_bank());
+        scratch.stages.reset(true);
+        cm.burstiness_scan_into(0, 40, Timestamp(250), tau, &mut scratch, |_, _| {});
+        assert!(scratch.stages.bank_probes > 0);
+        assert_eq!(scratch.stages.scalar_probes, 0);
+
+        // The bursty-time sweep counts its per-row position probes too.
+        scratch.stages.reset(true);
+        let mut out = Vec::new();
+        cm.bursty_times_into(EventId(7), 0.0, tau, Timestamp(400), &mut scratch, &mut out);
+        assert!(scratch.stages.bank_probes > 0);
+
+        // reset() clears the accumulated counts.
+        scratch.stages.reset(false);
+        assert_eq!(scratch.stages.bank_probes, 0);
+        assert_eq!(scratch.stages.scalar_probes, 0);
+    }
+
+    #[test]
+    fn probe3_stages_matches_probe3_and_attributes_phases() {
+        let stream = mixed_stream(40, 30);
+        let mut cm = CmPbe::with_dimensions(4, 32, 99, || {
+            Pbe2::new(Pbe2Config { gamma: 2.0, max_vertices: 16 }).unwrap()
+        });
+        for el in stream.iter() {
+            cm.update(el.event, el.ts);
+        }
+        let tau = BurstSpan::new(40).unwrap();
+        let mut stages = StageTimings::default();
+
+        // Disarmed: falls through to probe3 and leaves the clocks alone.
+        let plain = cm.probe3(EventId(7), Timestamp(250), tau);
+        assert_eq!(cm.probe3_stages(EventId(7), Timestamp(250), tau, &mut stages), plain);
+        assert_eq!(stages.scalar_probes, 0);
+        assert_eq!(stages.cell_probe_ns, 0);
+
+        // Armed, scalar cells: same bits, probes counted per row and offset.
+        stages.reset(true);
+        let staged = cm.probe3_stages(EventId(7), Timestamp(250), tau, &mut stages);
+        assert_eq!(staged.map(f64::to_bits), plain.map(f64::to_bits));
+        assert_eq!(stages.scalar_probes, 3 * 4);
+        assert_eq!(stages.bank_probes, 0);
+
+        // Armed, bank built: same bits through the SoA lanes.
+        cm.finalize();
+        let banked = cm.probe3(EventId(7), Timestamp(250), tau);
+        stages.reset(true);
+        let staged = cm.probe3_stages(EventId(7), Timestamp(250), tau, &mut stages);
+        assert_eq!(staged.map(f64::to_bits), banked.map(f64::to_bits));
+        assert_eq!(stages.bank_probes, 3 * 4);
+        assert_eq!(stages.scalar_probes, 0);
+
+        // The burstiness wrapper composes the identical estimate.
+        stages.reset(true);
+        let b = cm.estimate_burstiness_stages(EventId(7), Timestamp(250), tau, &mut stages);
+        assert_eq!(b.to_bits(), cm.estimate_burstiness(EventId(7), Timestamp(250), tau).to_bits());
     }
 
     #[test]

@@ -7,9 +7,10 @@ use bed::obs::Histogram;
 use bed::pbe::{CurveCursor, CurveSketch, ExactCurve, Pbe1, Pbe1Config, Pbe2, Pbe2Config};
 use bed::sketch::CmPbe;
 use bed::{
-    AnyDetector, BedError, BurstDetector, BurstQueries, BurstSpan, DetectorEpochs, EventId,
-    MetricValue, MetricsSnapshot, PbeVariant, QueryRequest, QueryScratch, QueryStrategy,
-    ShardedDetector, TimeRange, Timestamp,
+    assemble_trace_tree, AnyDetector, BedError, BurstDetector, BurstQueries, BurstSpan,
+    DetectorEpochs, EventId, MetricValue, MetricsSnapshot, PbeVariant, QueryRequest, QueryScratch,
+    QueryStrategy, ShardedDetector, TimeRange, Timestamp, TraceEvent, TraceId, Traceable, Tracer,
+    TracerConfig,
 };
 use proptest::prelude::*;
 
@@ -919,4 +920,193 @@ fn warm_epoch_read_path_does_not_allocate() {
 
     let delta = counting_alloc::CountingAlloc::current() - base;
     assert_eq!(delta, 0, "warm epoch read path allocated {delta} times");
+}
+
+// ---------------------------------------------------------------------------
+// Observability contract: trace-id propagation stays free when the sampler
+// skips, exemplars and tracer self-health are stable wire text, and trace
+// trees assemble deterministically.
+// ---------------------------------------------------------------------------
+
+/// The `/query` hot path with tracing *enabled but unsampled* — a trace id
+/// stamped into the scratch, explain off, sampler skipping — stays
+/// zero-allocation. This is exactly the serve configuration under load:
+/// every response carries a joinable id, yet an unsampled request pays one
+/// relaxed `fetch_add` and never touches the heap.
+#[test]
+fn traced_unsampled_epoch_read_path_does_not_allocate() {
+    let tracer = std::sync::Arc::new(Tracer::new(TracerConfig {
+        sample_every: u64::MAX,      // enabled, but effectively never samples…
+        slow_threshold_ns: u64::MAX, // …and never captures slow queries
+        buffer_capacity: 64,
+        slow_capacity: 1,
+        dump_slow_on_drop: false,
+    }));
+    let mut det = AnyDetector::Plain(Box::new(
+        BurstDetector::builder()
+            .universe(8)
+            .variant(PbeVariant::pbe2(1.0))
+            .seed(7)
+            .build()
+            .unwrap(),
+    ));
+    det.set_tracer(std::sync::Arc::clone(&tracer));
+    for t in 0..2_000u64 {
+        det.ingest(EventId((t % 8) as u32), Timestamp(t)).unwrap();
+    }
+    let mut epochs = DetectorEpochs::new(&det);
+    epochs.set_tracer(std::sync::Arc::clone(&tracer));
+    let tau = BurstSpan::new(50).unwrap();
+
+    // Warm-up grows the scratch AND burns sampler ticket 0 (the first
+    // ticket matches any period, so the very first query is the one
+    // sampled request this test ever records).
+    let view = epochs.view();
+    view.refresh_latest();
+    let mut scratch = QueryScratch::new();
+    for e in 0..8u32 {
+        let req = QueryRequest::Point { event: EventId(e), t: Timestamp(1_999), tau };
+        view.query_reusing(&req, &mut scratch).unwrap();
+    }
+    assert_eq!(tracer.metrics_snapshot().counter("trace.sampled"), Some(1));
+
+    let base = counting_alloc::CountingAlloc::current();
+    for round in 0..200u64 {
+        // Serve stamps a fresh minted id per request: id arithmetic only.
+        scratch.trace_id = tracer.next_trace_id().0;
+        scratch.explain = false;
+        for e in 0..8u32 {
+            let req = QueryRequest::Point { event: EventId(e), t: Timestamp(1_000 + round), tau };
+            std::hint::black_box(view.query_reusing(&req, &mut scratch).unwrap());
+        }
+    }
+    let delta = counting_alloc::CountingAlloc::current() - base;
+    assert_eq!(delta, 0, "traced-unsampled query path allocated {delta} times");
+
+    // Nothing beyond the warm-up query ever reached the ring.
+    assert_eq!(tracer.metrics_snapshot().counter("trace.sampled"), Some(1));
+}
+
+/// OpenMetrics exemplars on the wire are golden: a bucket that received a
+/// traced observation grows ` # {trace_id="..."} <ns>`, and every other
+/// bucket renders byte-identically to the pre-exemplar format.
+#[test]
+fn latency_exemplars_openmetrics_is_golden() {
+    let h = Histogram::new();
+    h.record_ns(100); // untraced: its bucket stays exemplar-free
+    h.record_ns_exemplar(5_000, 0xabc);
+    let snap = MetricsSnapshot::from_entries([(
+        "query.point.latency_ns".to_owned(),
+        MetricValue::Histogram(h.snapshot()),
+    )]);
+    let golden = concat!(
+        "# HELP bed_query_point_latency_ns query.point.latency_ns\n",
+        "# TYPE bed_query_point_latency_ns histogram\n",
+        "bed_query_point_latency_ns_bucket{le=\"250\"} 1\n",
+        "bed_query_point_latency_ns_bucket{le=\"1000\"} 1\n",
+        "bed_query_point_latency_ns_bucket{le=\"4000\"} 1\n",
+        "bed_query_point_latency_ns_bucket{le=\"16000\"} 2",
+        " # {trace_id=\"0000000000000abc\"} 5000\n",
+        "bed_query_point_latency_ns_bucket{le=\"64000\"} 2\n",
+        "bed_query_point_latency_ns_bucket{le=\"250000\"} 2\n",
+        "bed_query_point_latency_ns_bucket{le=\"1000000\"} 2\n",
+        "bed_query_point_latency_ns_bucket{le=\"4000000\"} 2\n",
+        "bed_query_point_latency_ns_bucket{le=\"16000000\"} 2\n",
+        "bed_query_point_latency_ns_bucket{le=\"64000000\"} 2\n",
+        "bed_query_point_latency_ns_bucket{le=\"250000000\"} 2\n",
+        "bed_query_point_latency_ns_bucket{le=\"1000000000\"} 2\n",
+        "bed_query_point_latency_ns_bucket{le=\"+Inf\"} 2\n",
+        "bed_query_point_latency_ns_sum 5100\n",
+        "bed_query_point_latency_ns_count 2\n",
+        "# EOF\n",
+    );
+    assert_eq!(snap.to_openmetrics(), golden);
+}
+
+/// Tracer self-health on `/metrics` is golden wire text: a tracer driven
+/// through a deterministic schedule (1-in-2 sampling, six tickets) renders
+/// exact dropped/lap/ticket/occupancy families.
+#[test]
+fn tracer_self_health_openmetrics_is_golden() {
+    let tracer = Tracer::new(TracerConfig {
+        sample_every: 2,
+        slow_threshold_ns: u64::MAX,
+        buffer_capacity: 4,
+        slow_capacity: 8,
+        dump_slow_on_drop: false,
+    });
+    for _ in 0..6 {
+        if let Some(span) = tracer.start_sampled(bed::SpanName::QUERY_POINT) {
+            span.finish(String::new);
+        }
+    }
+    let golden = concat!(
+        "# HELP bed_trace_buffer_capacity trace.buffer.capacity\n",
+        "# TYPE bed_trace_buffer_capacity gauge\n",
+        "bed_trace_buffer_capacity 4\n",
+        "# HELP bed_trace_buffer_laps trace.buffer.laps\n",
+        "# TYPE bed_trace_buffer_laps gauge\n",
+        "bed_trace_buffer_laps 0\n",
+        "# HELP bed_trace_dropped trace.dropped\n",
+        "# TYPE bed_trace_dropped counter\n",
+        "bed_trace_dropped_total 0\n",
+        "# HELP bed_trace_sample_every trace.sample_every\n",
+        "# TYPE bed_trace_sample_every gauge\n",
+        "bed_trace_sample_every 2\n",
+        "# HELP bed_trace_sampled trace.sampled\n",
+        "# TYPE bed_trace_sampled counter\n",
+        "bed_trace_sampled_total 3\n",
+        "# HELP bed_trace_sampler_tickets trace.sampler.tickets\n",
+        "# TYPE bed_trace_sampler_tickets counter\n",
+        "bed_trace_sampler_tickets_total 6\n",
+        "# HELP bed_trace_slow_count trace.slow.count\n",
+        "# TYPE bed_trace_slow_count counter\n",
+        "bed_trace_slow_count_total 0\n",
+        "# HELP bed_trace_slow_occupancy trace.slow.occupancy\n",
+        "# TYPE bed_trace_slow_occupancy gauge\n",
+        "bed_trace_slow_occupancy 0\n",
+        "# HELP bed_trace_spans trace.spans\n",
+        "# TYPE bed_trace_spans counter\n",
+        "bed_trace_spans_total 3\n",
+        "# EOF\n",
+    );
+    assert_eq!(tracer.metrics_snapshot().to_openmetrics(), golden);
+}
+
+/// `/trace/<id>` tree assembly is golden for hand-built deterministic
+/// events: spans of other traces are filtered, children nest under their
+/// parent, and a span whose parent was overwritten in the ring surfaces
+/// under `"orphans"` instead of vanishing.
+#[test]
+fn trace_tree_assembly_is_golden() {
+    let ev = |name, trace_id, span_id, parent_id, start_ns, dur_ns| TraceEvent {
+        name,
+        trace_id,
+        span_id,
+        parent_id,
+        start_ns,
+        dur_ns,
+    };
+    let events = vec![
+        ev("query.point", 0xabc, 0x1, 0x0, 10, 900),
+        ev("stage.cell_probe", 0xabc, 0x2, 0x1, 20, 300),
+        ev("stage.median_combine", 0xabc, 0x3, 0x1, 350, 200),
+        ev("query.point", 0xddd, 0x9, 0x0, 0, 50), // different trace: filtered
+        ev("stage.hierarchy_prune", 0xabc, 0x4, 0x77, 600, 100), // parent lost
+    ];
+    let golden = concat!(
+        "{\"trace_id\":\"0000000000000abc\",\"roots\":[",
+        "{\"name\":\"query.point\",\"span_id\":\"0000000000000001\",",
+        "\"start_ns\":10,\"dur_ns\":900,\"children\":[",
+        "{\"name\":\"stage.cell_probe\",\"span_id\":\"0000000000000002\",",
+        "\"start_ns\":20,\"dur_ns\":300,\"children\":[]},",
+        "{\"name\":\"stage.median_combine\",\"span_id\":\"0000000000000003\",",
+        "\"start_ns\":350,\"dur_ns\":200,\"children\":[]}]}],",
+        "\"orphans\":[",
+        "{\"name\":\"stage.hierarchy_prune\",\"trace_id\":\"0000000000000abc\",",
+        "\"span_id\":\"0000000000000004\",\"parent_id\":\"0000000000000077\",",
+        "\"start_ns\":600,\"dur_ns\":100}]}",
+    );
+    assert_eq!(assemble_trace_tree(&events, TraceId(0xabc)).as_deref(), Some(golden));
+    assert_eq!(assemble_trace_tree(&events, TraceId(0xbeef)), None);
 }
